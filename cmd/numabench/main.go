@@ -1,0 +1,27 @@
+// Command numabench runs the NUMA microbenchmarks of the paper's
+// Section 2.2 on the simulated machines: the latency-by-distance table
+// (Figure 3(b)), the bandwidth-by-distance table (Figure 4), and the
+// barrier study (Figure 10(a)), including wall-clock measurements of the
+// real Go barrier implementations on this host.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"polymer/internal/bench"
+	"polymer/internal/numa"
+)
+
+func main() {
+	sockets := flag.Int("sockets", 8, "sockets for the barrier study")
+	cores := flag.Int("cores", 4, "goroutines per socket for the measured barrier study")
+	rounds := flag.Int("rounds", 200, "barrier rounds to average over")
+	flag.Parse()
+
+	for _, topo := range []*numa.Topology{numa.IntelXeon80(), numa.AMDOpteron64()} {
+		fmt.Println(bench.FormatLatencyTable(topo, bench.LatencyTable(topo)))
+		fmt.Println(bench.FormatBandwidthTable(topo, bench.BandwidthTable(topo)))
+	}
+	fmt.Println(bench.FormatBarrierStudy(bench.BarrierStudy(*sockets, *cores, *rounds)))
+}

@@ -1,0 +1,160 @@
+// Command polymer runs one graph algorithm on one dataset with a chosen
+// engine and prints the simulated runtime, access statistics and a result
+// summary.
+//
+// Usage:
+//
+//	polymer -algo pr -graph twitter -system polymer -sockets 8 -cores 10
+//	polymer -algo bfs -graph roadUS -system xstream -scale small
+//	polymer -algo sssp -file my-graph.txt -src 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"polymer/internal/bench"
+	"polymer/internal/core"
+	"polymer/internal/gen"
+	"polymer/internal/graph"
+	"polymer/internal/numa"
+)
+
+func main() {
+	algoFlag := flag.String("algo", "pr", "algorithm: pr, spmv, bp, bfs, cc or sssp")
+	graphFlag := flag.String("graph", "twitter", "dataset: twitter, rmat24, rmat27, powerlaw or roadUS")
+	fileFlag := flag.String("file", "", "load an edge-list file instead of a generated dataset")
+	systemFlag := flag.String("system", "polymer", "engine: polymer, ligra, xstream or galois")
+	scaleFlag := flag.String("scale", "default", "dataset scale: tiny, small or default")
+	machineFlag := flag.String("machine", "intel", "topology: intel or amd")
+	socketsFlag := flag.Int("sockets", 0, "sockets to use (0 = all)")
+	coresFlag := flag.Int("cores", 0, "cores per socket (0 = all)")
+	srcFlag := flag.Uint("src", 0, "source vertex for bfs/sssp")
+	traceFlag := flag.Bool("trace", false, "print the per-phase execution trace (polymer only)")
+	flag.Parse()
+
+	alg, ok := map[string]bench.Algo{
+		"pr": bench.PR, "spmv": bench.SpMV, "bp": bench.BP,
+		"bfs": bench.BFS, "cc": bench.CC, "sssp": bench.SSSP,
+	}[strings.ToLower(*algoFlag)]
+	if !ok {
+		fail("unknown algorithm %q", *algoFlag)
+	}
+	sys, ok := map[string]bench.System{
+		"polymer": bench.Polymer, "ligra": bench.Ligra,
+		"xstream": bench.XStream, "x-stream": bench.XStream, "galois": bench.Galois,
+	}[strings.ToLower(*systemFlag)]
+	if !ok {
+		fail("unknown system %q", *systemFlag)
+	}
+	sc, ok := map[string]gen.Scale{"tiny": gen.Tiny, "small": gen.Small, "default": gen.Default}[*scaleFlag]
+	if !ok {
+		fail("unknown scale %q", *scaleFlag)
+	}
+	topo := numa.IntelXeon80()
+	if *machineFlag == "amd" {
+		topo = numa.AMDOpteron64()
+	}
+	sockets, cores := *socketsFlag, *coresFlag
+	if sockets == 0 {
+		sockets = topo.Sockets
+	}
+	if cores == 0 {
+		cores = topo.CoresPerSocket
+	}
+
+	var (
+		g   *graph.Graph
+		err error
+	)
+	if *fileFlag != "" {
+		f, ferr := os.Open(*fileFlag)
+		if ferr != nil {
+			fail("%v", ferr)
+		}
+		var (
+			n        int
+			edges    []graph.Edge
+			weighted bool
+			perr     error
+		)
+		switch {
+		case strings.HasSuffix(*fileFlag, ".gr"):
+			n, edges, perr = graph.ReadDIMACS(f)
+			weighted = true
+		case strings.HasSuffix(*fileFlag, ".bin"):
+			n, edges, weighted, perr = graph.ReadBinary(f)
+		default:
+			n, edges, weighted, perr = graph.ReadEdgeList(f)
+		}
+		f.Close()
+		if perr != nil {
+			fail("%v", perr)
+		}
+		if alg.Weighted() && !weighted {
+			gen.AddRandomWeights(edges, 1)
+			weighted = true
+		}
+		g = graph.FromEdges(n, edges, weighted)
+	} else {
+		g, err = bench.LoadDataset(gen.Dataset(*graphFlag), sc, alg)
+		if err != nil {
+			fail("%v", err)
+		}
+	}
+	src := graph.Vertex(*srcFlag)
+	if int(src) >= g.NumVertices() {
+		fail("source %d outside [0,%d)", src, g.NumVertices())
+	}
+
+	m := numa.NewMachine(topo, sockets, cores)
+	wall := time.Now()
+	var (
+		r      bench.RunResult
+		phases []core.PhaseRecord
+	)
+	if *traceFlag && sys == bench.Polymer {
+		r, phases = bench.RunPolymerTraced(alg, g, m, src)
+	} else {
+		r = bench.RunFrom(sys, alg, g, m, src)
+	}
+	elapsed := time.Since(wall)
+
+	fmt.Printf("system     : %s\n", sys)
+	fmt.Printf("algorithm  : %s\n", alg)
+	fmt.Printf("graph      : %s\n", g)
+	fmt.Printf("machine    : %s\n", m)
+	fmt.Printf("sim time   : %.6f s\n", r.SimSeconds)
+	fmt.Printf("wall time  : %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("remote rate: %.1f%%  (%.1fM remote accesses)\n", r.Stats.RemoteRate*100, float64(r.Stats.RemoteCount)/1e6)
+	fmt.Printf("peak memory: %.1f MB\n", float64(r.PeakBytes)/1e6)
+	if r.AgentBytes > 0 {
+		fmt.Printf("agents     : %.1f MB\n", float64(r.AgentBytes)/1e6)
+	}
+	fmt.Printf("checksum   : %g\n", r.Checksum)
+	if len(phases) > 0 {
+		fmt.Printf("\n%-4s %-10s %-7s %-6s %12s %14s\n", "#", "phase", "repr", "dir", "active-in", "sim (usec)")
+		for i, p := range phases {
+			repr, dir := "sparse", "-"
+			if p.Dense {
+				repr = "dense"
+			}
+			if p.Kind == "edgemap" {
+				if p.Push {
+					dir = "push"
+				} else {
+					dir = "pull"
+				}
+			}
+			fmt.Printf("%-4d %-10s %-7s %-6s %12d %14.2f\n", i, p.Kind, repr, dir, p.ActiveIn, p.SimSeconds*1e6)
+		}
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "polymer: "+format+"\n", args...)
+	os.Exit(1)
+}

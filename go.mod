@@ -1,0 +1,3 @@
+module polymer
+
+go 1.23

@@ -1,0 +1,63 @@
+package algorithms
+
+import (
+	"polymer/internal/atomicx"
+	"polymer/internal/core"
+	"polymer/internal/graph"
+	"polymer/internal/sg"
+)
+
+// asyncDistKernel relaxes distances monotonically (chaotic relaxation).
+type asyncDistKernel struct {
+	dist     []float64
+	weighted bool
+}
+
+func (k *asyncDistKernel) Relax(s, d graph.Vertex, w float32) bool {
+	step := 1.0
+	if k.weighted {
+		step = edgeWeight(w)
+	}
+	nd := atomicx.LoadFloat64(&k.dist[s]) + step
+	return atomicx.MinFloat64(&k.dist[d], nd)
+}
+
+// AsyncSSSP computes single-source shortest paths on a Polymer engine
+// with the asynchronous chaotic-relaxation executor (no global barriers).
+func AsyncSSSP(e *core.Engine, src graph.Vertex) []float64 {
+	n := e.Graph().NumVertices()
+	if n == 0 {
+		return nil
+	}
+	distA := e.NewData("asyncsssp/dist")
+	k := &asyncDistKernel{dist: distA.Data, weighted: true}
+	for i := range k.dist {
+		k.dist[i] = infinity
+	}
+	k.dist[src] = 0
+	e.AsyncTraverse([]graph.Vertex{src}, k, sg.Hints{DataBytes: 8, NsPerEdge: 1.5, Weighted: true})
+	out := make([]float64, n)
+	copy(out, k.dist)
+	return out
+}
+
+// AsyncBFS computes BFS levels asynchronously (unit-weight relaxation).
+func AsyncBFS(e *core.Engine, src graph.Vertex) []int64 {
+	n := e.Graph().NumVertices()
+	distA := e.NewData("asyncbfs/dist")
+	k := &asyncDistKernel{dist: distA.Data}
+	for i := range k.dist {
+		k.dist[i] = infinity
+	}
+	k.dist[src] = 0
+	e.AsyncTraverse([]graph.Vertex{src}, k, sg.Hints{DataBytes: 8, NsPerEdge: 1})
+	out := make([]int64, n)
+	for v := range out {
+		if k.dist[v] == infinity {
+			out[v] = -1
+		} else {
+			out[v] = int64(k.dist[v])
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package algorithms
+
+import (
+	"math/rand"
+	"testing"
+
+	"polymer/internal/core"
+	"polymer/internal/gen"
+	"polymer/internal/graph"
+	"polymer/internal/numa"
+	"polymer/internal/sg"
+)
+
+func newPolymer(g *graph.Graph) sg.Engine {
+	return core.New(g, numa.NewMachine(numa.IntelXeon80(), 2, 2), core.DefaultOptions())
+}
+
+func TestDynamicSSSPMatchesRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n, base := gen.RoadGrid(12, 12, 4)
+	g := graph.FromEdges(n, base, true)
+
+	d := NewDynamicSSSP(newPolymer(g), newPolymer, 0)
+	defer d.Close()
+
+	all := append([]graph.Edge(nil), base...)
+	for batch := 0; batch < 5; batch++ {
+		ins := make([]graph.Edge, 1+rng.Intn(8))
+		for i := range ins {
+			ins[i] = graph.Edge{
+				Src: graph.Vertex(rng.Intn(n)),
+				Dst: graph.Vertex(rng.Intn(n)),
+				Wt:  float32(rng.Intn(50)) + 1,
+			}
+		}
+		d.InsertEdges(ins)
+		all = append(all, ins...)
+
+		want := RefSSSP(graph.FromEdges(n, all, true), 0)
+		got := d.Dist()
+		for v := 0; v < n; v++ {
+			if !floatEq(got[v], want[v]) {
+				t.Fatalf("batch %d: dist[%d] = %v, want %v", batch, v, got[v], want[v])
+			}
+		}
+	}
+	if d.OverlaySize() == 0 {
+		t.Fatal("overlay must have grown")
+	}
+}
+
+func TestDynamicSSSPShortcutEdge(t *testing.T) {
+	// A long chain; inserting a shortcut from the source to the far end
+	// must update exactly the tail distances.
+	n, base := gen.Chain(30)
+	for i := range base {
+		base[i].Wt = 10
+	}
+	g := graph.FromEdges(n, base, true)
+	d := NewDynamicSSSP(newPolymer(g), newPolymer, 0)
+	defer d.Close()
+	if d.Dist()[29] != 290 {
+		t.Fatalf("initial dist = %v", d.Dist()[29])
+	}
+	d.InsertEdges([]graph.Edge{{Src: 0, Dst: 25, Wt: 3}})
+	if d.Dist()[25] != 3 {
+		t.Fatalf("shortcut target dist = %v", d.Dist()[25])
+	}
+	if d.Dist()[29] != 43 { // 3 + 4*10
+		t.Fatalf("propagated dist = %v", d.Dist()[29])
+	}
+	if d.Dist()[10] != 100 { // untouched prefix
+		t.Fatalf("prefix dist changed: %v", d.Dist()[10])
+	}
+}
+
+func TestDynamicSSSPNoImprovementIsCheap(t *testing.T) {
+	n, base := gen.Chain(20)
+	g := graph.FromEdges(n, base, false)
+	d := NewDynamicSSSP(newPolymer(g), newPolymer, 0)
+	defer d.Close()
+	before := d.Engine().SimSeconds()
+	// A worse parallel edge cannot change any distance.
+	d.InsertEdges([]graph.Edge{{Src: 0, Dst: 5, Wt: 99}})
+	if d.Engine().SimSeconds() != before {
+		t.Fatal("non-improving insertion must not trigger any EdgeMap")
+	}
+	if d.Dist()[5] != 5 {
+		t.Fatalf("dist corrupted: %v", d.Dist()[5])
+	}
+}
+
+func TestDynamicSSSPCompact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, base := gen.RoadGrid(8, 8, 2)
+	g := graph.FromEdges(n, base, true)
+	d := NewDynamicSSSP(newPolymer(g), newPolymer, 0)
+	defer d.Close()
+
+	all := append([]graph.Edge(nil), base...)
+	ins := make([]graph.Edge, 10)
+	for i := range ins {
+		ins[i] = graph.Edge{Src: graph.Vertex(rng.Intn(n)), Dst: graph.Vertex(rng.Intn(n)), Wt: 2}
+	}
+	d.InsertEdges(ins)
+	all = append(all, ins...)
+	d.Compact()
+	if d.OverlaySize() != 0 {
+		t.Fatal("Compact must clear the overlay")
+	}
+	if d.Engine().Graph().NumEdges() != int64(len(all)) {
+		t.Fatalf("compacted graph has %d edges, want %d", d.Engine().Graph().NumEdges(), len(all))
+	}
+	// Distances survive compaction and further insertions still work.
+	want := RefSSSP(graph.FromEdges(n, all, true), 0)
+	for v := 0; v < n; v++ {
+		if !floatEq(d.Dist()[v], want[v]) {
+			t.Fatalf("post-compact dist[%d] = %v, want %v", v, d.Dist()[v], want[v])
+		}
+	}
+	d.InsertEdges([]graph.Edge{{Src: 0, Dst: graph.Vertex(n - 1), Wt: 1}})
+	if d.Dist()[n-1] != 1 {
+		t.Fatalf("post-compact insertion broken: %v", d.Dist()[n-1])
+	}
+}
+
+func TestDynamicSSSPUnweightedBFSSemantics(t *testing.T) {
+	n, base := gen.Chain(10)
+	g := graph.FromEdges(n, base, false)
+	d := NewDynamicSSSP(newPolymer(g), newPolymer, 0)
+	defer d.Close()
+	for v := 0; v < n; v++ {
+		if d.Dist()[v] != float64(v) {
+			t.Fatalf("unit-weight dist[%d] = %v", v, d.Dist()[v])
+		}
+	}
+	d.InsertEdges([]graph.Edge{{Src: 2, Dst: 9}}) // unit weight
+	if d.Dist()[9] != 3 {
+		t.Fatalf("unit insertion dist = %v", d.Dist()[9])
+	}
+}

@@ -1,0 +1,155 @@
+// Package algorithms implements the paper's six evaluation algorithms —
+// PageRank, SpMV, Bayesian belief propagation, BFS, connected components
+// and single-source shortest paths (Section 6.1) — once against the
+// scatter-gather interface (run by Polymer and the Ligra baseline), once
+// against X-Stream's edge-centric interface, plus sequential reference
+// implementations used by the test suite to validate every engine.
+package algorithms
+
+import (
+	"math"
+	"sync/atomic"
+
+	"polymer/internal/atomicx"
+	"polymer/internal/graph"
+	"polymer/internal/sg"
+)
+
+// unvisited marks an unclaimed BFS parent slot.
+const unvisited = ^uint32(0)
+
+// prKernel is the paper's Algorithm 4.1 edge function: it atomically
+// accumulates the scaled rank of the source into the target.
+type prKernel struct {
+	curr, next []float64
+	invOut     []float64
+}
+
+func (k *prKernel) Update(s, d graph.Vertex, w float32) bool {
+	k.next[d] += k.curr[s] * k.invOut[s]
+	return true
+}
+
+func (k *prKernel) UpdateAtomic(s, d graph.Vertex, w float32) bool {
+	atomicx.AddFloat64(&k.next[d], k.curr[s]*k.invOut[s])
+	return true
+}
+
+func (k *prKernel) Cond(graph.Vertex) bool { return true }
+
+// spmvKernel accumulates w * x[s] into y[d].
+type spmvKernel struct{ x, y []float64 }
+
+func (k *spmvKernel) Update(s, d graph.Vertex, w float32) bool {
+	k.y[d] += float64(w) * k.x[s]
+	return true
+}
+
+func (k *spmvKernel) UpdateAtomic(s, d graph.Vertex, w float32) bool {
+	atomicx.AddFloat64(&k.y[d], float64(w)*k.x[s])
+	return true
+}
+
+func (k *spmvKernel) Cond(graph.Vertex) bool { return true }
+
+// bpKernel multiplies damped messages into the target's belief
+// accumulator: acc[d] *= 1 - (w/100) * curr[s].
+type bpKernel struct{ curr, acc []float64 }
+
+func bpMessage(curr float64, w float32) float64 {
+	weight := 0.5
+	if w != 0 {
+		weight = float64(w) / 100
+	}
+	return 1 - weight*curr
+}
+
+func (k *bpKernel) Update(s, d graph.Vertex, w float32) bool {
+	k.acc[d] *= bpMessage(k.curr[s], w)
+	return true
+}
+
+func (k *bpKernel) UpdateAtomic(s, d graph.Vertex, w float32) bool {
+	atomicx.MulFloat64(&k.acc[d], bpMessage(k.curr[s], w))
+	return true
+}
+
+func (k *bpKernel) Cond(graph.Vertex) bool { return true }
+
+// bfsKernel claims unvisited vertices (direction-optimizing BFS).
+type bfsKernel struct{ parent []uint32 }
+
+func (k *bfsKernel) Update(s, d graph.Vertex, w float32) bool {
+	if atomic.LoadUint32(&k.parent[d]) == unvisited {
+		atomic.StoreUint32(&k.parent[d], s)
+		return true
+	}
+	return false
+}
+
+func (k *bfsKernel) UpdateAtomic(s, d graph.Vertex, w float32) bool {
+	return atomicx.CASUint32(&k.parent[d], unvisited, s)
+}
+
+func (k *bfsKernel) Cond(d graph.Vertex) bool { return atomic.LoadUint32(&k.parent[d]) == unvisited }
+
+// ccKernel propagates minimum labels (label-propagation connected
+// components on the symmetrized graph).
+type ccKernel struct{ labels []uint32 }
+
+func (k *ccKernel) Update(s, d graph.Vertex, w float32) bool {
+	ls := atomic.LoadUint32(&k.labels[s])
+	if ls < atomic.LoadUint32(&k.labels[d]) {
+		atomic.StoreUint32(&k.labels[d], ls)
+		return true
+	}
+	return false
+}
+
+func (k *ccKernel) UpdateAtomic(s, d graph.Vertex, w float32) bool {
+	return atomicx.MinUint32(&k.labels[d], atomic.LoadUint32(&k.labels[s]))
+}
+
+func (k *ccKernel) Cond(graph.Vertex) bool { return true }
+
+// ssspKernel relaxes edges with atomic distance minimisation
+// (Bellman-Ford with data-driven scheduling).
+type ssspKernel struct{ dist []float64 }
+
+func (k *ssspKernel) Update(s, d graph.Vertex, w float32) bool {
+	nd := atomicx.LoadFloat64(&k.dist[s]) + edgeWeight(w)
+	if nd < atomicx.LoadFloat64(&k.dist[d]) {
+		atomicx.StoreFloat64(&k.dist[d], nd)
+		return true
+	}
+	return false
+}
+
+func (k *ssspKernel) UpdateAtomic(s, d graph.Vertex, w float32) bool {
+	nd := atomicx.LoadFloat64(&k.dist[s]) + edgeWeight(w)
+	return atomicx.MinFloat64(&k.dist[d], nd)
+}
+
+func (k *ssspKernel) Cond(graph.Vertex) bool { return true }
+
+// edgeWeight treats unweighted edges as unit weight.
+func edgeWeight(w float32) float64 {
+	if w == 0 {
+		return 1
+	}
+	return float64(w)
+}
+
+// Hints for each algorithm, as the paper configures the systems: PR, SpMV
+// and BP run push-based dense phases; the traversal algorithms prefer
+// pull in dense phases (direction-optimizing).
+var (
+	prHints   = sg.Hints{DataBytes: 8, NsPerEdge: 1.5, DensePush: true}
+	spmvHints = sg.Hints{DataBytes: 8, NsPerEdge: 1.5, DensePush: true, Weighted: true}
+	bpHints   = sg.Hints{DataBytes: 16, NsPerEdge: 6, DensePush: true, Weighted: true}
+	bfsHints  = sg.Hints{DataBytes: 4, NsPerEdge: 1, DensePush: false}
+	ccHints   = sg.Hints{DataBytes: 4, NsPerEdge: 1}                   // dense rounds pull (Ligra's convention)
+	ssspHints = sg.Hints{DataBytes: 8, NsPerEdge: 1.5, Weighted: true} // dense rounds pull
+)
+
+var infinity = math.Inf(1)

@@ -1,0 +1,209 @@
+package algorithms
+
+import (
+	"container/heap"
+
+	"polymer/internal/graph"
+)
+
+// The Ref* functions are sequential reference implementations used by the
+// test suite to validate every engine, and by examples to sanity-check
+// results.
+
+// RefPageRank is the sequential pull-based PageRank over all vertices.
+func RefPageRank(g *graph.Graph, iters int, damping float64) []float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	curr := make([]float64, n)
+	next := make([]float64, n)
+	invOut := make([]float64, n)
+	for v := 0; v < n; v++ {
+		curr[v] = 1 / float64(n)
+		if d := g.OutDegree(graph.Vertex(v)); d > 0 {
+			invOut[v] = 1 / float64(d)
+		}
+	}
+	base := (1 - damping) / float64(n)
+	for it := 0; it < iters; it++ {
+		for v := 0; v < n; v++ {
+			var sum float64
+			for _, u := range g.InNeighbors(graph.Vertex(v)) {
+				sum += curr[u] * invOut[u]
+			}
+			next[v] = base + damping*sum
+		}
+		curr, next = next, curr
+	}
+	return curr
+}
+
+// RefSpMV is the sequential iterated sparse matrix-vector product.
+func RefSpMV(g *graph.Graph, iters int, x0 []float64) []float64 {
+	n := g.NumVertices()
+	x := make([]float64, n)
+	y := make([]float64, n)
+	copy(x, x0)
+	for it := 0; it < iters; it++ {
+		for v := 0; v < n; v++ {
+			nbrs := g.InNeighbors(graph.Vertex(v))
+			wts := g.InWeights(graph.Vertex(v))
+			var sum float64
+			for j, u := range nbrs {
+				w := 1.0
+				if wts != nil {
+					w = float64(wts[j])
+				}
+				sum += w * x[u]
+			}
+			y[v] = sum
+		}
+		x, y = y, x
+	}
+	return x
+}
+
+// RefBP is the sequential belief propagation matching the engines'
+// message product.
+func RefBP(g *graph.Graph, iters int) []float64 {
+	n := g.NumVertices()
+	curr := make([]float64, n)
+	next := make([]float64, n)
+	for i := range curr {
+		curr[i] = 0.5
+	}
+	for it := 0; it < iters; it++ {
+		for v := 0; v < n; v++ {
+			nbrs := g.InNeighbors(graph.Vertex(v))
+			wts := g.InWeights(graph.Vertex(v))
+			acc := 1.0
+			for j, u := range nbrs {
+				var w float32
+				if wts != nil {
+					w = wts[j]
+				}
+				acc *= bpMessage(curr[u], w)
+			}
+			next[v] = 1 - acc
+		}
+		curr, next = next, curr
+	}
+	return curr
+}
+
+// RefBFS is the sequential breadth-first search (levels, -1 when
+// unreachable).
+func RefBFS(g *graph.Graph, src graph.Vertex) []int64 {
+	n := g.NumVertices()
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if n == 0 {
+		return dist
+	}
+	dist[src] = 0
+	queue := []graph.Vertex{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.OutNeighbors(v) {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// RefCC computes weakly-connected components (treating edges as
+// undirected) and labels every vertex with the smallest vertex id in its
+// component.
+func RefCC(g *graph.Graph) []graph.Vertex {
+	n := g.NumVertices()
+	labels := make([]graph.Vertex, n)
+	for i := range labels {
+		labels[i] = graph.Vertex(n) // sentinel: unvisited
+	}
+	for v := 0; v < n; v++ {
+		if labels[v] != graph.Vertex(n) {
+			continue
+		}
+		// BFS over both directions from v; v is the smallest unvisited id,
+		// so it is the component minimum.
+		labels[v] = graph.Vertex(v)
+		queue := []graph.Vertex{graph.Vertex(v)}
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for _, u := range g.OutNeighbors(x) {
+				if labels[u] == graph.Vertex(n) {
+					labels[u] = graph.Vertex(v)
+					queue = append(queue, u)
+				}
+			}
+			for _, u := range g.InNeighbors(x) {
+				if labels[u] == graph.Vertex(n) {
+					labels[u] = graph.Vertex(v)
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return labels
+}
+
+// RefSSSP is sequential Dijkstra (unweighted edges count as 1); +Inf when
+// unreachable.
+func RefSSSP(g *graph.Graph, src graph.Vertex) []float64 {
+	n := g.NumVertices()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = infinity
+	}
+	if n == 0 {
+		return dist
+	}
+	dist[src] = 0
+	h := &refPQ{{src, 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(refPQItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		nbrs := g.OutNeighbors(it.v)
+		wts := g.OutWeights(it.v)
+		for j, u := range nbrs {
+			var w float32
+			if wts != nil {
+				w = wts[j]
+			}
+			if nd := it.d + edgeWeight(w); nd < dist[u] {
+				dist[u] = nd
+				heap.Push(h, refPQItem{u, nd})
+			}
+		}
+	}
+	return dist
+}
+
+type refPQItem struct {
+	v graph.Vertex
+	d float64
+}
+
+type refPQ []refPQItem
+
+func (p refPQ) Len() int           { return len(p) }
+func (p refPQ) Less(i, j int) bool { return p[i].d < p[j].d }
+func (p refPQ) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
+func (p *refPQ) Push(x any)        { *p = append(*p, x.(refPQItem)) }
+func (p *refPQ) Pop() any {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}

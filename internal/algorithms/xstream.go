@@ -1,0 +1,221 @@
+package algorithms
+
+import (
+	"polymer/internal/engines/xstream"
+	"polymer/internal/graph"
+)
+
+// xsPR is the X-Stream PageRank kernel.
+type xsPR struct {
+	curr, next []float64
+	invOut     []float64
+	base       float64
+	damping    float64
+}
+
+func (k *xsPR) Scatter(s graph.Vertex, w float32) (float64, bool) {
+	return k.curr[s] * k.invOut[s], true
+}
+
+func (k *xsPR) Gather(d graph.Vertex, val float64) bool {
+	k.next[d] += val
+	return true
+}
+
+// XSPageRank runs iters push-based PageRank iterations on X-Stream.
+func XSPageRank(e *xstream.Engine, iters int, damping float64) []float64 {
+	g := e.Graph()
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	currA, nextA := e.NewData("pr/curr"), e.NewData("pr/next")
+	k := &xsPR{curr: currA.Data, next: nextA.Data, base: (1 - damping) / float64(n), damping: damping}
+	k.invOut = make([]float64, n)
+	for v := 0; v < n; v++ {
+		k.curr[v] = 1 / float64(n)
+		if d := g.OutDegree(graph.Vertex(v)); d > 0 {
+			k.invOut[v] = 1 / float64(d)
+		}
+	}
+	for it := 0; it < iters; it++ {
+		e.SetAllActive()
+		e.Iterate(k, func(v graph.Vertex) bool {
+			k.next[v] = k.base + k.damping*k.next[v]
+			k.curr[v] = 0
+			return true
+		})
+		k.curr, k.next = k.next, k.curr
+	}
+	out := make([]float64, n)
+	copy(out, k.curr)
+	return out
+}
+
+type xsSpMV struct{ x, y []float64 }
+
+func (k *xsSpMV) Scatter(s graph.Vertex, w float32) (float64, bool) {
+	return float64(w) * k.x[s], true
+}
+
+func (k *xsSpMV) Gather(d graph.Vertex, val float64) bool {
+	k.y[d] += val
+	return true
+}
+
+// XSSpMV runs iters sparse matrix-vector multiplications on X-Stream.
+func XSSpMV(e *xstream.Engine, iters int, x0 []float64) []float64 {
+	n := e.Graph().NumVertices()
+	if n == 0 {
+		return nil
+	}
+	xA, yA := e.NewData("spmv/x"), e.NewData("spmv/y")
+	k := &xsSpMV{x: xA.Data, y: yA.Data}
+	copy(k.x, x0)
+	for it := 0; it < iters; it++ {
+		e.SetAllActive()
+		e.Iterate(k, func(v graph.Vertex) bool {
+			k.x[v] = 0
+			return true
+		})
+		k.x, k.y = k.y, k.x
+	}
+	out := make([]float64, n)
+	copy(out, k.x)
+	return out
+}
+
+type xsBP struct{ curr, acc []float64 }
+
+func (k *xsBP) Scatter(s graph.Vertex, w float32) (float64, bool) {
+	return bpMessage(k.curr[s], w), true
+}
+
+func (k *xsBP) Gather(d graph.Vertex, val float64) bool {
+	k.acc[d] *= val
+	return true
+}
+
+// XSBP runs iters belief-propagation rounds on X-Stream.
+func XSBP(e *xstream.Engine, iters int) []float64 {
+	n := e.Graph().NumVertices()
+	if n == 0 {
+		return nil
+	}
+	currA, accA := e.NewData("bp/curr"), e.NewData("bp/acc")
+	k := &xsBP{curr: currA.Data, acc: accA.Data}
+	for v := 0; v < n; v++ {
+		k.curr[v] = 0.5
+		k.acc[v] = 1
+	}
+	for it := 0; it < iters; it++ {
+		e.SetAllActive()
+		e.Iterate(k, func(v graph.Vertex) bool {
+			k.acc[v] = 1 - k.acc[v]
+			k.curr[v] = 1
+			return true
+		})
+		k.curr, k.acc = k.acc, k.curr
+	}
+	out := make([]float64, n)
+	copy(out, k.curr)
+	return out
+}
+
+// xsLevel relaxes integer levels (BFS) or weighted distances (SSSP).
+type xsLevel struct {
+	dist     []float64
+	weighted bool
+}
+
+func (k *xsLevel) Scatter(s graph.Vertex, w float32) (float64, bool) {
+	step := 1.0
+	if k.weighted {
+		step = edgeWeight(w)
+	}
+	return k.dist[s] + step, true
+}
+
+func (k *xsLevel) Gather(d graph.Vertex, val float64) bool {
+	if val < k.dist[d] {
+		k.dist[d] = val
+		return true
+	}
+	return false
+}
+
+// XSBFS runs BFS on X-Stream (levels via unit-distance relaxation, the
+// Bellman-Ford-style formulation edge-centric engines use) and returns
+// levels (-1 when unreachable).
+func XSBFS(e *xstream.Engine, src graph.Vertex) []int64 {
+	n := e.Graph().NumVertices()
+	distA := e.NewData("bfs/dist")
+	k := &xsLevel{dist: distA.Data}
+	for i := range k.dist {
+		k.dist[i] = infinity
+	}
+	k.dist[src] = 0
+	e.SetActive([]graph.Vertex{src})
+	for e.ActiveCount() > 0 {
+		e.Iterate(k, nil)
+	}
+	out := make([]int64, n)
+	for v := range out {
+		if k.dist[v] == infinity {
+			out[v] = -1
+		} else {
+			out[v] = int64(k.dist[v])
+		}
+	}
+	return out
+}
+
+// XSSSSP runs single-source shortest paths on X-Stream.
+func XSSSSP(e *xstream.Engine, src graph.Vertex) []float64 {
+	n := e.Graph().NumVertices()
+	distA := e.NewData("sssp/dist")
+	k := &xsLevel{dist: distA.Data, weighted: true}
+	for i := range k.dist {
+		k.dist[i] = infinity
+	}
+	k.dist[src] = 0
+	e.SetActive([]graph.Vertex{src})
+	for e.ActiveCount() > 0 {
+		e.Iterate(k, nil)
+	}
+	out := make([]float64, n)
+	copy(out, k.dist)
+	return out
+}
+
+type xsCC struct{ labels []float64 }
+
+func (k *xsCC) Scatter(s graph.Vertex, w float32) (float64, bool) { return k.labels[s], true }
+
+func (k *xsCC) Gather(d graph.Vertex, val float64) bool {
+	if val < k.labels[d] {
+		k.labels[d] = val
+		return true
+	}
+	return false
+}
+
+// XSCC computes connected components by label propagation on X-Stream
+// (the engine must be built on the symmetrized graph).
+func XSCC(e *xstream.Engine) []graph.Vertex {
+	n := e.Graph().NumVertices()
+	labelsA := e.NewData("cc/labels")
+	k := &xsCC{labels: labelsA.Data}
+	for v := range k.labels {
+		k.labels[v] = float64(v)
+	}
+	e.SetAllActive()
+	for e.ActiveCount() > 0 {
+		e.Iterate(k, nil)
+	}
+	out := make([]graph.Vertex, n)
+	for v := range out {
+		out[v] = graph.Vertex(k.labels[v])
+	}
+	return out
+}

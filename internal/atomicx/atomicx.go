@@ -1,0 +1,96 @@
+// Package atomicx supplies the lock-free numeric primitives graph kernels
+// need beyond sync/atomic: atomic float64 accumulation (the paper's
+// AtomicAdd in PageRank's edge function) and atomic minimum for distances
+// and labels.
+package atomicx
+
+import (
+	"math"
+	"sync/atomic"
+	"unsafe"
+)
+
+// AddFloat64 atomically adds v to *p.
+func AddFloat64(p *float64, v float64) {
+	u := (*uint64)(unsafe.Pointer(p))
+	for {
+		old := atomic.LoadUint64(u)
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if atomic.CompareAndSwapUint64(u, old, next) {
+			return
+		}
+	}
+}
+
+// LoadFloat64 atomically loads *p.
+func LoadFloat64(p *float64) float64 {
+	return math.Float64frombits(atomic.LoadUint64((*uint64)(unsafe.Pointer(p))))
+}
+
+// StoreFloat64 atomically stores v into *p.
+func StoreFloat64(p *float64, v float64) {
+	atomic.StoreUint64((*uint64)(unsafe.Pointer(p)), math.Float64bits(v))
+}
+
+// MulFloat64 atomically multiplies *p by v (belief-propagation message
+// products).
+func MulFloat64(p *float64, v float64) {
+	u := (*uint64)(unsafe.Pointer(p))
+	for {
+		old := atomic.LoadUint64(u)
+		next := math.Float64bits(math.Float64frombits(old) * v)
+		if atomic.CompareAndSwapUint64(u, old, next) {
+			return
+		}
+	}
+}
+
+// MinFloat64 atomically sets *p = min(*p, v); it returns true if the value
+// decreased.
+func MinFloat64(p *float64, v float64) bool {
+	u := (*uint64)(unsafe.Pointer(p))
+	for {
+		old := atomic.LoadUint64(u)
+		cur := math.Float64frombits(old)
+		if v >= cur {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(u, old, math.Float64bits(v)) {
+			return true
+		}
+	}
+}
+
+// MinUint32 atomically sets *p = min(*p, v); it returns true if the value
+// decreased.
+func MinUint32(p *uint32, v uint32) bool {
+	for {
+		old := atomic.LoadUint32(p)
+		if v >= old {
+			return false
+		}
+		if atomic.CompareAndSwapUint32(p, old, v) {
+			return true
+		}
+	}
+}
+
+// MinInt64 atomically sets *p = min(*p, v); it returns true if the value
+// decreased.
+func MinInt64(p *int64, v int64) bool {
+	for {
+		old := atomic.LoadInt64(p)
+		if v >= old {
+			return false
+		}
+		if atomic.CompareAndSwapInt64(p, old, v) {
+			return true
+		}
+	}
+}
+
+// CASUint32 is a convenience re-export of CompareAndSwapUint32, used by
+// BFS-style "claim once" kernels.
+func CASUint32(p *uint32, old, new uint32) bool {
+	return atomic.CompareAndSwapUint32(p, old, new)
+}

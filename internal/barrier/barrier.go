@@ -1,0 +1,196 @@
+// Package barrier provides the three synchronization barriers the paper
+// compares (Section 5, Figure 10):
+//
+//   - PBarrier: a flat barrier where every participant waits on one shared
+//     monitor and blocks in the scheduler — the analogue of
+//     pthread_barrier, whose kernel traps and global cache-coherence
+//     broadcasts make inter-node synchronization an order of magnitude
+//     more expensive than intra-node;
+//   - HBarrier: the same blocking barrier arranged hierarchically —
+//     threads synchronize within their NUMA node first and only the last
+//     thread of each group crosses the inter-node barrier;
+//   - NBarrier: Polymer's NUMA-aware barrier — the hierarchical structure
+//     with each level replaced by a user-level sense-reversing barrier
+//     built on atomic fetch-and-add [Mellor-Crummey & Scott].
+//
+// All three are real, usable barriers for goroutine worker pools. Their
+// simulated synchronization cost (what the paper measures in Figure 10(a))
+// is provided by SyncCost, calibrated to the paper's endpoints.
+package barrier
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind selects a barrier implementation.
+type Kind uint8
+
+const (
+	// P is the flat blocking barrier (models pthread_barrier).
+	P Kind = iota
+	// H is the hierarchical blocking barrier.
+	H
+	// N is Polymer's hierarchical sense-reversing atomic barrier.
+	N
+)
+
+// String names the kind as in the paper's Figure 10(a).
+func (k Kind) String() string {
+	switch k {
+	case P:
+		return "P-Barrier"
+	case H:
+		return "H-Barrier"
+	default:
+		return "N-Barrier"
+	}
+}
+
+// Barrier synchronizes a fixed set of worker threads. Wait blocks thread
+// th (a dense id in [0, threads)) until all threads have arrived.
+type Barrier interface {
+	Wait(th int)
+}
+
+// New constructs a barrier of the given kind for nodes*coresPerNode
+// threads, with thread th belonging to node th/coresPerNode.
+func New(kind Kind, nodes, coresPerNode int) Barrier {
+	if nodes < 1 || coresPerNode < 1 {
+		panic("barrier: need at least one node and one core")
+	}
+	switch kind {
+	case P:
+		return &flatWrap{b: newBlocking(nodes * coresPerNode)}
+	case H:
+		return newHierarchical(nodes, coresPerNode, func(k int) waiter { return newBlocking(k) })
+	default:
+		return newHierarchical(nodes, coresPerNode, func(k int) waiter { return newSense(k) })
+	}
+}
+
+// waiter is the internal single-level barrier: all k participants call
+// wait; the call returns once all have arrived.
+type waiter interface {
+	wait()
+}
+
+type flatWrap struct{ b waiter }
+
+func (f *flatWrap) Wait(int) { f.b.wait() }
+
+// blocking is a monitor-based barrier (mutex + condvar) with a generation
+// counter so it is reusable.
+type blocking struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	total int
+	count int
+	gen   uint64
+}
+
+func newBlocking(total int) *blocking {
+	b := &blocking{total: total}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *blocking) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.total {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// sense is a sense-reversing centralized barrier using atomic
+// fetch-and-add, the building block of Polymer's N-Barrier.
+type sense struct {
+	count atomic.Int64
+	gen   atomic.Uint64
+	total int64
+}
+
+func newSense(total int) *sense { return &sense{total: int64(total)} }
+
+func (s *sense) wait() {
+	gen := s.gen.Load()
+	if s.count.Add(1) == s.total {
+		s.count.Store(0)
+		s.gen.Add(1)
+		return
+	}
+	for s.gen.Load() == gen {
+		runtime.Gosched()
+	}
+}
+
+// hierarchical composes per-node arrival barriers, a cross-node barrier
+// among group leaders, and per-node release barriers.
+type hierarchical struct {
+	cpn     int
+	arrive  []waiter // per node, cpn participants
+	release []waiter // per node, cpn participants
+	global  waiter   // nodes participants
+}
+
+func newHierarchical(nodes, cpn int, mk func(int) waiter) *hierarchical {
+	h := &hierarchical{cpn: cpn, global: mk(nodes)}
+	if cpn > 1 {
+		h.arrive = make([]waiter, nodes)
+		h.release = make([]waiter, nodes)
+		for i := range h.arrive {
+			h.arrive[i] = mk(cpn)
+			h.release[i] = mk(cpn)
+		}
+	}
+	return h
+}
+
+func (h *hierarchical) Wait(th int) {
+	if h.cpn == 1 {
+		h.global.wait()
+		return
+	}
+	node := th / h.cpn
+	h.arrive[node].wait()
+	if th%h.cpn == 0 {
+		h.global.wait()
+	}
+	h.release[node].wait()
+}
+
+// SyncCost returns the simulated cost in seconds of one barrier crossing
+// on the given number of sockets, calibrated to the paper's Figure 10(a)
+// measurements: the flat pthread barrier costs ~30 microseconds within one
+// node and ~6182 microseconds across eight sockets; the hierarchical
+// variant ~612 microseconds; Polymer's atomic hierarchical barrier ~8
+// microseconds. Costs follow fitted power laws between those endpoints.
+func SyncCost(kind Kind, sockets int) float64 {
+	if sockets < 1 {
+		sockets = 1
+	}
+	s := float64(sockets)
+	switch kind {
+	case P:
+		// 30us x s^2.562 -> 6182us at s=8.
+		return 30e-6 * math.Pow(s, 2.562)
+	case H:
+		// 30us x s^1.447 -> 612us at s=8.
+		return 30e-6 * math.Pow(s, 1.447)
+	default:
+		// 2us x s^0.667 -> 8us at s=8.
+		return 2e-6 * math.Pow(s, 0.667)
+	}
+}

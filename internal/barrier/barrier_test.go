@@ -1,0 +1,144 @@
+package barrier
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// exercise runs threads goroutines through rounds barrier crossings and
+// verifies the fundamental barrier invariant: no thread enters round r+1
+// before every thread has finished round r.
+func exercise(t *testing.T, b Barrier, threads, rounds int) {
+	t.Helper()
+	var inRound atomic.Int64 // counts arrivals in the current round
+	var wg sync.WaitGroup
+	failed := atomic.Bool{}
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				inRound.Add(1)
+				b.Wait(th)
+				// After the barrier, all threads of this round must have
+				// arrived: the counter must be at least (r+1)*threads.
+				if got := inRound.Load(); got < int64((r+1)*threads) {
+					failed.Store(true)
+				}
+				b.Wait(th) // second crossing separates the check from the next round
+			}
+		}(th)
+	}
+	wg.Wait()
+	if failed.Load() {
+		t.Fatal("a thread passed the barrier before all arrived")
+	}
+}
+
+func TestBarrierCorrectness(t *testing.T) {
+	shapes := []struct{ nodes, cpn int }{
+		{1, 1}, {1, 4}, {4, 1}, {2, 3}, {4, 4}, {8, 2},
+	}
+	for _, kind := range []Kind{P, H, N} {
+		for _, sh := range shapes {
+			b := New(kind, sh.nodes, sh.cpn)
+			exercise(t, b, sh.nodes*sh.cpn, 25)
+		}
+	}
+}
+
+func TestBarrierReusableManyRounds(t *testing.T) {
+	b := New(N, 2, 2)
+	exercise(t, b, 4, 500)
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	for _, sh := range []struct{ nodes, cpn int }{{0, 1}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) should panic", sh.nodes, sh.cpn)
+				}
+			}()
+			New(P, sh.nodes, sh.cpn)
+		}()
+	}
+}
+
+func TestSyncCostCalibration(t *testing.T) {
+	// Paper Figure 10(a) endpoints (within 5%).
+	within := func(got, want float64) bool { return math.Abs(got-want)/want < 0.05 }
+	if !within(SyncCost(P, 1), 30e-6) {
+		t.Fatalf("P at 1 socket = %v, want ~30us", SyncCost(P, 1))
+	}
+	if !within(SyncCost(P, 8), 6182e-6) {
+		t.Fatalf("P at 8 sockets = %v, want ~6182us", SyncCost(P, 8))
+	}
+	if !within(SyncCost(H, 8), 612e-6) {
+		t.Fatalf("H at 8 sockets = %v, want ~612us", SyncCost(H, 8))
+	}
+	if !within(SyncCost(N, 8), 8e-6) {
+		t.Fatalf("N at 8 sockets = %v, want ~8us", SyncCost(N, 8))
+	}
+}
+
+func TestSyncCostOrdering(t *testing.T) {
+	// At every socket count: N <= H <= P, and costs grow with sockets.
+	for s := 1; s <= 8; s++ {
+		if !(SyncCost(N, s) <= SyncCost(H, s) && SyncCost(H, s) <= SyncCost(P, s)) {
+			t.Fatalf("ordering violated at %d sockets", s)
+		}
+		if s > 1 {
+			for _, k := range []Kind{P, H, N} {
+				if SyncCost(k, s) <= SyncCost(k, s-1) {
+					t.Fatalf("%v cost must grow with sockets", k)
+				}
+			}
+		}
+	}
+	// An order-of-magnitude gap between H and P at 8 sockets, and two
+	// more orders between N and H (paper Section 6.6).
+	if SyncCost(P, 8)/SyncCost(H, 8) < 8 {
+		t.Fatal("H must be ~10x cheaper than P at 8 sockets")
+	}
+	if SyncCost(H, 8)/SyncCost(N, 8) < 50 {
+		t.Fatal("N must be ~2 orders cheaper than H at 8 sockets")
+	}
+}
+
+func TestSyncCostClampsSockets(t *testing.T) {
+	if SyncCost(P, 0) != SyncCost(P, 1) {
+		t.Fatal("sockets < 1 must clamp to 1")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if P.String() != "P-Barrier" || H.String() != "H-Barrier" || N.String() != "N-Barrier" {
+		t.Fatal("Kind.String mismatch")
+	}
+}
+
+func TestSenseBarrierDirect(t *testing.T) {
+	// The sense-reversing primitive must be reusable back-to-back.
+	s := newSense(3)
+	var wg sync.WaitGroup
+	var counter atomic.Int64
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 100; r++ {
+				counter.Add(1)
+				s.wait()
+				if counter.Load() < int64((r+1)*3) {
+					t.Error("sense barrier released early")
+					return
+				}
+				s.wait()
+			}
+		}()
+	}
+	wg.Wait()
+}

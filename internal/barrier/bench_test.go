@@ -1,0 +1,26 @@
+package barrier
+
+import (
+	"sync"
+	"testing"
+)
+
+func benchBarrier(b *testing.B, kind Kind) {
+	const threads = 4
+	bar := New(kind, 2, 2)
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for i := 0; i < b.N; i++ {
+				bar.Wait(th)
+			}
+		}(th)
+	}
+	wg.Wait()
+}
+
+func BenchmarkPBarrier(b *testing.B) { benchBarrier(b, P) }
+func BenchmarkHBarrier(b *testing.B) { benchBarrier(b, H) }
+func BenchmarkNBarrier(b *testing.B) { benchBarrier(b, N) }

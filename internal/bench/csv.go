@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"polymer/internal/barrier"
+)
+
+// WriteCSV writes one experiment's raw rows to dir/name.csv so the
+// figures can be re-plotted with external tooling.
+func WriteCSV(dir, name string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// ScalingCSV flattens scalability series into (system, x, seconds,
+// speedup) rows.
+func ScalingCSV(series []ScaleSeries) ([]string, [][]string) {
+	header := []string{"system", "x", "seconds", "speedup"}
+	var rows [][]string
+	for _, s := range series {
+		spd := s.Speedup()
+		for i, p := range s.Points {
+			rows = append(rows, []string{
+				string(s.System),
+				strconv.Itoa(p.X),
+				fmt.Sprintf("%g", p.Seconds),
+				fmt.Sprintf("%g", spd[i]),
+			})
+		}
+	}
+	return header, rows
+}
+
+// Table3CSV flattens the runtime table.
+func Table3CSV(cells []Table3Cell) ([]string, [][]string) {
+	header := []string{"algo", "graph", "system", "seconds"}
+	var rows [][]string
+	for _, c := range cells {
+		rows = append(rows, []string{
+			string(c.Algo), string(c.Graph), string(c.System), fmt.Sprintf("%g", c.Seconds),
+		})
+	}
+	return header, rows
+}
+
+// AblationCSV flattens a w/o-vs-w/ study.
+func AblationCSV(rows []AblationRow) ([]string, [][]string) {
+	header := []string{"algo", "without_s", "with_s", "speedup"}
+	var out [][]string
+	for _, r := range rows {
+		sp := 0.0
+		if r.With > 0 {
+			sp = r.Without / r.With
+		}
+		out = append(out, []string{
+			string(r.Algo), fmt.Sprintf("%g", r.Without), fmt.Sprintf("%g", r.With), fmt.Sprintf("%g", sp),
+		})
+	}
+	return header, out
+}
+
+// BarrierCSV flattens the Figure 10(a) study.
+func BarrierCSV(points []BarrierPoint) ([]string, [][]string) {
+	header := []string{"sockets", "kind", "model_usec", "measured_usec"}
+	var rows [][]string
+	for _, p := range points {
+		for _, k := range []barrier.Kind{barrier.P, barrier.H, barrier.N} {
+			rows = append(rows, []string{
+				strconv.Itoa(p.Sockets), k.String(),
+				fmt.Sprintf("%g", p.Model[k]*1e6), fmt.Sprintf("%g", p.Measured[k]*1e6),
+			})
+		}
+	}
+	return header, rows
+}
+
+// Fig11CSV flattens both Figure 11 panels.
+func Fig11CSV(r *Fig11Result) ([]string, [][]string) {
+	header := []string{"socket", "vb_normdiff", "eb_normdiff", "vb_busy_s", "eb_busy_s"}
+	var rows [][]string
+	for i := range r.VertexBalanced {
+		rows = append(rows, []string{
+			strconv.Itoa(i),
+			fmt.Sprintf("%g", r.VertexBalanced[i]),
+			fmt.Sprintf("%g", r.EdgeBalanced[i]),
+			fmt.Sprintf("%g", r.SocketTimeVB[i]),
+			fmt.Sprintf("%g", r.SocketTimeEB[i]),
+		})
+	}
+	return header, rows
+}
+
+// Table5CSV flattens the memory table.
+func Table5CSV(rows []Table5Row) ([]string, [][]string) {
+	header := []string{"graph", "system", "peak_bytes", "agent_bytes"}
+	var out [][]string
+	for _, r := range rows {
+		for _, s := range Systems() {
+			agent := int64(0)
+			if s == Polymer {
+				agent = r.AgentBytes
+			}
+			out = append(out, []string{
+				string(r.Graph), string(s),
+				strconv.FormatInt(r.Peak[s], 10), strconv.FormatInt(agent, 10),
+			})
+		}
+	}
+	return header, out
+}

@@ -1,0 +1,276 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section 6): the NUMA microbenchmarks (Figures 3(b) and 4),
+// the scalability studies (Figures 5, 7, 8, 9), the overall runtimes
+// (Table 3), the access statistics (Table 4), memory consumption
+// (Table 5), the barrier study (Figure 10), and the optimization
+// ablations (Table 6, Figure 11). Each experiment returns a structured
+// result plus a formatter that prints the same rows/series the paper
+// reports.
+package bench
+
+import (
+	"fmt"
+
+	"polymer/internal/algorithms"
+	"polymer/internal/core"
+	"polymer/internal/engines/galois"
+	"polymer/internal/engines/ligra"
+	"polymer/internal/engines/xstream"
+	"polymer/internal/gen"
+	"polymer/internal/graph"
+	"polymer/internal/numa"
+	"polymer/internal/sg"
+)
+
+// System names one of the four evaluated systems.
+type System string
+
+// The four systems of the paper's Table 3.
+const (
+	Polymer System = "Polymer"
+	Ligra   System = "Ligra"
+	XStream System = "X-Stream"
+	Galois  System = "Galois"
+)
+
+// Systems lists all four in the paper's column order.
+func Systems() []System { return []System{Polymer, Ligra, XStream, Galois} }
+
+// Algo names one of the six evaluation algorithms.
+type Algo string
+
+// The six algorithms of Section 6.1.
+const (
+	PR   Algo = "PR"
+	SpMV Algo = "SpMV"
+	BP   Algo = "BP"
+	BFS  Algo = "BFS"
+	CC   Algo = "CC"
+	SSSP Algo = "SSSP"
+)
+
+// Algos lists all six in the paper's Table 3 row order.
+func Algos() []Algo { return []Algo{PR, SpMV, BP, BFS, CC, SSSP} }
+
+// Weighted reports whether the algorithm needs edge weights (the paper
+// adds random weights in (0,100] for SpMV and SSSP; our BP also consumes
+// them).
+func (a Algo) Weighted() bool { return a == SpMV || a == SSSP || a == BP }
+
+// iterated reports whether the paper measures a fixed number of
+// iterations ("the first five iterations for PageRank, SpMV and BP").
+func (a Algo) iterated() bool { return a == PR || a == SpMV || a == BP }
+
+// RunResult captures one system x algorithm x graph execution.
+type RunResult struct {
+	System     System
+	Algo       Algo
+	SimSeconds float64
+	Stats      numa.Stats
+	// PeakBytes is the peak simulated allocation during the run.
+	PeakBytes int64
+	// AgentBytes is Polymer's replica overhead (zero for baselines).
+	AgentBytes int64
+	// ThreadSeconds is per-thread busy time (scatter-gather systems).
+	ThreadSeconds []float64
+	// Checksum is a result fingerprint used to confirm engines computed
+	// the same answer.
+	Checksum float64
+}
+
+const (
+	defaultIters   = 5
+	defaultDamping = 0.85
+)
+
+// Run executes one cell of the evaluation matrix on a fresh machine
+// instance, using vertex 0 as the traversal source. The graph must carry
+// weights if the algorithm needs them; CC is symmetrized internally.
+func Run(sys System, alg Algo, g *graph.Graph, m *numa.Machine) RunResult {
+	return RunFrom(sys, alg, g, m, 0)
+}
+
+// RunFrom is Run with an explicit source vertex for BFS and SSSP.
+func RunFrom(sys System, alg Algo, g *graph.Graph, m *numa.Machine, src graph.Vertex) RunResult {
+	if alg == CC {
+		g = g.Symmetrized()
+	}
+	r := RunResult{System: sys, Algo: alg}
+	switch sys {
+	case Polymer, Ligra:
+		var e sg.Engine
+		if sys == Polymer {
+			opt := core.DefaultOptions()
+			if alg.iterated() {
+				opt.Mode = core.Push
+			}
+			e = core.New(g, m, opt)
+		} else {
+			e = ligra.New(g, m, ligra.DefaultOptions())
+		}
+		r.Checksum = runSG(e, alg, src)
+		r.SimSeconds = e.SimSeconds()
+		r.Stats = e.RunStats()
+		r.PeakBytes = m.Alloc().Peak()
+		r.AgentBytes = m.Alloc().Label("polymer/agents")
+		r.ThreadSeconds = e.ThreadSeconds()
+		e.Close()
+	case XStream:
+		h := xsHints(alg)
+		e := xstream.New(g, m, xstream.DefaultOptions(), h)
+		r.Checksum = runXS(e, alg, src)
+		r.SimSeconds = e.SimSeconds()
+		r.Stats = e.RunStats()
+		r.PeakBytes = m.Alloc().Peak()
+		e.Close()
+	case Galois:
+		e := galois.New(g, m, galois.DefaultOptions())
+		r.Checksum = runGalois(e, alg, src)
+		r.SimSeconds = e.SimSeconds()
+		r.Stats = e.RunStats()
+		r.PeakBytes = m.Alloc().Peak()
+		e.Close()
+	default:
+		panic(fmt.Sprintf("bench: unknown system %q", sys))
+	}
+	return r
+}
+
+func runSG(e sg.Engine, alg Algo, src graph.Vertex) float64 {
+	n := e.Graph().NumVertices()
+	switch alg {
+	case PR:
+		return sum(algorithms.PageRank(e, defaultIters, defaultDamping))
+	case SpMV:
+		return sum(algorithms.SpMV(e, defaultIters, ones(n)))
+	case BP:
+		return sum(algorithms.BP(e, defaultIters))
+	case BFS:
+		return sumI(algorithms.BFS(e, src))
+	case CC:
+		return sumV(algorithms.CC(e))
+	case SSSP:
+		return sumFinite(algorithms.SSSP(e, src))
+	}
+	panic("bench: unknown algorithm")
+}
+
+func runXS(e *xstream.Engine, alg Algo, src graph.Vertex) float64 {
+	n := e.Graph().NumVertices()
+	switch alg {
+	case PR:
+		return sum(algorithms.XSPageRank(e, defaultIters, defaultDamping))
+	case SpMV:
+		return sum(algorithms.XSSpMV(e, defaultIters, ones(n)))
+	case BP:
+		return sum(algorithms.XSBP(e, defaultIters))
+	case BFS:
+		return sumI(algorithms.XSBFS(e, src))
+	case CC:
+		return sumV(algorithms.XSCC(e))
+	case SSSP:
+		return sumFinite(algorithms.XSSSSP(e, src))
+	}
+	panic("bench: unknown algorithm")
+}
+
+func runGalois(e *galois.Engine, alg Algo, src graph.Vertex) float64 {
+	n := e.Graph().NumVertices()
+	switch alg {
+	case PR:
+		return sum(e.PageRank(defaultIters, defaultDamping))
+	case SpMV:
+		return sum(e.SpMV(defaultIters, ones(n)))
+	case BP:
+		return sum(e.BP(defaultIters))
+	case BFS:
+		return sumI(e.BFS(src))
+	case CC:
+		return sumV(e.CC())
+	case SSSP:
+		return sumFinite(e.SSSP(src))
+	}
+	panic("bench: unknown algorithm")
+}
+
+func xsHints(alg Algo) sg.Hints {
+	h := sg.Hints{DataBytes: 8, Weighted: alg.Weighted()}
+	if alg == BP {
+		h.DataBytes = 16
+	}
+	if alg == BFS || alg == CC {
+		h.DataBytes = 8 // levels/labels as float64 values
+	}
+	return h
+}
+
+func ones(n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	return x
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func sumFinite(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		if x < 1e300 {
+			s += x
+		}
+	}
+	return s
+}
+
+func sumI(xs []int64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += float64(x)
+	}
+	return s
+}
+
+func sumV(xs []graph.Vertex) float64 {
+	var s float64
+	for _, x := range xs {
+		s += float64(x)
+	}
+	return s
+}
+
+// LoadDataset fetches a named dataset weighted appropriately for alg.
+func LoadDataset(d gen.Dataset, sc gen.Scale, alg Algo) (*graph.Graph, error) {
+	return gen.Load(d, sc, alg.Weighted())
+}
+
+// RunPolymerTraced is RunFrom for the Polymer system with phase tracing
+// enabled; it additionally returns the per-phase execution records.
+func RunPolymerTraced(alg Algo, g *graph.Graph, m *numa.Machine, src graph.Vertex) (RunResult, []core.PhaseRecord) {
+	if alg == CC {
+		g = g.Symmetrized()
+	}
+	opt := core.DefaultOptions()
+	opt.Trace = true
+	if alg.iterated() {
+		opt.Mode = core.Push
+	}
+	e := core.New(g, m, opt)
+	r := RunResult{System: Polymer, Algo: alg}
+	r.Checksum = runSG(e, alg, src)
+	r.SimSeconds = e.SimSeconds()
+	r.Stats = e.RunStats()
+	r.PeakBytes = m.Alloc().Peak()
+	r.AgentBytes = m.Alloc().Label("polymer/agents")
+	r.ThreadSeconds = e.ThreadSeconds()
+	tr := e.Trace()
+	e.Close()
+	return r, tr
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"polymer/internal/gen"
+	"polymer/internal/graph"
+	"polymer/internal/numa"
+	"polymer/internal/sg"
+)
+
+// levelKernel relaxes hop counts monotonically.
+type levelKernel struct{ level []int64 }
+
+func (k *levelKernel) Relax(s, d graph.Vertex, w float32) bool {
+	nd := atomic.LoadInt64(&k.level[s]) + 1
+	for {
+		old := atomic.LoadInt64(&k.level[d])
+		if nd >= old {
+			return false
+		}
+		if atomic.CompareAndSwapInt64(&k.level[d], old, nd) {
+			return true
+		}
+	}
+}
+
+func TestAsyncTraverseComputesLevels(t *testing.T) {
+	n, edges := gen.RoadGrid(12, 12, 6)
+	g := graph.FromEdges(n, edges, true)
+	for _, shape := range []struct{ nodes, cores int }{{1, 1}, {2, 2}, {4, 2}} {
+		e := New(g, testMachine(shape.nodes, shape.cores), DefaultOptions())
+		k := &levelKernel{level: make([]int64, n)}
+		const inf = int64(1) << 40
+		for i := range k.level {
+			k.level[i] = inf
+		}
+		k.level[0] = 0
+		before := e.SimSeconds()
+		e.AsyncTraverse([]graph.Vertex{0}, k, sg.Hints{})
+		if e.SimSeconds() <= before {
+			t.Fatal("async traversal must advance the clock")
+		}
+		// Levels must match a sequential BFS exactly.
+		want := refLevels(g, 0)
+		for v, l := range k.level {
+			if l != want[v] {
+				t.Fatalf("level[%d] = %d, want %d", v, l, want[v])
+			}
+		}
+		e.Close()
+	}
+}
+
+func refLevels(g *graph.Graph, src graph.Vertex) []int64 {
+	const inf = int64(1) << 40
+	dist := make([]int64, g.NumVertices())
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	queue := []graph.Vertex{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.OutNeighbors(v) {
+			if dist[u] > dist[v]+1 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+func TestAsyncTraverseNoSeeds(t *testing.T) {
+	n, edges := gen.Chain(10)
+	g := graph.FromEdges(n, edges, false)
+	e := New(g, testMachine(2, 1), DefaultOptions())
+	defer e.Close()
+	e.AsyncTraverse(nil, &levelKernel{level: make([]int64, n)}, sg.Hints{})
+}
+
+func TestEngineAccessors(t *testing.T) {
+	n, edges := gen.Chain(16)
+	g := graph.FromEdges(n, edges, false)
+	m := testMachine(2, 2)
+	opt := DefaultOptions()
+	e := New(g, m, opt)
+	defer e.Close()
+	if e.Graph() != g || e.Machine() != m {
+		t.Fatal("accessors must return the construction arguments")
+	}
+	if got := e.Options(); got.Barrier != opt.Barrier || got.Mode != opt.Mode {
+		t.Fatalf("Options() = %+v", got)
+	}
+	parts := e.Parts()
+	if len(parts) != m.Nodes || parts[0].Lo != 0 || parts[len(parts)-1].Hi != n {
+		t.Fatalf("Parts() = %v", parts)
+	}
+	e.AddSimSeconds(1.5)
+	if e.SimSeconds() < 1.5 {
+		t.Fatal("AddSimSeconds must advance the clock")
+	}
+}
+
+func TestTopologyValidatedOnMachine(t *testing.T) {
+	// numa.Machine construction validates; engine relies on it.
+	topo := numa.IntelXeon80()
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,557 @@
+package core
+
+import (
+	"math/bits"
+
+	"polymer/internal/graph"
+	"polymer/internal/mem"
+	"polymer/internal/numa"
+	"polymer/internal/par"
+	"polymer/internal/sg"
+	"polymer/internal/state"
+)
+
+const (
+	rowMetaBytes  = 12 // row key + edge offset (an agent's topology data)
+	stateByte     = 1
+	vertexMapData = 16 // curr+next datum touched per vertex in VertexMap
+)
+
+// EdgeMap applies k to every edge whose source vertex is active in a and
+// returns the set of destinations that reported an update (Section 4.1).
+// The execution strategy follows the paper: dense phases sweep the grouped
+// per-node rows (push or pull by algorithm preference), sparse phases
+// iterate the active lists through the per-node agent lookup; the adaptive
+// policy chooses by active degree.
+func (e *Engine) EdgeMap(a *state.Subset, k sg.EdgeKernel, h sg.Hints) *state.Subset {
+	h = h.Normalize()
+	if a.IsEmpty() {
+		return state.NewEmpty(e.bounds)
+	}
+	e.met.EdgeMaps++
+
+	dense := true
+	if e.opt.Adaptive {
+		deg := sg.ActiveDegree(e.g, a)
+		dense = state.ShouldDense(a.Count(), deg, e.g.NumEdges(), e.opt.Threshold)
+	}
+	if !dense {
+		e.met.SparsePhases++
+		return e.edgeMapSparse(a.ToSparse(), k, h)
+	}
+	e.met.DensePhases++
+	pushDense := e.opt.Mode == Push || (e.opt.Mode == Auto && h.DensePush)
+	if e.opt.Mode == Pull {
+		pushDense = false
+	}
+	if pushDense {
+		return e.edgeMapDensePush(a.ToDense(), k, h)
+	}
+	return e.edgeMapDensePull(a.ToDense(), k, h)
+}
+
+// charger accumulates one thread's classified traffic during a phase and
+// flushes it to the epoch at the end, honouring the ablation flags.
+type charger struct {
+	e  *Engine
+	ep *numa.Epoch
+	th int
+	p  int // thread's node
+
+	rowsByOwner   []int64 // state reads of row keys, by owner node
+	activeByOwner []int64 // data reads/writes of row keys, by owner node
+	edges         int64   // edges processed (topology + local side traffic)
+	updates       int64   // successful updates
+	condChecks    int64
+	lookups       int64 // sparse-mode agent-table probes
+	appends       int64 // sparse-mode queue appends
+}
+
+// balanceWithinNodes redistributes each node's accumulated work evenly
+// over its threads, modelling Polymer's intra-node dynamic task
+// scheduling (Section 5): within a node all threads share the partition,
+// so degree skew between chunks is smoothed by work stealing. Imbalance
+// *across* nodes is preserved — that is what balanced partitioning
+// addresses (Table 6(b), Figure 11).
+func (e *Engine) balanceWithinNodes(chargers []*charger) {
+	cpn := e.m.CoresPerNode
+	for p := 0; p < e.m.Nodes; p++ {
+		group := chargers[p*cpn : (p+1)*cpn]
+		sum := newCharger(e, nil, p*cpn, e.m.Nodes)
+		for _, c := range group {
+			if c == nil {
+				continue
+			}
+			sum.edges += c.edges
+			sum.updates += c.updates
+			sum.condChecks += c.condChecks
+			sum.lookups += c.lookups
+			sum.appends += c.appends
+			for o := range c.rowsByOwner {
+				sum.rowsByOwner[o] += c.rowsByOwner[o]
+				sum.activeByOwner[o] += c.activeByOwner[o]
+			}
+		}
+		for _, c := range group {
+			if c == nil {
+				continue
+			}
+			c.edges = sum.edges / int64(cpn)
+			c.updates = sum.updates / int64(cpn)
+			c.condChecks = sum.condChecks / int64(cpn)
+			c.lookups = sum.lookups / int64(cpn)
+			c.appends = sum.appends / int64(cpn)
+			for o := range c.rowsByOwner {
+				c.rowsByOwner[o] = sum.rowsByOwner[o] / int64(cpn)
+				c.activeByOwner[o] = sum.activeByOwner[o] / int64(cpn)
+			}
+		}
+	}
+}
+
+func newCharger(e *Engine, ep *numa.Epoch, th int, nodes int) *charger {
+	return &charger{
+		e: e, ep: ep, th: th, p: e.m.NodeOfThread(th),
+		rowsByOwner:   make([]int64, nodes),
+		activeByOwner: make([]int64, nodes),
+	}
+}
+
+// flushPush charges the dense/sparse push pattern: sequential global reads
+// of source state and data, sequential local topology streaming, random
+// local writes of target data and state.
+func (c *charger) flushPush(h sg.Hints, partVerts int) {
+	e, ep, th := c.e, c.ep, c.th
+	interleavedData := e.opt.Layout != mem.CoLocated // ablation: NUMA-oblivious data
+	edgeBytes := 4
+	if h.Weighted {
+		edgeBytes += 4
+	}
+	// Topology: row metadata + columns, streamed from the local node.
+	var rows int64
+	for _, r := range c.rowsByOwner {
+		rows += r
+	}
+	ep.Access(th, numa.Seq, numa.Load, c.p, rows, rowMetaBytes, 0)
+	ep.Access(th, numa.Seq, numa.Load, c.p, c.edges, edgeBytes, 0)
+	// Far-side state and data reads.
+	for o := range c.rowsByOwner {
+		switch {
+		case interleavedData:
+			ep.AccessInterleaved(th, numa.Seq, numa.Load, c.rowsByOwner[o], stateByte, 0)
+			ep.AccessInterleaved(th, numa.Rand, numa.Load, c.activeByOwner[o], h.DataBytes, dataWS(e, h))
+		case e.opt.DisableAgents:
+			// Without replicas the far side is visited in edge order:
+			// random remote reads over the whole array.
+			ep.Access(th, numa.Rand, numa.Load, o, c.rowsByOwner[o], stateByte, int64(e.g.NumVertices()))
+			ep.Access(th, numa.Rand, numa.Load, o, c.activeByOwner[o], h.DataBytes, dataWS(e, h))
+		case e.opt.DisableRolling:
+			// All nodes sweep the same owner simultaneously; the traffic
+			// behaves like interleaved pages.
+			ep.AccessInterleaved(th, numa.Seq, numa.Load, c.rowsByOwner[o], stateByte, 0)
+			ep.AccessInterleaved(th, numa.Seq, numa.Load, c.activeByOwner[o], h.DataBytes, 0)
+		default:
+			ep.Access(th, numa.Seq, numa.Load, o, c.rowsByOwner[o], stateByte, 0)
+			ep.Access(th, numa.Seq, numa.Load, o, c.activeByOwner[o], h.DataBytes, 0)
+		}
+	}
+	// Local side: random writes confined to the partition.
+	localWS := int64(partVerts) * int64(h.DataBytes)
+	if interleavedData {
+		ep.AccessInterleaved(th, numa.Rand, numa.Store, c.condChecks, h.DataBytes, dataWS(e, h))
+		ep.AccessInterleaved(th, numa.Rand, numa.Store, c.updates, stateByte, 0)
+	} else {
+		ep.Access(th, numa.Rand, numa.Store, c.p, c.condChecks, h.DataBytes, localWS)
+		ep.Access(th, numa.Rand, numa.Store, c.p, c.updates, stateByte, int64(partVerts))
+	}
+	// Sparse-mode extras: agent-table probes and queue appends.
+	ep.Access(th, numa.Rand, numa.Load, c.p, c.lookups, 4, int64(e.g.NumVertices())*4)
+	ep.Access(th, numa.Seq, numa.Store, c.p, c.appends, 4, 0)
+	c.compute(h, rows)
+}
+
+// flushPull charges the dense pull pattern: sequential local topology,
+// random local reads of source state and data, sequential global writes of
+// target data and state.
+func (c *charger) flushPull(h sg.Hints, partVerts int) {
+	e, ep, th := c.e, c.ep, c.th
+	interleavedData := e.opt.Layout != mem.CoLocated
+	edgeBytes := 4
+	if h.Weighted {
+		edgeBytes += 4
+	}
+	var rows int64
+	for _, r := range c.rowsByOwner {
+		rows += r
+	}
+	ep.Access(th, numa.Seq, numa.Load, c.p, rows, rowMetaBytes, 0)
+	ep.Access(th, numa.Seq, numa.Load, c.p, c.edges, edgeBytes, 0)
+	// Local random reads of sources (state + data).
+	localWS := int64(partVerts) * int64(h.DataBytes)
+	if interleavedData {
+		ep.AccessInterleaved(th, numa.Rand, numa.Load, c.edges, stateByte, 0)
+		ep.AccessInterleaved(th, numa.Rand, numa.Load, c.edges, h.DataBytes, dataWS(e, h))
+	} else {
+		ep.Access(th, numa.Rand, numa.Load, c.p, c.edges, stateByte, int64(partVerts))
+		ep.Access(th, numa.Rand, numa.Load, c.p, c.edges, h.DataBytes, localWS)
+	}
+	// Cross-node atomic updates bounce the target's cache line between
+	// sockets (Section 4.3: "the same vertex may be updated simultaneously
+	// or closely by multiple worker threads on different NUMA-nodes, which
+	// may cause heavy contention and frequent cache invalidation"); charge
+	// a coherence stall on a fraction of the edge updates. The rolling
+	// order — the paper's mitigation — desynchronises the nodes' sweeps
+	// and keeps the collision rate low; without it the nodes update the
+	// same region simultaneously.
+	if e.m.Nodes > 1 {
+		stalls := c.edges / 16
+		if e.opt.DisableRolling {
+			stalls = c.edges / 4
+		}
+		ep.LatencyBound(th, numa.Store, c.p, stalls)
+	}
+	// Far-side target data: Cond reads and update writes, sequential by
+	// owner (the agents give the sweep its sequential order).
+	for o := range c.rowsByOwner {
+		switch {
+		case interleavedData:
+			ep.AccessInterleaved(th, numa.Seq, numa.Load, c.rowsByOwner[o], h.DataBytes, 0)
+			ep.AccessInterleaved(th, numa.Seq, numa.Store, c.activeByOwner[o], h.DataBytes, 0)
+		case e.opt.DisableAgents:
+			ep.Access(th, numa.Rand, numa.Load, o, c.rowsByOwner[o], h.DataBytes, dataWS(e, h))
+			ep.Access(th, numa.Rand, numa.Store, o, c.activeByOwner[o], h.DataBytes, dataWS(e, h))
+		case e.opt.DisableRolling:
+			ep.AccessInterleaved(th, numa.Seq, numa.Load, c.rowsByOwner[o], h.DataBytes, 0)
+			ep.AccessInterleaved(th, numa.Seq, numa.Store, c.activeByOwner[o], h.DataBytes, 0)
+		default:
+			ep.Access(th, numa.Seq, numa.Load, o, c.rowsByOwner[o], h.DataBytes, 0)
+			ep.Access(th, numa.Seq, numa.Store, o, c.activeByOwner[o], h.DataBytes, 0)
+		}
+	}
+	c.compute(h, rows)
+}
+
+func (c *charger) compute(h sg.Hints, rows int64) {
+	ns := float64(c.edges)*(h.NsPerEdge+c.e.opt.OverheadNsPerEdge) + float64(rows)*2
+	c.ep.Compute(c.th, ns*1e-9)
+}
+
+func dataWS(e *Engine, h sg.Hints) int64 {
+	return int64(e.g.NumVertices()) * int64(h.DataBytes)
+}
+
+// edgeMapDensePush sweeps each node's source-keyed rows in rolling order:
+// active sources push updates to their local targets.
+func (e *Engine) edgeMapDensePush(a *state.Subset, k sg.EdgeKernel, h sg.Hints) *state.Subset {
+	l := e.ensurePush()
+	b := state.NewBuilder(e.bounds, e.m.Threads(), true)
+	ep := e.m.NewEpoch()
+	nodes := e.m.Nodes
+
+	strides := make([]*par.Strided, nodes)
+	for p := 0; p < nodes; p++ {
+		rows := int64(len(l.perNode[p].rowIDs))
+		strides[p] = par.NewStrided(rows, chunkSize(rows, e.m.CoresPerNode), e.m.CoresPerNode)
+	}
+
+	chargers := make([]*charger, e.m.Threads())
+	e.pool.Run(func(th int) {
+		p := e.m.NodeOfThread(th)
+		nl := &l.perNode[p]
+		rows := len(nl.rowIDs)
+		if rows == 0 {
+			return
+		}
+		start := nl.startRow
+		if e.opt.DisableRolling {
+			start = 0
+		}
+		c := newCharger(e, ep, th, nodes)
+		chargers[th] = c
+		weighted := h.Weighted && nl.wts != nil
+		strides[p].Do(th%e.m.CoresPerNode, func(lo, hi int64) {
+			for i := lo; i < hi; i++ {
+				r := int(i) + start
+				if r >= rows {
+					r -= rows
+				}
+				s := nl.rowIDs[r]
+				owner := nl.rowOwner[r]
+				c.rowsByOwner[owner]++
+				if !a.Contains(s) {
+					continue
+				}
+				c.activeByOwner[owner]++
+				for j := nl.rowIdx[r]; j < nl.rowIdx[r+1]; j++ {
+					t := nl.cols[j]
+					c.edges++
+					if !k.Cond(t) {
+						continue
+					}
+					c.condChecks++
+					var w float32
+					if weighted {
+						w = nl.wts[j]
+					}
+					if k.UpdateAtomic(s, t, w) {
+						b.Set(t)
+						c.updates++
+					}
+				}
+			}
+		})
+		e.addEdges(c.edges)
+	})
+	e.balanceWithinNodes(chargers)
+	for th, c := range chargers {
+		if c != nil {
+			c.flushPush(h, l.perNode[e.m.NodeOfThread(th)].vr.Len())
+		}
+	}
+	e.recordPhase("edgemap", true, true, a.Count(), e.chargePhase(ep))
+	return b.Build()
+}
+
+// edgeMapDensePull sweeps each node's target-keyed rows: every target
+// gathers from its local sources. With more than one node the same target
+// may be updated from several nodes concurrently, so the atomic update
+// path is used (Section 4.3).
+func (e *Engine) edgeMapDensePull(a *state.Subset, k sg.EdgeKernel, h sg.Hints) *state.Subset {
+	l := e.ensurePull()
+	b := state.NewBuilder(e.bounds, e.m.Threads(), true)
+	ep := e.m.NewEpoch()
+	nodes := e.m.Nodes
+	atomicUpdate := nodes > 1 || e.m.CoresPerNode > 1
+
+	strides := make([]*par.Strided, nodes)
+	for p := 0; p < nodes; p++ {
+		rows := int64(len(l.perNode[p].rowIDs))
+		strides[p] = par.NewStrided(rows, chunkSize(rows, e.m.CoresPerNode), e.m.CoresPerNode)
+	}
+
+	chargers := make([]*charger, e.m.Threads())
+	e.pool.Run(func(th int) {
+		p := e.m.NodeOfThread(th)
+		nl := &l.perNode[p]
+		rows := len(nl.rowIDs)
+		if rows == 0 {
+			return
+		}
+		start := nl.startRow
+		if e.opt.DisableRolling {
+			start = 0
+		}
+		c := newCharger(e, ep, th, nodes)
+		chargers[th] = c
+		weighted := h.Weighted && nl.wts != nil
+		strides[p].Do(th%e.m.CoresPerNode, func(lo, hi int64) {
+			for i := lo; i < hi; i++ {
+				r := int(i) + start
+				if r >= rows {
+					r -= rows
+				}
+				t := nl.rowIDs[r]
+				owner := nl.rowOwner[r]
+				c.rowsByOwner[owner]++
+				if !k.Cond(t) {
+					continue
+				}
+				updated := false
+				for j := nl.rowIdx[r]; j < nl.rowIdx[r+1]; j++ {
+					s := nl.cols[j]
+					c.edges++
+					if !a.Contains(s) {
+						continue
+					}
+					var w float32
+					if weighted {
+						w = nl.wts[j]
+					}
+					var ok bool
+					if atomicUpdate {
+						ok = k.UpdateAtomic(s, t, w)
+					} else {
+						ok = k.Update(s, t, w)
+					}
+					if ok {
+						updated = true
+					}
+					if !k.Cond(t) {
+						break // destination satisfied (Ligra's early exit)
+					}
+				}
+				if updated {
+					b.Set(t)
+					c.activeByOwner[owner]++
+					c.updates++
+				}
+			}
+		})
+		e.addEdges(c.edges)
+	})
+	e.balanceWithinNodes(chargers)
+	for th, c := range chargers {
+		if c != nil {
+			c.flushPull(h, l.perNode[e.m.NodeOfThread(th)].vr.Len())
+		}
+	}
+	e.recordPhase("edgemap", true, false, a.Count(), e.chargePhase(ep))
+	return b.Build()
+}
+
+// edgeMapSparse iterates the active vertex lists (all nodes' leaves, read
+// through the lookup table) and processes, on each node, the local
+// portion of every active vertex's edges via the agent lookup.
+func (e *Engine) edgeMapSparse(a *state.Subset, k sg.EdgeKernel, h sg.Hints) *state.Subset {
+	l := e.ensurePush()
+	b := state.NewBuilder(e.bounds, e.m.Threads(), false)
+	ep := e.m.NewEpoch()
+	nodes := e.m.Nodes
+
+	// Concatenate the per-node active lists once; every node sweeps the
+	// full frontier (its local edges of each active vertex).
+	actives := make([]graph.Vertex, 0, a.Count())
+	ownerOf := make([]uint8, 0, a.Count())
+	for p := 0; p < nodes; p++ {
+		for _, v := range a.List(p) {
+			actives = append(actives, v)
+			ownerOf = append(ownerOf, uint8(p))
+		}
+	}
+	stride := par.NewStrided(int64(len(actives)), chunkSize(int64(len(actives)), e.m.CoresPerNode), e.m.CoresPerNode)
+
+	chargers := make([]*charger, e.m.Threads())
+	e.pool.Run(func(th int) {
+		p := e.m.NodeOfThread(th)
+		nl := &l.perNode[p]
+		if len(nl.rowIDs) == 0 {
+			return
+		}
+		c := newCharger(e, ep, th, nodes)
+		chargers[th] = c
+		weighted := h.Weighted && nl.wts != nil
+		stride.Do(th%e.m.CoresPerNode, func(lo, hi int64) {
+			for i := lo; i < hi; i++ {
+				s := actives[i]
+				owner := ownerOf[i]
+				c.rowsByOwner[owner]++
+				c.lookups++
+				r := nl.rowOf[s]
+				if r < 0 {
+					continue
+				}
+				c.activeByOwner[owner]++
+				for j := nl.rowIdx[r]; j < nl.rowIdx[r+1]; j++ {
+					t := nl.cols[j]
+					c.edges++
+					if !k.Cond(t) {
+						continue
+					}
+					c.condChecks++
+					var w float32
+					if weighted {
+						w = nl.wts[j]
+					}
+					if k.UpdateAtomic(s, t, w) {
+						b.Add(th, t)
+						c.updates++
+						c.appends++
+					}
+				}
+			}
+		})
+		e.addEdges(c.edges)
+	})
+	e.balanceWithinNodes(chargers)
+	for th, c := range chargers {
+		if c != nil {
+			c.flushPush(h, l.perNode[e.m.NodeOfThread(th)].vr.Len())
+		}
+	}
+	e.recordPhase("edgemap", false, true, a.Count(), e.chargePhase(ep))
+	return b.Build()
+}
+
+// VertexMap applies f to every active vertex and returns those for which
+// it returned true. Vertices are processed by their owning node's threads
+// with dynamic chunking.
+func (e *Engine) VertexMap(a *state.Subset, f sg.VertexFunc) *state.Subset {
+	if a.IsEmpty() {
+		return state.NewEmpty(e.bounds)
+	}
+	e.met.VertexMaps++
+	b := state.NewBuilder(e.bounds, e.m.Threads(), a.Dense())
+	ep := e.m.NewEpoch()
+	nodes := e.m.Nodes
+
+	if a.Dense() {
+		strides := make([]*par.Strided, nodes)
+		for p := 0; p < nodes; p++ {
+			strides[p] = par.NewStrided(int64(len(a.Words(p))), 64, e.m.CoresPerNode)
+		}
+		e.pool.Run(func(th int) {
+			p := e.m.NodeOfThread(th)
+			words := a.Words(p)
+			base := e.bounds[p]
+			var visited, wordsScanned int64
+			strides[p].Do(th%e.m.CoresPerNode, func(lo, hi int64) {
+				wordsScanned += hi - lo
+				for wi := lo; wi < hi; wi++ {
+					w := words[wi]
+					for w != 0 {
+						bit := bits.TrailingZeros64(w)
+						v := graph.Vertex(base + int(wi)*64 + bit)
+						visited++
+						if f(v) {
+							b.Set(v)
+						}
+						w &= w - 1
+					}
+				}
+
+			})
+			ep.Access(th, numa.Seq, numa.Load, p, wordsScanned, 8, 0)
+			ep.Access(th, numa.Seq, numa.Load, p, visited, vertexMapData, 0)
+			ep.Compute(th, float64(visited)*2e-9)
+		})
+	} else {
+		strides := make([]*par.Strided, nodes)
+		for p := 0; p < nodes; p++ {
+			strides[p] = par.NewStrided(int64(len(a.List(p))), 64, e.m.CoresPerNode)
+		}
+		e.pool.Run(func(th int) {
+			p := e.m.NodeOfThread(th)
+			list := a.List(p)
+			var visited int64
+			strides[p].Do(th%e.m.CoresPerNode, func(lo, hi int64) {
+				for i := lo; i < hi; i++ {
+					v := list[i]
+					visited++
+					if f(v) {
+						b.Add(th, v)
+					}
+				}
+
+			})
+			ep.Access(th, numa.Seq, numa.Load, p, visited, 4+vertexMapData, 0)
+			ep.Compute(th, float64(visited)*2e-9)
+		})
+	}
+	e.recordPhase("vertexmap", a.Dense(), false, a.Count(), e.chargePhase(ep))
+	return b.Build()
+}
+
+func chunkSize(n int64, threadsPerNode int) int64 {
+	c := n / int64(threadsPerNode*8)
+	if c < 64 {
+		c = 64
+	}
+	return c
+}
+
+// addEdges accumulates the processed-edge metric from worker goroutines.
+func (e *Engine) addEdges(n int64) {
+	e.edgesMu.Lock()
+	e.met.EdgesProcessed += n
+	e.edgesMu.Unlock()
+}

@@ -1,0 +1,288 @@
+// Package core implements Polymer, the paper's NUMA-aware graph-analytics
+// engine (Sections 4 and 5).
+//
+// Polymer treats the NUMA machine as a distributed system:
+//
+//   - the vertex space is split into per-node partitions (edge-balanced
+//     for skewed graphs), and application data is co-located with its
+//     owning node in one contiguous virtual array (mem.CoLocated);
+//   - each node holds only the edges incident to its partition, grouped by
+//     the far-side vertex through lightweight immutable replicas — agents —
+//     so a vertex's computation is factored across nodes and every remote
+//     read of application data happens in sequential order (the access
+//     pattern Section 2.2 shows is fastest);
+//   - runtime state lives in per-node leaves behind a lock-less lookup
+//     table with adaptive dense/sparse representation;
+//   - iterations synchronize with the hierarchical sense-reversing
+//     N-Barrier, and nodes process rows in a rolling order starting from
+//     their own partition to spread interconnect load.
+//
+// The engine runs real parallel computation on worker goroutines; its
+// memory traffic is charged to the simulated NUMA machine (see package
+// numa) to produce simulated runtimes.
+package core
+
+import (
+	"sync"
+
+	"polymer/internal/barrier"
+	"polymer/internal/graph"
+	"polymer/internal/mem"
+	"polymer/internal/numa"
+	"polymer/internal/par"
+	"polymer/internal/partition"
+	"polymer/internal/sg"
+)
+
+// Mode selects the EdgeMap execution direction.
+type Mode uint8
+
+const (
+	// Auto picks sparse-push or dense-pull adaptively per iteration
+	// (direction-optimizing traversal).
+	Auto Mode = iota
+	// Push always scatters along out-edges (the paper's PR/SpMV/BP).
+	Push
+	// Pull always gathers along in-edges.
+	Pull
+)
+
+// Options configures the engine; the zero value is not valid — use
+// DefaultOptions and override.
+type Options struct {
+	// Mode is the EdgeMap direction policy.
+	Mode Mode
+	// Barrier selects the synchronization barrier (default N-Barrier).
+	Barrier barrier.Kind
+	// EdgeBalanced partitions by degree sums instead of vertex counts
+	// (Section 5, "Balanced Partitioning").
+	EdgeBalanced bool
+	// Adaptive switches runtime-state leaves between bitmap and queues
+	// (Section 5, "Adaptive Data Structures"). When false, EdgeMap always
+	// runs dense.
+	Adaptive bool
+	// Threshold is the adaptive switch denominator: dense when
+	// active+degree > |E|/Threshold (default 20, as in Ligra).
+	Threshold float64
+	// DisableAgents removes the per-node vertex replicas from the cost
+	// model: far-side data reads are charged as random remote accesses,
+	// as they would be without replication (ablation).
+	DisableAgents bool
+	// DisableRolling starts every node's row sweep at row 0 instead of
+	// its own partition, so all nodes contend for the same remote node at
+	// once; charged as interleaved traffic (ablation).
+	DisableRolling bool
+	// Layout overrides the application-data placement (ablation:
+	// mem.Interleaved makes Polymer NUMA-oblivious).
+	Layout mem.Placement
+	// OverheadNsPerEdge is the engine's software overhead per edge.
+	OverheadNsPerEdge float64
+	// Trace records a PhaseRecord for every EdgeMap/VertexMap (small
+	// overhead; off by default).
+	Trace bool
+}
+
+// PhaseRecord describes one executed parallel phase when tracing is on.
+type PhaseRecord struct {
+	// Kind is "edgemap" or "vertexmap".
+	Kind string
+	// Dense reports bitmap (dense) vs queue (sparse) execution.
+	Dense bool
+	// Push reports the direction of a dense edgemap phase.
+	Push bool
+	// ActiveIn is the input frontier size.
+	ActiveIn int64
+	// SimSeconds is the phase's simulated duration including the barrier.
+	SimSeconds float64
+}
+
+// DefaultOptions returns the configuration the paper evaluates: push for
+// dense phases unless the algorithm prefers otherwise, N-Barrier,
+// edge-balanced partitioning, adaptive state, agents and rolling order on.
+func DefaultOptions() Options {
+	return Options{
+		Mode:              Auto,
+		Barrier:           barrier.N,
+		EdgeBalanced:      true,
+		Adaptive:          true,
+		Threshold:         20,
+		Layout:            mem.CoLocated,
+		OverheadNsPerEdge: 1.0,
+	}
+}
+
+// Metrics counts engine activity for the experiment harness.
+type Metrics struct {
+	EdgeMaps       int
+	VertexMaps     int
+	DensePhases    int
+	SparsePhases   int
+	EdgesProcessed int64
+	BarrierSeconds float64
+}
+
+// Engine is a Polymer instance bound to one graph and one simulated
+// machine. It implements sg.Engine.
+type Engine struct {
+	g   *graph.Graph
+	m   *numa.Machine
+	opt Options
+
+	parts  []partition.Range
+	bounds []int
+
+	pool    *par.Pool
+	ledger  *numa.Epoch // whole-run accumulation
+	clock   float64
+	met     Metrics
+	edgesMu sync.Mutex
+
+	push *layout // lazily built; keyed by source, columns are local targets
+	pull *layout // lazily built; keyed by target, columns are local sources
+
+	trace []PhaseRecord
+
+	arrays    []interface{ Free() }
+	topoBytes int64
+	closed    bool
+}
+
+var _ sg.Engine = (*Engine)(nil)
+
+// New builds a Polymer engine for g on m.
+func New(g *graph.Graph, m *numa.Machine, opt Options) *Engine {
+	if opt.Threshold <= 0 {
+		opt.Threshold = 20
+	}
+	if opt.OverheadNsPerEdge <= 0 {
+		opt.OverheadNsPerEdge = 1.0
+	}
+	e := &Engine{g: g, m: m, opt: opt}
+	if opt.EdgeBalanced {
+		dir := partition.Out
+		if opt.Mode == Push {
+			dir = partition.In
+		}
+		e.parts = partition.EdgeBalanced(g, m.Nodes, dir)
+	} else {
+		e.parts = partition.VertexBalanced(g.NumVertices(), m.Nodes)
+	}
+	e.bounds = partition.Bounds(e.parts)
+	e.pool = par.NewPool(m.Threads())
+	e.ledger = m.NewEpoch()
+	// The engine keeps the construction-stage graph resident alongside
+	// its grouped per-node layouts (part of Table 5's footprint).
+	m.Alloc().Grow("polymer/graph", g.TopologyBytes())
+	return e
+}
+
+// Graph returns the input graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Machine returns the simulated machine.
+func (e *Engine) Machine() *numa.Machine { return e.m }
+
+// Bounds returns the per-node vertex partition offsets.
+func (e *Engine) Bounds() []int { return e.bounds }
+
+// Parts returns the per-node vertex ranges.
+func (e *Engine) Parts() []partition.Range { return e.parts }
+
+// Options returns the engine configuration.
+func (e *Engine) Options() Options { return e.opt }
+
+// Metrics returns activity counters.
+func (e *Engine) Metrics() Metrics { return e.met }
+
+// SimSeconds returns the accumulated simulated runtime, including barrier
+// costs.
+func (e *Engine) SimSeconds() float64 { return e.clock }
+
+// AddSimSeconds charges extra simulated time (used by algorithm drivers
+// for work outside EdgeMap/VertexMap).
+func (e *Engine) AddSimSeconds(s float64) { e.clock += s }
+
+// RunStats returns accumulated classified-access statistics (Table 4).
+func (e *Engine) RunStats() numa.Stats { return e.ledger.Stats() }
+
+// ThreadSeconds returns the per-thread simulated busy time (Figure 11b).
+func (e *Engine) ThreadSeconds() []float64 {
+	out := make([]float64, e.m.Threads())
+	for th := range out {
+		out[th] = e.ledger.ThreadSeconds(th)
+	}
+	return out
+}
+
+// NewData allocates a float64 per-vertex array with Polymer's co-located
+// placement (or the ablation override).
+func (e *Engine) NewData(label string) *mem.Array[float64] {
+	a := e.newArray64(label)
+	e.arrays = append(e.arrays, a)
+	return a
+}
+
+// NewData32 allocates a uint32 per-vertex array (labels, parents).
+func (e *Engine) NewData32(label string) *mem.Array[uint32] {
+	var a *mem.Array[uint32]
+	if e.opt.Layout == mem.CoLocated {
+		a = mem.New[uint32](e.m, label, e.g.NumVertices(), mem.CoLocated, e.bounds)
+	} else {
+		a = mem.New[uint32](e.m, label, e.g.NumVertices(), e.opt.Layout, nil)
+	}
+	e.arrays = append(e.arrays, a)
+	return a
+}
+
+func (e *Engine) newArray64(label string) *mem.Array[float64] {
+	if e.opt.Layout == mem.CoLocated {
+		return mem.New[float64](e.m, label, e.g.NumVertices(), mem.CoLocated, e.bounds)
+	}
+	return mem.New[float64](e.m, label, e.g.NumVertices(), e.opt.Layout, nil)
+}
+
+// Close stops the worker pool and releases simulated allocations.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	e.pool.Close()
+	e.m.Alloc().Release("polymer/graph", e.g.TopologyBytes())
+	for _, a := range e.arrays {
+		a.Free()
+	}
+	if e.topoBytes > 0 {
+		e.m.Alloc().Release("polymer/topology", e.topoBytes)
+	}
+	if e.push != nil && e.push.agentBytes > 0 {
+		e.m.Alloc().Release("polymer/agents", e.push.agentBytes)
+	}
+	if e.pull != nil && e.pull.agentBytes > 0 {
+		e.m.Alloc().Release("polymer/agents", e.pull.agentBytes)
+	}
+}
+
+// chargePhase folds one phase epoch into the run ledger and clock,
+// including a barrier crossing; it returns the phase's total simulated
+// duration.
+func (e *Engine) chargePhase(ep *numa.Epoch) float64 {
+	t := ep.Time()
+	b := barrier.SyncCost(e.opt.Barrier, e.m.Nodes) / e.m.Topo.SyncScale
+	e.clock += t + b
+	e.met.BarrierSeconds += b
+	e.ledger.Add(ep)
+	return t + b
+}
+
+// Trace returns the recorded phase history (empty unless Options.Trace).
+func (e *Engine) Trace() []PhaseRecord { return e.trace }
+
+func (e *Engine) recordPhase(kind string, dense, push bool, activeIn int64, seconds float64) {
+	if !e.opt.Trace {
+		return
+	}
+	e.trace = append(e.trace, PhaseRecord{
+		Kind: kind, Dense: dense, Push: push, ActiveIn: activeIn, SimSeconds: seconds,
+	})
+}

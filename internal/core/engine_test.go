@@ -1,0 +1,396 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"polymer/internal/atomicx"
+	"polymer/internal/gen"
+	"polymer/internal/graph"
+	"polymer/internal/mem"
+	"polymer/internal/numa"
+	"polymer/internal/sg"
+	"polymer/internal/state"
+)
+
+func testMachine(nodes, cores int) *numa.Machine {
+	return numa.NewMachine(numa.IntelXeon80(), nodes, cores)
+}
+
+// addKernel accumulates 1.0 into next[d] per applied edge and records the
+// applied (s,d) pairs; always activates the destination.
+type addKernel struct {
+	next []float64
+	mu   sync.Mutex
+	seen map[edgeKey]int
+}
+
+func newAddKernel(n int) *addKernel {
+	return &addKernel{next: make([]float64, n), seen: make(map[edgeKey]int)}
+}
+
+func (k *addKernel) record(s, d graph.Vertex) {
+	k.mu.Lock()
+	k.seen[edgeKey{s, d}]++
+	k.mu.Unlock()
+}
+
+func (k *addKernel) Update(s, d graph.Vertex, w float32) bool {
+	k.next[d]++
+	k.record(s, d)
+	return true
+}
+
+func (k *addKernel) UpdateAtomic(s, d graph.Vertex, w float32) bool {
+	atomicx.AddFloat64(&k.next[d], 1)
+	k.record(s, d)
+	return true
+}
+
+func (k *addKernel) Cond(graph.Vertex) bool { return true }
+
+// expectApplied returns the edges whose source is in the active set.
+func expectApplied(g *graph.Graph, active func(graph.Vertex) bool) map[edgeKey]int {
+	out := make(map[edgeKey]int)
+	for v := 0; v < g.NumVertices(); v++ {
+		if !active(graph.Vertex(v)) {
+			continue
+		}
+		for _, u := range g.OutNeighbors(graph.Vertex(v)) {
+			out[edgeKey{graph.Vertex(v), u}]++
+		}
+	}
+	return out
+}
+
+func TestEdgeMapDensePushAppliesAllActiveEdges(t *testing.T) {
+	n, edges := gen.RMAT(9, 8, 5)
+	g := graph.FromEdges(n, edges, false)
+	m := testMachine(4, 2)
+	opt := DefaultOptions()
+	opt.Mode = Push
+	opt.Adaptive = false
+	e := New(g, m, opt)
+	defer e.Close()
+
+	k := newAddKernel(n)
+	all := state.NewAll(e.Bounds())
+	out := e.EdgeMap(all, k, sg.Hints{DensePush: true})
+
+	sameEdgeMultiset(t, expectApplied(g, func(graph.Vertex) bool { return true }), k.seen)
+	// Every vertex with an in-edge must be in the output frontier.
+	for v := 0; v < n; v++ {
+		want := g.InDegree(graph.Vertex(v)) > 0
+		if got := out.Contains(graph.Vertex(v)); got != want {
+			t.Fatalf("frontier membership of %d = %t, want %t", v, got, want)
+		}
+	}
+	// next[d] must equal the in-degree.
+	for v := 0; v < n; v++ {
+		if k.next[v] != float64(g.InDegree(graph.Vertex(v))) {
+			t.Fatalf("next[%d] = %v, want %d", v, k.next[v], g.InDegree(graph.Vertex(v)))
+		}
+	}
+}
+
+func TestEdgeMapDensePullMatchesPush(t *testing.T) {
+	n, edges := gen.Uniform(400, 3000, 3)
+	g := graph.FromEdges(n, edges, false)
+	m := testMachine(2, 2)
+
+	optPush := DefaultOptions()
+	optPush.Mode = Push
+	optPush.Adaptive = false
+	ePush := New(g, m, optPush)
+	defer ePush.Close()
+	kPush := newAddKernel(n)
+	ePush.EdgeMap(state.NewAll(ePush.Bounds()), kPush, sg.Hints{})
+
+	optPull := DefaultOptions()
+	optPull.Mode = Pull
+	optPull.Adaptive = false
+	ePull := New(g, m, optPull)
+	defer ePull.Close()
+	kPull := newAddKernel(n)
+	ePull.EdgeMap(state.NewAll(ePull.Bounds()), kPull, sg.Hints{})
+
+	for v := 0; v < n; v++ {
+		if kPush.next[v] != kPull.next[v] {
+			t.Fatalf("push/pull mismatch at %d: %v vs %v", v, kPush.next[v], kPull.next[v])
+		}
+	}
+}
+
+func TestEdgeMapSparseMatchesDense(t *testing.T) {
+	n, edges := gen.Powerlaw(600, 6, 2.0, 11)
+	g := graph.FromEdges(n, edges, false)
+	m := testMachine(2, 2)
+
+	// Small frontier forces the sparse path under Auto+Adaptive.
+	frontier := []graph.Vertex{1, 5, 9, 100, 101, 599}
+
+	optA := DefaultOptions() // adaptive: sparse for a tiny frontier
+	eA := New(g, m, optA)
+	defer eA.Close()
+	kA := newAddKernel(n)
+	outA := eA.EdgeMap(state.FromVertices(eA.Bounds(), frontier), kA, sg.Hints{DensePush: true})
+	if eA.Metrics().SparsePhases != 1 {
+		t.Fatalf("expected a sparse phase, got %+v", eA.Metrics())
+	}
+
+	optB := DefaultOptions()
+	optB.Adaptive = false // force dense
+	optB.Mode = Push
+	eB := New(g, m, optB)
+	defer eB.Close()
+	kB := newAddKernel(n)
+	outB := eB.EdgeMap(state.FromVertices(eB.Bounds(), frontier), kB, sg.Hints{DensePush: true})
+	if eB.Metrics().DensePhases != 1 {
+		t.Fatalf("expected a dense phase, got %+v", eB.Metrics())
+	}
+
+	sameEdgeMultiset(t, kB.seen, kA.seen)
+	if outA.Count() != outB.Count() {
+		t.Fatalf("sparse/dense frontier sizes differ: %d vs %d", outA.Count(), outB.Count())
+	}
+	outA.ForEach(func(v graph.Vertex) {
+		if !outB.Contains(v) {
+			t.Fatalf("frontier member %d missing from dense result", v)
+		}
+	})
+}
+
+// claimKernel marks destinations once (BFS-style CAS), exercising Cond.
+type claimKernel struct{ parent []uint32 }
+
+func (k *claimKernel) Update(s, d graph.Vertex, w float32) bool {
+	if atomic.LoadUint32(&k.parent[d]) == ^uint32(0) {
+		atomic.StoreUint32(&k.parent[d], s)
+		return true
+	}
+	return false
+}
+
+func (k *claimKernel) UpdateAtomic(s, d graph.Vertex, w float32) bool {
+	return atomicx.CASUint32(&k.parent[d], ^uint32(0), s)
+}
+
+func (k *claimKernel) Cond(d graph.Vertex) bool {
+	return atomic.LoadUint32(&k.parent[d]) == ^uint32(0)
+}
+
+func TestEdgeMapCondFiltersClaimed(t *testing.T) {
+	n, edges := gen.Star(100)
+	g := graph.FromEdges(n, edges, false)
+	m := testMachine(2, 2)
+	e := New(g, m, DefaultOptions())
+	defer e.Close()
+
+	k := &claimKernel{parent: make([]uint32, n)}
+	for i := range k.parent {
+		k.parent[i] = ^uint32(0)
+	}
+	k.parent[0] = 0
+	out := e.EdgeMap(state.NewSingle(e.Bounds(), 0), k, sg.Hints{})
+	if out.Count() != int64(n-1) {
+		t.Fatalf("star frontier = %d, want %d", out.Count(), n-1)
+	}
+	// Second round: everything claimed, no updates.
+	out2 := e.EdgeMap(out, k, sg.Hints{})
+	if !out2.IsEmpty() {
+		t.Fatalf("second round must be empty, got %d", out2.Count())
+	}
+}
+
+func TestVertexMapFilters(t *testing.T) {
+	n := 200
+	g := graph.FromEdges(n, []graph.Edge{{Src: 0, Dst: 1}}, false)
+	m := testMachine(2, 2)
+	e := New(g, m, DefaultOptions())
+	defer e.Close()
+
+	all := state.NewAll(e.Bounds())
+	evens := e.VertexMap(all, func(v graph.Vertex) bool { return v%2 == 0 })
+	if evens.Count() != int64(n/2) {
+		t.Fatalf("evens = %d, want %d", evens.Count(), n/2)
+	}
+	evens.ForEach(func(v graph.Vertex) {
+		if v%2 != 0 {
+			t.Fatalf("odd vertex %d in result", v)
+		}
+	})
+	// Sparse input path.
+	sp := evens.ToSparse()
+	quarters := e.VertexMap(sp, func(v graph.Vertex) bool { return v%4 == 0 })
+	if quarters.Count() != int64(n/4) {
+		t.Fatalf("quarters = %d, want %d", quarters.Count(), n/4)
+	}
+}
+
+func TestVertexMapVisitsEachActiveOnce(t *testing.T) {
+	n := 137
+	g := graph.FromEdges(n, nil, false)
+	m := testMachine(4, 2)
+	e := New(g, m, DefaultOptions())
+	defer e.Close()
+	counts := make([]int64, n)
+	var mu sync.Mutex
+	e.VertexMap(state.NewAll(e.Bounds()), func(v graph.Vertex) bool {
+		mu.Lock()
+		counts[v]++
+		mu.Unlock()
+		return false
+	})
+	for v, c := range counts {
+		if c != 1 {
+			t.Fatalf("vertex %d visited %d times", v, c)
+		}
+	}
+}
+
+func TestEmptyInputsShortCircuit(t *testing.T) {
+	n, edges := gen.Chain(50)
+	g := graph.FromEdges(n, edges, false)
+	m := testMachine(2, 1)
+	e := New(g, m, DefaultOptions())
+	defer e.Close()
+	empty := state.NewEmpty(e.Bounds())
+	if out := e.EdgeMap(empty, newAddKernel(n), sg.Hints{}); !out.IsEmpty() {
+		t.Fatal("EdgeMap on empty must be empty")
+	}
+	if out := e.VertexMap(empty, func(graph.Vertex) bool { return true }); !out.IsEmpty() {
+		t.Fatal("VertexMap on empty must be empty")
+	}
+	if e.Metrics().EdgeMaps != 0 {
+		t.Fatal("empty input must not count as a phase")
+	}
+}
+
+func TestSimTimeAdvancesAndStatsAccumulate(t *testing.T) {
+	n, edges := gen.RMAT(9, 8, 7)
+	g := graph.FromEdges(n, edges, false)
+	m := testMachine(4, 2)
+	e := New(g, m, DefaultOptions())
+	defer e.Close()
+	e.EdgeMap(state.NewAll(e.Bounds()), newAddKernel(n), sg.Hints{DensePush: true})
+	if e.SimSeconds() <= 0 {
+		t.Fatal("simulated time must advance")
+	}
+	st := e.RunStats()
+	if st.LocalCount+st.RemoteCount == 0 {
+		t.Fatal("accesses must be recorded")
+	}
+	if st.RemoteRate <= 0 || st.RemoteRate >= 1 {
+		t.Fatalf("remote rate = %v, want in (0,1)", st.RemoteRate)
+	}
+	ths := e.ThreadSeconds()
+	var busy float64
+	for _, s := range ths {
+		busy += s
+	}
+	if busy <= 0 {
+		t.Fatal("thread seconds must accumulate")
+	}
+}
+
+func TestCoLocatedFasterThanInterleavedAblation(t *testing.T) {
+	n, edges := gen.TwitterLike(4000, 1)
+	g := graph.FromEdges(n, edges, false)
+
+	run := func(layout mem.Placement) float64 {
+		m := testMachine(8, 2)
+		opt := DefaultOptions()
+		opt.Mode = Push
+		opt.Adaptive = false
+		opt.Layout = layout
+		e := New(g, m, opt)
+		defer e.Close()
+		all := state.NewAll(e.Bounds())
+		for i := 0; i < 3; i++ {
+			e.EdgeMap(all, newAddKernel(n), sg.Hints{DensePush: true})
+		}
+		return e.SimSeconds()
+	}
+	co := run(mem.CoLocated)
+	il := run(mem.Interleaved)
+	if !(co < il) {
+		t.Fatalf("co-located (%v) must beat interleaved (%v) — the paper's core claim", co, il)
+	}
+}
+
+func TestDisableAgentsSlower(t *testing.T) {
+	// The vertex data must exceed the (scaled) LLC for the random-vs-
+	// sequential remote distinction to matter, as at paper scale.
+	n, edges := gen.TwitterLike(40000, 2)
+	g := graph.FromEdges(n, edges, false)
+	run := func(disable bool) float64 {
+		m := testMachine(8, 2)
+		opt := DefaultOptions()
+		opt.Mode = Push
+		opt.Adaptive = false
+		opt.DisableAgents = disable
+		e := New(g, m, opt)
+		defer e.Close()
+		all := state.NewAll(e.Bounds())
+		for i := 0; i < 3; i++ {
+			e.EdgeMap(all, newAddKernel(n), sg.Hints{DensePush: true})
+		}
+		return e.SimSeconds()
+	}
+	with, without := run(false), run(true)
+	if !(with < without) {
+		t.Fatalf("agents (%v) must beat no-agents (%v): sequential remote beats random remote", with, without)
+	}
+}
+
+func TestAgentMemoryTracked(t *testing.T) {
+	n, edges := gen.Uniform(500, 5000, 5)
+	g := graph.FromEdges(n, edges, false)
+	m := testMachine(4, 1)
+	e := New(g, m, DefaultOptions())
+	e.EdgeMap(state.NewAll(e.Bounds()), newAddKernel(n), sg.Hints{DensePush: true})
+	if m.Alloc().Label("polymer/agents") <= 0 {
+		t.Fatal("agent memory must be tracked (Table 5)")
+	}
+	if m.Alloc().Label("polymer/topology") <= 0 {
+		t.Fatal("topology memory must be tracked")
+	}
+	e.Close()
+	if m.Alloc().Current() != 0 {
+		t.Fatalf("Close must release simulated memory, %d left", m.Alloc().Current())
+	}
+}
+
+func TestNewDataPlacement(t *testing.T) {
+	n, edges := gen.Chain(100)
+	g := graph.FromEdges(n, edges, false)
+	m := testMachine(2, 1)
+	e := New(g, m, DefaultOptions())
+	defer e.Close()
+	d := e.NewData("ranks")
+	if d.Placement() != mem.CoLocated || d.Len() != n {
+		t.Fatal("NewData must be co-located over all vertices")
+	}
+	d32 := e.NewData32("labels")
+	if d32.Placement() != mem.CoLocated || d32.Len() != n {
+		t.Fatal("NewData32 must be co-located over all vertices")
+	}
+
+	opt := DefaultOptions()
+	opt.Layout = mem.Interleaved
+	e2 := New(g, m, opt)
+	defer e2.Close()
+	if e2.NewData("x").Placement() != mem.Interleaved {
+		t.Fatal("layout override must apply to NewData")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	n, edges := gen.Chain(10)
+	g := graph.FromEdges(n, edges, false)
+	m := testMachine(1, 1)
+	e := New(g, m, DefaultOptions())
+	e.Close()
+	e.Close()
+}

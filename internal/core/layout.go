@@ -1,0 +1,204 @@
+package core
+
+import (
+	"polymer/internal/graph"
+	"polymer/internal/partition"
+)
+
+// layout holds the per-node grouped edge structures for one direction.
+//
+// In push mode, node p owns the targets in its partition; its edges are
+// grouped by source vertex ("rows"), so sweeping the rows in ascending
+// order reads every source's application data sequentially — the paper's
+// SEQ|R|G pattern — while all writes stay in the local partition
+// (RAND|W|L). Rows whose key vertex lives on another node are agents: the
+// lightweight replicas of Section 4.2 that hold just the row's edge offset
+// and degree. Pull mode is the mirror image: node p owns the sources in
+// its partition and rows are keyed by target, giving local random reads
+// and sequential global writes.
+type layout struct {
+	perNode    []nodeLayout
+	agentBytes int64
+	totalRows  int64
+}
+
+type nodeLayout struct {
+	vr partition.Range
+
+	// rowIDs holds the far-side key vertices, ascending; rowIdx delimits
+	// each row's columns; cols holds the local vertices; wts the edge
+	// weights aligned with cols (nil when unweighted).
+	rowIDs []graph.Vertex
+	rowIdx []int64
+	cols   []graph.Vertex
+	wts    []float32
+
+	// rowOwner[r] is the node owning rowIDs[r] (precomputed for access
+	// charging).
+	rowOwner []uint8
+
+	// rowOf maps a vertex id to its row index in this node (-1 if the
+	// vertex has no edges here); it is the per-node agent lookup used by
+	// sparse EdgeMap.
+	rowOf []int32
+
+	// startRow is the first row whose key belongs to this node's own
+	// partition — where the rolling-order sweep begins.
+	startRow int
+
+	// agents counts rows whose key vertex is remote.
+	agents int
+}
+
+// buildLayout groups each node's incident edges by the far-side vertex.
+// When push is true, node p's local vertices are the *targets* in its
+// partition and rows are keyed by source (built from the in-CSR);
+// otherwise local vertices are the sources and rows are keyed by target
+// (built from the out-CSR).
+func buildLayout(g *graph.Graph, parts []partition.Range, push bool) *layout {
+	n := g.NumVertices()
+	l := &layout{perNode: make([]nodeLayout, len(parts))}
+	for p, vr := range parts {
+		nl := &l.perNode[p]
+		nl.vr = vr
+
+		// Count edges per key vertex.
+		cnt := make([]int64, n)
+		var edges int64
+		for v := vr.Lo; v < vr.Hi; v++ {
+			keys := keysOf(g, graph.Vertex(v), push)
+			for _, k := range keys {
+				cnt[k]++
+			}
+			edges += int64(len(keys))
+		}
+
+		// Collect non-empty rows in ascending key order.
+		rows := 0
+		for k := 0; k < n; k++ {
+			if cnt[k] > 0 {
+				rows++
+			}
+		}
+		nl.rowIDs = make([]graph.Vertex, rows)
+		nl.rowIdx = make([]int64, rows+1)
+		nl.rowOwner = make([]uint8, rows)
+		nl.rowOf = make([]int32, n)
+		for i := range nl.rowOf {
+			nl.rowOf[i] = -1
+		}
+		r := 0
+		var off int64
+		owner := 0
+		for k := 0; k < n; k++ {
+			if cnt[k] == 0 {
+				continue
+			}
+			for k >= parts[owner].Hi {
+				owner++
+			}
+			nl.rowIDs[r] = graph.Vertex(k)
+			nl.rowIdx[r] = off
+			nl.rowOwner[r] = uint8(owner)
+			nl.rowOf[k] = int32(r)
+			if owner != p {
+				nl.agents++
+			}
+			off += cnt[k]
+			r++
+		}
+		nl.rowIdx[rows] = off
+
+		// Fill columns: sweep local vertices ascending so each row's
+		// columns come out ascending too.
+		nl.cols = make([]graph.Vertex, edges)
+		if g.Weighted() {
+			nl.wts = make([]float32, edges)
+		}
+		cursor := make([]int64, rows)
+		for v := vr.Lo; v < vr.Hi; v++ {
+			keys := keysOf(g, graph.Vertex(v), push)
+			wts := weightsOf(g, graph.Vertex(v), push)
+			for i, k := range keys {
+				row := nl.rowOf[k]
+				pos := nl.rowIdx[row] + cursor[row]
+				cursor[row]++
+				nl.cols[pos] = graph.Vertex(v)
+				if wts != nil {
+					nl.wts[pos] = wts[i]
+				}
+			}
+		}
+
+		// Rolling-order start: first row keyed inside the local range.
+		nl.startRow = rows
+		for i, k := range nl.rowIDs {
+			if int(k) >= vr.Lo {
+				nl.startRow = i
+				break
+			}
+		}
+		if nl.startRow == rows {
+			nl.startRow = 0
+		}
+
+		l.agentBytes += int64(nl.agents) * 16 // replica: edge offset + degree
+		l.totalRows += int64(rows)
+	}
+	return l
+}
+
+// keysOf returns the far-side vertices of v's local edges: in-neighbours
+// when grouping for push (v is a target), out-neighbours for pull.
+func keysOf(g *graph.Graph, v graph.Vertex, push bool) []graph.Vertex {
+	if push {
+		return g.InNeighbors(v)
+	}
+	return g.OutNeighbors(v)
+}
+
+func weightsOf(g *graph.Graph, v graph.Vertex, push bool) []float32 {
+	if push {
+		return g.InWeights(v)
+	}
+	return g.OutWeights(v)
+}
+
+// bytes returns the simulated footprint of the layout's arrays.
+func (l *layout) bytes() int64 {
+	var b int64
+	for i := range l.perNode {
+		nl := &l.perNode[i]
+		b += int64(len(nl.rowIDs))*4 + int64(len(nl.rowIdx))*8
+		b += int64(len(nl.cols))*4 + int64(len(nl.wts))*4
+		b += int64(len(nl.rowOwner)) + int64(len(nl.rowOf))*4
+	}
+	return b
+}
+
+// ensurePush lazily builds the push-direction layout.
+func (e *Engine) ensurePush() *layout {
+	if e.push == nil {
+		e.push = buildLayout(e.g, e.parts, true)
+		e.registerLayout(e.push)
+	}
+	return e.push
+}
+
+// ensurePull lazily builds the pull-direction layout.
+func (e *Engine) ensurePull() *layout {
+	if e.pull == nil {
+		e.pull = buildLayout(e.g, e.parts, false)
+		e.registerLayout(e.pull)
+	}
+	return e.pull
+}
+
+func (e *Engine) registerLayout(l *layout) {
+	b := l.bytes()
+	e.m.Alloc().Grow("polymer/topology", b)
+	e.topoBytes += b
+	if l.agentBytes > 0 {
+		e.m.Alloc().Grow("polymer/agents", l.agentBytes)
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"polymer/internal/gen"
+	"polymer/internal/graph"
+	"polymer/internal/sg"
+	"polymer/internal/state"
+)
+
+func TestTraceRecordsPhases(t *testing.T) {
+	n, edges := gen.RMAT(8, 8, 3)
+	g := graph.FromEdges(n, edges, false)
+	m := testMachine(2, 2)
+	opt := DefaultOptions()
+	opt.Trace = true
+	opt.Mode = Push
+	opt.Adaptive = false
+	e := New(g, m, opt)
+	defer e.Close()
+
+	all := state.NewAll(e.Bounds())
+	e.EdgeMap(all, newAddKernel(n), sg.Hints{DensePush: true})
+	e.VertexMap(all, func(graph.Vertex) bool { return true })
+
+	tr := e.Trace()
+	if len(tr) != 2 {
+		t.Fatalf("trace has %d records, want 2", len(tr))
+	}
+	em, vm := tr[0], tr[1]
+	if em.Kind != "edgemap" || !em.Dense || !em.Push || em.ActiveIn != int64(n) {
+		t.Fatalf("edgemap record wrong: %+v", em)
+	}
+	if vm.Kind != "vertexmap" || vm.ActiveIn != int64(n) {
+		t.Fatalf("vertexmap record wrong: %+v", vm)
+	}
+	if em.SimSeconds <= 0 || vm.SimSeconds <= 0 {
+		t.Fatal("phase times must be positive")
+	}
+	// Trace times must sum to the engine clock.
+	var sum float64
+	for _, r := range tr {
+		sum += r.SimSeconds
+	}
+	if diff := sum - e.SimSeconds(); diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("trace sum %v != clock %v", sum, e.SimSeconds())
+	}
+}
+
+func TestTraceDistinguishesSparsePhases(t *testing.T) {
+	n, edges := gen.RoadGrid(20, 20, 2)
+	g := graph.FromEdges(n, edges, true)
+	m := testMachine(2, 2)
+	opt := DefaultOptions()
+	opt.Trace = true
+	e := New(g, m, opt)
+	defer e.Close()
+
+	k := &claimKernel{parent: make([]uint32, n)}
+	for i := range k.parent {
+		k.parent[i] = ^uint32(0)
+	}
+	k.parent[0] = 0
+	frontier := state.NewSingle(e.Bounds(), 0)
+	for !frontier.IsEmpty() {
+		frontier = e.EdgeMap(frontier, k, sg.Hints{})
+	}
+	sparse, dense := 0, 0
+	for _, r := range e.Trace() {
+		if r.Dense {
+			dense++
+		} else {
+			sparse++
+		}
+	}
+	// BFS on a grid from a corner: small frontiers throughout -> sparse.
+	if sparse == 0 {
+		t.Fatal("grid BFS must run sparse phases")
+	}
+	if sparse+dense != len(e.Trace()) {
+		t.Fatal("phase counts inconsistent")
+	}
+}
+
+func TestTraceOffByDefault(t *testing.T) {
+	n, edges := gen.Chain(20)
+	g := graph.FromEdges(n, edges, false)
+	e := New(g, testMachine(1, 1), DefaultOptions())
+	defer e.Close()
+	e.VertexMap(state.NewAll(e.Bounds()), func(graph.Vertex) bool { return true })
+	if len(e.Trace()) != 0 {
+		t.Fatal("trace must be empty when disabled")
+	}
+}

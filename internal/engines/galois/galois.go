@@ -1,0 +1,502 @@
+// Package galois implements the Galois baseline (Nguyen, Lenharth &
+// Pingali, SOSP'13) as the paper characterises it: a task-based engine
+// with a sophisticated scheduler and per-algorithm implementations that
+// differ from the scatter-gather systems — synchronous pull-based
+// PageRank, asynchronous worklist BFS, a topology-driven
+// union-find connected components, and data-driven delta-stepping SSSP.
+//
+// Galois is heavily optimised (the lowest per-edge overhead, a
+// work-stealing scheduler that keeps edge work balanced under degree
+// skew, and an allocator that reuses memory between iterations — the
+// paper's Table 5 shows it with the smallest footprint), but it is
+// NUMA-oblivious: its arrays are interleaved and its worklists global, so
+// its socket scalability is the worst of the evaluated systems
+// (Figure 5(b), 2.90x on 8 sockets) even while its single-socket
+// performance is the best.
+package galois
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"polymer/internal/atomicx"
+	"polymer/internal/barrier"
+	"polymer/internal/graph"
+	"polymer/internal/numa"
+	"polymer/internal/par"
+)
+
+// Options configures the baseline.
+type Options struct {
+	// OverheadNsPerEdge is Galois's per-edge software overhead (lowest of
+	// the four systems).
+	OverheadNsPerEdge float64
+	// NsPerTask is the scheduler's per-task (per-vertex) overhead.
+	NsPerTask float64
+	// Delta is the delta-stepping bucket width for SSSP (default 8).
+	Delta float64
+}
+
+// DefaultOptions returns the evaluation configuration.
+func DefaultOptions() Options {
+	return Options{OverheadNsPerEdge: 0.8, NsPerTask: 20, Delta: 8}
+}
+
+// Engine is a Galois instance bound to one graph and machine.
+type Engine struct {
+	g   *graph.Graph
+	m   *numa.Machine
+	opt Options
+
+	pool    *par.Pool
+	ledger  *numa.Epoch
+	clock   float64
+	edges   int64
+	edgesMu sync.Mutex
+	topoB   int64
+	dataB   int64
+	closed  bool
+}
+
+// New builds a Galois engine for g on m.
+func New(g *graph.Graph, m *numa.Machine, opt Options) *Engine {
+	if opt.OverheadNsPerEdge <= 0 {
+		opt.OverheadNsPerEdge = 0.8
+	}
+	if opt.NsPerTask <= 0 {
+		opt.NsPerTask = 20
+	}
+	if opt.Delta <= 0 {
+		opt.Delta = 8
+	}
+	e := &Engine{
+		g: g, m: m, opt: opt,
+		pool:   par.NewPool(m.Threads()),
+		ledger: m.NewEpoch(),
+	}
+	// Galois keeps a single edge direction resident for most algorithms
+	// and reuses memory aggressively.
+	e.topoB = g.TopologyBytes() / 2
+	m.Alloc().Grow("galois/topology", e.topoB)
+	return e
+}
+
+// Graph returns the input graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Machine returns the simulated machine.
+func (e *Engine) Machine() *numa.Machine { return e.m }
+
+// SimSeconds returns the accumulated simulated runtime.
+func (e *Engine) SimSeconds() float64 { return e.clock }
+
+// RunStats returns accumulated access statistics.
+func (e *Engine) RunStats() numa.Stats { return e.ledger.Stats() }
+
+// EdgesProcessed returns total edge applications.
+func (e *Engine) EdgesProcessed() int64 { return e.edges }
+
+// Close stops the workers and releases simulated allocations.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	e.pool.Close()
+	e.m.Alloc().Release("galois/topology", e.topoB)
+	if e.dataB > 0 {
+		e.m.Alloc().Release("galois/data", e.dataB)
+	}
+}
+
+// trackData registers per-run application data (released at Close).
+func (e *Engine) trackData(bytes int64) {
+	e.dataB += bytes
+	e.m.Alloc().Grow("galois/data", bytes)
+}
+
+// counters accumulates per-thread work; each worker only touches its own
+// padded slot.
+type counters struct {
+	slots []counterSlot
+}
+
+type counterSlot struct {
+	edges, tasks int64
+	_            [6]int64 // avoid false sharing
+}
+
+func newCounters(threads int) *counters { return &counters{slots: make([]counterSlot, threads)} }
+
+func (c *counters) add(th int, edges, tasks int64) {
+	c.slots[th].edges += edges
+	c.slots[th].tasks += tasks
+}
+
+func (c *counters) totals() (edges, tasks int64) {
+	for i := range c.slots {
+		edges += c.slots[i].edges
+		tasks += c.slots[i].tasks
+	}
+	return
+}
+
+// chargeRound folds one parallel round into the clock with the
+// scheduler's synchronization cost. The totals are spread evenly over all
+// workers: Galois's work-stealing scheduler keeps edge work balanced
+// across threads regardless of degree skew.
+func (e *Engine) chargeRound(ep *numa.Epoch, cnt *counters, dataBytes int, syncKind barrier.Kind) {
+	edges, tasks := cnt.totals()
+	n := int64(e.g.NumVertices())
+	threads := e.m.Threads()
+	perEdges, perTasks := edges/int64(threads), tasks/int64(threads)
+	for th := 0; th < threads; th++ {
+		ep.AccessInterleaved(th, numa.Seq, numa.Load, perEdges, 4, 0)
+		ep.AccessInterleaved(th, numa.Rand, numa.Load, perEdges, dataBytes, n*int64(dataBytes))
+		ep.AccessInterleaved(th, numa.Seq, numa.Load, perTasks, 16, 0)
+		ep.AccessInterleaved(th, numa.Rand, numa.Store, perTasks, dataBytes, n*int64(dataBytes))
+		ep.Compute(th, (float64(perEdges)*e.opt.OverheadNsPerEdge+float64(perTasks)*e.opt.NsPerTask)*1e-9)
+	}
+	e.clock += ep.Time() + barrier.SyncCost(syncKind, e.m.Nodes)/e.m.Topo.SyncScale
+	e.ledger.Add(ep)
+	e.edgesMu.Lock()
+	e.edges += edges
+	e.edgesMu.Unlock()
+}
+
+// PageRank runs the synchronous pull-based PageRank Galois selects
+// ("to reduce synchronization overhead") for iters iterations and returns
+// the ranks.
+func (e *Engine) PageRank(iters int, damping float64) []float64 {
+	g := e.g
+	n := g.NumVertices()
+	curr := make([]float64, n)
+	next := make([]float64, n)
+	e.trackData(int64(n) * 16)
+	for i := range curr {
+		curr[i] = 1 / float64(n)
+	}
+	invOut := make([]float64, n)
+	for v := 0; v < n; v++ {
+		if d := g.OutDegree(graph.Vertex(v)); d > 0 {
+			invOut[v] = 1 / float64(d)
+		}
+	}
+	for it := 0; it < iters; it++ {
+		ck := par.NewStrided(int64(n), 64, e.m.Threads())
+		ep := e.m.NewEpoch()
+		cnt := newCounters(e.m.Threads())
+		e.pool.Run(func(th int) {
+			var edges, tasks int64
+			ck.Do(th, func(lo, hi int64) {
+				for v := lo; v < hi; v++ {
+					tasks++
+					var sum float64
+					for _, u := range g.InNeighbors(graph.Vertex(v)) {
+						edges++
+						sum += curr[u] * invOut[u]
+					}
+					next[v] = (1-damping)/float64(n) + damping*sum
+				}
+			})
+			cnt.add(th, edges, tasks)
+		})
+		e.chargeRound(ep, cnt, 8, barrier.H)
+		curr, next = next, curr
+	}
+	return curr
+}
+
+// SpMV multiplies the weighted adjacency matrix with a dense vector,
+// iters times (y = A x, then x <- y), returning the final vector.
+func (e *Engine) SpMV(iters int, x0 []float64) []float64 {
+	g := e.g
+	n := g.NumVertices()
+	x := make([]float64, n)
+	y := make([]float64, n)
+	e.trackData(int64(n) * 16)
+	copy(x, x0)
+	for it := 0; it < iters; it++ {
+		ck := par.NewStrided(int64(n), 64, e.m.Threads())
+		ep := e.m.NewEpoch()
+		cnt := newCounters(e.m.Threads())
+		e.pool.Run(func(th int) {
+			var edges, tasks int64
+			ck.Do(th, func(lo, hi int64) {
+				for v := lo; v < hi; v++ {
+					tasks++
+					nbrs := g.InNeighbors(graph.Vertex(v))
+					wts := g.InWeights(graph.Vertex(v))
+					var sum float64
+					for j, u := range nbrs {
+						edges++
+						w := 1.0
+						if wts != nil {
+							w = float64(wts[j])
+						}
+						sum += w * x[u]
+					}
+					y[v] = sum
+				}
+			})
+			cnt.add(th, edges, tasks)
+		})
+		e.chargeRound(ep, cnt, 8, barrier.H)
+		x, y = y, x
+	}
+	return x
+}
+
+// BP runs iters rounds of Bayesian belief propagation (message passing
+// along weighted in-edges with normalisation), returning per-vertex
+// beliefs.
+func (e *Engine) BP(iters int) []float64 {
+	g := e.g
+	n := g.NumVertices()
+	curr := make([]float64, n)
+	next := make([]float64, n)
+	e.trackData(int64(n) * 32)
+	for i := range curr {
+		curr[i] = 0.5
+	}
+	for it := 0; it < iters; it++ {
+		ck := par.NewStrided(int64(n), 64, e.m.Threads())
+		ep := e.m.NewEpoch()
+		cnt := newCounters(e.m.Threads())
+		e.pool.Run(func(th int) {
+			var edges, tasks int64
+			ck.Do(th, func(lo, hi int64) {
+				for v := lo; v < hi; v++ {
+					tasks++
+					nbrs := g.InNeighbors(graph.Vertex(v))
+					wts := g.InWeights(graph.Vertex(v))
+					belief := 1.0
+					for j, u := range nbrs {
+						edges++
+						w := 0.5
+						if wts != nil && wts[j] != 0 {
+							w = float64(wts[j]) / 100
+						}
+						belief *= 1 - w*curr[u] // product of damped messages
+					}
+					next[v] = 1 - belief
+				}
+			})
+			cnt.add(th, edges, tasks)
+		})
+		// Beliefs are wider than ranks (message tables).
+		e.chargeRound(ep, cnt, 16, barrier.H)
+		curr, next = next, curr
+	}
+	return curr
+}
+
+// BFS runs Galois's asynchronous worklist BFS from src and returns the
+// level of each vertex (-1 if unreachable). The worklist processes rounds
+// without a global barrier (charged at the cheap N-Barrier rate).
+func (e *Engine) BFS(src graph.Vertex) []int64 {
+	g := e.g
+	n := g.NumVertices()
+	const unreached = math.MaxInt64
+	dist := make([]int64, n)
+	e.trackData(int64(n) * 8)
+	for i := range dist {
+		dist[i] = unreached
+	}
+	dist[src] = 0
+	frontier := []graph.Vertex{src}
+	for len(frontier) > 0 {
+		nextLists := make([][]graph.Vertex, e.m.Threads())
+		ck := par.NewStrided(int64(len(frontier)), 16, e.m.Threads())
+		ep := e.m.NewEpoch()
+		cnt := newCounters(e.m.Threads())
+		e.pool.Run(func(th int) {
+			var edges, tasks int64
+			ck.Do(th, func(lo, hi int64) {
+				for i := lo; i < hi; i++ {
+					v := frontier[i]
+					tasks++
+					d := dist[v]
+					for _, u := range g.OutNeighbors(v) {
+						edges++
+						if atomicx.MinInt64(&dist[u], d+1) {
+							nextLists[th] = append(nextLists[th], u)
+						}
+					}
+				}
+			})
+			cnt.add(th, edges, tasks)
+		})
+		e.chargeRound(ep, cnt, 8, barrier.N) // asynchronous scheduling: no kernel barrier
+		frontier = frontier[:0]
+		for _, l := range nextLists {
+			frontier = append(frontier, l...)
+		}
+	}
+	for i := range dist {
+		if dist[i] == unreached {
+			dist[i] = -1
+		}
+	}
+	return dist
+}
+
+// CC computes connected components with Galois's topology-driven
+// concurrent union-find (edges as tasks, lock-free pointer jumping) and
+// returns, for every vertex, the smallest vertex id in its component.
+func (e *Engine) CC() []graph.Vertex {
+	g := e.g
+	n := g.NumVertices()
+	parent := make([]uint32, n)
+	e.trackData(int64(n) * 4)
+	for i := range parent {
+		parent[i] = uint32(i)
+	}
+
+	find := func(x uint32) uint32 {
+		for {
+			p := atomic.LoadUint32(&parent[x])
+			if p == x {
+				return x
+			}
+			gp := atomic.LoadUint32(&parent[p])
+			atomicx.CASUint32(&parent[x], p, gp) // path halving
+			x = gp
+		}
+	}
+	union := func(a, b uint32) {
+		for {
+			ra, rb := find(a), find(b)
+			if ra == rb {
+				return
+			}
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			// Attach the larger root under the smaller id (keeps the
+			// representative minimal, which canonicalises the output).
+			if atomicx.CASUint32(&parent[rb], rb, ra) {
+				return
+			}
+		}
+	}
+
+	// One pass over all edges, in parallel.
+	ck := par.NewStrided(int64(n), 64, e.m.Threads())
+	ep := e.m.NewEpoch()
+	cnt := newCounters(e.m.Threads())
+	e.pool.Run(func(th int) {
+		var edges, tasks int64
+		ck.Do(th, func(lo, hi int64) {
+			for v := lo; v < hi; v++ {
+				tasks++
+				for _, u := range g.OutNeighbors(graph.Vertex(v)) {
+					edges++
+					union(uint32(v), u)
+				}
+			}
+		})
+		cnt.add(th, edges, tasks)
+	})
+	e.chargeRound(ep, cnt, 4, barrier.N)
+
+	// Final flattening pass.
+	out := make([]graph.Vertex, n)
+	ck2 := par.NewStrided(int64(n), 64, e.m.Threads())
+	ep2 := e.m.NewEpoch()
+	cnt2 := newCounters(e.m.Threads())
+	e.pool.Run(func(th int) {
+		var tasks int64
+		ck2.Do(th, func(lo, hi int64) {
+			for v := lo; v < hi; v++ {
+				tasks++
+				out[v] = find(uint32(v))
+			}
+		})
+		cnt2.add(th, 0, tasks)
+	})
+	e.chargeRound(ep2, cnt2, 4, barrier.N)
+	return out
+}
+
+// SSSP computes single-source shortest paths with the data-driven,
+// asynchronously scheduled delta-stepping algorithm Galois uses, and
+// returns the distances (+Inf if unreachable).
+func (e *Engine) SSSP(src graph.Vertex) []float64 {
+	g := e.g
+	n := g.NumVertices()
+	delta := e.opt.Delta
+	dist := make([]float64, n)
+	e.trackData(int64(n) * 8)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+
+	buckets := [][]graph.Vertex{{src}}
+	bucketOf := func(d float64) int { return int(d / delta) }
+	push := func(bkts [][]graph.Vertex, v graph.Vertex, d float64) [][]graph.Vertex {
+		b := bucketOf(d)
+		for len(bkts) <= b {
+			bkts = append(bkts, nil)
+		}
+		bkts[b] = append(bkts[b], v)
+		return bkts
+	}
+
+	for bi := 0; bi < len(buckets); bi++ {
+		// Settle the bucket: repeated light-edge relaxation.
+		frontier := buckets[bi]
+		for len(frontier) > 0 {
+			nextLists := make([][]graph.Vertex, e.m.Threads())
+			farLists := make([][]graph.Vertex, e.m.Threads())
+			ck := par.NewStrided(int64(len(frontier)), 16, e.m.Threads())
+			ep := e.m.NewEpoch()
+			cnt := newCounters(e.m.Threads())
+			e.pool.Run(func(th int) {
+				var edges, tasks int64
+				ck.Do(th, func(lo, hi int64) {
+					for i := lo; i < hi; i++ {
+						v := frontier[i]
+						dv := atomicx.LoadFloat64(&dist[v])
+						if bucketOf(dv) != bi {
+							continue // stale entry
+						}
+						tasks++
+						nbrs := g.OutNeighbors(v)
+						wts := g.OutWeights(v)
+						for j, u := range nbrs {
+							edges++
+							w := 1.0
+							if wts != nil && wts[j] != 0 {
+								w = float64(wts[j])
+							}
+							nd := dv + w
+							if atomicx.MinFloat64(&dist[u], nd) {
+								if bucketOf(nd) == bi {
+									nextLists[th] = append(nextLists[th], u)
+								} else {
+									farLists[th] = append(farLists[th], u)
+								}
+							}
+						}
+					}
+				})
+				cnt.add(th, edges, tasks)
+			})
+			e.chargeRound(ep, cnt, 8, barrier.N)
+			frontier = frontier[:0]
+			for _, l := range nextLists {
+				frontier = append(frontier, l...)
+			}
+			for th, l := range farLists {
+				for _, u := range l {
+					buckets = push(buckets, u, atomicx.LoadFloat64(&dist[u]))
+				}
+				farLists[th] = nil
+			}
+		}
+	}
+	return dist
+}

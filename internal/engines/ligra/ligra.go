@@ -1,0 +1,458 @@
+// Package ligra implements the Ligra baseline: a vertex-centric
+// scatter-gather engine with direction-optimizing push/pull switching
+// (Shun & Blelloch, PPoPP'13), exactly as the paper characterises it in
+// Sections 2.1 and 3.2.
+//
+// Ligra is NUMA-oblivious: its long-term arrays (topology and application
+// data) end up interleaved across nodes by construction-stage first touch,
+// and its short-term runtime state is allocated centrally by the main
+// thread. In push mode an active vertex writes its neighbours' data
+// randomly across the whole machine (RAND|W|G); in pull mode it reads
+// randomly across the whole machine (RAND|R|G). Both patterns are the slow
+// cases of the paper's Figure 4, and the interleaved traffic saturates the
+// interconnect ports, which is what caps Ligra's socket scalability in
+// Figure 5.
+package ligra
+
+import (
+	"math/bits"
+	"sync"
+
+	"polymer/internal/barrier"
+	"polymer/internal/graph"
+	"polymer/internal/mem"
+	"polymer/internal/numa"
+	"polymer/internal/par"
+	"polymer/internal/sg"
+	"polymer/internal/state"
+)
+
+// Options configures the baseline.
+type Options struct {
+	// Adaptive enables the direction-optimizing dense/sparse switch.
+	Adaptive bool
+	// Threshold is the switch denominator (default 20).
+	Threshold float64
+	// OverheadNsPerEdge is Ligra's software overhead per edge.
+	OverheadNsPerEdge float64
+}
+
+// DefaultOptions returns the configuration used in the paper's evaluation.
+func DefaultOptions() Options {
+	return Options{Adaptive: true, Threshold: 20, OverheadNsPerEdge: 1.2}
+}
+
+// Engine is a Ligra instance. It implements sg.Engine.
+type Engine struct {
+	g   *graph.Graph
+	m   *numa.Machine
+	opt Options
+
+	bounds []int // single leaf: Ligra's state is one flat structure
+
+	pool    *par.Pool
+	ledger  *numa.Epoch
+	clock   float64
+	arrays  []interface{ Free() }
+	edgesMu sync.Mutex
+	edges   int64
+	closed  bool
+}
+
+var _ sg.Engine = (*Engine)(nil)
+
+// New builds a Ligra engine for g on m.
+func New(g *graph.Graph, m *numa.Machine, opt Options) *Engine {
+	if opt.Threshold <= 0 {
+		opt.Threshold = 20
+	}
+	if opt.OverheadNsPerEdge <= 0 {
+		opt.OverheadNsPerEdge = 1.2
+	}
+	e := &Engine{
+		g: g, m: m, opt: opt,
+		bounds: []int{0, g.NumVertices()},
+		pool:   par.NewPool(m.Threads()),
+		ledger: m.NewEpoch(),
+	}
+	m.Alloc().Grow("ligra/topology", g.TopologyBytes())
+	return e
+}
+
+// Graph returns the input graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Machine returns the simulated machine.
+func (e *Engine) Machine() *numa.Machine { return e.m }
+
+// Bounds returns the (single-leaf) state bounds.
+func (e *Engine) Bounds() []int { return e.bounds }
+
+// SimSeconds returns the accumulated simulated runtime.
+func (e *Engine) SimSeconds() float64 { return e.clock }
+
+// AddSimSeconds charges extra simulated time.
+func (e *Engine) AddSimSeconds(s float64) { e.clock += s }
+
+// RunStats returns accumulated access statistics.
+func (e *Engine) RunStats() numa.Stats { return e.ledger.Stats() }
+
+// EdgesProcessed returns the total number of edge applications.
+func (e *Engine) EdgesProcessed() int64 { return e.edges }
+
+// ThreadSeconds returns per-thread simulated busy time.
+func (e *Engine) ThreadSeconds() []float64 {
+	out := make([]float64, e.m.Threads())
+	for th := range out {
+		out[th] = e.ledger.ThreadSeconds(th)
+	}
+	return out
+}
+
+// NewData allocates an interleaved float64 per-vertex array (first-touch
+// by construction threads).
+func (e *Engine) NewData(label string) *mem.Array[float64] {
+	a := mem.New[float64](e.m, label, e.g.NumVertices(), mem.Interleaved, nil)
+	e.arrays = append(e.arrays, a)
+	return a
+}
+
+// NewData32 allocates an interleaved uint32 per-vertex array.
+func (e *Engine) NewData32(label string) *mem.Array[uint32] {
+	a := mem.New[uint32](e.m, label, e.g.NumVertices(), mem.Interleaved, nil)
+	e.arrays = append(e.arrays, a)
+	return a
+}
+
+// Close stops the workers and releases simulated allocations.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	e.pool.Close()
+	for _, a := range e.arrays {
+		a.Free()
+	}
+	e.m.Alloc().Release("ligra/topology", e.g.TopologyBytes())
+}
+
+func (e *Engine) chargePhase(ep *numa.Epoch) {
+	// Ligra's Cilk-style fork/join behaves like a tree (hierarchical)
+	// barrier.
+	e.clock += ep.Time() + barrier.SyncCost(barrier.H, e.m.Nodes)/e.m.Topo.SyncScale
+	e.ledger.Add(ep)
+}
+
+func (e *Engine) addEdges(n int64) {
+	e.edgesMu.Lock()
+	e.edges += n
+	e.edgesMu.Unlock()
+}
+
+// phaseCounts accumulates per-thread work in padded slots; totals are
+// charged evenly across threads, modelling the Cilk work-stealing
+// scheduler that keeps Ligra's edge work balanced under degree skew.
+type phaseCounts struct {
+	slots [][8]int64
+}
+
+func newPhaseCounts(threads int) *phaseCounts {
+	return &phaseCounts{slots: make([][8]int64, threads)}
+}
+
+func (p *phaseCounts) per(threads int) [4]int64 {
+	var t [4]int64
+	for i := range p.slots {
+		for j := 0; j < 4; j++ {
+			t[j] += p.slots[i][j]
+		}
+	}
+	for j := 0; j < 4; j++ {
+		t[j] /= int64(threads)
+	}
+	return t
+}
+
+func (p *phaseCounts) total(j int) int64 {
+	var t int64
+	for i := range p.slots {
+		t += p.slots[i][j]
+	}
+	return t
+}
+
+// EdgeMap applies k to the edges of the active set, switching between
+// sparse-push and a dense mode chosen by the algorithm's preference.
+func (e *Engine) EdgeMap(a *state.Subset, k sg.EdgeKernel, h sg.Hints) *state.Subset {
+	h = h.Normalize()
+	if a.IsEmpty() {
+		return state.NewEmpty(e.bounds)
+	}
+	dense := true
+	if e.opt.Adaptive {
+		deg := sg.ActiveDegree(e.g, a)
+		dense = state.ShouldDense(a.Count(), deg, e.g.NumEdges(), e.opt.Threshold)
+	}
+	if !dense {
+		return e.edgeMapSparse(a.ToSparse(), k, h)
+	}
+	if h.DensePush {
+		return e.edgeMapDensePush(a.ToDense(), k, h)
+	}
+	return e.edgeMapDensePull(a.ToDense(), k, h)
+}
+
+// edgeMapDensePush scans all vertices; active ones push along out-edges
+// with random global writes (the paper's RAND|W|G pattern).
+func (e *Engine) edgeMapDensePush(a *state.Subset, k sg.EdgeKernel, h sg.Hints) *state.Subset {
+	g := e.g
+	n := g.NumVertices()
+	b := state.NewBuilder(e.bounds, e.m.Threads(), true)
+	ep := e.m.NewEpoch()
+	ck := par.NewStrided(int64(n), chunkSize(int64(n), e.m.Threads()), e.m.Threads())
+	dataWS := int64(n) * int64(h.DataBytes)
+
+	pc := newPhaseCounts(e.m.Threads())
+	e.pool.Run(func(th int) {
+		var scanned, active, edges, updates int64
+		ck.Do(th, func(lo, hi int64) {
+			for v := lo; v < hi; v++ {
+				s := graph.Vertex(v)
+				scanned++
+				if !a.Contains(s) {
+					continue
+				}
+				active++
+				nbrs := g.OutNeighbors(s)
+				wts := g.OutWeights(s)
+				for j, t := range nbrs {
+					edges++
+					if !k.Cond(t) {
+						continue
+					}
+					var w float32
+					if h.Weighted && wts != nil {
+						w = wts[j]
+					}
+					if k.UpdateAtomic(s, t, w) {
+						b.Set(t)
+						updates++
+					}
+				}
+			}
+		})
+		pc.slots[th] = [8]int64{scanned, active, edges, updates}
+	})
+	per := pc.per(e.m.Threads())
+	for th := 0; th < e.m.Threads(); th++ {
+		scanned, active, edges, updates := per[0], per[1], per[2], per[3]
+		// Current state: centralized short-term allocation (node 0).
+		ep.Access(th, numa.Seq, numa.Load, 0, scanned, 1, 0)
+		// Vertex metadata + source data: interleaved sequential.
+		ep.AccessInterleaved(th, numa.Seq, numa.Load, scanned, 16, 0)
+		ep.AccessInterleaved(th, numa.Seq, numa.Load, active, h.DataBytes, 0)
+		// Out-edges: interleaved sequential stream.
+		ep.AccessInterleaved(th, numa.Seq, numa.Load, edges, edgeBytes(h), 0)
+		// Neighbour data: random global writes (RAND|W|G).
+		ep.AccessInterleaved(th, numa.Rand, numa.Store, edges, h.DataBytes, dataWS)
+		// Next state: centralized random writes.
+		ep.Access(th, numa.Rand, numa.Store, 0, updates, 1, int64(n))
+		ep.Compute(th, (float64(edges)*(h.NsPerEdge+e.opt.OverheadNsPerEdge)+float64(scanned)*2)*1e-9)
+	}
+	e.addEdges(pc.total(2))
+	e.chargePhase(ep)
+	return b.Build()
+}
+
+// edgeMapDensePull scans all destinations; each gathers from in-neighbours
+// with random global reads (RAND|R|G), early-exiting once Cond fails.
+func (e *Engine) edgeMapDensePull(a *state.Subset, k sg.EdgeKernel, h sg.Hints) *state.Subset {
+	g := e.g
+	n := g.NumVertices()
+	b := state.NewBuilder(e.bounds, e.m.Threads(), true)
+	ep := e.m.NewEpoch()
+	ck := par.NewStrided(int64(n), chunkSize(int64(n), e.m.Threads()), e.m.Threads())
+	dataWS := int64(n) * int64(h.DataBytes)
+
+	pc := newPhaseCounts(e.m.Threads())
+	e.pool.Run(func(th int) {
+		var scanned, edges, updates int64
+		ck.Do(th, func(lo, hi int64) {
+			for v := lo; v < hi; v++ {
+				t := graph.Vertex(v)
+				scanned++
+				if !k.Cond(t) {
+					continue
+				}
+				nbrs := g.InNeighbors(t)
+				wts := g.InWeights(t)
+				updated := false
+				for j, s := range nbrs {
+					edges++
+					if !a.Contains(s) {
+						continue
+					}
+					var w float32
+					if h.Weighted && wts != nil {
+						w = wts[j]
+					}
+					if k.Update(s, t, w) {
+						updated = true
+					}
+					if !k.Cond(t) {
+						break
+					}
+				}
+				if updated {
+					b.Set(t)
+					updates++
+				}
+			}
+		})
+		pc.slots[th] = [8]int64{scanned, 0, edges, updates}
+	})
+	per := pc.per(e.m.Threads())
+	for th := 0; th < e.m.Threads(); th++ {
+		scanned, edges, updates := per[0], per[2], per[3]
+		ep.AccessInterleaved(th, numa.Seq, numa.Load, scanned, 16+h.DataBytes, 0)
+		ep.AccessInterleaved(th, numa.Seq, numa.Load, edges, edgeBytes(h), 0)
+		// Source state reads: centralized random.
+		ep.Access(th, numa.Rand, numa.Load, 0, edges, 1, int64(n))
+		// Source data reads: random global (RAND|R|G).
+		ep.AccessInterleaved(th, numa.Rand, numa.Load, edges, h.DataBytes, dataWS)
+		// Destination writes: interleaved sequential.
+		ep.AccessInterleaved(th, numa.Seq, numa.Store, updates, h.DataBytes+1, 0)
+		ep.Compute(th, (float64(edges)*(h.NsPerEdge+e.opt.OverheadNsPerEdge)+float64(scanned)*2)*1e-9)
+	}
+	e.addEdges(pc.total(2))
+	e.chargePhase(ep)
+	return b.Build()
+}
+
+// edgeMapSparse iterates the frontier list; each active vertex pushes
+// along its out-edges.
+func (e *Engine) edgeMapSparse(a *state.Subset, k sg.EdgeKernel, h sg.Hints) *state.Subset {
+	g := e.g
+	n := g.NumVertices()
+	b := state.NewBuilder(e.bounds, e.m.Threads(), false)
+	ep := e.m.NewEpoch()
+	frontier := a.List(0)
+	ck := par.NewStrided(int64(len(frontier)), chunkSize(int64(len(frontier)), e.m.Threads()), e.m.Threads())
+	dataWS := int64(n) * int64(h.DataBytes)
+
+	pc := newPhaseCounts(e.m.Threads())
+	e.pool.Run(func(th int) {
+		var active, edges, updates int64
+		ck.Do(th, func(lo, hi int64) {
+			for i := lo; i < hi; i++ {
+				s := frontier[i]
+				active++
+				nbrs := g.OutNeighbors(s)
+				wts := g.OutWeights(s)
+				for j, t := range nbrs {
+					edges++
+					if !k.Cond(t) {
+						continue
+					}
+					var w float32
+					if h.Weighted && wts != nil {
+						w = wts[j]
+					}
+					if k.UpdateAtomic(s, t, w) {
+						b.Add(th, t)
+						updates++
+					}
+				}
+			}
+		})
+		pc.slots[th] = [8]int64{active, 0, edges, updates}
+	})
+	per := pc.per(e.m.Threads())
+	for th := 0; th < e.m.Threads(); th++ {
+		active, edges, updates := per[0], per[2], per[3]
+		// Frontier list: centralized sequential read; vertex metadata and
+		// source data: random interleaved (frontier order is arbitrary).
+		ep.Access(th, numa.Seq, numa.Load, 0, active, 4, 0)
+		ep.AccessInterleaved(th, numa.Rand, numa.Load, active, 16+h.DataBytes, dataWS)
+		ep.AccessInterleaved(th, numa.Seq, numa.Load, edges, edgeBytes(h), 0)
+		ep.AccessInterleaved(th, numa.Rand, numa.Store, edges, h.DataBytes, dataWS)
+		// Queue appends: centralized sequential writes.
+		ep.Access(th, numa.Seq, numa.Store, 0, updates, 4, 0)
+		ep.Compute(th, (float64(edges)*(h.NsPerEdge+e.opt.OverheadNsPerEdge)+float64(active)*2)*1e-9)
+	}
+	e.addEdges(pc.total(2))
+	e.chargePhase(ep)
+	return b.Build()
+}
+
+// VertexMap applies f to the active set.
+func (e *Engine) VertexMap(a *state.Subset, f sg.VertexFunc) *state.Subset {
+	if a.IsEmpty() {
+		return state.NewEmpty(e.bounds)
+	}
+	b := state.NewBuilder(e.bounds, e.m.Threads(), a.Dense())
+	ep := e.m.NewEpoch()
+
+	if a.Dense() {
+		words := a.Words(0)
+		ck := par.NewStrided(int64(len(words)), 64, e.m.Threads())
+		e.pool.Run(func(th int) {
+			var visited, scanned int64
+			ck.Do(th, func(lo, hi int64) {
+				scanned += hi - lo
+				for wi := lo; wi < hi; wi++ {
+					w := words[wi]
+					for w != 0 {
+						bit := bits.TrailingZeros64(w)
+						v := graph.Vertex(int(wi)*64 + bit)
+						visited++
+						if f(v) {
+							b.Set(v)
+						}
+						w &= w - 1
+					}
+				}
+
+			})
+			ep.Access(th, numa.Seq, numa.Load, 0, scanned, 8, 0)
+			ep.AccessInterleaved(th, numa.Seq, numa.Load, visited, 16, 0)
+			ep.Compute(th, float64(visited)*2e-9)
+		})
+	} else {
+		list := a.List(0)
+		ck := par.NewStrided(int64(len(list)), 64, e.m.Threads())
+		e.pool.Run(func(th int) {
+			var visited int64
+			ck.Do(th, func(lo, hi int64) {
+				for i := lo; i < hi; i++ {
+					visited++
+					if f(list[i]) {
+						b.Add(th, list[i])
+					}
+				}
+
+			})
+			ep.Access(th, numa.Seq, numa.Load, 0, visited, 4, 0)
+			ep.AccessInterleaved(th, numa.Rand, numa.Load, visited, 16, int64(e.g.NumVertices())*16)
+			ep.Compute(th, float64(visited)*2e-9)
+		})
+	}
+	e.chargePhase(ep)
+	return b.Build()
+}
+
+func edgeBytes(h sg.Hints) int {
+	if h.Weighted {
+		return 8
+	}
+	return 4
+}
+
+func chunkSize(n int64, threads int) int64 {
+	c := n / int64(threads*8)
+	if c < 64 {
+		c = 64
+	}
+	return c
+}

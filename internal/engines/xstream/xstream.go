@@ -1,0 +1,423 @@
+// Package xstream implements the X-Stream baseline: an edge-centric
+// scatter-shuffle-gather engine with streaming partitions (Roy et al.,
+// SOSP'13), as characterised in the paper's Sections 2.1 and 3.2.
+//
+// X-Stream never indexes edges by vertex: every iteration streams ALL
+// edges sequentially, emits updates for the edges whose source is active,
+// shuffles the updates to their target partitions, and applies them. The
+// "tiling strategy" sizes each streaming partition so its vertex data fits
+// the LLC, converting random vertex accesses into cache hits. The price is
+// the extra shuffle traffic and — fatally for traversal algorithms on
+// high-diameter graphs — the full edge scan per iteration even when only a
+// handful of vertices is active (paper Table 3: 557 s for BFS on roadUS).
+package xstream
+
+import (
+	"math/bits"
+	"sync"
+
+	"polymer/internal/barrier"
+	"polymer/internal/graph"
+	"polymer/internal/mem"
+	"polymer/internal/numa"
+	"polymer/internal/par"
+	"polymer/internal/sg"
+)
+
+// Kernel is X-Stream's edge-centric program interface.
+type Kernel interface {
+	// Scatter produces the update value to send along an out-edge of s
+	// (already known to be active); ok=false suppresses the update.
+	Scatter(s graph.Vertex, w float32) (val float64, ok bool)
+	// Gather applies an update to d and reports whether d becomes active
+	// in the next iteration. Each destination is gathered by exactly one
+	// thread.
+	Gather(d graph.Vertex, val float64) bool
+}
+
+// Applier is an optional per-vertex post-phase (e.g. PageRank's
+// normalisation); it returns whether v is active next iteration.
+type Applier func(v graph.Vertex) bool
+
+// Options configures the baseline.
+type Options struct {
+	// OverheadNsPerEdge is X-Stream's per-edge software overhead.
+	OverheadNsPerEdge float64
+	// TileVertices overrides the streaming-partition size (0 = size tiles
+	// so 2*DataBytes*TileVertices fits the LLC).
+	TileVertices int
+}
+
+// DefaultOptions returns the evaluation configuration.
+func DefaultOptions() Options { return Options{OverheadNsPerEdge: 1.5} }
+
+type update struct {
+	d   graph.Vertex
+	val float64
+}
+
+type tile struct {
+	loVertex, hiVertex int // source range [lo, hi)
+	src, dst           []graph.Vertex
+	wts                []float32
+}
+
+// Engine is an X-Stream instance.
+type Engine struct {
+	g   *graph.Graph
+	m   *numa.Machine
+	opt Options
+
+	tiles    []tile
+	tileOf   []int // vertex -> tile index
+	active   []uint64
+	nActive  int64
+	pool     *par.Pool
+	ledger   *numa.Epoch
+	clock    float64
+	edges    int64
+	edgesMu  sync.Mutex
+	topoB    int64
+	arrays   []interface{ Free() }
+	closed   bool
+	dataB    int
+	weighted bool
+}
+
+// New builds an X-Stream engine for g on m. Hints supply the data width
+// used for tile sizing.
+func New(g *graph.Graph, m *numa.Machine, opt Options, h sg.Hints) *Engine {
+	h = h.Normalize()
+	if opt.OverheadNsPerEdge <= 0 {
+		opt.OverheadNsPerEdge = 1.5
+	}
+	e := &Engine{
+		g: g, m: m, opt: opt,
+		pool:     par.NewPool(m.Threads()),
+		ledger:   m.NewEpoch(),
+		dataB:    h.DataBytes,
+		weighted: h.Weighted,
+	}
+	e.buildTiles(opt.TileVertices)
+	e.active = make([]uint64, (g.NumVertices()+63)/64)
+	m.Alloc().Grow("xstream/topology", e.topoB)
+	return e
+}
+
+func (e *Engine) buildTiles(tileVerts int) {
+	n := e.g.NumVertices()
+	if tileVerts <= 0 {
+		tileVerts = int(e.m.Topo.LLCBytes) / (2 * e.dataB)
+	}
+	// Round up to a 64-bit word boundary so each tile's state words have a
+	// single writer in the gather phase.
+	tileVerts = (tileVerts + 63) &^ 63
+	if tileVerts < 64 {
+		tileVerts = 64
+	}
+	e.tileOf = make([]int, n)
+	for lo := 0; lo < n; lo += tileVerts {
+		hi := lo + tileVerts
+		if hi > n {
+			hi = n
+		}
+		t := tile{loVertex: lo, hiVertex: hi}
+		for v := lo; v < hi; v++ {
+			nbrs := e.g.OutNeighbors(graph.Vertex(v))
+			wts := e.g.OutWeights(graph.Vertex(v))
+			for j, u := range nbrs {
+				t.src = append(t.src, graph.Vertex(v))
+				t.dst = append(t.dst, u)
+				if wts != nil {
+					t.wts = append(t.wts, wts[j])
+				}
+			}
+			e.tileOf[v] = len(e.tiles)
+		}
+		e.tiles = append(e.tiles, t)
+	}
+	if n == 0 {
+		e.tiles = append(e.tiles, tile{})
+	}
+	for i := range e.tiles {
+		t := &e.tiles[i]
+		e.topoB += int64(len(t.src))*8 + int64(len(t.wts))*4
+	}
+	e.topoB += int64(n) * 4
+}
+
+// Graph returns the input graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Machine returns the simulated machine.
+func (e *Engine) Machine() *numa.Machine { return e.m }
+
+// Tiles returns the number of streaming partitions.
+func (e *Engine) Tiles() int { return len(e.tiles) }
+
+// SimSeconds returns the accumulated simulated runtime.
+func (e *Engine) SimSeconds() float64 { return e.clock }
+
+// RunStats returns accumulated access statistics.
+func (e *Engine) RunStats() numa.Stats { return e.ledger.Stats() }
+
+// EdgesProcessed returns total edges streamed.
+func (e *Engine) EdgesProcessed() int64 { return e.edges }
+
+// NewData allocates an interleaved per-vertex float64 array.
+func (e *Engine) NewData(label string) *mem.Array[float64] {
+	a := mem.New[float64](e.m, label, e.g.NumVertices(), mem.Interleaved, nil)
+	e.arrays = append(e.arrays, a)
+	return a
+}
+
+// NewData32 allocates an interleaved per-vertex uint32 array.
+func (e *Engine) NewData32(label string) *mem.Array[uint32] {
+	a := mem.New[uint32](e.m, label, e.g.NumVertices(), mem.Interleaved, nil)
+	e.arrays = append(e.arrays, a)
+	return a
+}
+
+// Close stops the workers and releases simulated allocations.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	e.pool.Close()
+	for _, a := range e.arrays {
+		a.Free()
+	}
+	e.m.Alloc().Release("xstream/topology", e.topoB)
+}
+
+// SetAllActive marks every vertex active.
+func (e *Engine) SetAllActive() {
+	n := e.g.NumVertices()
+	for i := range e.active {
+		e.active[i] = ^uint64(0)
+	}
+	if r := n % 64; r != 0 && len(e.active) > 0 {
+		e.active[len(e.active)-1] = (1 << r) - 1
+	}
+	e.nActive = int64(n)
+}
+
+// SetActive marks exactly the given vertices active.
+func (e *Engine) SetActive(vs []graph.Vertex) {
+	for i := range e.active {
+		e.active[i] = 0
+	}
+	for _, v := range vs {
+		e.active[v/64] |= 1 << (v % 64)
+	}
+	e.nActive = 0
+	for _, w := range e.active {
+		e.nActive += int64(bits.OnesCount64(w))
+	}
+}
+
+// ActiveCount returns the current number of active vertices.
+func (e *Engine) ActiveCount() int64 { return e.nActive }
+
+func (e *Engine) isActive(v graph.Vertex) bool {
+	return e.active[v/64]&(1<<(v%64)) != 0
+}
+
+// Iterate runs one scatter -> shuffle -> gather pass (plus the optional
+// apply phase) and replaces the active set; it returns the new active
+// count.
+func (e *Engine) Iterate(k Kernel, apply Applier) int64 {
+	nTiles := len(e.tiles)
+	threads := e.m.Threads()
+	ep := e.m.NewEpoch()
+
+	// out[th][tile] are thread th's updates destined for each tile.
+	out := make([][][]update, threads)
+	for th := range out {
+		out[th] = make([][]update, nTiles)
+	}
+
+	// Scatter: stream every tile's edges; emit updates for active sources.
+	// The charge is balanced across all workers: X-Stream sizes its
+	// streaming partitions to the thread count at full scale, so per-tile
+	// skew does not serialise it.
+	ck := par.NewStrided(int64(nTiles), 1, threads)
+	scatterCounts := make([][2]int64, threads)
+	e.pool.Run(func(th int) {
+		var scanned, activeEdges int64
+		ck.Do(th, func(lo, hi int64) {
+			for ti := lo; ti < hi; ti++ {
+				t := &e.tiles[ti]
+				for i := range t.src {
+					scanned++
+					s := t.src[i]
+					if !e.isActive(s) {
+						continue
+					}
+					activeEdges++
+					var w float32
+					if t.wts != nil {
+						w = t.wts[i]
+					}
+					if val, ok := k.Scatter(s, w); ok {
+						d := t.dst[i]
+						out[th][e.tileOf[d]] = append(out[th][e.tileOf[d]], update{d, val})
+					}
+				}
+			}
+		})
+		scatterCounts[th] = [2]int64{scanned, activeEdges}
+	})
+	var scannedT, activeT int64
+	for _, c := range scatterCounts {
+		scannedT += c[0]
+		activeT += c[1]
+	}
+	tileWS := int64(e.tiles[0].hiVertex-e.tiles[0].loVertex) * int64(e.dataB)
+	for th := 0; th < threads; th++ {
+		scanned, activeEdges := scannedT/int64(threads), activeT/int64(threads)
+		// Edge stream: sequential interleaved; source state + data reads:
+		// random within the tile (cache-resident thanks to tiling).
+		ep.AccessInterleaved(th, numa.Seq, numa.Load, scanned, e.edgeBytes(), 0)
+		ep.Access(th, numa.Rand, numa.Load, e.m.NodeOfThread(th), scanned, 1, tileWS)
+		ep.Access(th, numa.Rand, numa.Load, e.m.NodeOfThread(th), activeEdges, e.dataB, tileWS)
+		// Uout appends: sequential writes to thread-local buffers.
+		ep.Access(th, numa.Seq, numa.Store, e.m.NodeOfThread(th), activeEdges, 12, 0)
+		ep.Compute(th, float64(scanned)*(e.opt.OverheadNsPerEdge)*1e-9)
+	}
+	e.addEdges(scannedT)
+	e.clock += ep.Time() + barrier.SyncCost(barrier.H, e.m.Nodes)/e.m.Topo.SyncScale
+	e.ledger.Add(ep)
+
+	// Shuffle accounting: every update is read from Uout and written to
+	// its target tile's Uin across the machine (SEQ|W|G), plus transient
+	// buffer memory (Table 5's "additional buffers in the shuffle phase").
+	var totalUpdates int64
+	for th := range out {
+		for ti := range out[th] {
+			totalUpdates += int64(len(out[th][ti]))
+		}
+	}
+	// X-Stream streams updates partition by partition, so only about one
+	// tile's worth of Uout/Uin is in flight at a time (the paper's
+	// Table 5 shows the shuffle buffers add ~8% over Ligra's footprint).
+	bufBytes := totalUpdates * 16 * 2 / int64(nTiles)
+	e.m.Alloc().Grow("xstream/buffers", bufBytes)
+	ep2 := e.m.NewEpoch()
+	perThread := totalUpdates / int64(threads)
+	for th := 0; th < threads; th++ {
+		// Uout is read from the emitting thread's local buffer; the
+		// re-arranged Uin lands on interleaved pages across the machine.
+		ep2.Access(th, numa.Seq, numa.Load, e.m.NodeOfThread(th), perThread, 12, 0)
+		ep2.AccessInterleaved(th, numa.Seq, numa.Store, perThread, 12, 0)
+	}
+	e.clock += ep2.Time() + barrier.SyncCost(barrier.H, e.m.Nodes)/e.m.Topo.SyncScale
+	e.ledger.Add(ep2)
+
+	// Gather: each tile applies its incoming updates; one thread per tile
+	// so destination writes need no atomics.
+	next := make([]uint64, len(e.active))
+	var nextCount int64
+	var mu sync.Mutex
+	ck2 := par.NewStrided(int64(nTiles), 1, threads)
+	ep3 := e.m.NewEpoch()
+	gatherCounts := make([][2]int64, threads)
+	e.pool.Run(func(th int) {
+		var applied, activated int64
+		var local int64
+		ck2.Do(th, func(lo, hi int64) {
+			for ti := lo; ti < hi; ti++ {
+				for src := 0; src < threads; src++ {
+					for _, u := range out[src][ti] {
+						applied++
+						if k.Gather(u.d, u.val) {
+							w := &next[u.d/64]
+							if *w&(1<<(u.d%64)) == 0 {
+								*w |= 1 << (u.d % 64)
+								local++
+							}
+							activated++
+						}
+					}
+				}
+			}
+		})
+		gatherCounts[th] = [2]int64{applied, activated}
+		mu.Lock()
+		nextCount += local
+		mu.Unlock()
+	})
+	var appliedT, activatedT int64
+	for _, c := range gatherCounts {
+		appliedT += c[0]
+		activatedT += c[1]
+	}
+	for th := 0; th < threads; th++ {
+		applied, activated := appliedT/int64(threads), activatedT/int64(threads)
+		ep3.AccessInterleaved(th, numa.Seq, numa.Load, applied, 12, 0)
+		ep3.Access(th, numa.Rand, numa.Store, e.m.NodeOfThread(th), applied, e.dataB, tileWS)
+		ep3.Access(th, numa.Rand, numa.Store, e.m.NodeOfThread(th), activated, 1, tileWS)
+		ep3.Compute(th, float64(applied)*2e-9)
+	}
+	e.clock += ep3.Time() + barrier.SyncCost(barrier.H, e.m.Nodes)/e.m.Topo.SyncScale
+	e.ledger.Add(ep3)
+	e.m.Alloc().Release("xstream/buffers", bufBytes)
+
+	if apply != nil {
+		nextCount = e.applyPhase(apply, next)
+	}
+	e.active = next
+	e.nActive = nextCount
+	return e.nActive
+}
+
+// applyPhase runs the per-vertex post-function over all vertices,
+// overwriting the next-state bitmap with its verdicts.
+func (e *Engine) applyPhase(apply Applier, next []uint64) int64 {
+	n := e.g.NumVertices()
+	for i := range next {
+		next[i] = 0
+	}
+	counts := make([]int64, e.m.Threads())
+	ck := par.NewStrided(int64(n), 256, e.m.Threads())
+	ep := e.m.NewEpoch()
+	e.pool.Run(func(th int) {
+		var visited int64
+		ck.Do(th, func(lo, hi int64) {
+			for v := lo; v < hi; v++ {
+				visited++
+				if apply(graph.Vertex(v)) {
+					w := &next[v/64]
+					// Chunks are 256-aligned on 64-bit word boundaries, so
+					// each word has a single writer.
+					*w |= 1 << (v % 64)
+					counts[th]++
+				}
+			}
+
+		})
+		ep.AccessInterleaved(th, numa.Seq, numa.Load, visited, e.dataB*2, 0)
+		ep.Compute(th, float64(visited)*2e-9)
+	})
+	e.clock += ep.Time() + barrier.SyncCost(barrier.H, e.m.Nodes)/e.m.Topo.SyncScale
+	e.ledger.Add(ep)
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+func (e *Engine) edgeBytes() int {
+	if e.weighted {
+		return 12
+	}
+	return 8
+}
+
+func (e *Engine) addEdges(n int64) {
+	e.edgesMu.Lock()
+	e.edges += n
+	e.edgesMu.Unlock()
+}

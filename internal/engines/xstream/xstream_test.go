@@ -1,0 +1,161 @@
+package xstream
+
+import (
+	"testing"
+
+	"polymer/internal/gen"
+	"polymer/internal/graph"
+	"polymer/internal/numa"
+	"polymer/internal/sg"
+)
+
+func testMachine(nodes, cores int) *numa.Machine {
+	return numa.NewMachine(numa.IntelXeon80(), nodes, cores)
+}
+
+// sumKernel accumulates 1.0 per incoming edge into next; destinations
+// always activate.
+type sumKernel struct{ next []float64 }
+
+func (k *sumKernel) Scatter(s graph.Vertex, w float32) (float64, bool) { return 1, true }
+func (k *sumKernel) Gather(d graph.Vertex, val float64) bool {
+	k.next[d] += val
+	return true
+}
+
+func TestIterateCountsInDegrees(t *testing.T) {
+	n, edges := gen.RMAT(9, 8, 4)
+	g := graph.FromEdges(n, edges, false)
+	e := New(g, testMachine(4, 2), DefaultOptions(), sg.Hints{})
+	defer e.Close()
+	e.SetAllActive()
+	k := &sumKernel{next: make([]float64, n)}
+	count := e.Iterate(k, nil)
+	for v := 0; v < n; v++ {
+		if k.next[v] != float64(g.InDegree(graph.Vertex(v))) {
+			t.Fatalf("next[%d] = %v, want %d", v, k.next[v], g.InDegree(graph.Vertex(v)))
+		}
+	}
+	// Everything with an in-edge is active next round.
+	var want int64
+	for v := 0; v < n; v++ {
+		if g.InDegree(graph.Vertex(v)) > 0 {
+			want++
+		}
+	}
+	if count != want {
+		t.Fatalf("active = %d, want %d", count, want)
+	}
+}
+
+func TestScatterScansAllEdgesEvenWhenSparse(t *testing.T) {
+	// X-Stream's defining weakness: one active vertex still scans |E|.
+	n, edges := gen.RoadGrid(30, 30, 1)
+	g := graph.FromEdges(n, edges, true)
+	e := New(g, testMachine(2, 2), DefaultOptions(), sg.Hints{Weighted: true})
+	defer e.Close()
+	e.SetActive([]graph.Vertex{0})
+	k := &sumKernel{next: make([]float64, n)}
+	e.Iterate(k, nil)
+	if e.EdgesProcessed() != g.NumEdges() {
+		t.Fatalf("scanned %d edges, must scan all %d", e.EdgesProcessed(), g.NumEdges())
+	}
+}
+
+func TestInactiveSourcesEmitNothing(t *testing.T) {
+	n, edges := gen.Star(50)
+	g := graph.FromEdges(n, edges, false)
+	e := New(g, testMachine(2, 1), DefaultOptions(), sg.Hints{})
+	defer e.Close()
+	e.SetActive([]graph.Vertex{5}) // a leaf: no out-edges
+	k := &sumKernel{next: make([]float64, n)}
+	if count := e.Iterate(k, nil); count != 0 {
+		t.Fatalf("leaf frontier must produce 0 actives, got %d", count)
+	}
+	for v, x := range k.next {
+		if x != 0 {
+			t.Fatalf("vertex %d received update without active source", v)
+		}
+	}
+}
+
+func TestApplyPhaseControlsNextFrontier(t *testing.T) {
+	n, edges := gen.Cycle(64)
+	g := graph.FromEdges(n, edges, false)
+	e := New(g, testMachine(2, 1), DefaultOptions(), sg.Hints{})
+	defer e.Close()
+	e.SetAllActive()
+	k := &sumKernel{next: make([]float64, n)}
+	count := e.Iterate(k, func(v graph.Vertex) bool { return v < 10 })
+	if count != 10 {
+		t.Fatalf("apply filtered count = %d, want 10", count)
+	}
+	if e.ActiveCount() != 10 {
+		t.Fatal("ActiveCount must match")
+	}
+}
+
+func TestTilesRespectLLC(t *testing.T) {
+	n, edges := gen.Uniform(100000, 100000, 2)
+	g := graph.FromEdges(n, edges, false)
+	m := testMachine(2, 1)
+	e := New(g, m, DefaultOptions(), sg.Hints{})
+	defer e.Close()
+	if e.Tiles() < 2 {
+		t.Fatalf("100k vertices must need multiple tiles with a %dB LLC", m.Topo.LLCBytes)
+	}
+}
+
+func TestWeightedScatter(t *testing.T) {
+	edges := []graph.Edge{{Src: 0, Dst: 1, Wt: 2}, {Src: 0, Dst: 2, Wt: 3}}
+	g := graph.FromEdges(3, edges, true)
+	e := New(g, testMachine(1, 1), DefaultOptions(), sg.Hints{Weighted: true})
+	defer e.Close()
+	e.SetAllActive()
+	got := make([]float64, 3)
+	e.Iterate(kernelFunc{
+		scatter: func(s graph.Vertex, w float32) (float64, bool) { return float64(w), true },
+		gather:  func(d graph.Vertex, v float64) bool { got[d] += v; return false },
+	}, nil)
+	if got[1] != 2 || got[2] != 3 {
+		t.Fatalf("weights not delivered: %v", got)
+	}
+}
+
+type kernelFunc struct {
+	scatter func(graph.Vertex, float32) (float64, bool)
+	gather  func(graph.Vertex, float64) bool
+}
+
+func (k kernelFunc) Scatter(s graph.Vertex, w float32) (float64, bool) { return k.scatter(s, w) }
+func (k kernelFunc) Gather(d graph.Vertex, v float64) bool             { return k.gather(d, v) }
+
+func TestSimTimeAndMemory(t *testing.T) {
+	n, edges := gen.RMAT(8, 8, 3)
+	g := graph.FromEdges(n, edges, false)
+	m := testMachine(4, 2)
+	e := New(g, m, DefaultOptions(), sg.Hints{})
+	e.SetAllActive()
+	e.Iterate(&sumKernel{next: make([]float64, n)}, nil)
+	if e.SimSeconds() <= 0 {
+		t.Fatal("sim time must advance")
+	}
+	if m.Alloc().Peak() <= m.Alloc().Current() {
+		t.Fatal("shuffle buffers must raise the peak above steady state")
+	}
+	e.Close()
+	if m.Alloc().Current() != 0 {
+		t.Fatalf("Close must release, %d left", m.Alloc().Current())
+	}
+}
+
+func TestSetActiveCount(t *testing.T) {
+	n, edges := gen.Chain(100)
+	g := graph.FromEdges(n, edges, false)
+	e := New(g, testMachine(1, 1), DefaultOptions(), sg.Hints{})
+	defer e.Close()
+	e.SetActive([]graph.Vertex{1, 1, 50, 99})
+	if e.ActiveCount() != 3 {
+		t.Fatalf("ActiveCount = %d, want 3 (dedup)", e.ActiveCount())
+	}
+}

@@ -1,0 +1,21 @@
+package gen
+
+import "testing"
+
+func BenchmarkRMAT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RMAT(14, 16, uint64(i))
+	}
+}
+
+func BenchmarkTwitterLike(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		TwitterLike(20000, uint64(i))
+	}
+}
+
+func BenchmarkRoadGrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RoadGrid(120, 120, uint64(i))
+	}
+}

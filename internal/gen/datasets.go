@@ -1,0 +1,72 @@
+package gen
+
+import (
+	"fmt"
+
+	"polymer/internal/graph"
+)
+
+// Scale selects the size of the named datasets. The ratios between
+// datasets follow the paper's Table 2.
+type Scale int
+
+const (
+	// Tiny is for unit tests (thousands of edges).
+	Tiny Scale = iota
+	// Small is for quick experiments (hundreds of thousands of edges).
+	Small
+	// Default is the laptop-scale evaluation size (millions of edges).
+	Default
+)
+
+// Dataset names one of the paper's five inputs.
+type Dataset string
+
+// The five evaluation inputs from the paper's Table 2.
+const (
+	Twitter  Dataset = "twitter"
+	RMat24   Dataset = "rmat24"
+	RMat27   Dataset = "rmat27"
+	PowerLaw Dataset = "powerlaw"
+	RoadUS   Dataset = "roadUS"
+)
+
+// Datasets lists all five inputs in the paper's Table 2/3 order.
+func Datasets() []Dataset {
+	return []Dataset{Twitter, RMat24, RMat27, PowerLaw, RoadUS}
+}
+
+// Load generates the named dataset at the given scale, optionally
+// weighting it (SpMV/SSSP inputs). roadUS is always weighted, as in the
+// paper. The same (name, scale) pair always yields the same graph.
+func Load(name Dataset, sc Scale, weighted bool) (*graph.Graph, error) {
+	var (
+		n     int
+		edges []graph.Edge
+	)
+	switch name {
+	case Twitter:
+		sizes := map[Scale]int{Tiny: 600, Small: 20_000, Default: 120_000}
+		n, edges = TwitterLike(sizes[sc], 0x7717)
+	case RMat24:
+		scales := map[Scale]int{Tiny: 9, Small: 13, Default: 16}
+		n, edges = RMAT(scales[sc], 16, 0x24)
+	case RMat27:
+		scales := map[Scale]int{Tiny: 10, Small: 14, Default: 18}
+		n, edges = RMAT(scales[sc], 16, 0x27)
+	case PowerLaw:
+		sizes := map[Scale]int{Tiny: 500, Small: 16_000, Default: 100_000}
+		n, edges = Powerlaw(sizes[sc], 10.5, 2.0, 0x20)
+	case RoadUS:
+		sides := map[Scale]int{Tiny: 24, Small: 120, Default: 300}
+		side := sides[sc]
+		n, edges = RoadGrid(side, side, 0x0AD)
+		weighted = true
+	default:
+		return nil, fmt.Errorf("gen: unknown dataset %q", name)
+	}
+	if weighted && name != RoadUS {
+		AddRandomWeights(edges, uint64(len(edges)))
+	}
+	return graph.FromEdges(n, edges, weighted), nil
+}

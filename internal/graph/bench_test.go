@@ -1,0 +1,45 @@
+package graph
+
+import (
+	"testing"
+)
+
+func benchEdges(n, m int) []Edge {
+	edges := make([]Edge, m)
+	s := uint64(1)
+	for i := range edges {
+		s = s*6364136223846793005 + 1442695040888963407
+		edges[i] = Edge{Src: Vertex(s % uint64(n)), Dst: Vertex((s >> 32) % uint64(n))}
+	}
+	return edges
+}
+
+func BenchmarkFromEdges(b *testing.B) {
+	edges := benchEdges(1<<14, 1<<18)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FromEdges(1<<14, edges, false)
+	}
+}
+
+func BenchmarkSymmetrized(b *testing.B) {
+	g := FromEdges(1<<13, benchEdges(1<<13, 1<<16), false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Symmetrized()
+	}
+}
+
+func BenchmarkOutNeighborsScan(b *testing.B) {
+	g := FromEdges(1<<14, benchEdges(1<<14, 1<<18), false)
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		for v := 0; v < g.NumVertices(); v++ {
+			for _, u := range g.OutNeighbors(Vertex(v)) {
+				sink += int64(u)
+			}
+		}
+	}
+	_ = sink
+}

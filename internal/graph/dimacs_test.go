@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		n, edges := randomEdges(seed)
+		var buf bytes.Buffer
+		if err := WriteDIMACS(&buf, n, edges); err != nil {
+			return false
+		}
+		n2, edges2, err := ReadDIMACS(&buf)
+		if err != nil || n2 != n {
+			return false
+		}
+		return edgesEqual(edges, edges2, true)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDIMACSParsesChallengeFormat(t *testing.T) {
+	in := `c 9th DIMACS Implementation Challenge
+c road network sample
+p sp 4 3
+a 1 2 7
+a 2 3 2.5
+a 4 1 1
+`
+	n, edges, err := ReadDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 || len(edges) != 3 {
+		t.Fatalf("n=%d m=%d", n, len(edges))
+	}
+	if edges[0] != (Edge{Src: 0, Dst: 1, Wt: 7}) {
+		t.Fatalf("edge[0] = %+v", edges[0])
+	}
+	if edges[1].Wt != 2.5 {
+		t.Fatalf("weight = %v", edges[1].Wt)
+	}
+	if edges[2] != (Edge{Src: 3, Dst: 0, Wt: 1}) {
+		t.Fatalf("edge[2] = %+v", edges[2])
+	}
+}
+
+func TestDIMACSRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"a 1 2 3\n",              // arc before problem line
+		"p sp x 3\n",             // bad sizes
+		"p tw 3 3\n",             // wrong problem kind
+		"p sp 3 1\na 1 9 2\n",    // vertex out of range
+		"p sp 3 1\na 0 1 2\n",    // 0 is invalid in 1-based ids
+		"p sp 3 1\na 1 2\n",      // short arc
+		"p sp 3 1\nz what is\n",  // unknown record
+		"p sp 3 1\na 1 2 oops\n", // bad weight
+		"",                       // no problem line
+	}
+	for _, in := range cases {
+		if _, _, err := ReadDIMACS(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q must be rejected", in)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes "src dst [wt]" lines, one per edge, preceded by a
+// "# n m weighted" header comment.
+func WriteEdgeList(w io.Writer, n int, edges []Edge, weighted bool) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# %d %d %t\n", n, len(edges), weighted); err != nil {
+		return err
+	}
+	for _, e := range edges {
+		var err error
+		if weighted {
+			_, err = fmt.Fprintf(bw, "%d %d %g\n", e.Src, e.Dst, e.Wt)
+		} else {
+			_, err = fmt.Fprintf(bw, "%d %d\n", e.Src, e.Dst)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList. Lines starting
+// with '#' other than the header are ignored, so DIMACS-style comments are
+// tolerated.
+func ReadEdgeList(r io.Reader) (n int, edges []Edge, weighted bool, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sawHeader := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !sawHeader {
+				f := strings.Fields(line[1:])
+				if len(f) == 3 {
+					nn, e1 := strconv.Atoi(f[0])
+					mm, e2 := strconv.Atoi(f[1])
+					ww, e3 := strconv.ParseBool(f[2])
+					if e1 == nil && e2 == nil && e3 == nil {
+						n, weighted = nn, ww
+						edges = make([]Edge, 0, clampCap(mm))
+						sawHeader = true
+						continue
+					}
+				}
+			}
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return 0, nil, false, fmt.Errorf("graph: malformed line %q", line)
+		}
+		s, err1 := strconv.ParseUint(f[0], 10, 32)
+		d, err2 := strconv.ParseUint(f[1], 10, 32)
+		if err1 != nil || err2 != nil {
+			return 0, nil, false, fmt.Errorf("graph: malformed line %q", line)
+		}
+		e := Edge{Src: Vertex(s), Dst: Vertex(d)}
+		if len(f) >= 3 && weighted {
+			w, err3 := strconv.ParseFloat(f[2], 32)
+			if err3 != nil {
+				return 0, nil, false, fmt.Errorf("graph: malformed weight in %q", line)
+			}
+			e.Wt = float32(w)
+		}
+		if int(e.Src) >= n {
+			n = int(e.Src) + 1
+		}
+		if int(e.Dst) >= n {
+			n = int(e.Dst) + 1
+		}
+		edges = append(edges, e)
+	}
+	if err := sc.Err(); err != nil {
+		return 0, nil, false, err
+	}
+	return n, edges, weighted, nil
+}
+
+// binMagic identifies the binary edge-list format.
+const binMagic = 0x504f4c59 // "POLY"
+
+// WriteBinary writes a compact binary edge list.
+func WriteBinary(w io.Writer, n int, edges []Edge, weighted bool) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint64{binMagic, uint64(n), uint64(len(edges)), 0}
+	if weighted {
+		hdr[3] = 1
+	}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	for _, e := range edges {
+		if err := binary.Write(bw, binary.LittleEndian, e.Src); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, e.Dst); err != nil {
+			return err
+		}
+		if weighted {
+			if err := binary.Write(bw, binary.LittleEndian, e.Wt); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the format written by WriteBinary.
+func ReadBinary(r io.Reader) (n int, edges []Edge, weighted bool, err error) {
+	br := bufio.NewReader(r)
+	var hdr [4]uint64
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return 0, nil, false, err
+		}
+	}
+	if hdr[0] != binMagic {
+		return 0, nil, false, fmt.Errorf("graph: bad magic %#x", hdr[0])
+	}
+	if hdr[1] > 1<<32 || hdr[2] > 1<<40 {
+		return 0, nil, false, fmt.Errorf("graph: implausible header sizes %d/%d", hdr[1], hdr[2])
+	}
+	n, m, weighted := int(hdr[1]), int(hdr[2]), hdr[3] == 1
+	// Grow incrementally so a corrupt header cannot trigger a huge
+	// up-front allocation: truncated streams fail before memory does.
+	edges = make([]Edge, 0, clampCap(m))
+	for i := 0; i < m; i++ {
+		var e Edge
+		if err := binary.Read(br, binary.LittleEndian, &e.Src); err != nil {
+			return 0, nil, false, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &e.Dst); err != nil {
+			return 0, nil, false, err
+		}
+		if weighted {
+			if err := binary.Read(br, binary.LittleEndian, &e.Wt); err != nil {
+				return 0, nil, false, err
+			}
+		}
+		edges = append(edges, e)
+	}
+	return n, edges, weighted, nil
+}
+
+// clampCap bounds a header-declared capacity so untrusted inputs cannot
+// force a large allocation before any payload is read.
+func clampCap(m int) int {
+	const maxPrealloc = 1 << 20
+	if m < 0 {
+		return 0
+	}
+	if m > maxPrealloc {
+		return maxPrealloc
+	}
+	return m
+}

@@ -1,0 +1,220 @@
+// Package mem provides partitioned, placement-aware arrays for the
+// simulated NUMA machine.
+//
+// An Array is a contiguous Go slice plus a placement descriptor recording
+// which simulated memory node owns each index range. Engines use the
+// descriptor both to schedule computation (co-locating threads with their
+// partition) and to classify accesses when charging the numa.Epoch ledger.
+// The three placements mirror the paper's Table 1:
+//
+//   - CoLocated: each partition's pages live on its owning node (Polymer's
+//     allocation strategy — worker threads on node i allocate partition i);
+//   - Interleaved: pages are striped across all nodes (what first-touch by
+//     construction-stage threads degenerates to in NUMA-oblivious systems);
+//   - Centralized: all pages live on node 0 (main-thread allocation of
+//     short-term runtime state in existing systems).
+package mem
+
+import (
+	"fmt"
+	"unsafe"
+
+	"polymer/internal/numa"
+)
+
+// Placement describes how an array's physical pages are distributed.
+type Placement uint8
+
+const (
+	// CoLocated places each partition on its owning node.
+	CoLocated Placement = iota
+	// Interleaved stripes pages round-robin across all nodes.
+	Interleaved
+	// Centralized places everything on node 0.
+	Centralized
+)
+
+// String names the placement as in the paper's Table 1.
+func (p Placement) String() string {
+	switch p {
+	case CoLocated:
+		return "co-located"
+	case Interleaved:
+		return "interleaved"
+	default:
+		return "centralized"
+	}
+}
+
+// Array is a placement-aware array of T.
+type Array[T any] struct {
+	// Data is the backing storage; index it directly in hot loops.
+	Data []T
+
+	m         *numa.Machine
+	place     Placement
+	bounds    []int // len Nodes+1 when CoLocated; nil otherwise
+	label     string
+	elemBytes int64
+	freed     bool
+}
+
+// New allocates an n-element array with the given placement. For CoLocated
+// placement, bounds must hold Nodes+1 monotonically non-decreasing offsets
+// with bounds[0] == 0 and bounds[Nodes] == n (partition p owns
+// [bounds[p], bounds[p+1])). For other placements bounds must be nil.
+// The allocation is registered with the machine's tracker under label.
+func New[T any](m *numa.Machine, label string, n int, place Placement, bounds []int) *Array[T] {
+	if place == CoLocated {
+		if len(bounds) != m.Nodes+1 {
+			panic(fmt.Sprintf("mem: co-located array needs %d bounds, got %d", m.Nodes+1, len(bounds)))
+		}
+		if bounds[0] != 0 || bounds[m.Nodes] != n {
+			panic("mem: bounds must cover [0, n)")
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] < bounds[i-1] {
+				panic("mem: bounds must be non-decreasing")
+			}
+		}
+	} else if bounds != nil {
+		panic("mem: bounds are only valid for co-located placement")
+	}
+	var zero T
+	a := &Array[T]{
+		Data:      make([]T, n),
+		m:         m,
+		place:     place,
+		bounds:    bounds,
+		label:     label,
+		elemBytes: int64(unsafe.Sizeof(zero)),
+	}
+	m.Alloc().Grow(label, a.Bytes())
+	return a
+}
+
+// Len returns the element count.
+func (a *Array[T]) Len() int { return len(a.Data) }
+
+// Bytes returns the simulated footprint in bytes.
+func (a *Array[T]) Bytes() int64 { return a.elemBytes * int64(len(a.Data)) }
+
+// ElemBytes returns the element size in bytes.
+func (a *Array[T]) ElemBytes() int { return int(a.elemBytes) }
+
+// Placement returns the array's placement policy.
+func (a *Array[T]) Placement() Placement { return a.place }
+
+// Label returns the allocation label.
+func (a *Array[T]) Label() string { return a.label }
+
+// NodeOf returns the simulated node owning index i.
+func (a *Array[T]) NodeOf(i int) int {
+	switch a.place {
+	case Centralized:
+		return 0
+	case Interleaved:
+		// Page-granular striping; 4 KiB pages.
+		page := int64(i) * a.elemBytes >> 12
+		return int(page % int64(a.m.Nodes))
+	default:
+		// Binary search over partition bounds.
+		lo, hi := 0, a.m.Nodes
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if a.bounds[mid+1] <= i {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+}
+
+// Part returns the slice of Data owned by node p (only valid for
+// CoLocated arrays).
+func (a *Array[T]) Part(p int) []T {
+	if a.place != CoLocated {
+		panic("mem: Part requires co-located placement")
+	}
+	return a.Data[a.bounds[p]:a.bounds[p+1]]
+}
+
+// PartRange returns the index range owned by node p.
+func (a *Array[T]) PartRange(p int) (lo, hi int) {
+	if a.place != CoLocated {
+		panic("mem: PartRange requires co-located placement")
+	}
+	return a.bounds[p], a.bounds[p+1]
+}
+
+// ChargeSeq records a sequential scan of count elements in partition-order
+// starting conceptually at index lo by thread th. For co-located arrays the
+// traffic is charged against the owning node(s); for interleaved and
+// centralized arrays against the corresponding policy.
+func (a *Array[T]) ChargeSeq(e *numa.Epoch, th int, op numa.Op, lo, count int64) {
+	if count <= 0 {
+		return
+	}
+	switch a.place {
+	case Interleaved:
+		e.AccessInterleaved(th, numa.Seq, op, count, int(a.elemBytes), 0)
+	case Centralized:
+		e.Access(th, numa.Seq, op, 0, count, int(a.elemBytes), 0)
+	default:
+		// Split [lo, lo+count) across partition bounds.
+		rem := count
+		i := int(lo)
+		for rem > 0 {
+			p := a.NodeOf(i)
+			end := a.bounds[p+1]
+			take := int64(end - i)
+			if take > rem {
+				take = rem
+			}
+			e.Access(th, numa.Seq, op, p, take, int(a.elemBytes), 0)
+			i += int(take)
+			rem -= take
+		}
+	}
+}
+
+// ChargeRandLocal records count random accesses by thread th confined to
+// node p's partition (e.g. Polymer's local random writes). ws defaults to
+// the partition's byte size.
+func (a *Array[T]) ChargeRandLocal(e *numa.Epoch, th int, op numa.Op, p int, count int64) {
+	if count <= 0 {
+		return
+	}
+	ws := a.Bytes()
+	if a.place == CoLocated {
+		ws = a.elemBytes * int64(a.bounds[p+1]-a.bounds[p])
+	}
+	e.Access(th, numa.Rand, op, p, count, int(a.elemBytes), ws)
+}
+
+// ChargeRandGlobal records count random accesses by thread th spread over
+// the whole array (e.g. Ligra's push-mode scattered writes).
+func (a *Array[T]) ChargeRandGlobal(e *numa.Epoch, th int, op numa.Op, count int64) {
+	if count <= 0 {
+		return
+	}
+	switch a.place {
+	case Centralized:
+		e.Access(th, numa.Rand, op, 0, count, int(a.elemBytes), a.Bytes())
+	default:
+		// Both interleaved pages and co-located partitions look uniformly
+		// spread to a globally-random access stream.
+		e.AccessInterleaved(th, numa.Rand, op, count, int(a.elemBytes), a.Bytes())
+	}
+}
+
+// Free releases the simulated allocation. Double-free is a no-op.
+func (a *Array[T]) Free() {
+	if a.freed {
+		return
+	}
+	a.freed = true
+	a.m.Alloc().Release(a.label, a.Bytes())
+}

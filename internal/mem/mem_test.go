@@ -1,0 +1,162 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"polymer/internal/numa"
+)
+
+func testMachine() *numa.Machine {
+	return numa.NewMachine(numa.IntelXeon80(), 4, 2)
+}
+
+func TestNewRegistersAllocation(t *testing.T) {
+	m := testMachine()
+	a := New[float64](m, "data", 1000, Interleaved, nil)
+	if got := m.Alloc().Label("data"); got != 8000 {
+		t.Fatalf("tracked %d bytes, want 8000", got)
+	}
+	a.Free()
+	if got := m.Alloc().Label("data"); got != 0 {
+		t.Fatalf("after free: %d bytes", got)
+	}
+	a.Free() // double free is a no-op
+	if got := m.Alloc().Current(); got != 0 {
+		t.Fatalf("double free corrupted tracker: %d", got)
+	}
+}
+
+func TestCoLocatedNodeOf(t *testing.T) {
+	m := testMachine()
+	bounds := []int{0, 10, 30, 60, 100}
+	a := New[int64](m, "x", 100, CoLocated, bounds)
+	cases := map[int]int{0: 0, 9: 0, 10: 1, 29: 1, 30: 2, 59: 2, 60: 3, 99: 3}
+	for i, want := range cases {
+		if got := a.NodeOf(i); got != want {
+			t.Fatalf("NodeOf(%d) = %d, want %d", i, got, want)
+		}
+	}
+	lo, hi := a.PartRange(2)
+	if lo != 30 || hi != 60 {
+		t.Fatalf("PartRange(2) = [%d,%d)", lo, hi)
+	}
+	if len(a.Part(1)) != 20 {
+		t.Fatalf("Part(1) len = %d", len(a.Part(1)))
+	}
+}
+
+func TestCoLocatedNodeOfProperty(t *testing.T) {
+	m := testMachine()
+	bounds := []int{0, 25, 50, 75, 100}
+	a := New[float64](m, "p", 100, CoLocated, bounds)
+	f := func(i uint8) bool {
+		idx := int(i) % 100
+		p := a.NodeOf(idx)
+		return idx >= bounds[p] && idx < bounds[p+1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleavedNodeOfStripes(t *testing.T) {
+	m := testMachine()
+	a := New[float64](m, "il", 1<<16, Interleaved, nil)
+	// 4 KiB pages of float64 = 512 elements per page.
+	if a.NodeOf(0) != 0 || a.NodeOf(512) != 1 || a.NodeOf(1024) != 2 || a.NodeOf(2048) != 0 {
+		t.Fatal("interleaved striping wrong")
+	}
+}
+
+func TestCentralizedNodeOf(t *testing.T) {
+	m := testMachine()
+	a := New[uint32](m, "c", 100, Centralized, nil)
+	for i := 0; i < 100; i += 17 {
+		if a.NodeOf(i) != 0 {
+			t.Fatal("centralized arrays live on node 0")
+		}
+	}
+}
+
+func TestNewPanicsOnBadBounds(t *testing.T) {
+	m := testMachine()
+	for _, bounds := range [][]int{
+		nil,                  // missing bounds for co-located
+		{0, 10, 20, 30},      // too few
+		{1, 10, 20, 30, 100}, // doesn't start at 0
+		{0, 10, 20, 30, 99},  // doesn't end at n
+		{0, 30, 20, 40, 100}, // decreasing
+	} {
+		func() {
+			defer func() { _ = recover() }()
+			New[int](m, "bad", 100, CoLocated, bounds)
+			t.Fatalf("bounds %v should panic", bounds)
+		}()
+	}
+	func() {
+		defer func() { _ = recover() }()
+		New[int](m, "bad", 100, Interleaved, []int{0, 100})
+		t.Fatal("bounds with interleaved placement should panic")
+	}()
+}
+
+func TestChargeSeqSplitsAcrossPartitions(t *testing.T) {
+	m := testMachine()
+	bounds := []int{0, 100, 200, 300, 400}
+	a := New[float64](m, "d", 400, CoLocated, bounds)
+	e := m.NewEpoch()
+	a.ChargeSeq(e, 0, numa.Load, 50, 200) // spans partitions 0,1,2
+	s := e.Stats()
+	if s.LocalCount+s.RemoteCount != 200 {
+		t.Fatalf("charged %d accesses, want 200", s.LocalCount+s.RemoteCount)
+	}
+	// Thread 0 is on node 0: 50 local (50..100), 150 remote (100..250).
+	if s.LocalCount != 50 || s.RemoteCount != 150 {
+		t.Fatalf("local/remote = %d/%d, want 50/150", s.LocalCount, s.RemoteCount)
+	}
+}
+
+func TestChargeRandLocalUsesPartitionWorkingSet(t *testing.T) {
+	m := testMachine()
+	// Whole array far exceeds LLC, single partition fits.
+	n := 1 << 20
+	bounds := []int{0, n / 4, n / 2, 3 * n / 4, n}
+	co := New[float64](m, "co", n, CoLocated, bounds)
+	il := New[float64](m, "il", n, Interleaved, nil)
+	eCo, eIl := m.NewEpoch(), m.NewEpoch()
+	co.ChargeRandLocal(eCo, 0, numa.Store, 0, 10000)
+	il.ChargeRandGlobal(eIl, 0, numa.Store, 10000)
+	if !(eCo.Time() < eIl.Time()) {
+		t.Fatalf("partition-local random (%v) must beat global random (%v)", eCo.Time(), eIl.Time())
+	}
+}
+
+func TestChargeZeroCountsNoop(t *testing.T) {
+	m := testMachine()
+	a := New[float64](m, "z", 100, Centralized, nil)
+	e := m.NewEpoch()
+	a.ChargeSeq(e, 0, numa.Load, 0, 0)
+	a.ChargeRandGlobal(e, 0, numa.Load, 0)
+	a.ChargeRandLocal(e, 0, numa.Load, 0, 0)
+	if e.Time() != 0 {
+		t.Fatal("zero-count charges must not advance time")
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if CoLocated.String() != "co-located" || Interleaved.String() != "interleaved" || Centralized.String() != "centralized" {
+		t.Fatal("Placement.String mismatch")
+	}
+}
+
+func TestPartPanicsOnNonCoLocated(t *testing.T) {
+	m := testMachine()
+	a := New[int](m, "i", 10, Interleaved, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Part on interleaved array must panic")
+		}
+	}()
+	a.Part(0)
+}

@@ -1,0 +1,83 @@
+package numa
+
+import (
+	"sort"
+	"sync"
+)
+
+// AllocTracker records the simulated memory footprint of a run, by label,
+// so experiments can report peak usage the way the paper's Table 5 does
+// (including the agent/replica overhead Polymer introduces).
+type AllocTracker struct {
+	mu      sync.Mutex
+	current int64
+	peak    int64
+	byLabel map[string]int64
+}
+
+// NewAllocTracker returns an empty tracker.
+func NewAllocTracker() *AllocTracker {
+	return &AllocTracker{byLabel: make(map[string]int64)}
+}
+
+// Grow records an allocation of n bytes under label.
+func (a *AllocTracker) Grow(label string, n int64) {
+	a.mu.Lock()
+	a.current += n
+	if a.current > a.peak {
+		a.peak = a.current
+	}
+	a.byLabel[label] += n
+	a.mu.Unlock()
+}
+
+// Release records freeing n bytes under label.
+func (a *AllocTracker) Release(label string, n int64) {
+	a.mu.Lock()
+	a.current -= n
+	a.byLabel[label] -= n
+	a.mu.Unlock()
+}
+
+// Current returns the live simulated byte count.
+func (a *AllocTracker) Current() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.current
+}
+
+// Peak returns the maximum simulated byte count ever live.
+func (a *AllocTracker) Peak() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peak
+}
+
+// Label returns the live byte count attributed to one label.
+func (a *AllocTracker) Label(label string) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.byLabel[label]
+}
+
+// Labels returns all labels with non-zero live bytes, sorted.
+func (a *AllocTracker) Labels() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.byLabel))
+	for l, n := range a.byLabel {
+		if n != 0 {
+			out = append(out, l)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset clears the tracker.
+func (a *AllocTracker) Reset() {
+	a.mu.Lock()
+	a.current, a.peak = 0, 0
+	a.byLabel = make(map[string]int64)
+	a.mu.Unlock()
+}

@@ -1,0 +1,314 @@
+package numa
+
+// Epoch is the traffic ledger for one parallel phase (e.g. one EdgeMap).
+// Worker threads record aggregate access descriptors into their own shard
+// (no synchronisation needed: thread t only writes shard t), and Time()
+// folds the ledger through the cost model:
+//
+//   - per-thread time: bytes / BW(pattern, hop level), with random accesses
+//     split into an LLC-hit portion served at cache bandwidth and a miss
+//     portion served at memory bandwidth;
+//   - per-resource time: every memory node and interconnect link has an
+//     aggregate capacity; traffic that actually reaches memory (the miss
+//     portion) is charged against it;
+//   - phase time = max(slowest thread, most congested resource).
+//
+// The congestion term is what reproduces the paper's Section 3 findings:
+// interleaved or centralised layouts route all threads' traffic through
+// shared links and controllers, capping socket scalability, while
+// co-located layouts keep traffic on local controllers.
+type Epoch struct {
+	m       *Machine
+	threads []threadLedger
+}
+
+type threadLedger struct {
+	memSeconds     float64
+	computeSeconds float64
+
+	// nodeBytes[n] is traffic (bytes) served by memory node n.
+	nodeBytes []float64
+	// portBytes[n] is remote traffic entering or leaving socket n's
+	// interconnect port.
+	portBytes []float64
+
+	localCount  int64
+	remoteCount int64
+	// missCount counts modelled LLC misses; remoteMiss those caused by
+	// remote accesses (paper Table 4's "LLC miss rate due to remote").
+	missCount  float64
+	remoteMiss float64
+
+	_ [3]int64 // pad to reduce false sharing between thread shards
+}
+
+func newEpoch(m *Machine) *Epoch {
+	e := &Epoch{m: m, threads: make([]threadLedger, m.Threads())}
+	n := m.Nodes
+	for i := range e.threads {
+		e.threads[i].nodeBytes = make([]float64, n)
+		e.threads[i].portBytes = make([]float64, n)
+	}
+	return e
+}
+
+// Machine returns the machine this epoch charges against.
+func (e *Epoch) Machine() *Machine { return e.m }
+
+const mb = 1e6 // bandwidth tables are in MB/s
+
+// hitFraction models the probability a random access to a working set of
+// ws bytes hits in the accessing socket's LLC.
+func (e *Epoch) hitFraction(ws int64) float64 {
+	if ws <= 0 {
+		return 0
+	}
+	llc := float64(e.m.Topo.LLCBytes)
+	if float64(ws) <= llc {
+		return 1
+	}
+	return llc / float64(ws)
+}
+
+// Access records count elements of elemBytes each, accessed with pattern p
+// and operation op by thread th against memory node node. For random
+// accesses, ws is the working-set size in bytes used for LLC modelling
+// (pass 0 for uncacheable/streaming-like behaviour). Sequential accesses
+// ignore ws.
+func (e *Epoch) Access(th int, p Pattern, op Op, node int, count int64, elemBytes int, ws int64) {
+	if count <= 0 {
+		return
+	}
+	t := &e.threads[th]
+	topo := e.m.Topo
+	from := e.m.NodeOfThread(th)
+	lvl := e.m.Level(from, node)
+	bytes := float64(count) * float64(elemBytes)
+
+	if lvl == 0 {
+		t.localCount += count
+	} else {
+		t.remoteCount += count
+	}
+
+	switch p {
+	case Seq:
+		t.memSeconds += bytes / (topo.SeqBW[lvl] * mb)
+		miss := bytes / float64(topo.CacheLineBytes)
+		t.missCount += miss
+		if lvl > 0 {
+			t.remoteMiss += miss
+		}
+		t.chargeResource(from, node, bytes)
+	case Rand:
+		hit := e.hitFraction(ws)
+		missBytes := bytes * (1 - hit)
+		t.memSeconds += missBytes/(topo.RandBW[lvl]*mb) + bytes*hit/(topo.CacheBW*mb)
+		miss := float64(count) * (1 - hit)
+		t.missCount += miss
+		if lvl > 0 {
+			t.remoteMiss += miss
+		}
+		t.chargeResource(from, node, missBytes)
+	}
+	_ = op // direction currently shares one bandwidth table, as in the paper's Figure 4
+}
+
+// AccessInterleaved records traffic against pages interleaved across all
+// active nodes (the default layout of NUMA-oblivious systems). The
+// per-thread cost uses the measured interleaved bandwidth; traffic and the
+// remote-access count are spread across all nodes.
+func (e *Epoch) AccessInterleaved(th int, p Pattern, op Op, count int64, elemBytes int, ws int64) {
+	if count <= 0 {
+		return
+	}
+	t := &e.threads[th]
+	topo := e.m.Topo
+	from := e.m.NodeOfThread(th)
+	nodes := e.m.Nodes
+	bytes := float64(count) * float64(elemBytes)
+
+	remoteFrac := float64(nodes-1) / float64(nodes)
+	t.localCount += count - int64(float64(count)*remoteFrac)
+	t.remoteCount += int64(float64(count) * remoteFrac)
+
+	seqBW, randBW := e.m.InterleavedBW(from)
+	var memBytes float64
+	switch p {
+	case Seq:
+		t.memSeconds += bytes / (seqBW * mb)
+		miss := bytes / float64(topo.CacheLineBytes)
+		t.missCount += miss
+		t.remoteMiss += miss * remoteFrac
+		memBytes = bytes
+	case Rand:
+		hit := e.hitFraction(ws)
+		missBytes := bytes * (1 - hit)
+		t.memSeconds += missBytes/(randBW*mb) + bytes*hit/(topo.CacheBW*mb)
+		miss := float64(count) * (1 - hit)
+		t.missCount += miss
+		t.remoteMiss += miss * remoteFrac
+		memBytes = missBytes
+	}
+	share := memBytes / float64(nodes)
+	for n := 0; n < nodes; n++ {
+		t.chargeResource(from, n, share)
+	}
+	_ = op
+}
+
+// LatencyBound records count serialised (latency-bound) operations, such as
+// atomic read-modify-writes, by thread th against memory node node.
+func (e *Epoch) LatencyBound(th int, op Op, node int, count int64) {
+	if count <= 0 {
+		return
+	}
+	t := &e.threads[th]
+	topo := e.m.Topo
+	from := e.m.NodeOfThread(th)
+	lvl := e.m.Level(from, node)
+	lat := topo.LoadLatency[lvl]
+	if op == Store {
+		lat = topo.StoreLatency[lvl]
+	}
+	t.memSeconds += float64(count) * lat / (topo.ClockGHz * 1e9)
+	if lvl == 0 {
+		t.localCount += count
+	} else {
+		t.remoteCount += count
+		t.remoteMiss += float64(count)
+	}
+	t.missCount += float64(count)
+}
+
+// Compute records pure computation time (software overhead, arithmetic)
+// for thread th.
+func (e *Epoch) Compute(th int, seconds float64) {
+	e.threads[th].computeSeconds += seconds
+}
+
+func (t *threadLedger) chargeResource(from, to int, bytes float64) {
+	t.nodeBytes[to] += bytes
+	if from != to {
+		t.portBytes[from] += bytes
+		t.portBytes[to] += bytes
+	}
+}
+
+// Time folds the ledger through the cost model and returns the simulated
+// duration of the phase in seconds.
+func (e *Epoch) Time() float64 {
+	topo := e.m.Topo
+	nodes := e.m.Nodes
+	nodeBytes := make([]float64, nodes)
+	portBytes := make([]float64, nodes)
+	var slowest float64
+	for i := range e.threads {
+		t := &e.threads[i]
+		if s := t.memSeconds + t.computeSeconds; s > slowest {
+			slowest = s
+		}
+		for n, b := range t.nodeBytes {
+			nodeBytes[n] += b
+		}
+		for n, b := range t.portBytes {
+			portBytes[n] += b
+		}
+	}
+	worst := slowest
+	for _, b := range nodeBytes {
+		if s := b / (topo.NodeAggBW * mb); s > worst {
+			worst = s
+		}
+	}
+	var remote float64
+	for _, b := range portBytes {
+		if s := b / (topo.PortBW * mb); s > worst {
+			worst = s
+		}
+		remote += b
+	}
+	// portBytes counts each remote byte at both endpoints; about half of
+	// the remote traffic crosses the machine's bisection.
+	if topo.BisectionBW > 0 {
+		if s := remote / 4 / (topo.BisectionBW * mb); s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// Stats summarises the ledger for the paper's Table 4 metrics.
+type Stats struct {
+	// LocalCount and RemoteCount are classified access counts.
+	LocalCount, RemoteCount int64
+	// RemoteRate is RemoteCount / (LocalCount + RemoteCount).
+	RemoteRate float64
+	// MissCount is the modelled number of LLC misses.
+	MissCount float64
+	// RemoteMissRate is the fraction of all accesses that missed the LLC
+	// because of remote traffic ("LLC miss rate due to remote accesses").
+	RemoteMissRate float64
+}
+
+// Stats aggregates the per-thread ledgers.
+func (e *Epoch) Stats() Stats {
+	var s Stats
+	for i := range e.threads {
+		t := &e.threads[i]
+		s.LocalCount += t.localCount
+		s.RemoteCount += t.remoteCount
+		s.MissCount += t.missCount
+		s.RemoteMissRate += t.remoteMiss
+	}
+	total := s.LocalCount + s.RemoteCount
+	if total > 0 {
+		s.RemoteRate = float64(s.RemoteCount) / float64(total)
+		s.RemoteMissRate /= float64(total)
+	} else {
+		s.RemoteMissRate = 0
+	}
+	return s
+}
+
+// Add accumulates another epoch's raw ledger into this one. Both must
+// belong to the same machine. It is used to aggregate per-phase ledgers
+// into whole-run statistics.
+func (e *Epoch) Add(o *Epoch) {
+	if e.m != o.m {
+		panic("numa: cannot add epochs from different machines")
+	}
+	for i := range e.threads {
+		t, u := &e.threads[i], &o.threads[i]
+		t.memSeconds += u.memSeconds
+		t.computeSeconds += u.computeSeconds
+		t.localCount += u.localCount
+		t.remoteCount += u.remoteCount
+		t.missCount += u.missCount
+		t.remoteMiss += u.remoteMiss
+		for n := range t.nodeBytes {
+			t.nodeBytes[n] += u.nodeBytes[n]
+			t.portBytes[n] += u.portBytes[n]
+		}
+	}
+}
+
+// Reset clears the ledger for reuse.
+func (e *Epoch) Reset() {
+	for i := range e.threads {
+		t := &e.threads[i]
+		nb, pb := t.nodeBytes, t.portBytes
+		for n := range nb {
+			nb[n] = 0
+			pb[n] = 0
+		}
+		*t = threadLedger{nodeBytes: nb, portBytes: pb}
+	}
+}
+
+// ThreadSeconds returns the simulated busy time (memory + compute) of one
+// thread; used by the Figure 11(b) per-socket breakdown.
+func (e *Epoch) ThreadSeconds(th int) float64 {
+	t := &e.threads[th]
+	return t.memSeconds + t.computeSeconds
+}

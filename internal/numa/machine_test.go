@@ -1,0 +1,98 @@
+package numa
+
+import "testing"
+
+func TestNewMachineThreadMapping(t *testing.T) {
+	m := NewMachine(IntelXeon80(), 4, 10)
+	if m.Threads() != 40 {
+		t.Fatalf("Threads() = %d, want 40", m.Threads())
+	}
+	if m.NodeOfThread(0) != 0 || m.NodeOfThread(9) != 0 || m.NodeOfThread(10) != 1 || m.NodeOfThread(39) != 3 {
+		t.Fatal("NodeOfThread mapping wrong")
+	}
+}
+
+func TestNewMachinePanicsOnBadConfig(t *testing.T) {
+	for _, tc := range []struct{ nodes, cores int }{{0, 1}, {9, 1}, {1, 0}, {1, 11}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMachine(%d,%d) should panic", tc.nodes, tc.cores)
+				}
+			}()
+			NewMachine(IntelXeon80(), tc.nodes, tc.cores)
+		}()
+	}
+}
+
+func TestPickSocketsMinimisesDistance(t *testing.T) {
+	topo := IntelXeon80()
+	m := NewMachine(topo, 2, 1)
+	// The second socket chosen must be at one hop from socket 0.
+	if lvl := topo.Level(m.PhysicalSocket(0), m.PhysicalSocket(1)); lvl != 1 {
+		t.Fatalf("second socket at level %d, want 1", lvl)
+	}
+	// Using all sockets must use each physical socket exactly once.
+	m = NewMachine(topo, 8, 1)
+	seen := make(map[int]bool)
+	for n := 0; n < 8; n++ {
+		s := m.PhysicalSocket(n)
+		if seen[s] {
+			t.Fatalf("socket %d used twice", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestMachineLevelsMatchTopology(t *testing.T) {
+	topo := AMDOpteron64()
+	m := NewMachine(topo, 6, 4)
+	for a := 0; a < m.Nodes; a++ {
+		for b := 0; b < m.Nodes; b++ {
+			want := topo.Level(m.PhysicalSocket(a), m.PhysicalSocket(b))
+			if got := m.Level(a, b); got != want {
+				t.Fatalf("Level(%d,%d)=%d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMachineString(t *testing.T) {
+	m := NewMachine(IntelXeon80(), 8, 10)
+	if m.String() != "intel80[8x10]" {
+		t.Fatalf("String() = %q", m.String())
+	}
+}
+
+func TestLLCTotalScalesWithNodes(t *testing.T) {
+	topo := IntelXeon80()
+	one := NewMachine(topo, 1, 1).LLCTotal()
+	eight := NewMachine(topo, 8, 1).LLCTotal()
+	if eight != 8*one {
+		t.Fatalf("LLCTotal: %d vs %d, want 8x", eight, one)
+	}
+}
+
+func TestAllocTracker(t *testing.T) {
+	a := NewAllocTracker()
+	a.Grow("x", 100)
+	a.Grow("y", 50)
+	if a.Current() != 150 || a.Peak() != 150 {
+		t.Fatalf("current=%d peak=%d", a.Current(), a.Peak())
+	}
+	a.Release("x", 100)
+	if a.Current() != 50 || a.Peak() != 150 {
+		t.Fatalf("after release: current=%d peak=%d", a.Current(), a.Peak())
+	}
+	if a.Label("y") != 50 {
+		t.Fatalf("Label(y)=%d", a.Label("y"))
+	}
+	labels := a.Labels()
+	if len(labels) != 1 || labels[0] != "y" {
+		t.Fatalf("Labels()=%v", labels)
+	}
+	a.Reset()
+	if a.Current() != 0 || a.Peak() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}

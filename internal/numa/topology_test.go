@@ -1,0 +1,138 @@
+package numa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIntelTopologyValid(t *testing.T) {
+	topo := IntelXeon80()
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if topo.Sockets != 8 || topo.CoresPerSocket != 10 {
+		t.Fatalf("intel80 must be 8x10, got %dx%d", topo.Sockets, topo.CoresPerSocket)
+	}
+}
+
+func TestAMDTopologyValid(t *testing.T) {
+	topo := AMDOpteron64()
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if topo.Sockets != 8 || topo.CoresPerSocket != 8 {
+		t.Fatalf("amd64 must be 8 nodes x 8 cores, got %dx%d", topo.Sockets, topo.CoresPerSocket)
+	}
+}
+
+func TestIntelTwistedHypercubeMaxTwoHops(t *testing.T) {
+	topo := IntelXeon80()
+	for a := 0; a < topo.Sockets; a++ {
+		for b := 0; b < topo.Sockets; b++ {
+			lvl := topo.Level(a, b)
+			if a == b && lvl != 0 {
+				t.Fatalf("Level(%d,%d)=%d, want 0", a, b, lvl)
+			}
+			if lvl > 2 {
+				t.Fatalf("twisted hypercube must bound distance to 2 hops; Level(%d,%d)=%d", a, b, lvl)
+			}
+		}
+	}
+	// Each socket has exactly four 1-hop neighbours: three cube edges
+	// plus the antipodal twist link.
+	for a := 0; a < topo.Sockets; a++ {
+		ones := 0
+		for b := 0; b < topo.Sockets; b++ {
+			if topo.Level(a, b) == 1 {
+				ones++
+			}
+		}
+		if ones != 4 {
+			t.Fatalf("socket %d has %d one-hop neighbours, want 4", a, ones)
+		}
+	}
+}
+
+func TestAMDIntraSocketOneHop(t *testing.T) {
+	topo := AMDOpteron64()
+	for m := 0; m < 4; m++ {
+		if lvl := topo.Level(2*m, 2*m+1); lvl != 1 {
+			t.Fatalf("dies of module %d should be level 1, got %d", m, lvl)
+		}
+	}
+	// Opposite modules on the ring are two hops away (level 3).
+	if lvl := topo.Level(0, 4); lvl != 3 {
+		t.Fatalf("opposite modules should be level 3, got %d", lvl)
+	}
+}
+
+func TestPaperLatencyTables(t *testing.T) {
+	intel := IntelXeon80()
+	wantLoad := []float64{117, 271, 372}
+	for i, w := range wantLoad {
+		if intel.LoadLatency[i] != w {
+			t.Fatalf("intel load latency level %d = %v, want %v (paper Fig 3b)", i, intel.LoadLatency[i], w)
+		}
+	}
+	amd := AMDOpteron64()
+	if amd.LoadLatency[0] != 228 || amd.LoadLatency[3] != 498 {
+		t.Fatalf("amd load latency endpoints = %v/%v, want 228/498", amd.LoadLatency[0], amd.LoadLatency[3])
+	}
+}
+
+func TestPaperBandwidthMonotonicity(t *testing.T) {
+	// Bandwidth decreases with distance, and sequential remote exceeds
+	// random local — the paper's key Section 2.2 observation.
+	for _, topo := range []*Topology{IntelXeon80(), AMDOpteron64()} {
+		for i := 1; i < len(topo.SeqBW); i++ {
+			if topo.SeqBW[i] > topo.SeqBW[i-1] {
+				t.Fatalf("%s: SeqBW must be non-increasing with distance", topo.Name)
+			}
+			if topo.RandBW[i] > topo.RandBW[i-1] {
+				t.Fatalf("%s: RandBW must be non-increasing with distance", topo.Name)
+			}
+		}
+		farthest := topo.SeqBW[topo.MaxLevel()]
+		if farthest <= topo.RandBW[0] {
+			t.Fatalf("%s: sequential remote (%v) must beat random local (%v)", topo.Name, farthest, topo.RandBW[0])
+		}
+	}
+}
+
+func TestValidateRejectsBroken(t *testing.T) {
+	topo := IntelXeon80()
+	topo.Levels[0][1] = 99
+	if err := topo.Validate(); err == nil {
+		t.Fatal("expected validation error for out-of-range level")
+	}
+	topo = IntelXeon80()
+	topo.Levels[1][0] = 2 // asymmetric
+	if err := topo.Validate(); err == nil {
+		t.Fatal("expected validation error for asymmetric matrix")
+	}
+	topo = IntelXeon80()
+	topo.Sockets = 0
+	if err := topo.Validate(); err == nil {
+		t.Fatal("expected validation error for zero sockets")
+	}
+}
+
+func TestLevelSymmetryProperty(t *testing.T) {
+	topo := IntelXeon80()
+	f := func(a, b uint8) bool {
+		i, j := int(a)%topo.Sockets, int(b)%topo.Sockets
+		return topo.Level(i, j) == topo.Level(j, i)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPatternOpStrings(t *testing.T) {
+	if Seq.String() != "seq" || Rand.String() != "rand" {
+		t.Fatal("Pattern.String mismatch")
+	}
+	if Load.String() != "load" || Store.String() != "store" {
+		t.Fatal("Op.String mismatch")
+	}
+}

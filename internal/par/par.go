@@ -1,0 +1,129 @@
+// Package par provides the minimal parallel-execution machinery the
+// engines share: a pool of persistent worker goroutines (one per simulated
+// hardware thread) and a dynamic chunk scheduler for intra-node load
+// balancing (the paper's "each worker thread dynamically fetches a portion
+// of tasks after finishing its previous tasks").
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool runs phases across a fixed set of worker goroutines. Workers are
+// persistent: spawning happens once, and each Run dispatches one function
+// to every worker and waits for all of them — the join is the phase
+// barrier.
+type Pool struct {
+	n     int
+	start []chan func(int)
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+// NewPool starts threads persistent workers.
+func NewPool(threads int) *Pool {
+	if threads < 1 {
+		panic("par: need at least one thread")
+	}
+	p := &Pool{n: threads, start: make([]chan func(int), threads)}
+	for i := range p.start {
+		p.start[i] = make(chan func(int), 1)
+		go func(th int) {
+			for fn := range p.start[th] {
+				fn(th)
+				p.wg.Done()
+			}
+		}(i)
+	}
+	return p
+}
+
+// Threads returns the worker count.
+func (p *Pool) Threads() int { return p.n }
+
+// Run executes fn(th) on every worker and blocks until all finish.
+func (p *Pool) Run(fn func(th int)) {
+	p.wg.Add(p.n)
+	for i := range p.start {
+		p.start[i] <- fn
+	}
+	p.wg.Wait()
+}
+
+// Close terminates the workers. The pool must be idle. Close is
+// idempotent.
+func (p *Pool) Close() {
+	p.once.Do(func() {
+		for i := range p.start {
+			close(p.start[i])
+		}
+	})
+}
+
+// Strided deterministically assigns chunks of [0, n) to threads in
+// round-robin order: thread th processes chunks th, th+threads,
+// th+2*threads, ...
+//
+// Engines use this instead of the dynamic Chunker: on a host with fewer
+// CPUs than simulated threads, dynamic chunk grabbing degenerates (one
+// goroutine drains the queue before the others are scheduled), which
+// would concentrate the simulated charge on a single thread. Striding
+// reproduces the balanced distribution that dynamic scheduling achieves
+// on real hardware, and makes runs deterministic.
+type Strided struct {
+	n, chunk int64
+	threads  int
+}
+
+// NewStrided covers [0, n) in chunks of the given size (minimum 1) across
+// threads workers.
+func NewStrided(n, chunk int64, threads int) *Strided {
+	if chunk < 1 {
+		chunk = 1
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	return &Strided{n: n, chunk: chunk, threads: threads}
+}
+
+// Do invokes fn for every chunk assigned to thread th, in order.
+func (s *Strided) Do(th int, fn func(lo, hi int64)) {
+	for lo := int64(th) * s.chunk; lo < s.n; lo += s.chunk * int64(s.threads) {
+		hi := lo + s.chunk
+		if hi > s.n {
+			hi = s.n
+		}
+		fn(lo, hi)
+	}
+}
+
+// Chunker hands out [lo, hi) work chunks from [0, n) to competing
+// threads; Next is safe for concurrent use.
+type Chunker struct {
+	next  atomic.Int64
+	n     int64
+	chunk int64
+}
+
+// NewChunker covers [0, n) in chunks of the given size (minimum 1).
+func NewChunker(n, chunk int64) *Chunker {
+	if chunk < 1 {
+		chunk = 1
+	}
+	return &Chunker{n: n, chunk: chunk}
+}
+
+// Next returns the next chunk, or ok=false when the range is exhausted.
+func (c *Chunker) Next() (lo, hi int64, ok bool) {
+	lo = c.next.Add(c.chunk) - c.chunk
+	if lo >= c.n {
+		return 0, 0, false
+	}
+	hi = lo + c.chunk
+	if hi > c.n {
+		hi = c.n
+	}
+	return lo, hi, true
+}

@@ -1,0 +1,102 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolRunsAllThreads(t *testing.T) {
+	p := NewPool(7)
+	defer p.Close()
+	var mask atomic.Int64
+	p.Run(func(th int) { mask.Add(1 << th) })
+	if mask.Load() != (1<<7)-1 {
+		t.Fatalf("threads mask = %b", mask.Load())
+	}
+}
+
+func TestPoolSequentialPhases(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var counter atomic.Int64
+	for phase := 0; phase < 50; phase++ {
+		p.Run(func(th int) { counter.Add(1) })
+		if got := counter.Load(); got != int64((phase+1)*4) {
+			t.Fatalf("after phase %d: counter=%d", phase, got)
+		}
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(2)
+	p.Run(func(int) {})
+	p.Close()
+	p.Close()
+}
+
+func TestNewPoolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPool(0) must panic")
+		}
+	}()
+	NewPool(0)
+}
+
+func TestChunkerCoversExactly(t *testing.T) {
+	f := func(nRaw, cRaw uint16) bool {
+		n := int64(nRaw % 2000)
+		chunk := int64(cRaw % 64)
+		c := NewChunker(n, chunk)
+		covered := make([]bool, n)
+		for {
+			lo, hi, ok := c.Next()
+			if !ok {
+				break
+			}
+			for i := lo; i < hi; i++ {
+				if covered[i] {
+					return false // overlap
+				}
+				covered[i] = true
+			}
+		}
+		for _, b := range covered {
+			if !b {
+				return false // gap
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkerConcurrent(t *testing.T) {
+	const n = 100000
+	c := NewChunker(n, 64)
+	p := NewPool(8)
+	defer p.Close()
+	var total atomic.Int64
+	p.Run(func(int) {
+		for {
+			lo, hi, ok := c.Next()
+			if !ok {
+				return
+			}
+			total.Add(hi - lo)
+		}
+	})
+	if total.Load() != n {
+		t.Fatalf("covered %d of %d", total.Load(), n)
+	}
+}
+
+func TestChunkerEmpty(t *testing.T) {
+	c := NewChunker(0, 16)
+	if _, _, ok := c.Next(); ok {
+		t.Fatal("empty chunker must yield nothing")
+	}
+}

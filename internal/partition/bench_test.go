@@ -1,0 +1,36 @@
+package partition
+
+import (
+	"testing"
+
+	"polymer/internal/gen"
+	"polymer/internal/graph"
+)
+
+func benchGraph() *graph.Graph {
+	n, edges := gen.Powerlaw(1<<15, 12, 2.0, 3)
+	return graph.FromEdges(n, edges, false)
+}
+
+func BenchmarkVertexBalanced(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		VertexBalanced(1<<20, 8)
+	}
+}
+
+func BenchmarkEdgeBalanced(b *testing.B) {
+	g := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EdgeBalanced(g, 8, In)
+	}
+}
+
+func BenchmarkNodeOf(b *testing.B) {
+	g := benchGraph()
+	r := EdgeBalanced(g, 8, In)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NodeOf(r, graph.Vertex(i%g.NumVertices()))
+	}
+}

@@ -1,0 +1,183 @@
+// Package partition splits a graph's vertex space into contiguous
+// per-node ranges.
+//
+// Polymer co-locates data and computation, so the partitioning decides the
+// per-node workload. The paper's Section 5 contrasts the natural
+// vertex-balanced split (equal vertex counts) with an edge-oriented
+// balanced split inspired by vertex-cuts: choose vertex ranges
+// V1..VN minimising the deviation of per-range degree sums, because the
+// scatter/gather cost is linear in edges, not vertices. For skewed
+// (power-law) graphs the difference is dramatic (paper Figure 11).
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"polymer/internal/graph"
+)
+
+// Range is a half-open contiguous vertex interval [Lo, Hi).
+type Range struct{ Lo, Hi int }
+
+// Len returns the number of vertices in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Contains reports whether v falls in the range.
+func (r Range) Contains(v graph.Vertex) bool { return int(v) >= r.Lo && int(v) < r.Hi }
+
+// String formats the range.
+func (r Range) String() string { return fmt.Sprintf("[%d,%d)", r.Lo, r.Hi) }
+
+// Bounds converts ranges into the bounds form used by mem.New:
+// parts+1 offsets covering [0, n).
+func Bounds(ranges []Range) []int {
+	b := make([]int, len(ranges)+1)
+	for i, r := range ranges {
+		b[i] = r.Lo
+		b[i+1] = r.Hi
+	}
+	return b
+}
+
+// VertexBalanced splits [0, n) into parts ranges of (near-)equal vertex
+// count — the default partitioning the paper ablates against.
+func VertexBalanced(n, parts int) []Range {
+	if parts <= 0 {
+		panic("partition: parts must be positive")
+	}
+	out := make([]Range, parts)
+	for p := 0; p < parts; p++ {
+		out[p] = Range{Lo: n * p / parts, Hi: n * (p + 1) / parts}
+	}
+	return out
+}
+
+// Direction selects which degree an edge-balanced split equalises. The
+// paper notes it is hard to balance both at once, and that Polymer only
+// needs the direction its execution mode uses (Section 5).
+type Direction uint8
+
+const (
+	// Out balances out-degree sums (pull-mode layouts).
+	Out Direction = iota
+	// In balances in-degree sums (push-mode layouts, where edges are
+	// grouped by target).
+	In
+)
+
+// EdgeBalanced splits [0, n) into parts contiguous ranges whose degree
+// sums in the given direction are as even as possible. It walks the prefix
+// sums of degrees, cutting as close to each i*m/parts boundary as
+// possible.
+func EdgeBalanced(g *graph.Graph, parts int, dir Direction) []Range {
+	if parts <= 0 {
+		panic("partition: parts must be positive")
+	}
+	n := g.NumVertices()
+	deg := func(v graph.Vertex) int64 {
+		if dir == Out {
+			return g.OutDegree(v)
+		}
+		return g.InDegree(v)
+	}
+	var total int64
+	for v := 0; v < n; v++ {
+		total += deg(graph.Vertex(v))
+	}
+	out := make([]Range, parts)
+	v := 0
+	var acc int64
+	for p := 0; p < parts; p++ {
+		lo := v
+		target := total * int64(p+1) / int64(parts)
+		for v < n && acc < target {
+			acc += deg(graph.Vertex(v))
+			v++
+		}
+		// If excluding the boundary vertex lands closer to the target,
+		// back off one step (heavy vertices otherwise skew the cut).
+		if v > lo {
+			last := deg(graph.Vertex(v - 1))
+			if acc-target > target-(acc-last) {
+				acc -= last
+				v--
+			}
+		}
+		out[p] = Range{Lo: lo, Hi: v}
+	}
+	out[parts-1].Hi = n
+	return out
+}
+
+// Stats summarises partition balance for the paper's Figure 11(a).
+type Stats struct {
+	// EdgesPer holds the degree sum of each partition.
+	EdgesPer []int64
+	// NormDiff holds (edges_p - mean) / mean for each partition.
+	NormDiff []float64
+	// MaxAbsNormDiff is the worst absolute normalised deviation.
+	MaxAbsNormDiff float64
+}
+
+// Measure computes balance statistics for ranges under direction dir.
+func Measure(g *graph.Graph, ranges []Range, dir Direction) Stats {
+	s := Stats{
+		EdgesPer: make([]int64, len(ranges)),
+		NormDiff: make([]float64, len(ranges)),
+	}
+	var total int64
+	for p, r := range ranges {
+		for v := r.Lo; v < r.Hi; v++ {
+			if dir == Out {
+				s.EdgesPer[p] += g.OutDegree(graph.Vertex(v))
+			} else {
+				s.EdgesPer[p] += g.InDegree(graph.Vertex(v))
+			}
+		}
+		total += s.EdgesPer[p]
+	}
+	mean := float64(total) / float64(len(ranges))
+	for p := range ranges {
+		if mean > 0 {
+			s.NormDiff[p] = (float64(s.EdgesPer[p]) - mean) / mean
+		}
+		if d := math.Abs(s.NormDiff[p]); d > s.MaxAbsNormDiff {
+			s.MaxAbsNormDiff = d
+		}
+	}
+	return s
+}
+
+// Validate checks that ranges exactly cover [0, n) without overlap.
+func Validate(ranges []Range, n int) error {
+	if len(ranges) == 0 {
+		return fmt.Errorf("partition: no ranges")
+	}
+	if ranges[0].Lo != 0 {
+		return fmt.Errorf("partition: first range starts at %d", ranges[0].Lo)
+	}
+	for i := 1; i < len(ranges); i++ {
+		if ranges[i].Lo != ranges[i-1].Hi {
+			return fmt.Errorf("partition: gap/overlap at range %d", i)
+		}
+	}
+	if ranges[len(ranges)-1].Hi != n {
+		return fmt.Errorf("partition: last range ends at %d, want %d", ranges[len(ranges)-1].Hi, n)
+	}
+	return nil
+}
+
+// NodeOf returns the index of the range containing v (binary search).
+func NodeOf(ranges []Range, v graph.Vertex) int {
+	lo, hi := 0, len(ranges)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ranges[mid].Hi <= int(v) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,98 @@
+// Package sg defines the scatter-gather programming interface shared by
+// the vertex-centric engines (Polymer and the Ligra baseline): the
+// EdgeMap/VertexMap model of the paper's Section 4.1, inherited from
+// Ligra. Algorithms are written once against these interfaces and run
+// unchanged on either engine.
+package sg
+
+import (
+	"polymer/internal/graph"
+	"polymer/internal/mem"
+	"polymer/internal/numa"
+	"polymer/internal/state"
+)
+
+// EdgeKernel is the application-defined edge function F passed to EdgeMap.
+// Update is called in pull mode when the engine guarantees a single writer
+// per destination; UpdateAtomic is called when destinations may be updated
+// concurrently (push mode, and Polymer's factored pull). Both return true
+// if the destination should join the next frontier. Cond is the
+// destination filter: once it returns false the destination needs no
+// further updates (e.g. an already-visited BFS vertex).
+type EdgeKernel interface {
+	Update(s, d graph.Vertex, w float32) bool
+	UpdateAtomic(s, d graph.Vertex, w float32) bool
+	Cond(d graph.Vertex) bool
+}
+
+// VertexFunc is the application-defined vertex function passed to
+// VertexMap; it returns true if v should remain in the returned subset.
+type VertexFunc func(v graph.Vertex) bool
+
+// Hints carries per-algorithm cost and mode information the engines use
+// for charging and mode selection.
+type Hints struct {
+	// DataBytes is the size of the application-defined per-vertex datum
+	// touched on each endpoint access (8 for PR's float64 ranks). Zero
+	// means 8.
+	DataBytes int
+	// NsPerEdge is the algorithm's arithmetic cost per edge in
+	// nanoseconds, charged as compute time on top of the engine's own
+	// software overhead. Zero means 1.
+	NsPerEdge float64
+	// DensePush selects push as the dense-mode direction (the paper uses
+	// push-based PR); when false, dense iterations pull.
+	DensePush bool
+	// Weighted tells the engine to stream edge weights (SpMV, SSSP, BP).
+	Weighted bool
+}
+
+// Normalize fills in defaults.
+func (h Hints) Normalize() Hints {
+	if h.DataBytes == 0 {
+		h.DataBytes = 8
+	}
+	if h.NsPerEdge == 0 {
+		h.NsPerEdge = 1
+	}
+	return h
+}
+
+// Engine is the scatter-gather engine contract. Implementations execute
+// real parallel computation over worker goroutines while charging their
+// classified memory traffic to the simulated NUMA machine.
+type Engine interface {
+	// Graph returns the input graph.
+	Graph() *graph.Graph
+	// Machine returns the simulated machine.
+	Machine() *numa.Machine
+	// Bounds returns the vertex partition offsets used for state leaves.
+	Bounds() []int
+	// EdgeMap applies k to every edge whose source is in a, returning the
+	// set of destinations for which an update returned true.
+	EdgeMap(a *state.Subset, k EdgeKernel, h Hints) *state.Subset
+	// VertexMap applies f to every vertex in a, returning those for which
+	// f returned true.
+	VertexMap(a *state.Subset, f VertexFunc) *state.Subset
+	// NewData allocates a per-vertex float64 array with the engine's
+	// native placement policy.
+	NewData(label string) *mem.Array[float64]
+	// NewData32 allocates a per-vertex uint32 array (labels, parents).
+	NewData32(label string) *mem.Array[uint32]
+	// SimSeconds returns the accumulated simulated runtime.
+	SimSeconds() float64
+	// RunStats returns the accumulated access statistics (Table 4).
+	RunStats() numa.Stats
+	// ThreadSeconds returns per-thread simulated busy time (Figure 11b).
+	ThreadSeconds() []float64
+	// Close releases the engine's workers and simulated allocations.
+	Close()
+}
+
+// ActiveDegree sums the out-degrees of the subset's vertices; engines use
+// it for the adaptive dense/sparse decision.
+func ActiveDegree(g *graph.Graph, a *state.Subset) int64 {
+	var sum int64
+	a.ForEach(func(v graph.Vertex) { sum += g.OutDegree(v) })
+	return sum
+}

@@ -1,0 +1,39 @@
+package sg
+
+import (
+	"testing"
+
+	"polymer/internal/gen"
+	"polymer/internal/graph"
+	"polymer/internal/state"
+)
+
+func TestHintsNormalize(t *testing.T) {
+	h := Hints{}.Normalize()
+	if h.DataBytes != 8 || h.NsPerEdge != 1 {
+		t.Fatalf("defaults wrong: %+v", h)
+	}
+	h = Hints{DataBytes: 16, NsPerEdge: 3.5, Weighted: true}.Normalize()
+	if h.DataBytes != 16 || h.NsPerEdge != 3.5 || !h.Weighted {
+		t.Fatalf("explicit values must survive: %+v", h)
+	}
+}
+
+func TestActiveDegree(t *testing.T) {
+	n, edges := gen.Star(10) // vertex 0 has out-degree 9
+	g := graph.FromEdges(n, edges, false)
+	bounds := []int{0, 5, 10}
+
+	all := state.NewAll(bounds)
+	if got := ActiveDegree(g, all); got != 9 {
+		t.Fatalf("ActiveDegree(all) = %d, want 9", got)
+	}
+	leaves := state.FromVertices(bounds, []graph.Vertex{3, 7})
+	if got := ActiveDegree(g, leaves); got != 0 {
+		t.Fatalf("ActiveDegree(leaves) = %d, want 0", got)
+	}
+	hub := state.NewSingle(bounds, 0)
+	if got := ActiveDegree(g, hub); got != 9 {
+		t.Fatalf("ActiveDegree(hub) = %d, want 9", got)
+	}
+}

@@ -1,0 +1,41 @@
+package state
+
+import "testing"
+
+var benchBounds = []int{0, 1 << 15, 1 << 16, 3 << 15, 1 << 17}
+
+func BenchmarkBuilderDenseSet(b *testing.B) {
+	bl := NewBuilder(benchBounds, 1, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bl.Set(uint32(i) % (1 << 17))
+	}
+}
+
+func BenchmarkBuilderSparseAddBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bl := NewBuilder(benchBounds, 4, false)
+		for v := uint32(0); v < 4096; v++ {
+			bl.Add(int(v%4), v*17%(1<<17))
+		}
+		bl.Build()
+	}
+}
+
+func BenchmarkForEachDense(b *testing.B) {
+	s := NewAll(benchBounds)
+	b.ResetTimer()
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		s.ForEach(func(v uint32) { sink += v })
+	}
+	_ = sink
+}
+
+func BenchmarkToSparse(b *testing.B) {
+	s := NewAll(benchBounds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ToSparse()
+	}
+}
