@@ -1,0 +1,124 @@
+package polymer_test
+
+// Host wall-clock benchmarks for the per-phase hot path: one PageRank
+// iteration (EdgeMap + VertexMap over the full frontier) per engine, plus
+// a BFS sweep exercising the sparse path. Unlike the simulation benchmarks
+// in bench_test.go, these measure the *host* cost of driving the engines —
+// the simulated clock is unaffected by hot-path work, so these numbers are
+// the ones that cap how large a graph the harness can drive.
+//
+// Run with:
+//
+//	go test -bench 'HotPath' -benchmem -run '^$' .
+//
+// and compare against BENCH_baseline.json (benchstat-friendly output).
+
+import (
+	"testing"
+
+	"polymer/internal/algorithms"
+	"polymer/internal/bench"
+	"polymer/internal/core"
+	"polymer/internal/engines/galois"
+	"polymer/internal/engines/ligra"
+	"polymer/internal/engines/xstream"
+	"polymer/internal/gen"
+	"polymer/internal/graph"
+	"polymer/internal/numa"
+	"polymer/internal/sg"
+	"polymer/internal/state"
+)
+
+func hotPathGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	g, err := bench.LoadDataset(gen.Twitter, gen.Small, bench.PR)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func hotPathMachine() *numa.Machine {
+	topo := numa.IntelXeon80()
+	return numa.NewMachine(topo, topo.Sockets, topo.CoresPerSocket)
+}
+
+// prIteration runs one push-based PageRank iteration (EdgeMap over the
+// full frontier plus the normalisation VertexMap) on a scatter-gather
+// engine, mirroring algorithms.PageRank's loop body.
+func prIteration(e sg.Engine, k *algorithms.PRKernel, all *state.Subset) {
+	e.EdgeMap(all, k, algorithms.PRHints())
+	e.VertexMap(all, func(v graph.Vertex) bool {
+		k.Apply(v)
+		return true
+	})
+	k.Swap()
+}
+
+func BenchmarkHotPathPolymerPRIteration(b *testing.B) {
+	g := hotPathGraph(b)
+	opt := core.DefaultOptions()
+	opt.Mode = core.Push
+	e := core.New(g, hotPathMachine(), opt)
+	defer e.Close()
+	k := algorithms.NewPRKernel(e, 0.85)
+	all := state.NewAll(e.Bounds())
+	prIteration(e, k, all) // warm up: build layouts
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prIteration(e, k, all)
+	}
+}
+
+func BenchmarkHotPathLigraPRIteration(b *testing.B) {
+	g := hotPathGraph(b)
+	e := ligra.New(g, hotPathMachine(), ligra.DefaultOptions())
+	defer e.Close()
+	k := algorithms.NewPRKernel(e, 0.85)
+	all := state.NewAll(e.Bounds())
+	prIteration(e, k, all)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prIteration(e, k, all)
+	}
+}
+
+func BenchmarkHotPathXStreamPRIteration(b *testing.B) {
+	g := hotPathGraph(b)
+	h := sg.Hints{DataBytes: 8}
+	e := xstream.New(g, hotPathMachine(), xstream.DefaultOptions(), h)
+	defer e.Close()
+	k := algorithms.NewXSPRKernel(e, 0.85)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.SetAllActive()
+		e.Iterate(k, k.Apply)
+		k.Swap()
+	}
+}
+
+func BenchmarkHotPathGaloisPRIteration(b *testing.B) {
+	g := hotPathGraph(b)
+	e := galois.New(g, hotPathMachine(), galois.DefaultOptions())
+	defer e.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.PageRank(1, 0.85)
+	}
+}
+
+func BenchmarkHotPathPolymerBFS(b *testing.B) {
+	g := hotPathGraph(b)
+	e := core.New(g, hotPathMachine(), core.DefaultOptions())
+	defer e.Close()
+	algorithms.BFS(e, 0) // warm up: build layouts
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		algorithms.BFS(e, 0)
+	}
+}

@@ -1,0 +1,52 @@
+// Command simdump prints the bit-exact simulated outputs of every
+// system x algorithm cell of the evaluation matrix. Its output must be
+// byte-identical before and after any host-side performance change: the
+// simulated clock is the paper reproduction, so optimizations may only
+// change host wall-clock time. Diff two runs (or two builds) to verify.
+//
+//	go run ./cmd/simdump            # Tiny scale (fast)
+//	go run ./cmd/simdump -scale small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"polymer/internal/bench"
+	"polymer/internal/gen"
+	"polymer/internal/numa"
+)
+
+func main() {
+	scale := flag.String("scale", "tiny", "dataset scale: tiny or small")
+	flag.Parse()
+
+	sc := gen.Tiny
+	switch *scale {
+	case "tiny":
+	case "small":
+		sc = gen.Small
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+
+	topo := numa.IntelXeon80()
+	for _, alg := range bench.Algos() {
+		g, err := bench.LoadDataset(gen.Twitter, sc, alg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, sys := range bench.Systems() {
+			m := numa.NewMachine(topo, topo.Sockets, topo.CoresPerSocket)
+			r := bench.Run(sys, alg, g, m)
+			// %x prints the exact float64 bits; any drift shows up.
+			fmt.Fprintf(os.Stdout,
+				"%-8s %-4s sim=%x checksum=%x local=%d remote=%d miss=%x remoteMiss=%x peak=%d\n",
+				sys, alg, r.SimSeconds, r.Checksum,
+				r.Stats.LocalCount, r.Stats.RemoteCount,
+				r.Stats.MissCount, r.Stats.RemoteMissRate, r.PeakBytes)
+		}
+	}
+}

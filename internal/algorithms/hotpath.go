@@ -1,0 +1,83 @@
+package algorithms
+
+import (
+	"polymer/internal/engines/xstream"
+	"polymer/internal/graph"
+	"polymer/internal/sg"
+)
+
+// This file exports the PageRank iteration pieces so the hot-path
+// benchmark suite (bench_hotpath_test.go) can drive exactly the loop body
+// algorithms.PageRank runs, one iteration at a time.
+
+// PRHints returns the Hints PageRank passes to EdgeMap.
+func PRHints() sg.Hints { return prHints }
+
+// PRKernel is the exported PageRank kernel plus its per-iteration state.
+type PRKernel struct {
+	prKernel
+	base    float64
+	damping float64
+}
+
+// NewPRKernel allocates PageRank state on e and returns the kernel.
+func NewPRKernel(e sg.Engine, damping float64) *PRKernel {
+	g := e.Graph()
+	n := g.NumVertices()
+	curr, next := e.NewData("pr/curr"), e.NewData("pr/next")
+	invOut := make([]float64, n)
+	for v := 0; v < n; v++ {
+		curr.Data[v] = 1 / float64(n)
+		if d := g.OutDegree(graph.Vertex(v)); d > 0 {
+			invOut[v] = 1 / float64(d)
+		}
+	}
+	return &PRKernel{
+		prKernel: prKernel{curr: curr.Data, next: next.Data, invOut: invOut},
+		base:     (1 - damping) / float64(n),
+		damping:  damping,
+	}
+}
+
+// Apply runs the normalisation VertexMap body on v.
+func (k *PRKernel) Apply(v graph.Vertex) {
+	k.next[v] = k.base + k.damping*k.next[v]
+	k.curr[v] = 0
+}
+
+// Swap exchanges the rank arrays for the next iteration.
+func (k *PRKernel) Swap() { k.curr, k.next = k.next, k.curr }
+
+// XSPRKernel is the exported X-Stream PageRank kernel.
+type XSPRKernel struct {
+	xsPR
+}
+
+// NewXSPRKernel allocates PageRank state on the X-Stream engine e.
+func NewXSPRKernel(e *xstream.Engine, damping float64) *XSPRKernel {
+	g := e.Graph()
+	n := g.NumVertices()
+	currA, nextA := e.NewData("pr/curr"), e.NewData("pr/next")
+	k := &XSPRKernel{xsPR: xsPR{
+		curr: currA.Data, next: nextA.Data,
+		base: (1 - damping) / float64(n), damping: damping,
+	}}
+	k.invOut = make([]float64, n)
+	for v := 0; v < n; v++ {
+		k.curr[v] = 1 / float64(n)
+		if d := g.OutDegree(graph.Vertex(v)); d > 0 {
+			k.invOut[v] = 1 / float64(d)
+		}
+	}
+	return k
+}
+
+// Apply runs the normalisation phase body on v.
+func (k *XSPRKernel) Apply(v graph.Vertex) bool {
+	k.next[v] = k.base + k.damping*k.next[v]
+	k.curr[v] = 0
+	return true
+}
+
+// Swap exchanges the rank arrays for the next iteration.
+func (k *XSPRKernel) Swap() { k.curr, k.next = k.next, k.curr }
