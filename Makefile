@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full health check: vet + race-detector pass over the packages that
+# share phase-scoped scratch arenas across worker goroutines + full suite.
+check:
+	sh scripts/check.sh
+
+# Host wall-clock hot-path benchmarks (compare against BENCH_baseline.json).
+bench:
+	$(GO) test -bench HotPath -benchmem -benchtime 20x -count 3 -run '^$$' .

@@ -45,14 +45,9 @@ func hotPathMachine() *numa.Machine {
 
 // prIteration runs one push-based PageRank iteration (EdgeMap over the
 // full frontier plus the normalisation VertexMap) on a scatter-gather
-// engine, mirroring algorithms.PageRank's loop body.
+// engine through the same devirtualized dispatch algorithms.PageRank uses.
 func prIteration(e sg.Engine, k *algorithms.PRKernel, all *state.Subset) {
-	e.EdgeMap(all, k, algorithms.PRHints())
-	e.VertexMap(all, func(v graph.Vertex) bool {
-		k.Apply(v)
-		return true
-	})
-	k.Swap()
+	k.Iteration(e, all)
 }
 
 func BenchmarkHotPathPolymerPRIteration(b *testing.B) {

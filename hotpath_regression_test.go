@@ -1,0 +1,108 @@
+package polymer_test
+
+// Regression guards for the hot-path overhaul:
+//
+//   - steady-state EdgeMap/VertexMap iterations must stay within a small
+//     fixed allocation budget (the phase-scoped scratch arenas make the
+//     loop body allocation-free apart from the frontier bitmap words the
+//     builder donates to the returned Subset);
+//   - two identical runs must produce bit-identical simulated times — the
+//     host-side optimisations (scratch reuse, devirtualization, cached
+//     degrees) must never leak into the simulated clock.
+
+import (
+	"testing"
+
+	"polymer/internal/algorithms"
+	"polymer/internal/bench"
+	"polymer/internal/core"
+	"polymer/internal/engines/ligra"
+	"polymer/internal/gen"
+	"polymer/internal/graph"
+	"polymer/internal/numa"
+	"polymer/internal/state"
+)
+
+// allocBudgetPerIteration bounds the steady-state allocations of one full
+// PageRank iteration (EdgeMap + VertexMap). The remaining allocations are
+// the dense frontier bitmap words — one slice per NUMA node, donated to
+// the returned Subset so they cannot be pooled — plus the Subset headers;
+// before the scratch arenas the same loop allocated several hundred
+// objects per iteration.
+const allocBudgetPerIteration = 32
+
+func regressionMachine() *numa.Machine {
+	topo := numa.IntelXeon80()
+	return numa.NewMachine(topo, topo.Sockets, topo.CoresPerSocket)
+}
+
+func regressionGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := bench.LoadDataset(gen.Twitter, gen.Tiny, bench.PR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPolymerPRIterationAllocs(t *testing.T) {
+	g := regressionGraph(t)
+	opt := core.DefaultOptions()
+	opt.Mode = core.Push
+	e := core.New(g, regressionMachine(), opt)
+	defer e.Close()
+	k := algorithms.NewPRKernel(e, 0.85)
+	all := state.NewAll(e.Bounds())
+	k.Iteration(e, all) // warm up: layouts, scratch arenas
+	k.Iteration(e, all)
+	allocs := testing.AllocsPerRun(10, func() {
+		k.Iteration(e, all)
+	})
+	if allocs > allocBudgetPerIteration {
+		t.Fatalf("steady-state PageRank iteration allocated %.0f objects, budget %d",
+			allocs, allocBudgetPerIteration)
+	}
+}
+
+func TestLigraPRIterationAllocs(t *testing.T) {
+	g := regressionGraph(t)
+	e := ligra.New(g, regressionMachine(), ligra.DefaultOptions())
+	defer e.Close()
+	k := algorithms.NewPRKernel(e, 0.85)
+	all := state.NewAll(e.Bounds())
+	k.Iteration(e, all)
+	k.Iteration(e, all)
+	allocs := testing.AllocsPerRun(10, func() {
+		k.Iteration(e, all)
+	})
+	if allocs > allocBudgetPerIteration {
+		t.Fatalf("steady-state Ligra iteration allocated %.0f objects, budget %d",
+			allocs, allocBudgetPerIteration)
+	}
+}
+
+// TestSimSecondsDeterministic runs the same PageRank workload twice on
+// fresh engines and requires bit-identical simulated times. PageRank's
+// dense full-frontier phases are order-independent, so any divergence here
+// means host-side scheduling leaked into the simulated clock.
+func TestSimSecondsDeterministic(t *testing.T) {
+	g := regressionGraph(t)
+	run := func() (float64, []float64) {
+		opt := core.DefaultOptions()
+		opt.Mode = core.Push
+		e := core.New(g, regressionMachine(), opt)
+		defer e.Close()
+		ranks := algorithms.PageRank(e, 10, 0.85)
+		return e.SimSeconds(), ranks
+	}
+	s1, r1 := run()
+	s2, r2 := run()
+	if s1 != s2 {
+		t.Fatalf("simulated time drifted across identical runs: %x vs %x", s1, s2)
+	}
+	for v := range r1 {
+		if r1[v] != r2[v] {
+			t.Fatalf("rank[%d] drifted across identical runs: %x vs %x", v, r1[v], r2[v])
+		}
+	}
+}

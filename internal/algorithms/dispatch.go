@@ -1,0 +1,26 @@
+package algorithms
+
+import (
+	"polymer/internal/core"
+	"polymer/internal/engines/ligra"
+	"polymer/internal/sg"
+	"polymer/internal/state"
+)
+
+// edgeMap routes an EdgeMap to the engine's generic entry point when the
+// concrete engine type is known. Instantiating core.EdgeMapK / ligra.EdgeMapK
+// at the concrete (value) kernel type lets the compiler devirtualize and
+// inline the per-edge Cond/Update/UpdateAtomic calls, which the interface
+// method cannot: through sg.Engine.EdgeMap every edge pays two dynamic
+// dispatches. Engines without a generic entry point fall back to the
+// interface path unchanged.
+func edgeMap[K sg.EdgeKernel](e sg.Engine, a *state.Subset, k K, h sg.Hints) *state.Subset {
+	switch t := e.(type) {
+	case *core.Engine:
+		return core.EdgeMapK(t, a, k, h)
+	case *ligra.Engine:
+		return ligra.EdgeMapK(t, a, k, h)
+	default:
+		return e.EdgeMap(a, k, h)
+	}
+}

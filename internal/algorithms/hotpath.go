@@ -4,6 +4,7 @@ import (
 	"polymer/internal/engines/xstream"
 	"polymer/internal/graph"
 	"polymer/internal/sg"
+	"polymer/internal/state"
 )
 
 // This file exports the PageRank iteration pieces so the hot-path
@@ -47,6 +48,18 @@ func (k *PRKernel) Apply(v graph.Vertex) {
 
 // Swap exchanges the rank arrays for the next iteration.
 func (k *PRKernel) Swap() { k.curr, k.next = k.next, k.curr }
+
+// Iteration runs one full PageRank iteration — the push EdgeMap over the
+// full frontier, the normalisation VertexMap, and the array swap — through
+// the devirtualized dispatch, exactly as algorithms.PageRank does.
+func (k *PRKernel) Iteration(e sg.Engine, all *state.Subset) {
+	edgeMap(e, all, k.prKernel, prHints)
+	e.VertexMap(all, func(v graph.Vertex) bool {
+		k.Apply(v)
+		return true
+	})
+	k.Swap()
+}
 
 // XSPRKernel is the exported X-Stream PageRank kernel.
 type XSPRKernel struct {

@@ -25,32 +25,32 @@ type prKernel struct {
 	invOut     []float64
 }
 
-func (k *prKernel) Update(s, d graph.Vertex, w float32) bool {
+func (k prKernel) Update(s, d graph.Vertex, w float32) bool {
 	k.next[d] += k.curr[s] * k.invOut[s]
 	return true
 }
 
-func (k *prKernel) UpdateAtomic(s, d graph.Vertex, w float32) bool {
+func (k prKernel) UpdateAtomic(s, d graph.Vertex, w float32) bool {
 	atomicx.AddFloat64(&k.next[d], k.curr[s]*k.invOut[s])
 	return true
 }
 
-func (k *prKernel) Cond(graph.Vertex) bool { return true }
+func (k prKernel) Cond(graph.Vertex) bool { return true }
 
 // spmvKernel accumulates w * x[s] into y[d].
 type spmvKernel struct{ x, y []float64 }
 
-func (k *spmvKernel) Update(s, d graph.Vertex, w float32) bool {
+func (k spmvKernel) Update(s, d graph.Vertex, w float32) bool {
 	k.y[d] += float64(w) * k.x[s]
 	return true
 }
 
-func (k *spmvKernel) UpdateAtomic(s, d graph.Vertex, w float32) bool {
+func (k spmvKernel) UpdateAtomic(s, d graph.Vertex, w float32) bool {
 	atomicx.AddFloat64(&k.y[d], float64(w)*k.x[s])
 	return true
 }
 
-func (k *spmvKernel) Cond(graph.Vertex) bool { return true }
+func (k spmvKernel) Cond(graph.Vertex) bool { return true }
 
 // bpKernel multiplies damped messages into the target's belief
 // accumulator: acc[d] *= 1 - (w/100) * curr[s].
@@ -64,22 +64,22 @@ func bpMessage(curr float64, w float32) float64 {
 	return 1 - weight*curr
 }
 
-func (k *bpKernel) Update(s, d graph.Vertex, w float32) bool {
+func (k bpKernel) Update(s, d graph.Vertex, w float32) bool {
 	k.acc[d] *= bpMessage(k.curr[s], w)
 	return true
 }
 
-func (k *bpKernel) UpdateAtomic(s, d graph.Vertex, w float32) bool {
+func (k bpKernel) UpdateAtomic(s, d graph.Vertex, w float32) bool {
 	atomicx.MulFloat64(&k.acc[d], bpMessage(k.curr[s], w))
 	return true
 }
 
-func (k *bpKernel) Cond(graph.Vertex) bool { return true }
+func (k bpKernel) Cond(graph.Vertex) bool { return true }
 
 // bfsKernel claims unvisited vertices (direction-optimizing BFS).
 type bfsKernel struct{ parent []uint32 }
 
-func (k *bfsKernel) Update(s, d graph.Vertex, w float32) bool {
+func (k bfsKernel) Update(s, d graph.Vertex, w float32) bool {
 	if atomic.LoadUint32(&k.parent[d]) == unvisited {
 		atomic.StoreUint32(&k.parent[d], s)
 		return true
@@ -87,17 +87,17 @@ func (k *bfsKernel) Update(s, d graph.Vertex, w float32) bool {
 	return false
 }
 
-func (k *bfsKernel) UpdateAtomic(s, d graph.Vertex, w float32) bool {
+func (k bfsKernel) UpdateAtomic(s, d graph.Vertex, w float32) bool {
 	return atomicx.CASUint32(&k.parent[d], unvisited, s)
 }
 
-func (k *bfsKernel) Cond(d graph.Vertex) bool { return atomic.LoadUint32(&k.parent[d]) == unvisited }
+func (k bfsKernel) Cond(d graph.Vertex) bool { return atomic.LoadUint32(&k.parent[d]) == unvisited }
 
 // ccKernel propagates minimum labels (label-propagation connected
 // components on the symmetrized graph).
 type ccKernel struct{ labels []uint32 }
 
-func (k *ccKernel) Update(s, d graph.Vertex, w float32) bool {
+func (k ccKernel) Update(s, d graph.Vertex, w float32) bool {
 	ls := atomic.LoadUint32(&k.labels[s])
 	if ls < atomic.LoadUint32(&k.labels[d]) {
 		atomic.StoreUint32(&k.labels[d], ls)
@@ -106,17 +106,17 @@ func (k *ccKernel) Update(s, d graph.Vertex, w float32) bool {
 	return false
 }
 
-func (k *ccKernel) UpdateAtomic(s, d graph.Vertex, w float32) bool {
+func (k ccKernel) UpdateAtomic(s, d graph.Vertex, w float32) bool {
 	return atomicx.MinUint32(&k.labels[d], atomic.LoadUint32(&k.labels[s]))
 }
 
-func (k *ccKernel) Cond(graph.Vertex) bool { return true }
+func (k ccKernel) Cond(graph.Vertex) bool { return true }
 
 // ssspKernel relaxes edges with atomic distance minimisation
 // (Bellman-Ford with data-driven scheduling).
 type ssspKernel struct{ dist []float64 }
 
-func (k *ssspKernel) Update(s, d graph.Vertex, w float32) bool {
+func (k ssspKernel) Update(s, d graph.Vertex, w float32) bool {
 	nd := atomicx.LoadFloat64(&k.dist[s]) + edgeWeight(w)
 	if nd < atomicx.LoadFloat64(&k.dist[d]) {
 		atomicx.StoreFloat64(&k.dist[d], nd)
@@ -125,12 +125,12 @@ func (k *ssspKernel) Update(s, d graph.Vertex, w float32) bool {
 	return false
 }
 
-func (k *ssspKernel) UpdateAtomic(s, d graph.Vertex, w float32) bool {
+func (k ssspKernel) UpdateAtomic(s, d graph.Vertex, w float32) bool {
 	nd := atomicx.LoadFloat64(&k.dist[s]) + edgeWeight(w)
 	return atomicx.MinFloat64(&k.dist[d], nd)
 }
 
-func (k *ssspKernel) Cond(graph.Vertex) bool { return true }
+func (k ssspKernel) Cond(graph.Vertex) bool { return true }
 
 // edgeWeight treats unweighted edges as unit weight.
 func edgeWeight(w float32) float64 {
@@ -144,9 +144,9 @@ func edgeWeight(w float32) float64 {
 // and BP run push-based dense phases; the traversal algorithms prefer
 // pull in dense phases (direction-optimizing).
 var (
-	prHints   = sg.Hints{DataBytes: 8, NsPerEdge: 1.5, DensePush: true}
-	spmvHints = sg.Hints{DataBytes: 8, NsPerEdge: 1.5, DensePush: true, Weighted: true}
-	bpHints   = sg.Hints{DataBytes: 16, NsPerEdge: 6, DensePush: true, Weighted: true}
+	prHints   = sg.Hints{DataBytes: 8, NsPerEdge: 1.5, DensePush: true, NoOutput: true}
+	spmvHints = sg.Hints{DataBytes: 8, NsPerEdge: 1.5, DensePush: true, Weighted: true, NoOutput: true}
+	bpHints   = sg.Hints{DataBytes: 16, NsPerEdge: 6, DensePush: true, Weighted: true, NoOutput: true}
 	bfsHints  = sg.Hints{DataBytes: 4, NsPerEdge: 1, DensePush: false}
 	ccHints   = sg.Hints{DataBytes: 4, NsPerEdge: 1}                   // dense rounds pull (Ligra's convention)
 	ssspHints = sg.Hints{DataBytes: 8, NsPerEdge: 1.5, Weighted: true} // dense rounds pull

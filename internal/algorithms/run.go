@@ -25,11 +25,11 @@ func PageRank(e sg.Engine, iters int, damping float64) []float64 {
 			invOut[v] = 1 / float64(d)
 		}
 	}
-	k := &prKernel{curr: curr, next: next, invOut: invOut}
+	k := prKernel{curr: curr, next: next, invOut: invOut}
 	all := state.NewAll(e.Bounds())
 	base := (1 - damping) / float64(n)
 	for it := 0; it < iters; it++ {
-		e.EdgeMap(all, k, prHints)
+		edgeMap(e, all, k, prHints)
 		e.VertexMap(all, func(v graph.Vertex) bool {
 			k.next[v] = base + damping*k.next[v]
 			k.curr[v] = 0 // pre-zero the array that becomes next
@@ -52,11 +52,11 @@ func SpMV(e sg.Engine, iters int, x0 []float64) []float64 {
 	}
 	xA := e.NewData("spmv/x")
 	yA := e.NewData("spmv/y")
-	k := &spmvKernel{x: xA.Data, y: yA.Data}
+	k := spmvKernel{x: xA.Data, y: yA.Data}
 	copy(k.x, x0)
 	all := state.NewAll(e.Bounds())
 	for it := 0; it < iters; it++ {
-		e.EdgeMap(all, k, spmvHints)
+		edgeMap(e, all, k, spmvHints)
 		e.VertexMap(all, func(v graph.Vertex) bool {
 			k.x[v] = 0 // pre-zero the array that becomes y
 			return true
@@ -78,14 +78,14 @@ func BP(e sg.Engine, iters int) []float64 {
 	}
 	currA := e.NewData("bp/curr")
 	accA := e.NewData("bp/acc")
-	k := &bpKernel{curr: currA.Data, acc: accA.Data}
+	k := bpKernel{curr: currA.Data, acc: accA.Data}
 	for v := 0; v < n; v++ {
 		k.curr[v] = 0.5
 		k.acc[v] = 1
 	}
 	all := state.NewAll(e.Bounds())
 	for it := 0; it < iters; it++ {
-		e.EdgeMap(all, k, bpHints)
+		edgeMap(e, all, k, bpHints)
 		e.VertexMap(all, func(v graph.Vertex) bool {
 			k.acc[v] = 1 - k.acc[v] // belief from the message product
 			k.curr[v] = 1           // becomes the next accumulator
@@ -111,7 +111,7 @@ func BFS(e sg.Engine, src graph.Vertex) []int64 {
 		return levels
 	}
 	parentA := e.NewData32("bfs/parent")
-	k := &bfsKernel{parent: parentA.Data}
+	k := bfsKernel{parent: parentA.Data}
 	for i := range k.parent {
 		k.parent[i] = unvisited
 	}
@@ -119,7 +119,7 @@ func BFS(e sg.Engine, src graph.Vertex) []int64 {
 	levels[src] = 0
 	frontier := state.NewSingle(e.Bounds(), src)
 	for level := int64(1); !frontier.IsEmpty(); level++ {
-		frontier = e.EdgeMap(frontier, k, bfsHints)
+		frontier = edgeMap(e, frontier, k, bfsHints)
 		frontier.ForEach(func(v graph.Vertex) { levels[v] = level })
 	}
 	return levels
@@ -132,13 +132,13 @@ func BFS(e sg.Engine, src graph.Vertex) []int64 {
 func CC(e sg.Engine) []graph.Vertex {
 	n := e.Graph().NumVertices()
 	labelsA := e.NewData32("cc/labels")
-	k := &ccKernel{labels: labelsA.Data}
+	k := ccKernel{labels: labelsA.Data}
 	for v := range k.labels {
 		k.labels[v] = uint32(v)
 	}
 	frontier := state.NewAll(e.Bounds())
 	for !frontier.IsEmpty() {
-		frontier = e.EdgeMap(frontier, k, ccHints)
+		frontier = edgeMap(e, frontier, k, ccHints)
 	}
 	out := make([]graph.Vertex, n)
 	copy(out, k.labels)
@@ -154,14 +154,14 @@ func SSSP(e sg.Engine, src graph.Vertex) []float64 {
 		return nil
 	}
 	distA := e.NewData("sssp/dist")
-	k := &ssspKernel{dist: distA.Data}
+	k := ssspKernel{dist: distA.Data}
 	for i := range k.dist {
 		k.dist[i] = infinity
 	}
 	k.dist[src] = 0
 	frontier := state.NewSingle(e.Bounds(), src)
 	for !frontier.IsEmpty() {
-		frontier = e.EdgeMap(frontier, k, ssspHints)
+		frontier = edgeMap(e, frontier, k, ssspHints)
 	}
 	out := make([]float64, n)
 	copy(out, k.dist)

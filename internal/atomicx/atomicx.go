@@ -10,9 +10,19 @@ import (
 	"unsafe"
 )
 
-// AddFloat64 atomically adds v to *p.
+// AddFloat64 atomically adds v to *p. The uncontended attempt is kept
+// small enough to inline into kernel edge functions; the retry loop lives
+// in the slow path.
 func AddFloat64(p *float64, v float64) {
 	u := (*uint64)(unsafe.Pointer(p))
+	old := atomic.LoadUint64(u)
+	if atomic.CompareAndSwapUint64(u, old, math.Float64bits(math.Float64frombits(old)+v)) {
+		return
+	}
+	addFloat64Slow(u, v)
+}
+
+func addFloat64Slow(u *uint64, v float64) {
 	for {
 		old := atomic.LoadUint64(u)
 		next := math.Float64bits(math.Float64frombits(old) + v)

@@ -23,7 +23,19 @@ const (
 // per-node rows (push or pull by algorithm preference), sparse phases
 // iterate the active lists through the per-node agent lookup; the adaptive
 // policy chooses by active degree.
+//
+// EdgeMap is the interface entry point; it simply instantiates the
+// generic EdgeMapK at the interface type, keeping one code path.
 func (e *Engine) EdgeMap(a *state.Subset, k sg.EdgeKernel, h sg.Hints) *state.Subset {
+	return EdgeMapK(e, a, k, h)
+}
+
+// EdgeMapK is EdgeMap generically typed on the kernel. Callers that know
+// the concrete kernel type (the algorithms package) instantiate it
+// directly so the per-edge Cond/Update/UpdateAtomic calls devirtualize and
+// inline instead of dispatching through the sg.EdgeKernel interface; the
+// interface path above is the fallback instantiation.
+func EdgeMapK[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hints) *state.Subset {
 	h = h.Normalize()
 	if a.IsEmpty() {
 		return state.NewEmpty(e.bounds)
@@ -37,7 +49,7 @@ func (e *Engine) EdgeMap(a *state.Subset, k sg.EdgeKernel, h sg.Hints) *state.Su
 	}
 	if !dense {
 		e.met.SparsePhases++
-		return e.edgeMapSparse(a.ToSparse(), k, h)
+		return edgeMapSparse(e, a.ToSparse(), k, h)
 	}
 	e.met.DensePhases++
 	pushDense := e.opt.Mode == Push || (e.opt.Mode == Auto && h.DensePush)
@@ -45,9 +57,9 @@ func (e *Engine) EdgeMap(a *state.Subset, k sg.EdgeKernel, h sg.Hints) *state.Su
 		pushDense = false
 	}
 	if pushDense {
-		return e.edgeMapDensePush(a.ToDense(), k, h)
+		return edgeMapDensePush(e, a.ToDense(), k, h)
 	}
-	return e.edgeMapDensePull(a.ToDense(), k, h)
+	return edgeMapDensePull(e, a.ToDense(), k, h)
 }
 
 // charger accumulates one thread's classified traffic during a phase and
@@ -65,6 +77,17 @@ type charger struct {
 	condChecks    int64
 	lookups       int64 // sparse-mode agent-table probes
 	appends       int64 // sparse-mode queue appends
+
+	_ [2]int64 // pad: pooled chargers are adjacent in memory
+}
+
+// reset clears the per-phase counters, keeping identity and slices.
+func (c *charger) reset() {
+	for o := range c.rowsByOwner {
+		c.rowsByOwner[o] = 0
+		c.activeByOwner[o] = 0
+	}
+	c.edges, c.updates, c.condChecks, c.lookups, c.appends = 0, 0, 0, 0, 0
 }
 
 // balanceWithinNodes redistributes each node's accumulated work evenly
@@ -75,9 +98,10 @@ type charger struct {
 // addresses (Table 6(b), Figure 11).
 func (e *Engine) balanceWithinNodes(chargers []*charger) {
 	cpn := e.m.CoresPerNode
+	sum := &e.scr.sum
 	for p := 0; p < e.m.Nodes; p++ {
 		group := chargers[p*cpn : (p+1)*cpn]
-		sum := newCharger(e, nil, p*cpn, e.m.Nodes)
+		sum.reset()
 		for _, c := range group {
 			if c == nil {
 				continue
@@ -106,14 +130,6 @@ func (e *Engine) balanceWithinNodes(chargers []*charger) {
 				c.activeByOwner[o] = sum.activeByOwner[o] / int64(cpn)
 			}
 		}
-	}
-}
-
-func newCharger(e *Engine, ep *numa.Epoch, th int, nodes int) *charger {
-	return &charger{
-		e: e, ep: ep, th: th, p: e.m.NodeOfThread(th),
-		rowsByOwner:   make([]int64, nodes),
-		activeByOwner: make([]int64, nodes),
 	}
 }
 
@@ -242,19 +258,16 @@ func dataWS(e *Engine, h sg.Hints) int64 {
 
 // edgeMapDensePush sweeps each node's source-keyed rows in rolling order:
 // active sources push updates to their local targets.
-func (e *Engine) edgeMapDensePush(a *state.Subset, k sg.EdgeKernel, h sg.Hints) *state.Subset {
+func edgeMapDensePush[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hints) *state.Subset {
 	l := e.ensurePush()
-	b := state.NewBuilder(e.bounds, e.m.Threads(), true)
-	ep := e.m.NewEpoch()
-	nodes := e.m.Nodes
-
-	strides := make([]*par.Strided, nodes)
-	for p := 0; p < nodes; p++ {
-		rows := int64(len(l.perNode[p].rowIDs))
-		strides[p] = par.NewStrided(rows, chunkSize(rows, e.m.CoresPerNode), e.m.CoresPerNode)
+	collect := !h.NoOutput
+	var b *state.Builder
+	if collect {
+		b = state.NewBuilder(e.bounds, e.m.Threads(), true).Reuse(&e.scr.builder).WithDegrees(e.degreeOf)
 	}
+	ep := e.scr.beginPhase()
+	full := a.Count() == int64(e.g.NumVertices())
 
-	chargers := make([]*charger, e.m.Threads())
 	e.pool.Run(func(th int) {
 		p := e.m.NodeOfThread(th)
 		nl := &l.perNode[p]
@@ -266,10 +279,10 @@ func (e *Engine) edgeMapDensePush(a *state.Subset, k sg.EdgeKernel, h sg.Hints) 
 		if e.opt.DisableRolling {
 			start = 0
 		}
-		c := newCharger(e, ep, th, nodes)
-		chargers[th] = c
+		c := e.scr.charger(th)
 		weighted := h.Weighted && nl.wts != nil
-		strides[p].Do(th%e.m.CoresPerNode, func(lo, hi int64) {
+		l.strides[p].Do(th%e.m.CoresPerNode, func(lo, hi int64) {
+			var edges, condChecks, updates int64
 			for i := lo; i < hi; i++ {
 				r := int(i) + start
 				if r >= rows {
@@ -278,37 +291,58 @@ func (e *Engine) edgeMapDensePush(a *state.Subset, k sg.EdgeKernel, h sg.Hints) 
 				s := nl.rowIDs[r]
 				owner := nl.rowOwner[r]
 				c.rowsByOwner[owner]++
-				if !a.Contains(s) {
+				if !full && !a.Contains(s) {
 					continue
 				}
 				c.activeByOwner[owner]++
-				for j := nl.rowIdx[r]; j < nl.rowIdx[r+1]; j++ {
-					t := nl.cols[j]
-					c.edges++
-					if !k.Cond(t) {
-						continue
+				cols := nl.cols[nl.rowIdx[r]:nl.rowIdx[r+1]]
+				if weighted {
+					wts := nl.wts[nl.rowIdx[r]:nl.rowIdx[r+1]]
+					for j, t := range cols {
+						edges++
+						if !k.Cond(t) {
+							continue
+						}
+						condChecks++
+						if k.UpdateAtomic(s, t, wts[j]) {
+							if collect {
+								b.SetIn(p, th, t) // push targets are node-local
+							}
+							updates++
+						}
 					}
-					c.condChecks++
-					var w float32
-					if weighted {
-						w = nl.wts[j]
-					}
-					if k.UpdateAtomic(s, t, w) {
-						b.Set(t)
-						c.updates++
+				} else {
+					for _, t := range cols {
+						edges++
+						if !k.Cond(t) {
+							continue
+						}
+						condChecks++
+						if k.UpdateAtomic(s, t, 0) {
+							if collect {
+								b.SetIn(p, th, t)
+							}
+							updates++
+						}
 					}
 				}
 			}
+			c.edges += edges
+			c.condChecks += condChecks
+			c.updates += updates
 		})
 		e.addEdges(c.edges)
 	})
-	e.balanceWithinNodes(chargers)
-	for th, c := range chargers {
+	e.balanceWithinNodes(e.scr.chargers)
+	for th, c := range e.scr.chargers {
 		if c != nil {
 			c.flushPush(h, l.perNode[e.m.NodeOfThread(th)].vr.Len())
 		}
 	}
 	e.recordPhase("edgemap", true, true, a.Count(), e.chargePhase(ep))
+	if !collect {
+		return state.NewEmpty(e.bounds)
+	}
 	return b.Build()
 }
 
@@ -316,20 +350,17 @@ func (e *Engine) edgeMapDensePush(a *state.Subset, k sg.EdgeKernel, h sg.Hints) 
 // gathers from its local sources. With more than one node the same target
 // may be updated from several nodes concurrently, so the atomic update
 // path is used (Section 4.3).
-func (e *Engine) edgeMapDensePull(a *state.Subset, k sg.EdgeKernel, h sg.Hints) *state.Subset {
+func edgeMapDensePull[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hints) *state.Subset {
 	l := e.ensurePull()
-	b := state.NewBuilder(e.bounds, e.m.Threads(), true)
-	ep := e.m.NewEpoch()
-	nodes := e.m.Nodes
-	atomicUpdate := nodes > 1 || e.m.CoresPerNode > 1
-
-	strides := make([]*par.Strided, nodes)
-	for p := 0; p < nodes; p++ {
-		rows := int64(len(l.perNode[p].rowIDs))
-		strides[p] = par.NewStrided(rows, chunkSize(rows, e.m.CoresPerNode), e.m.CoresPerNode)
+	collect := !h.NoOutput
+	var b *state.Builder
+	if collect {
+		b = state.NewBuilder(e.bounds, e.m.Threads(), true).Reuse(&e.scr.builder).WithDegrees(e.degreeOf)
 	}
+	ep := e.scr.beginPhase()
+	atomicUpdate := e.m.Nodes > 1 || e.m.CoresPerNode > 1
+	full := a.Count() == int64(e.g.NumVertices())
 
-	chargers := make([]*charger, e.m.Threads())
 	e.pool.Run(func(th int) {
 		p := e.m.NodeOfThread(th)
 		nl := &l.perNode[p]
@@ -341,10 +372,10 @@ func (e *Engine) edgeMapDensePull(a *state.Subset, k sg.EdgeKernel, h sg.Hints) 
 		if e.opt.DisableRolling {
 			start = 0
 		}
-		c := newCharger(e, ep, th, nodes)
-		chargers[th] = c
+		c := e.scr.charger(th)
 		weighted := h.Weighted && nl.wts != nil
-		strides[p].Do(th%e.m.CoresPerNode, func(lo, hi int64) {
+		l.strides[p].Do(th%e.m.CoresPerNode, func(lo, hi int64) {
+			var edges, updates int64
 			for i := lo; i < hi; i++ {
 				r := int(i) + start
 				if r >= rows {
@@ -357,15 +388,15 @@ func (e *Engine) edgeMapDensePull(a *state.Subset, k sg.EdgeKernel, h sg.Hints) 
 					continue
 				}
 				updated := false
-				for j := nl.rowIdx[r]; j < nl.rowIdx[r+1]; j++ {
-					s := nl.cols[j]
-					c.edges++
-					if !a.Contains(s) {
+				cols := nl.cols[nl.rowIdx[r]:nl.rowIdx[r+1]]
+				for j, s := range cols {
+					edges++
+					if !full && !a.Contains(s) {
 						continue
 					}
 					var w float32
 					if weighted {
-						w = nl.wts[j]
+						w = nl.wts[int(nl.rowIdx[r])+j]
 					}
 					var ok bool
 					if atomicUpdate {
@@ -381,54 +412,65 @@ func (e *Engine) edgeMapDensePull(a *state.Subset, k sg.EdgeKernel, h sg.Hints) 
 					}
 				}
 				if updated {
-					b.Set(t)
+					if collect {
+						b.Set(th, t)
+					}
 					c.activeByOwner[owner]++
-					c.updates++
+					updates++
 				}
 			}
+			c.edges += edges
+			c.updates += updates
 		})
 		e.addEdges(c.edges)
 	})
-	e.balanceWithinNodes(chargers)
-	for th, c := range chargers {
+	e.balanceWithinNodes(e.scr.chargers)
+	for th, c := range e.scr.chargers {
 		if c != nil {
 			c.flushPull(h, l.perNode[e.m.NodeOfThread(th)].vr.Len())
 		}
 	}
 	e.recordPhase("edgemap", true, false, a.Count(), e.chargePhase(ep))
+	if !collect {
+		return state.NewEmpty(e.bounds)
+	}
 	return b.Build()
 }
 
 // edgeMapSparse iterates the active vertex lists (all nodes' leaves, read
 // through the lookup table) and processes, on each node, the local
 // portion of every active vertex's edges via the agent lookup.
-func (e *Engine) edgeMapSparse(a *state.Subset, k sg.EdgeKernel, h sg.Hints) *state.Subset {
+func edgeMapSparse[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hints) *state.Subset {
 	l := e.ensurePush()
-	b := state.NewBuilder(e.bounds, e.m.Threads(), false)
-	ep := e.m.NewEpoch()
+	collect := !h.NoOutput
+	var b *state.Builder
+	if collect {
+		b = state.NewBuilder(e.bounds, e.m.Threads(), false).Reuse(&e.scr.builder).WithDegrees(e.degreeOf)
+	}
+	ep := e.scr.beginPhase()
 	nodes := e.m.Nodes
 
-	// Concatenate the per-node active lists once; every node sweeps the
-	// full frontier (its local edges of each active vertex).
-	actives := make([]graph.Vertex, 0, a.Count())
-	ownerOf := make([]uint8, 0, a.Count())
+	// Concatenate the per-node active lists once (into the reusable
+	// scratch buffers); every node sweeps the full frontier (its local
+	// edges of each active vertex).
+	actives := e.scr.actives[:0]
+	ownerOf := e.scr.ownerOf[:0]
 	for p := 0; p < nodes; p++ {
 		for _, v := range a.List(p) {
 			actives = append(actives, v)
 			ownerOf = append(ownerOf, uint8(p))
 		}
 	}
-	stride := par.NewStrided(int64(len(actives)), chunkSize(int64(len(actives)), e.m.CoresPerNode), e.m.CoresPerNode)
+	e.scr.actives, e.scr.ownerOf = actives, ownerOf
+	stride := par.MakeStrided(int64(len(actives)), chunkSize(int64(len(actives)), e.m.CoresPerNode), e.m.CoresPerNode)
 
-	chargers := make([]*charger, e.m.Threads())
 	e.pool.Run(func(th int) {
 		p := e.m.NodeOfThread(th)
 		nl := &l.perNode[p]
 		if len(nl.rowIDs) == 0 {
 			return
 		}
-		c := newCharger(e, ep, th, nodes)
-		chargers[th] = c
+		c := e.scr.charger(th)
 		weighted := h.Weighted && nl.wts != nil
 		stride.Do(th%e.m.CoresPerNode, func(lo, hi int64) {
 			for i := lo; i < hi; i++ {
@@ -453,7 +495,9 @@ func (e *Engine) edgeMapSparse(a *state.Subset, k sg.EdgeKernel, h sg.Hints) *st
 						w = nl.wts[j]
 					}
 					if k.UpdateAtomic(s, t, w) {
-						b.Add(th, t)
+						if collect {
+							b.Add(th, t)
+						}
 						c.updates++
 						c.appends++
 					}
@@ -462,13 +506,16 @@ func (e *Engine) edgeMapSparse(a *state.Subset, k sg.EdgeKernel, h sg.Hints) *st
 		})
 		e.addEdges(c.edges)
 	})
-	e.balanceWithinNodes(chargers)
-	for th, c := range chargers {
+	e.balanceWithinNodes(e.scr.chargers)
+	for th, c := range e.scr.chargers {
 		if c != nil {
 			c.flushPush(h, l.perNode[e.m.NodeOfThread(th)].vr.Len())
 		}
 	}
 	e.recordPhase("edgemap", false, true, a.Count(), e.chargePhase(ep))
+	if !collect {
+		return state.NewEmpty(e.bounds)
+	}
 	return b.Build()
 }
 
@@ -480,15 +527,11 @@ func (e *Engine) VertexMap(a *state.Subset, f sg.VertexFunc) *state.Subset {
 		return state.NewEmpty(e.bounds)
 	}
 	e.met.VertexMaps++
-	b := state.NewBuilder(e.bounds, e.m.Threads(), a.Dense())
-	ep := e.m.NewEpoch()
-	nodes := e.m.Nodes
+	b := state.NewBuilder(e.bounds, e.m.Threads(), a.Dense()).Reuse(&e.scr.builder).WithDegrees(e.degreeOf)
+	ep := e.scr.beginPhase()
 
 	if a.Dense() {
-		strides := make([]*par.Strided, nodes)
-		for p := 0; p < nodes; p++ {
-			strides[p] = par.NewStrided(int64(len(a.Words(p))), 64, e.m.CoresPerNode)
-		}
+		strides := e.vmDenseStrides()
 		e.pool.Run(func(th int) {
 			p := e.m.NodeOfThread(th)
 			words := a.Words(p)
@@ -503,7 +546,7 @@ func (e *Engine) VertexMap(a *state.Subset, f sg.VertexFunc) *state.Subset {
 						v := graph.Vertex(base + int(wi)*64 + bit)
 						visited++
 						if f(v) {
-							b.Set(v)
+							b.SetIn(p, th, v) // node p's words cover its own partition
 						}
 						w &= w - 1
 					}
@@ -515,15 +558,12 @@ func (e *Engine) VertexMap(a *state.Subset, f sg.VertexFunc) *state.Subset {
 			ep.Compute(th, float64(visited)*2e-9)
 		})
 	} else {
-		strides := make([]*par.Strided, nodes)
-		for p := 0; p < nodes; p++ {
-			strides[p] = par.NewStrided(int64(len(a.List(p))), 64, e.m.CoresPerNode)
-		}
 		e.pool.Run(func(th int) {
 			p := e.m.NodeOfThread(th)
 			list := a.List(p)
 			var visited int64
-			strides[p].Do(th%e.m.CoresPerNode, func(lo, hi int64) {
+			stride := par.MakeStrided(int64(len(list)), 64, e.m.CoresPerNode)
+			stride.Do(th%e.m.CoresPerNode, func(lo, hi int64) {
 				for i := lo; i < hi; i++ {
 					v := list[i]
 					visited++
@@ -551,7 +591,5 @@ func chunkSize(n int64, threadsPerNode int) int64 {
 
 // addEdges accumulates the processed-edge metric from worker goroutines.
 func (e *Engine) addEdges(n int64) {
-	e.edgesMu.Lock()
-	e.met.EdgesProcessed += n
-	e.edgesMu.Unlock()
+	e.edgesProcessed.Add(n)
 }

@@ -23,7 +23,7 @@
 package core
 
 import (
-	"sync"
+	"sync/atomic"
 
 	"polymer/internal/barrier"
 	"polymer/internal/graph"
@@ -131,11 +131,14 @@ type Engine struct {
 	parts  []partition.Range
 	bounds []int
 
-	pool    *par.Pool
-	ledger  *numa.Epoch // whole-run accumulation
-	clock   float64
-	met     Metrics
-	edgesMu sync.Mutex
+	pool           *par.Pool
+	ledger         *numa.Epoch // whole-run accumulation
+	clock          float64
+	met            Metrics
+	edgesProcessed atomic.Int64 // workers accumulate without a lock
+
+	scr      *scratch               // phase-scoped reusable buffers
+	degreeOf func(v uint32) int64   // out-degree accessor for frontier builders
 
 	push *layout // lazily built; keyed by source, columns are local targets
 	pull *layout // lazily built; keyed by target, columns are local sources
@@ -170,6 +173,8 @@ func New(g *graph.Graph, m *numa.Machine, opt Options) *Engine {
 	e.bounds = partition.Bounds(e.parts)
 	e.pool = par.NewPool(m.Threads())
 	e.ledger = m.NewEpoch()
+	e.scr = newScratch(e)
+	e.degreeOf = func(v uint32) int64 { return g.OutDegree(graph.Vertex(v)) }
 	// The engine keeps the construction-stage graph resident alongside
 	// its grouped per-node layouts (part of Table 5's footprint).
 	m.Alloc().Grow("polymer/graph", g.TopologyBytes())
@@ -192,7 +197,11 @@ func (e *Engine) Parts() []partition.Range { return e.parts }
 func (e *Engine) Options() Options { return e.opt }
 
 // Metrics returns activity counters.
-func (e *Engine) Metrics() Metrics { return e.met }
+func (e *Engine) Metrics() Metrics {
+	m := e.met
+	m.EdgesProcessed = e.edgesProcessed.Load()
+	return m
+}
 
 // SimSeconds returns the accumulated simulated runtime, including barrier
 // costs.

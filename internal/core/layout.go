@@ -2,6 +2,7 @@ package core
 
 import (
 	"polymer/internal/graph"
+	"polymer/internal/par"
 	"polymer/internal/partition"
 )
 
@@ -20,6 +21,11 @@ type layout struct {
 	perNode    []nodeLayout
 	agentBytes int64
 	totalRows  int64
+
+	// strides[p] is node p's row-sweep schedule. Row counts are fixed once
+	// the layout is built, so the schedule is computed here instead of per
+	// phase.
+	strides []par.Strided
 }
 
 type nodeLayout struct {
@@ -195,6 +201,11 @@ func (e *Engine) ensurePull() *layout {
 }
 
 func (e *Engine) registerLayout(l *layout) {
+	l.strides = make([]par.Strided, len(l.perNode))
+	for p := range l.perNode {
+		rows := int64(len(l.perNode[p].rowIDs))
+		l.strides[p] = par.MakeStrided(rows, chunkSize(rows, e.m.CoresPerNode), e.m.CoresPerNode)
+	}
 	b := l.bytes()
 	e.m.Alloc().Grow("polymer/topology", b)
 	e.topoBytes += b

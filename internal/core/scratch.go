@@ -1,0 +1,90 @@
+package core
+
+import (
+	"polymer/internal/graph"
+	"polymer/internal/numa"
+	"polymer/internal/par"
+	"polymer/internal/state"
+)
+
+// scratch is the engine-owned, phase-scoped arena: every buffer a single
+// EdgeMap/VertexMap phase needs and provably abandons by its end lives
+// here and is reset — not reallocated — between phases, so steady-state
+// iterations allocate almost nothing on the host. The simulated memory
+// model is unaffected: scratch only changes host allocation behaviour,
+// never the charged traffic.
+//
+// What may be reused: the phase epoch (its ledger is folded into the run
+// ledger by chargePhase and never retained), the per-thread chargers, the
+// builder's per-thread queues and degree counters, and the sparse-mode
+// concatenated frontier. What must NOT be reused: the dense bitmap leaves
+// handed to the returned Subset — the caller owns the frontier and the
+// engine cannot see its lifetime.
+type scratch struct {
+	ep          *numa.Epoch // reset at the start of every phase
+	chargerPool []charger   // one per thread; counter slices allocated once
+	chargers    []*charger  // per-phase view: nil, or &chargerPool[th]
+	sum         charger     // balanceWithinNodes accumulator
+	builder     state.BuilderScratch
+
+	// Sparse-mode concatenated frontier (active ids + owner nodes).
+	actives []graph.Vertex
+	ownerOf []uint8
+
+	// Cached dense VertexMap schedules; per-node word counts are fixed by
+	// the partition, so these never change after first use.
+	vmDense []par.Strided
+}
+
+func newScratch(e *Engine) *scratch {
+	threads := e.m.Threads()
+	nodes := e.m.Nodes
+	s := &scratch{
+		ep:          e.m.NewEpoch(),
+		chargerPool: make([]charger, threads),
+		chargers:    make([]*charger, threads),
+	}
+	for th := range s.chargerPool {
+		c := &s.chargerPool[th]
+		c.e, c.ep, c.th, c.p = e, s.ep, th, e.m.NodeOfThread(th)
+		c.rowsByOwner = make([]int64, nodes)
+		c.activeByOwner = make([]int64, nodes)
+	}
+	s.sum.e = e
+	s.sum.rowsByOwner = make([]int64, nodes)
+	s.sum.activeByOwner = make([]int64, nodes)
+	return s
+}
+
+// beginPhase resets the arena for a new parallel phase and returns the
+// phase epoch.
+func (s *scratch) beginPhase() *numa.Epoch {
+	s.ep.Reset()
+	for i := range s.chargers {
+		s.chargers[i] = nil
+	}
+	return s.ep
+}
+
+// charger claims thread th's pooled charger for the current phase. Each
+// worker touches only its own slot, so no synchronisation is needed.
+func (s *scratch) charger(th int) *charger {
+	c := &s.chargerPool[th]
+	c.reset()
+	s.chargers[th] = c
+	return c
+}
+
+// vmDenseStrides returns the cached dense VertexMap schedules, building
+// them on first use.
+func (e *Engine) vmDenseStrides() []par.Strided {
+	s := e.scr
+	if s.vmDense == nil {
+		s.vmDense = make([]par.Strided, e.m.Nodes)
+		for p := 0; p < e.m.Nodes; p++ {
+			words := int64(e.bounds[p+1]-e.bounds[p]+63) / 64
+			s.vmDense[p] = par.MakeStrided(words, 64, e.m.CoresPerNode)
+		}
+	}
+	return s.vmDense
+}

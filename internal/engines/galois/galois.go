@@ -17,7 +17,6 @@ package galois
 
 import (
 	"math"
-	"sync"
 	"sync/atomic"
 
 	"polymer/internal/atomicx"
@@ -49,14 +48,21 @@ type Engine struct {
 	m   *numa.Machine
 	opt Options
 
-	pool    *par.Pool
-	ledger  *numa.Epoch
-	clock   float64
-	edges   int64
-	edgesMu sync.Mutex
-	topoB   int64
-	dataB   int64
-	closed  bool
+	pool   *par.Pool
+	ledger *numa.Epoch
+	clock  float64
+	edges  atomic.Int64
+	topoB  int64
+	dataB  int64
+	closed bool
+
+	// Round-scoped scratch, reset between parallel rounds so steady-state
+	// iterations reuse the epoch, counters and worklist buffers instead of
+	// reallocating them. Host-only: charged traffic is unchanged.
+	scrEp     *numa.Epoch
+	scrCnt    *counters
+	nextLists [][]graph.Vertex
+	farLists  [][]graph.Vertex
 }
 
 // New builds a Galois engine for g on m.
@@ -75,6 +81,10 @@ func New(g *graph.Graph, m *numa.Machine, opt Options) *Engine {
 		pool:   par.NewPool(m.Threads()),
 		ledger: m.NewEpoch(),
 	}
+	e.scrEp = m.NewEpoch()
+	e.scrCnt = newCounters(m.Threads())
+	e.nextLists = make([][]graph.Vertex, m.Threads())
+	e.farLists = make([][]graph.Vertex, m.Threads())
 	// Galois keeps a single edge direction resident for most algorithms
 	// and reuses memory aggressively.
 	e.topoB = g.TopologyBytes() / 2
@@ -95,7 +105,7 @@ func (e *Engine) SimSeconds() float64 { return e.clock }
 func (e *Engine) RunStats() numa.Stats { return e.ledger.Stats() }
 
 // EdgesProcessed returns total edge applications.
-func (e *Engine) EdgesProcessed() int64 { return e.edges }
+func (e *Engine) EdgesProcessed() int64 { return e.edges.Load() }
 
 // Close stops the workers and releases simulated allocations.
 func (e *Engine) Close() {
@@ -129,6 +139,13 @@ type counterSlot struct {
 
 func newCounters(threads int) *counters { return &counters{slots: make([]counterSlot, threads)} }
 
+func (c *counters) reset() {
+	for i := range c.slots {
+		c.slots[i].edges = 0
+		c.slots[i].tasks = 0
+	}
+}
+
 func (c *counters) add(th int, edges, tasks int64) {
 	c.slots[th].edges += edges
 	c.slots[th].tasks += tasks
@@ -160,9 +177,25 @@ func (e *Engine) chargeRound(ep *numa.Epoch, cnt *counters, dataBytes int, syncK
 	}
 	e.clock += ep.Time() + barrier.SyncCost(syncKind, e.m.Nodes)/e.m.Topo.SyncScale
 	e.ledger.Add(ep)
-	e.edgesMu.Lock()
-	e.edges += edges
-	e.edgesMu.Unlock()
+	e.edges.Add(edges)
+}
+
+// beginRound resets and hands out the round-scoped epoch and counters.
+// Rounds are sequential (each ends at chargeRound's join), so one set of
+// buffers serves the whole run.
+func (e *Engine) beginRound() (*numa.Epoch, *counters) {
+	e.scrEp.Reset()
+	e.scrCnt.reset()
+	return e.scrEp, e.scrCnt
+}
+
+// roundLists hands out the reusable per-thread worklist buffers, emptied.
+func (e *Engine) roundLists() (next, far [][]graph.Vertex) {
+	for th := range e.nextLists {
+		e.nextLists[th] = e.nextLists[th][:0]
+		e.farLists[th] = e.farLists[th][:0]
+	}
+	return e.nextLists, e.farLists
 }
 
 // PageRank runs the synchronous pull-based PageRank Galois selects
@@ -183,10 +216,9 @@ func (e *Engine) PageRank(iters int, damping float64) []float64 {
 			invOut[v] = 1 / float64(d)
 		}
 	}
+	ck := par.MakeStrided(int64(n), 64, e.m.Threads())
 	for it := 0; it < iters; it++ {
-		ck := par.NewStrided(int64(n), 64, e.m.Threads())
-		ep := e.m.NewEpoch()
-		cnt := newCounters(e.m.Threads())
+		ep, cnt := e.beginRound()
 		e.pool.Run(func(th int) {
 			var edges, tasks int64
 			ck.Do(th, func(lo, hi int64) {
@@ -217,10 +249,9 @@ func (e *Engine) SpMV(iters int, x0 []float64) []float64 {
 	y := make([]float64, n)
 	e.trackData(int64(n) * 16)
 	copy(x, x0)
+	ck := par.MakeStrided(int64(n), 64, e.m.Threads())
 	for it := 0; it < iters; it++ {
-		ck := par.NewStrided(int64(n), 64, e.m.Threads())
-		ep := e.m.NewEpoch()
-		cnt := newCounters(e.m.Threads())
+		ep, cnt := e.beginRound()
 		e.pool.Run(func(th int) {
 			var edges, tasks int64
 			ck.Do(th, func(lo, hi int64) {
@@ -260,10 +291,9 @@ func (e *Engine) BP(iters int) []float64 {
 	for i := range curr {
 		curr[i] = 0.5
 	}
+	ck := par.MakeStrided(int64(n), 64, e.m.Threads())
 	for it := 0; it < iters; it++ {
-		ck := par.NewStrided(int64(n), 64, e.m.Threads())
-		ep := e.m.NewEpoch()
-		cnt := newCounters(e.m.Threads())
+		ep, cnt := e.beginRound()
 		e.pool.Run(func(th int) {
 			var edges, tasks int64
 			ck.Do(th, func(lo, hi int64) {
@@ -307,10 +337,9 @@ func (e *Engine) BFS(src graph.Vertex) []int64 {
 	dist[src] = 0
 	frontier := []graph.Vertex{src}
 	for len(frontier) > 0 {
-		nextLists := make([][]graph.Vertex, e.m.Threads())
-		ck := par.NewStrided(int64(len(frontier)), 16, e.m.Threads())
-		ep := e.m.NewEpoch()
-		cnt := newCounters(e.m.Threads())
+		nextLists, _ := e.roundLists()
+		ck := par.MakeStrided(int64(len(frontier)), 16, e.m.Threads())
+		ep, cnt := e.beginRound()
 		e.pool.Run(func(th int) {
 			var edges, tasks int64
 			ck.Do(th, func(lo, hi int64) {
@@ -383,9 +412,8 @@ func (e *Engine) CC() []graph.Vertex {
 	}
 
 	// One pass over all edges, in parallel.
-	ck := par.NewStrided(int64(n), 64, e.m.Threads())
-	ep := e.m.NewEpoch()
-	cnt := newCounters(e.m.Threads())
+	ck := par.MakeStrided(int64(n), 64, e.m.Threads())
+	ep, cnt := e.beginRound()
 	e.pool.Run(func(th int) {
 		var edges, tasks int64
 		ck.Do(th, func(lo, hi int64) {
@@ -403,9 +431,8 @@ func (e *Engine) CC() []graph.Vertex {
 
 	// Final flattening pass.
 	out := make([]graph.Vertex, n)
-	ck2 := par.NewStrided(int64(n), 64, e.m.Threads())
-	ep2 := e.m.NewEpoch()
-	cnt2 := newCounters(e.m.Threads())
+	ck2 := par.MakeStrided(int64(n), 64, e.m.Threads())
+	ep2, cnt2 := e.beginRound()
 	e.pool.Run(func(th int) {
 		var tasks int64
 		ck2.Do(th, func(lo, hi int64) {
@@ -449,11 +476,9 @@ func (e *Engine) SSSP(src graph.Vertex) []float64 {
 		// Settle the bucket: repeated light-edge relaxation.
 		frontier := buckets[bi]
 		for len(frontier) > 0 {
-			nextLists := make([][]graph.Vertex, e.m.Threads())
-			farLists := make([][]graph.Vertex, e.m.Threads())
-			ck := par.NewStrided(int64(len(frontier)), 16, e.m.Threads())
-			ep := e.m.NewEpoch()
-			cnt := newCounters(e.m.Threads())
+			nextLists, farLists := e.roundLists()
+			ck := par.MakeStrided(int64(len(frontier)), 16, e.m.Threads())
+			ep, cnt := e.beginRound()
 			e.pool.Run(func(th int) {
 				var edges, tasks int64
 				ck.Do(th, func(lo, hi int64) {
@@ -494,7 +519,7 @@ func (e *Engine) SSSP(src graph.Vertex) []float64 {
 				for _, u := range l {
 					buckets = push(buckets, u, atomicx.LoadFloat64(&dist[u]))
 				}
-				farLists[th] = nil
+				farLists[th] = farLists[th][:0]
 			}
 		}
 	}

@@ -16,7 +16,7 @@ package ligra
 
 import (
 	"math/bits"
-	"sync"
+	"sync/atomic"
 
 	"polymer/internal/barrier"
 	"polymer/internal/graph"
@@ -50,16 +50,39 @@ type Engine struct {
 
 	bounds []int // single leaf: Ligra's state is one flat structure
 
-	pool    *par.Pool
-	ledger  *numa.Epoch
-	clock   float64
-	arrays  []interface{ Free() }
-	edgesMu sync.Mutex
-	edges   int64
-	closed  bool
+	pool   *par.Pool
+	ledger *numa.Epoch
+	clock  float64
+	arrays []interface{ Free() }
+	edges  atomic.Int64
+	closed bool
+
+	scr      *scratch
+	degreeOf func(v uint32) int64
+
+	// Cached schedules: the dense sweeps always cover the fixed vertex
+	// (or bitmap-word) range.
+	vSweep  par.Strided
+	vmWords par.Strided
 }
 
 var _ sg.Engine = (*Engine)(nil)
+
+// scratch is the phase-scoped arena: the phase epoch and counters are
+// reset — not reallocated — between EdgeMap/VertexMap phases, and the
+// frontier builder reuses its per-thread queues. Only host allocation
+// behaviour changes; charged traffic is untouched.
+type scratch struct {
+	ep      *numa.Epoch
+	pc      *phaseCounts
+	builder state.BuilderScratch
+}
+
+func (s *scratch) beginPhase() (*numa.Epoch, *phaseCounts) {
+	s.ep.Reset()
+	s.pc.reset()
+	return s.ep, s.pc
+}
 
 // New builds a Ligra engine for g on m.
 func New(g *graph.Graph, m *numa.Machine, opt Options) *Engine {
@@ -75,6 +98,11 @@ func New(g *graph.Graph, m *numa.Machine, opt Options) *Engine {
 		pool:   par.NewPool(m.Threads()),
 		ledger: m.NewEpoch(),
 	}
+	e.scr = &scratch{ep: m.NewEpoch(), pc: newPhaseCounts(m.Threads())}
+	e.degreeOf = func(v uint32) int64 { return g.OutDegree(graph.Vertex(v)) }
+	n := int64(g.NumVertices())
+	e.vSweep = par.MakeStrided(n, chunkSize(n, m.Threads()), m.Threads())
+	e.vmWords = par.MakeStrided((n+63)/64, 64, m.Threads())
 	m.Alloc().Grow("ligra/topology", g.TopologyBytes())
 	return e
 }
@@ -98,7 +126,7 @@ func (e *Engine) AddSimSeconds(s float64) { e.clock += s }
 func (e *Engine) RunStats() numa.Stats { return e.ledger.Stats() }
 
 // EdgesProcessed returns the total number of edge applications.
-func (e *Engine) EdgesProcessed() int64 { return e.edges }
+func (e *Engine) EdgesProcessed() int64 { return e.edges.Load() }
 
 // ThreadSeconds returns per-thread simulated busy time.
 func (e *Engine) ThreadSeconds() []float64 {
@@ -145,9 +173,7 @@ func (e *Engine) chargePhase(ep *numa.Epoch) {
 }
 
 func (e *Engine) addEdges(n int64) {
-	e.edgesMu.Lock()
-	e.edges += n
-	e.edgesMu.Unlock()
+	e.edges.Add(n)
 }
 
 // phaseCounts accumulates per-thread work in padded slots; totals are
@@ -159,6 +185,12 @@ type phaseCounts struct {
 
 func newPhaseCounts(threads int) *phaseCounts {
 	return &phaseCounts{slots: make([][8]int64, threads)}
+}
+
+func (p *phaseCounts) reset() {
+	for i := range p.slots {
+		p.slots[i] = [8]int64{}
+	}
 }
 
 func (p *phaseCounts) per(threads int) [4]int64 {
@@ -183,8 +215,16 @@ func (p *phaseCounts) total(j int) int64 {
 }
 
 // EdgeMap applies k to the edges of the active set, switching between
-// sparse-push and a dense mode chosen by the algorithm's preference.
+// sparse-push and a dense mode chosen by the algorithm's preference. It is
+// the interface entry point; EdgeMapK is the generic implementation.
 func (e *Engine) EdgeMap(a *state.Subset, k sg.EdgeKernel, h sg.Hints) *state.Subset {
+	return EdgeMapK(e, a, k, h)
+}
+
+// EdgeMapK is EdgeMap generically typed on the kernel so that concrete
+// kernels devirtualize in the per-edge loops; the interface method above
+// is the fallback instantiation.
+func EdgeMapK[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hints) *state.Subset {
 	h = h.Normalize()
 	if a.IsEmpty() {
 		return state.NewEmpty(e.bounds)
@@ -195,49 +235,65 @@ func (e *Engine) EdgeMap(a *state.Subset, k sg.EdgeKernel, h sg.Hints) *state.Su
 		dense = state.ShouldDense(a.Count(), deg, e.g.NumEdges(), e.opt.Threshold)
 	}
 	if !dense {
-		return e.edgeMapSparse(a.ToSparse(), k, h)
+		return edgeMapSparse(e, a.ToSparse(), k, h)
 	}
 	if h.DensePush {
-		return e.edgeMapDensePush(a.ToDense(), k, h)
+		return edgeMapDensePush(e, a.ToDense(), k, h)
 	}
-	return e.edgeMapDensePull(a.ToDense(), k, h)
+	return edgeMapDensePull(e, a.ToDense(), k, h)
 }
 
 // edgeMapDensePush scans all vertices; active ones push along out-edges
 // with random global writes (the paper's RAND|W|G pattern).
-func (e *Engine) edgeMapDensePush(a *state.Subset, k sg.EdgeKernel, h sg.Hints) *state.Subset {
+func edgeMapDensePush[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hints) *state.Subset {
 	g := e.g
 	n := g.NumVertices()
-	b := state.NewBuilder(e.bounds, e.m.Threads(), true)
-	ep := e.m.NewEpoch()
-	ck := par.NewStrided(int64(n), chunkSize(int64(n), e.m.Threads()), e.m.Threads())
+	collect := !h.NoOutput
+	var b *state.Builder
+	if collect {
+		b = state.NewBuilder(e.bounds, e.m.Threads(), true).Reuse(&e.scr.builder).WithDegrees(e.degreeOf)
+	}
+	ep, pc := e.scr.beginPhase()
 	dataWS := int64(n) * int64(h.DataBytes)
+	full := a.Count() == int64(n)
 
-	pc := newPhaseCounts(e.m.Threads())
 	e.pool.Run(func(th int) {
 		var scanned, active, edges, updates int64
-		ck.Do(th, func(lo, hi int64) {
+		e.vSweep.Do(th, func(lo, hi int64) {
 			for v := lo; v < hi; v++ {
 				s := graph.Vertex(v)
 				scanned++
-				if !a.Contains(s) {
+				if !full && !a.Contains(s) {
 					continue
 				}
 				active++
 				nbrs := g.OutNeighbors(s)
 				wts := g.OutWeights(s)
-				for j, t := range nbrs {
-					edges++
-					if !k.Cond(t) {
-						continue
+				if h.Weighted && wts != nil {
+					for j, t := range nbrs {
+						edges++
+						if !k.Cond(t) {
+							continue
+						}
+						if k.UpdateAtomic(s, t, wts[j]) {
+							if collect {
+								b.SetIn(0, th, t) // single leaf
+							}
+							updates++
+						}
 					}
-					var w float32
-					if h.Weighted && wts != nil {
-						w = wts[j]
-					}
-					if k.UpdateAtomic(s, t, w) {
-						b.Set(t)
-						updates++
+				} else {
+					for _, t := range nbrs {
+						edges++
+						if !k.Cond(t) {
+							continue
+						}
+						if k.UpdateAtomic(s, t, 0) {
+							if collect {
+								b.SetIn(0, th, t) // single leaf
+							}
+							updates++
+						}
 					}
 				}
 			}
@@ -262,23 +318,29 @@ func (e *Engine) edgeMapDensePush(a *state.Subset, k sg.EdgeKernel, h sg.Hints) 
 	}
 	e.addEdges(pc.total(2))
 	e.chargePhase(ep)
+	if !collect {
+		return state.NewEmpty(e.bounds)
+	}
 	return b.Build()
 }
 
 // edgeMapDensePull scans all destinations; each gathers from in-neighbours
 // with random global reads (RAND|R|G), early-exiting once Cond fails.
-func (e *Engine) edgeMapDensePull(a *state.Subset, k sg.EdgeKernel, h sg.Hints) *state.Subset {
+func edgeMapDensePull[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hints) *state.Subset {
 	g := e.g
 	n := g.NumVertices()
-	b := state.NewBuilder(e.bounds, e.m.Threads(), true)
-	ep := e.m.NewEpoch()
-	ck := par.NewStrided(int64(n), chunkSize(int64(n), e.m.Threads()), e.m.Threads())
+	collect := !h.NoOutput
+	var b *state.Builder
+	if collect {
+		b = state.NewBuilder(e.bounds, e.m.Threads(), true).Reuse(&e.scr.builder).WithDegrees(e.degreeOf)
+	}
+	ep, pc := e.scr.beginPhase()
 	dataWS := int64(n) * int64(h.DataBytes)
+	full := a.Count() == int64(n)
 
-	pc := newPhaseCounts(e.m.Threads())
 	e.pool.Run(func(th int) {
 		var scanned, edges, updates int64
-		ck.Do(th, func(lo, hi int64) {
+		e.vSweep.Do(th, func(lo, hi int64) {
 			for v := lo; v < hi; v++ {
 				t := graph.Vertex(v)
 				scanned++
@@ -290,7 +352,7 @@ func (e *Engine) edgeMapDensePull(a *state.Subset, k sg.EdgeKernel, h sg.Hints) 
 				updated := false
 				for j, s := range nbrs {
 					edges++
-					if !a.Contains(s) {
+					if !full && !a.Contains(s) {
 						continue
 					}
 					var w float32
@@ -305,7 +367,9 @@ func (e *Engine) edgeMapDensePull(a *state.Subset, k sg.EdgeKernel, h sg.Hints) 
 					}
 				}
 				if updated {
-					b.Set(t)
+					if collect {
+						b.SetIn(0, th, t)
+					}
 					updates++
 				}
 			}
@@ -327,21 +391,27 @@ func (e *Engine) edgeMapDensePull(a *state.Subset, k sg.EdgeKernel, h sg.Hints) 
 	}
 	e.addEdges(pc.total(2))
 	e.chargePhase(ep)
+	if !collect {
+		return state.NewEmpty(e.bounds)
+	}
 	return b.Build()
 }
 
 // edgeMapSparse iterates the frontier list; each active vertex pushes
 // along its out-edges.
-func (e *Engine) edgeMapSparse(a *state.Subset, k sg.EdgeKernel, h sg.Hints) *state.Subset {
+func edgeMapSparse[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hints) *state.Subset {
 	g := e.g
 	n := g.NumVertices()
-	b := state.NewBuilder(e.bounds, e.m.Threads(), false)
-	ep := e.m.NewEpoch()
+	collect := !h.NoOutput
+	var b *state.Builder
+	if collect {
+		b = state.NewBuilder(e.bounds, e.m.Threads(), false).Reuse(&e.scr.builder).WithDegrees(e.degreeOf)
+	}
+	ep, pc := e.scr.beginPhase()
 	frontier := a.List(0)
-	ck := par.NewStrided(int64(len(frontier)), chunkSize(int64(len(frontier)), e.m.Threads()), e.m.Threads())
+	ck := par.MakeStrided(int64(len(frontier)), chunkSize(int64(len(frontier)), e.m.Threads()), e.m.Threads())
 	dataWS := int64(n) * int64(h.DataBytes)
 
-	pc := newPhaseCounts(e.m.Threads())
 	e.pool.Run(func(th int) {
 		var active, edges, updates int64
 		ck.Do(th, func(lo, hi int64) {
@@ -360,7 +430,9 @@ func (e *Engine) edgeMapSparse(a *state.Subset, k sg.EdgeKernel, h sg.Hints) *st
 						w = wts[j]
 					}
 					if k.UpdateAtomic(s, t, w) {
-						b.Add(th, t)
+						if collect {
+							b.Add(th, t)
+						}
 						updates++
 					}
 				}
@@ -383,6 +455,9 @@ func (e *Engine) edgeMapSparse(a *state.Subset, k sg.EdgeKernel, h sg.Hints) *st
 	}
 	e.addEdges(pc.total(2))
 	e.chargePhase(ep)
+	if !collect {
+		return state.NewEmpty(e.bounds)
+	}
 	return b.Build()
 }
 
@@ -391,15 +466,14 @@ func (e *Engine) VertexMap(a *state.Subset, f sg.VertexFunc) *state.Subset {
 	if a.IsEmpty() {
 		return state.NewEmpty(e.bounds)
 	}
-	b := state.NewBuilder(e.bounds, e.m.Threads(), a.Dense())
-	ep := e.m.NewEpoch()
+	b := state.NewBuilder(e.bounds, e.m.Threads(), a.Dense()).Reuse(&e.scr.builder).WithDegrees(e.degreeOf)
+	ep, _ := e.scr.beginPhase()
 
 	if a.Dense() {
 		words := a.Words(0)
-		ck := par.NewStrided(int64(len(words)), 64, e.m.Threads())
 		e.pool.Run(func(th int) {
 			var visited, scanned int64
-			ck.Do(th, func(lo, hi int64) {
+			e.vmWords.Do(th, func(lo, hi int64) {
 				scanned += hi - lo
 				for wi := lo; wi < hi; wi++ {
 					w := words[wi]
@@ -408,7 +482,7 @@ func (e *Engine) VertexMap(a *state.Subset, f sg.VertexFunc) *state.Subset {
 						v := graph.Vertex(int(wi)*64 + bit)
 						visited++
 						if f(v) {
-							b.Set(v)
+							b.SetIn(0, th, v)
 						}
 						w &= w - 1
 					}
@@ -421,7 +495,7 @@ func (e *Engine) VertexMap(a *state.Subset, f sg.VertexFunc) *state.Subset {
 		})
 	} else {
 		list := a.List(0)
-		ck := par.NewStrided(int64(len(list)), 64, e.m.Threads())
+		ck := par.MakeStrided(int64(len(list)), 64, e.m.Threads())
 		e.pool.Run(func(th int) {
 			var visited int64
 			ck.Do(th, func(lo, hi int64) {

@@ -15,6 +15,7 @@ package xstream
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"polymer/internal/barrier"
 	"polymer/internal/graph"
@@ -75,13 +76,24 @@ type Engine struct {
 	pool     *par.Pool
 	ledger   *numa.Epoch
 	clock    float64
-	edges    int64
-	edgesMu  sync.Mutex
+	edges    atomic.Int64
 	topoB    int64
 	arrays   []interface{ Free() }
 	closed   bool
 	dataB    int
 	weighted bool
+
+	// Iteration-scoped scratch: the phase epoch is reset (after each fold
+	// into the ledger) rather than reallocated, the shuffle buffers keep
+	// their capacity between iterations, and the next-active bitmap
+	// double-buffers with the current one. Host-only reuse; the charged
+	// traffic and the simulated shuffle-buffer footprint are unchanged.
+	scrEp         *numa.Epoch
+	out           [][][]update // [thread][tile] update buffers
+	spare         []uint64     // retired active bitmap, recycled as next
+	scatterCounts [][2]int64
+	gatherCounts  [][2]int64
+	applyCounts   []int64
 }
 
 // New builds an X-Stream engine for g on m. Hints supply the data width
@@ -100,6 +112,14 @@ func New(g *graph.Graph, m *numa.Machine, opt Options, h sg.Hints) *Engine {
 	}
 	e.buildTiles(opt.TileVertices)
 	e.active = make([]uint64, (g.NumVertices()+63)/64)
+	e.scrEp = m.NewEpoch()
+	e.out = make([][][]update, m.Threads())
+	for th := range e.out {
+		e.out[th] = make([][]update, len(e.tiles))
+	}
+	e.scatterCounts = make([][2]int64, m.Threads())
+	e.gatherCounts = make([][2]int64, m.Threads())
+	e.applyCounts = make([]int64, m.Threads())
 	m.Alloc().Grow("xstream/topology", e.topoB)
 	return e
 }
@@ -162,7 +182,7 @@ func (e *Engine) SimSeconds() float64 { return e.clock }
 func (e *Engine) RunStats() numa.Stats { return e.ledger.Stats() }
 
 // EdgesProcessed returns total edges streamed.
-func (e *Engine) EdgesProcessed() int64 { return e.edges }
+func (e *Engine) EdgesProcessed() int64 { return e.edges.Load() }
 
 // NewData allocates an interleaved per-vertex float64 array.
 func (e *Engine) NewData(label string) *mem.Array[float64] {
@@ -230,20 +250,24 @@ func (e *Engine) isActive(v graph.Vertex) bool {
 func (e *Engine) Iterate(k Kernel, apply Applier) int64 {
 	nTiles := len(e.tiles)
 	threads := e.m.Threads()
-	ep := e.m.NewEpoch()
+	ep := e.scrEp
+	ep.Reset()
 
-	// out[th][tile] are thread th's updates destined for each tile.
-	out := make([][][]update, threads)
+	// out[th][tile] are thread th's updates destined for each tile; the
+	// buffers keep their capacity between iterations.
+	out := e.out
 	for th := range out {
-		out[th] = make([][]update, nTiles)
+		for ti := range out[th] {
+			out[th][ti] = out[th][ti][:0]
+		}
 	}
 
 	// Scatter: stream every tile's edges; emit updates for active sources.
 	// The charge is balanced across all workers: X-Stream sizes its
 	// streaming partitions to the thread count at full scale, so per-tile
 	// skew does not serialise it.
-	ck := par.NewStrided(int64(nTiles), 1, threads)
-	scatterCounts := make([][2]int64, threads)
+	ck := par.MakeStrided(int64(nTiles), 1, threads)
+	scatterCounts := e.scatterCounts
 	e.pool.Run(func(th int) {
 		var scanned, activeEdges int64
 		ck.Do(th, func(lo, hi int64) {
@@ -289,6 +313,7 @@ func (e *Engine) Iterate(k Kernel, apply Applier) int64 {
 	e.addEdges(scannedT)
 	e.clock += ep.Time() + barrier.SyncCost(barrier.H, e.m.Nodes)/e.m.Topo.SyncScale
 	e.ledger.Add(ep)
+	ep.Reset() // shuffle phase reuses the same epoch
 
 	// Shuffle accounting: every update is read from Uout and written to
 	// its target tile's Uin across the machine (SEQ|W|G), plus transient
@@ -304,7 +329,7 @@ func (e *Engine) Iterate(k Kernel, apply Applier) int64 {
 	// Table 5 shows the shuffle buffers add ~8% over Ligra's footprint).
 	bufBytes := totalUpdates * 16 * 2 / int64(nTiles)
 	e.m.Alloc().Grow("xstream/buffers", bufBytes)
-	ep2 := e.m.NewEpoch()
+	ep2 := ep
 	perThread := totalUpdates / int64(threads)
 	for th := 0; th < threads; th++ {
 		// Uout is read from the emitting thread's local buffer; the
@@ -314,15 +339,16 @@ func (e *Engine) Iterate(k Kernel, apply Applier) int64 {
 	}
 	e.clock += ep2.Time() + barrier.SyncCost(barrier.H, e.m.Nodes)/e.m.Topo.SyncScale
 	e.ledger.Add(ep2)
+	ep2.Reset() // gather phase reuses the same epoch
 
 	// Gather: each tile applies its incoming updates; one thread per tile
 	// so destination writes need no atomics.
-	next := make([]uint64, len(e.active))
+	next := e.takeSpare()
 	var nextCount int64
 	var mu sync.Mutex
-	ck2 := par.NewStrided(int64(nTiles), 1, threads)
-	ep3 := e.m.NewEpoch()
-	gatherCounts := make([][2]int64, threads)
+	ck2 := par.MakeStrided(int64(nTiles), 1, threads)
+	ep3 := ep2
+	gatherCounts := e.gatherCounts
 	e.pool.Run(func(th int) {
 		var applied, activated int64
 		var local int64
@@ -367,9 +393,24 @@ func (e *Engine) Iterate(k Kernel, apply Applier) int64 {
 	if apply != nil {
 		nextCount = e.applyPhase(apply, next)
 	}
+	e.spare = e.active // recycle the retired bitmap next iteration
 	e.active = next
 	e.nActive = nextCount
 	return e.nActive
+}
+
+// takeSpare returns a zeroed bitmap for the next active set, recycling the
+// one retired by the previous iteration when available.
+func (e *Engine) takeSpare() []uint64 {
+	if e.spare == nil {
+		return make([]uint64, len(e.active))
+	}
+	next := e.spare
+	e.spare = nil
+	for i := range next {
+		next[i] = 0
+	}
+	return next
 }
 
 // applyPhase runs the per-vertex post-function over all vertices,
@@ -379,9 +420,13 @@ func (e *Engine) applyPhase(apply Applier, next []uint64) int64 {
 	for i := range next {
 		next[i] = 0
 	}
-	counts := make([]int64, e.m.Threads())
-	ck := par.NewStrided(int64(n), 256, e.m.Threads())
-	ep := e.m.NewEpoch()
+	counts := e.applyCounts
+	for i := range counts {
+		counts[i] = 0
+	}
+	ck := par.MakeStrided(int64(n), 256, e.m.Threads())
+	ep := e.scrEp
+	ep.Reset()
 	e.pool.Run(func(th int) {
 		var visited int64
 		ck.Do(th, func(lo, hi int64) {
@@ -417,7 +462,5 @@ func (e *Engine) edgeBytes() int {
 }
 
 func (e *Engine) addEdges(n int64) {
-	e.edgesMu.Lock()
-	e.edges += n
-	e.edgesMu.Unlock()
+	e.edges.Add(n)
 }

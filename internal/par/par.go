@@ -79,17 +79,25 @@ type Strided struct {
 // NewStrided covers [0, n) in chunks of the given size (minimum 1) across
 // threads workers.
 func NewStrided(n, chunk int64, threads int) *Strided {
+	s := MakeStrided(n, chunk, threads)
+	return &s
+}
+
+// MakeStrided is NewStrided returning the schedule by value: phase hot
+// paths build one per phase without allocating (the schedule is three
+// words), and layouts embed cached schedules directly.
+func MakeStrided(n, chunk int64, threads int) Strided {
 	if chunk < 1 {
 		chunk = 1
 	}
 	if threads < 1 {
 		threads = 1
 	}
-	return &Strided{n: n, chunk: chunk, threads: threads}
+	return Strided{n: n, chunk: chunk, threads: threads}
 }
 
 // Do invokes fn for every chunk assigned to thread th, in order.
-func (s *Strided) Do(th int, fn func(lo, hi int64)) {
+func (s Strided) Do(th int, fn func(lo, hi int64)) {
 	for lo := int64(th) * s.chunk; lo < s.n; lo += s.chunk * int64(s.threads) {
 		hi := lo + s.chunk
 		if hi > s.n {

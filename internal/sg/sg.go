@@ -45,6 +45,11 @@ type Hints struct {
 	DensePush bool
 	// Weighted tells the engine to stream edge weights (SpMV, SSSP, BP).
 	Weighted bool
+	// NoOutput tells the engine the caller discards the returned frontier
+	// (PR, SpMV, BP iterate a fixed full frontier), so it may skip
+	// building one and return the empty subset. Charged traffic is
+	// unchanged — only host-side frontier bookkeeping is elided.
+	NoOutput bool
 }
 
 // Normalize fills in defaults.
@@ -91,8 +96,23 @@ type Engine interface {
 
 // ActiveDegree sums the out-degrees of the subset's vertices; engines use
 // it for the adaptive dense/sparse decision.
+//
+// Frontiers produced by state.Builder carry the sum already (accumulated
+// per thread while the frontier was built), so the common case is a cached
+// field read. A full frontier needs no scan either — its degree sum is the
+// edge count. Anything else pays one scan, memoized on the subset so
+// repeated EdgeMaps over the same frontier (PageRank's persistent "all"
+// set) stay O(1).
 func ActiveDegree(g *graph.Graph, a *state.Subset) int64 {
+	if d, ok := a.Degree(); ok {
+		return d
+	}
 	var sum int64
-	a.ForEach(func(v graph.Vertex) { sum += g.OutDegree(v) })
+	if a.Count() == int64(g.NumVertices()) {
+		sum = g.NumEdges()
+	} else {
+		a.ForEach(func(v graph.Vertex) { sum += g.OutDegree(v) })
+	}
+	a.SetDegree(sum)
 	return sum
 }

@@ -8,7 +8,7 @@ func BenchmarkBuilderDenseSet(b *testing.B) {
 	bl := NewBuilder(benchBounds, 1, true)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		bl.Set(uint32(i) % (1 << 17))
+		bl.Set(0, uint32(i)%(1<<17))
 	}
 }
 

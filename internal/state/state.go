@@ -22,6 +22,7 @@ import (
 type Subset struct {
 	bounds []int
 	count  int64
+	degree int64 // cached out-degree sum of the active vertices; -1 unknown
 	dense  bool
 	words  [][]uint64 // dense: per-node bitmap; bit i = vertex bounds[p]+i
 	lists  [][]uint32 // sparse: per-node ascending vertex ids (global)
@@ -30,7 +31,7 @@ type Subset struct {
 // NewAll returns the dense subset containing every vertex.
 func NewAll(bounds []int) *Subset {
 	nodes := len(bounds) - 1
-	s := &Subset{bounds: bounds, dense: true, words: make([][]uint64, nodes)}
+	s := &Subset{bounds: bounds, degree: -1, dense: true, words: make([][]uint64, nodes)}
 	for p := 0; p < nodes; p++ {
 		ln := bounds[p+1] - bounds[p]
 		w := make([]uint64, (ln+63)/64)
@@ -55,6 +56,7 @@ func NewEmpty(bounds []int) *Subset {
 // NewSingle returns the sparse subset {v}.
 func NewSingle(bounds []int, v uint32) *Subset {
 	s := NewEmpty(bounds)
+	s.degree = -1
 	p := nodeOf(bounds, v)
 	s.lists[p] = []uint32{v}
 	s.count = 1
@@ -70,6 +72,23 @@ func FromVertices(bounds []int, vs []uint32) *Subset {
 	}
 	return b.Build()
 }
+
+// Degree returns the cached out-degree sum of the active vertices, if one
+// was recorded while the subset was built (or memoized afterwards). The
+// engines' adaptive dense/sparse switch reads this instead of re-scanning
+// the frontier on every EdgeMap.
+func (s *Subset) Degree() (int64, bool) {
+	if s.degree < 0 {
+		return 0, false
+	}
+	return s.degree, true
+}
+
+// SetDegree memoizes the out-degree sum of the active vertices. The value
+// must equal the sum a full scan would produce; callers that compute it
+// lazily (sg.ActiveDegree) store it here so repeated EdgeMaps over the
+// same subset pay the scan once. Not safe for concurrent use.
+func (s *Subset) SetDegree(d int64) { s.degree = d }
 
 func nodeOf(bounds []int, v uint32) int {
 	lo, hi := 0, len(bounds)-2
@@ -160,7 +179,7 @@ func (s *Subset) ToDense() *Subset {
 		return s
 	}
 	nodes := s.Nodes()
-	d := &Subset{bounds: s.bounds, dense: true, count: s.count, words: make([][]uint64, nodes)}
+	d := &Subset{bounds: s.bounds, dense: true, count: s.count, degree: s.degree, words: make([][]uint64, nodes)}
 	for p := 0; p < nodes; p++ {
 		ln := s.bounds[p+1] - s.bounds[p]
 		w := make([]uint64, (ln+63)/64)
@@ -179,7 +198,7 @@ func (s *Subset) ToSparse() *Subset {
 		return s
 	}
 	nodes := s.Nodes()
-	d := &Subset{bounds: s.bounds, count: s.count, lists: make([][]uint32, nodes)}
+	d := &Subset{bounds: s.bounds, count: s.count, degree: s.degree, lists: make([][]uint32, nodes)}
 	for p := 0; p < nodes; p++ {
 		l := make([]uint32, 0, 16)
 		s.ForEachInNode(p, func(v uint32) { l = append(l, v) })
@@ -192,18 +211,65 @@ func (s *Subset) ToSparse() *Subset {
 // collection styles: Set for dense bitmap leaves (thread-safe via atomic
 // OR), and Add for per-thread queues (contention-free appends, as in the
 // paper's per-core private queues).
+//
+// When a degree function is attached (WithDegrees), the builder also
+// accumulates the out-degree sum of the collected vertices per thread —
+// Ligra computes |V_a|+|E_a| this way — and stores it on the built Subset,
+// making the engines' adaptive dense/sparse decision O(1).
 type Builder struct {
-	bounds []int
-	dense  bool
-	words  [][]uint64
+	bounds   []int
+	threads  int
+	dense    bool
+	words    [][]uint64
+	queues   [][]uint32
+	degreeOf func(v uint32) int64
+	degs     []padCounter
+}
+
+// padCounter is a per-thread accumulator padded to its own cache line.
+type padCounter struct {
+	n int64
+	_ [7]int64
+}
+
+// BuilderScratch holds the builder's reusable per-thread buffers. An
+// engine keeps one per instance and passes it to NewBuilder on every
+// phase, so steady-state iterations reuse the queue and counter slices
+// instead of reallocating them. The dense bitmap leaves are NOT pooled:
+// Build hands them to the returned Subset, whose lifetime the engine does
+// not control.
+type BuilderScratch struct {
 	queues [][]uint32
+	degs   []padCounter
+}
+
+func (s *BuilderScratch) take(threads int, sparse bool) (queues [][]uint32, degs []padCounter) {
+	if len(s.degs) < threads {
+		s.degs = make([]padCounter, threads)
+	}
+	degs = s.degs[:threads]
+	for i := range degs {
+		degs[i].n = 0
+	}
+	if sparse {
+		if len(s.queues) < threads {
+			q := make([][]uint32, threads)
+			copy(q, s.queues)
+			s.queues = q
+		}
+		queues = s.queues[:threads]
+		for i := range queues {
+			queues[i] = queues[i][:0]
+		}
+	}
+	return queues, degs
 }
 
 // NewBuilder returns a builder over the partition for the given number of
 // worker threads. dense selects bitmap collection.
 func NewBuilder(bounds []int, threads int, dense bool) *Builder {
 	nodes := len(bounds) - 1
-	b := &Builder{bounds: bounds, dense: dense}
+	b := &Builder{bounds: bounds, threads: threads, dense: dense}
 	if dense {
 		b.words = make([][]uint64, nodes)
 		for p := 0; p < nodes; p++ {
@@ -216,28 +282,82 @@ func NewBuilder(bounds []int, threads int, dense bool) *Builder {
 	return b
 }
 
+// Reuse replaces the builder's per-thread buffers with the scratch's,
+// recycling their capacity across phases.
+func (b *Builder) Reuse(s *BuilderScratch) *Builder {
+	queues, degs := s.take(b.threads, !b.dense)
+	if !b.dense {
+		b.queues = queues
+	}
+	b.degs = degs
+	return b
+}
+
+// WithDegrees attaches the out-degree function used to accumulate the
+// built subset's active degree while vertices are collected.
+func (b *Builder) WithDegrees(degreeOf func(v uint32) int64) *Builder {
+	b.degreeOf = degreeOf
+	if b.degs == nil {
+		b.degs = make([]padCounter, b.threads)
+	}
+	return b
+}
+
 // Dense reports the collection style.
 func (b *Builder) Dense() bool { return b.dense }
 
-// Set marks v active (dense collection; safe for concurrent use).
-func (b *Builder) Set(v uint32) {
-	p := nodeOf(b.bounds, v)
+// Set marks v active (dense collection; safe for concurrent use). th is
+// the calling thread, used only for contention-free degree accumulation.
+func (b *Builder) Set(th int, v uint32) {
+	b.SetIn(nodeOf(b.bounds, v), th, v)
+}
+
+// SetIn is Set for callers that already know v's owning node p (Polymer's
+// push targets are always node-local), skipping the partition lookup.
+func (b *Builder) SetIn(p, th int, v uint32) {
 	i := int(v) - b.bounds[p]
-	atomic.OrUint64(&b.words[p][i/64], 1<<(i%64))
+	w := &b.words[p][i/64]
+	mask := uint64(1) << (i % 64)
+	// CAS loop instead of a blind atomic OR: on hot frontiers most bits
+	// are already set, so the common case is one plain load and no RMW,
+	// and a successful swap tells this call it owns the 0->1 transition —
+	// the degree of v is then counted exactly once across all threads.
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask != 0 {
+			return
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|mask) {
+			if b.degreeOf != nil {
+				b.degs[th].n += b.degreeOf(v)
+			}
+			return
+		}
+	}
 }
 
 // Add appends v to thread th's private queue (sparse collection; each
 // thread must only use its own th).
 func (b *Builder) Add(th int, v uint32) {
 	b.queues[th] = append(b.queues[th], v)
+	if b.degreeOf != nil {
+		b.degs[th].n += b.degreeOf(v)
+	}
 }
 
 // Build seals the builder into a Subset. Sparse queues are routed to their
 // owning node's leaf, de-duplicated and sorted.
 func (b *Builder) Build() *Subset {
 	nodes := len(b.bounds) - 1
+	degree := int64(-1)
+	if b.degreeOf != nil {
+		degree = 0
+		for i := range b.degs {
+			degree += b.degs[i].n
+		}
+	}
 	if b.dense {
-		s := &Subset{bounds: b.bounds, dense: true, words: b.words}
+		s := &Subset{bounds: b.bounds, degree: degree, dense: true, words: b.words}
 		for p := 0; p < nodes; p++ {
 			for _, w := range b.words[p] {
 				s.count += int64(bits.OnesCount64(w))
@@ -245,7 +365,7 @@ func (b *Builder) Build() *Subset {
 		}
 		return s
 	}
-	s := &Subset{bounds: b.bounds, lists: make([][]uint32, nodes)}
+	s := &Subset{bounds: b.bounds, degree: degree, lists: make([][]uint32, nodes)}
 	for p := range s.lists {
 		s.lists[p] = []uint32{}
 	}
@@ -258,11 +378,14 @@ func (b *Builder) Build() *Subset {
 	for p := 0; p < nodes; p++ {
 		l := s.lists[p]
 		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
-		// De-duplicate in place.
+		// De-duplicate in place; duplicates were counted once per Add, so
+		// their degree is subtracted to keep the cached sum exact.
 		out := l[:0]
 		for i, v := range l {
 			if i == 0 || v != l[i-1] {
 				out = append(out, v)
+			} else if b.degreeOf != nil {
+				s.degree -= b.degreeOf(v)
 			}
 		}
 		s.lists[p] = out

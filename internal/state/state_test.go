@@ -107,7 +107,7 @@ func TestBuilderDenseConcurrent(t *testing.T) {
 		go func(th int) {
 			defer wg.Done()
 			for v := uint32(th); v < 100; v += 8 {
-				b.Set(v)
+				b.Set(th, v)
 			}
 		}(th)
 	}

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Repository health check: vet everything, then run the engine and
+# runtime-state packages under the race detector. The race pass covers
+# exactly the packages whose hot paths share scratch arenas across worker
+# goroutines; the plain test pass covers the rest.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race (engines, core, state, par)"
+go test -race \
+	./internal/core/... \
+	./internal/engines/... \
+	./internal/state/... \
+	./internal/par/...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "check: OK"
