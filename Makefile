@@ -8,8 +8,9 @@ build:
 test:
 	$(GO) test ./...
 
-# Full health check: vet + race-detector pass over the packages that
-# share phase-scoped scratch arenas across worker goroutines + full suite.
+# Full health check: vet + errcheck + race-detector pass over the packages
+# that share phase-scoped scratch arenas across worker goroutines + the
+# fault-injection matrix under -race + full suite.
 check:
 	sh scripts/check.sh
 

@@ -54,7 +54,7 @@ func BenchmarkHotPathPolymerPRIteration(b *testing.B) {
 	g := hotPathGraph(b)
 	opt := core.DefaultOptions()
 	opt.Mode = core.Push
-	e := core.New(g, hotPathMachine(), opt)
+	e := core.MustNew(g, hotPathMachine(), opt)
 	defer e.Close()
 	k := algorithms.NewPRKernel(e, 0.85)
 	all := state.NewAll(e.Bounds())
@@ -68,7 +68,7 @@ func BenchmarkHotPathPolymerPRIteration(b *testing.B) {
 
 func BenchmarkHotPathLigraPRIteration(b *testing.B) {
 	g := hotPathGraph(b)
-	e := ligra.New(g, hotPathMachine(), ligra.DefaultOptions())
+	e := ligra.MustNew(g, hotPathMachine(), ligra.DefaultOptions())
 	defer e.Close()
 	k := algorithms.NewPRKernel(e, 0.85)
 	all := state.NewAll(e.Bounds())
@@ -83,7 +83,7 @@ func BenchmarkHotPathLigraPRIteration(b *testing.B) {
 func BenchmarkHotPathXStreamPRIteration(b *testing.B) {
 	g := hotPathGraph(b)
 	h := sg.Hints{DataBytes: 8}
-	e := xstream.New(g, hotPathMachine(), xstream.DefaultOptions(), h)
+	e := xstream.MustNew(g, hotPathMachine(), xstream.DefaultOptions(), h)
 	defer e.Close()
 	k := algorithms.NewXSPRKernel(e, 0.85)
 	b.ReportAllocs()
@@ -97,7 +97,7 @@ func BenchmarkHotPathXStreamPRIteration(b *testing.B) {
 
 func BenchmarkHotPathGaloisPRIteration(b *testing.B) {
 	g := hotPathGraph(b)
-	e := galois.New(g, hotPathMachine(), galois.DefaultOptions())
+	e := galois.MustNew(g, hotPathMachine(), galois.DefaultOptions())
 	defer e.Close()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -108,7 +108,7 @@ func BenchmarkHotPathGaloisPRIteration(b *testing.B) {
 
 func BenchmarkHotPathPolymerBFS(b *testing.B) {
 	g := hotPathGraph(b)
-	e := core.New(g, hotPathMachine(), core.DefaultOptions())
+	e := core.MustNew(g, hotPathMachine(), core.DefaultOptions())
 	defer e.Close()
 	algorithms.BFS(e, 0) // warm up: build layouts
 	b.ReportAllocs()

@@ -231,7 +231,7 @@ func polymerPR(b *testing.B, tweak func(*core.Options)) float64 {
 	opt := core.DefaultOptions()
 	opt.Mode = core.Push
 	tweak(&opt)
-	e := core.New(g, m, opt)
+	e := core.MustNew(g, m, opt)
 	defer e.Close()
 	algorithms.PageRank(e, 5, 0.85)
 	return e.SimSeconds()

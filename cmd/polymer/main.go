@@ -7,6 +7,8 @@
 //	polymer -algo pr -graph twitter -system polymer -sockets 8 -cores 10
 //	polymer -algo bfs -graph roadUS -system xstream -scale small
 //	polymer -algo sssp -file my-graph.txt -src 42
+//	polymer -algo pr -graph powerlaw -scale tiny -fault "panic@2:t3,offline@1:n1"
+//	polymer -algo pr -graph powerlaw -scale tiny -fault-seed 7
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 
 	"polymer/internal/bench"
 	"polymer/internal/core"
+	"polymer/internal/fault"
 	"polymer/internal/gen"
 	"polymer/internal/graph"
 	"polymer/internal/numa"
@@ -34,6 +37,9 @@ func main() {
 	coresFlag := flag.Int("cores", 0, "cores per socket (0 = all)")
 	srcFlag := flag.Uint("src", 0, "source vertex for bfs/sssp")
 	traceFlag := flag.Bool("trace", false, "print the per-phase execution trace (polymer only)")
+	faultFlag := flag.String("fault", "", "inject a fault spec, e.g. panic@2:t3,stall@1:t0,offline@1:n1,link@3:n0-n1*0.25,alloc@-1")
+	faultSeedFlag := flag.Uint64("fault-seed", 0, "generate a deterministic fault schedule from this seed (overridden by -fault)")
+	faultRetriesFlag := flag.Int("fault-retries", 3, "whole-run restarts allowed for setup-time faults")
 	flag.Parse()
 
 	alg, ok := map[string]bench.Algo{
@@ -110,15 +116,38 @@ func main() {
 		fail("source %d outside [0,%d)", src, g.NumVertices())
 	}
 
-	m := numa.NewMachine(topo, sockets, cores)
+	m, err := numa.NewMachineChecked(topo, sockets, cores)
+	if err != nil {
+		fail("%v", err)
+	}
 	wall := time.Now()
 	var (
 		r      bench.RunResult
 		phases []core.PhaseRecord
+		rep    *bench.ResilienceReport
 	)
-	if *traceFlag && sys == bench.Polymer {
+	switch {
+	case *faultFlag != "" || *faultSeedFlag != 0:
+		var evs []*fault.Event
+		if *faultFlag != "" {
+			evs, err = fault.ParseSpec(*faultFlag)
+			if err != nil {
+				fail("%v", err)
+			}
+		} else {
+			evs = fault.Schedule(*faultSeedFlag, 5, sockets*cores, sockets)
+		}
+		inj := fault.NewInjector(evs)
+		mk := func() *numa.Machine { return numa.NewMachine(topo, sockets, cores) }
+		var rr bench.ResilienceReport
+		r, rr, err = bench.RunResilientFrom(sys, alg, g, mk, inj, *faultRetriesFlag, src)
+		if err != nil {
+			fail("%v", err)
+		}
+		rep = &rr
+	case *traceFlag && sys == bench.Polymer:
 		r, phases = bench.RunPolymerTraced(alg, g, m, src)
-	} else {
+	default:
 		r = bench.RunFrom(sys, alg, g, m, src)
 	}
 	elapsed := time.Since(wall)
@@ -135,6 +164,9 @@ func main() {
 		fmt.Printf("agents     : %.1f MB\n", float64(r.AgentBytes)/1e6)
 	}
 	fmt.Printf("checksum   : %g\n", r.Checksum)
+	if rep != nil {
+		fmt.Printf("\n%s", rep.Format())
+	}
 	if len(phases) > 0 {
 		fmt.Printf("\n%-4s %-10s %-7s %-6s %12s %14s\n", "#", "phase", "repr", "dir", "active-in", "sim (usec)")
 		for i, p := range phases {

@@ -27,14 +27,14 @@ func main() {
 
 	// Polymer label propagation runs on the symmetrized view.
 	m1 := numa.NewMachine(topo, 8, 10)
-	e := core.New(g.Symmetrized(), m1, core.DefaultOptions())
+	e := core.MustNew(g.Symmetrized(), m1, core.DefaultOptions())
 	labels := algorithms.CC(e)
 	lpTime := e.SimSeconds()
 	e.Close()
 
 	// Galois union-find works on the directed graph directly.
 	m2 := numa.NewMachine(topo, 8, 10)
-	ge := galois.New(g, m2, galois.DefaultOptions())
+	ge := galois.MustNew(g, m2, galois.DefaultOptions())
 	ufLabels := ge.CC()
 	ufTime := ge.SimSeconds()
 	ge.Close()

@@ -22,7 +22,7 @@ func main() {
 	fmt.Println("road network:", g)
 
 	newEngine := func(g *graph.Graph) sg.Engine {
-		return core.New(g, numa.NewMachine(numa.IntelXeon80(), 8, 10), core.DefaultOptions())
+		return core.MustNew(g, numa.NewMachine(numa.IntelXeon80(), 8, 10), core.DefaultOptions())
 	}
 	d := algorithms.NewDynamicSSSP(newEngine(g), newEngine, 0)
 	defer d.Close()

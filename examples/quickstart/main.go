@@ -33,7 +33,7 @@ func main() {
 	// edge-balanced partitioning, adaptive runtime state, N-Barrier.
 	opt := core.DefaultOptions()
 	opt.Mode = core.Push // the paper's push-based PageRank
-	e := core.New(g, m, opt)
+	e := core.MustNew(g, m, opt)
 	defer e.Close()
 
 	// 4. Run 10 PageRank iterations and show the top five vertices.

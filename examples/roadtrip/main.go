@@ -28,7 +28,7 @@ func main() {
 	// Polymer: frontier-driven Bellman-Ford with adaptive state — the
 	// per-iteration cost stays proportional to the frontier.
 	m1 := numa.NewMachine(topo, 8, 10)
-	e := core.New(g, m1, core.DefaultOptions())
+	e := core.MustNew(g, m1, core.DefaultOptions())
 	dist := algorithms.SSSP(e, src)
 	bfsLevels := algorithms.BFS(e, src)
 	polymerTime := e.SimSeconds()
@@ -38,7 +38,7 @@ func main() {
 	// Galois: asynchronous delta-stepping, the paper's winner on road
 	// networks.
 	m2 := numa.NewMachine(topo, 8, 10)
-	ge := galois.New(g, m2, galois.DefaultOptions())
+	ge := galois.MustNew(g, m2, galois.DefaultOptions())
 	gDist := ge.SSSP(src)
 	galoisTime := ge.SimSeconds()
 	ge.Close()

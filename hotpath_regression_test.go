@@ -49,7 +49,7 @@ func TestPolymerPRIterationAllocs(t *testing.T) {
 	g := regressionGraph(t)
 	opt := core.DefaultOptions()
 	opt.Mode = core.Push
-	e := core.New(g, regressionMachine(), opt)
+	e := core.MustNew(g, regressionMachine(), opt)
 	defer e.Close()
 	k := algorithms.NewPRKernel(e, 0.85)
 	all := state.NewAll(e.Bounds())
@@ -66,7 +66,7 @@ func TestPolymerPRIterationAllocs(t *testing.T) {
 
 func TestLigraPRIterationAllocs(t *testing.T) {
 	g := regressionGraph(t)
-	e := ligra.New(g, regressionMachine(), ligra.DefaultOptions())
+	e := ligra.MustNew(g, regressionMachine(), ligra.DefaultOptions())
 	defer e.Close()
 	k := algorithms.NewPRKernel(e, 0.85)
 	all := state.NewAll(e.Bounds())
@@ -90,7 +90,7 @@ func TestSimSecondsDeterministic(t *testing.T) {
 	run := func() (float64, []float64) {
 		opt := core.DefaultOptions()
 		opt.Mode = core.Push
-		e := core.New(g, regressionMachine(), opt)
+		e := core.MustNew(g, regressionMachine(), opt)
 		defer e.Close()
 		ranks := algorithms.PageRank(e, 10, 0.85)
 		return e.SimSeconds(), ranks

@@ -21,8 +21,8 @@ func testMachine() *numa.Machine {
 // engines under test: constructors for the two scatter-gather engines.
 func sgEngines(g *graph.Graph) map[string]sg.Engine {
 	return map[string]sg.Engine{
-		"polymer": core.New(g, testMachine(), core.DefaultOptions()),
-		"ligra":   ligra.New(g, testMachine(), ligra.DefaultOptions()),
+		"polymer": core.MustNew(g, testMachine(), core.DefaultOptions()),
+		"ligra":   ligra.MustNew(g, testMachine(), ligra.DefaultOptions()),
 	}
 }
 
@@ -68,10 +68,10 @@ func TestPageRankAllEnginesMatchReference(t *testing.T) {
 			}
 			e.Close()
 		}
-		xe := xstream.New(g, testMachine(), xstream.DefaultOptions(), sg.Hints{})
+		xe := xstream.MustNew(g, testMachine(), xstream.DefaultOptions(), sg.Hints{})
 		got := XSPageRank(xe, 5, 0.85)
 		xe.Close()
-		ge := galois.New(g, testMachine(), galois.DefaultOptions())
+		ge := galois.MustNew(g, testMachine(), galois.DefaultOptions())
 		got2 := ge.PageRank(5, 0.85)
 		ge.Close()
 		for v := range want {
@@ -102,10 +102,10 @@ func TestSpMVAllEnginesMatchReference(t *testing.T) {
 			}
 			e.Close()
 		}
-		xe := xstream.New(g, testMachine(), xstream.DefaultOptions(), sg.Hints{Weighted: true})
+		xe := xstream.MustNew(g, testMachine(), xstream.DefaultOptions(), sg.Hints{Weighted: true})
 		got := XSSpMV(xe, 3, x0)
 		xe.Close()
-		ge := galois.New(g, testMachine(), galois.DefaultOptions())
+		ge := galois.MustNew(g, testMachine(), galois.DefaultOptions())
 		got2 := ge.SpMV(3, x0)
 		ge.Close()
 		for v := range want {
@@ -131,10 +131,10 @@ func TestBPAllEnginesMatchReference(t *testing.T) {
 			}
 			e.Close()
 		}
-		xe := xstream.New(g, testMachine(), xstream.DefaultOptions(), sg.Hints{Weighted: true, DataBytes: 16})
+		xe := xstream.MustNew(g, testMachine(), xstream.DefaultOptions(), sg.Hints{Weighted: true, DataBytes: 16})
 		got := XSBP(xe, 3)
 		xe.Close()
-		ge := galois.New(g, testMachine(), galois.DefaultOptions())
+		ge := galois.MustNew(g, testMachine(), galois.DefaultOptions())
 		got2 := ge.BP(3)
 		ge.Close()
 		for v := range want {
@@ -160,10 +160,10 @@ func TestBFSAllEnginesMatchReference(t *testing.T) {
 			}
 			e.Close()
 		}
-		xe := xstream.New(g, testMachine(), xstream.DefaultOptions(), sg.Hints{})
+		xe := xstream.MustNew(g, testMachine(), xstream.DefaultOptions(), sg.Hints{})
 		got := XSBFS(xe, 0)
 		xe.Close()
-		ge := galois.New(g, testMachine(), galois.DefaultOptions())
+		ge := galois.MustNew(g, testMachine(), galois.DefaultOptions())
 		got2 := ge.BFS(0)
 		ge.Close()
 		for v := range want {
@@ -190,10 +190,10 @@ func TestCCAllEnginesMatchReference(t *testing.T) {
 			}
 			e.Close()
 		}
-		xe := xstream.New(sym, testMachine(), xstream.DefaultOptions(), sg.Hints{})
+		xe := xstream.MustNew(sym, testMachine(), xstream.DefaultOptions(), sg.Hints{})
 		got := XSCC(xe)
 		xe.Close()
-		ge := galois.New(sym, testMachine(), galois.DefaultOptions())
+		ge := galois.MustNew(sym, testMachine(), galois.DefaultOptions())
 		got2 := ge.CC()
 		ge.Close()
 		for v := range want {
@@ -219,10 +219,10 @@ func TestSSSPAllEnginesMatchReference(t *testing.T) {
 			}
 			e.Close()
 		}
-		xe := xstream.New(g, testMachine(), xstream.DefaultOptions(), sg.Hints{Weighted: true})
+		xe := xstream.MustNew(g, testMachine(), xstream.DefaultOptions(), sg.Hints{Weighted: true})
 		got := XSSSSP(xe, 0)
 		xe.Close()
-		ge := galois.New(g, testMachine(), galois.DefaultOptions())
+		ge := galois.MustNew(g, testMachine(), galois.DefaultOptions())
 		got2 := ge.SSSP(0)
 		ge.Close()
 		for v := range want {
@@ -240,7 +240,7 @@ func TestBFSFromNonZeroSource(t *testing.T) {
 	g, _ := gen.Load(gen.RoadUS, gen.Tiny, false)
 	src := graph.Vertex(g.NumVertices() / 2)
 	want := RefBFS(g, src)
-	e := core.New(g, testMachine(), core.DefaultOptions())
+	e := core.MustNew(g, testMachine(), core.DefaultOptions())
 	defer e.Close()
 	got := BFS(e, src)
 	for v := range want {
@@ -257,7 +257,7 @@ func TestPolymerModesAgree(t *testing.T) {
 	for _, mode := range []core.Mode{core.Auto, core.Push, core.Pull} {
 		opt := core.DefaultOptions()
 		opt.Mode = mode
-		e := core.New(g, testMachine(), opt)
+		e := core.MustNew(g, testMachine(), opt)
 		got := PageRank(e, 4, 0.85)
 		e.Close()
 		for v := range want {
@@ -281,7 +281,7 @@ func TestPolymerAblationsStillCorrect(t *testing.T) {
 	} {
 		opt := core.DefaultOptions()
 		tweak(&opt)
-		e := core.New(g, testMachine(), opt)
+		e := core.MustNew(g, testMachine(), opt)
 		got := BFS(e, 0)
 		e.Close()
 		for v := range want {

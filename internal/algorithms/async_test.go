@@ -12,7 +12,7 @@ import (
 func TestAsyncSSSPMatchesDijkstra(t *testing.T) {
 	n, edges := gen.RoadGrid(15, 15, 9)
 	g := graph.FromEdges(n, edges, true)
-	e := core.New(g, testMachine(), core.DefaultOptions())
+	e := core.MustNew(g, testMachine(), core.DefaultOptions())
 	defer e.Close()
 	got := AsyncSSSP(e, 0)
 	want := RefSSSP(g, 0)
@@ -40,7 +40,7 @@ func TestAsyncBFSMatchesReference(t *testing.T) {
 		}
 		g := graph.FromEdges(n, edges, false)
 		src := graph.Vertex(rng.Intn(n))
-		e := core.New(g, testMachine(), core.DefaultOptions())
+		e := core.MustNew(g, testMachine(), core.DefaultOptions())
 		got := AsyncBFS(e, src)
 		e.Close()
 		want := RefBFS(g, src)
@@ -54,7 +54,7 @@ func TestAsyncBFSMatchesReference(t *testing.T) {
 
 func TestAsyncIsolatedSeedTerminates(t *testing.T) {
 	g := graph.FromEdges(5, []graph.Edge{{Src: 1, Dst: 2}}, false)
-	e := core.New(g, testMachine(), core.DefaultOptions())
+	e := core.MustNew(g, testMachine(), core.DefaultOptions())
 	defer e.Close()
 	got := AsyncBFS(e, 0) // vertex 0 has no out-edges
 	if got[0] != 0 {
@@ -73,12 +73,12 @@ func TestAsyncVersusSyncSimTime(t *testing.T) {
 	n, edges := gen.RoadGrid(60, 60, 3)
 	g := graph.FromEdges(n, edges, true)
 
-	eSync := core.New(g, testMachine(), core.DefaultOptions())
+	eSync := core.MustNew(g, testMachine(), core.DefaultOptions())
 	SSSP(eSync, 0)
 	syncBarrier := eSync.Metrics().BarrierSeconds
 	eSync.Close()
 
-	eAsync := core.New(g, testMachine(), core.DefaultOptions())
+	eAsync := core.MustNew(g, testMachine(), core.DefaultOptions())
 	AsyncSSSP(eAsync, 0)
 	asyncBarrier := eAsync.Metrics().BarrierSeconds
 	eAsync.Close()

@@ -12,7 +12,7 @@ import (
 )
 
 func newPolymer(g *graph.Graph) sg.Engine {
-	return core.New(g, numa.NewMachine(numa.IntelXeon80(), 2, 2), core.DefaultOptions())
+	return core.MustNew(g, numa.NewMachine(numa.IntelXeon80(), 2, 2), core.DefaultOptions())
 }
 
 func TestDynamicSSSPMatchesRecompute(t *testing.T) {

@@ -15,8 +15,8 @@ import (
 func TestPageRankDeltaConvergesToFixedPoint(t *testing.T) {
 	g, _ := gen.Load(gen.Twitter, gen.Tiny, false)
 	for name, e := range map[string]sg.Engine{
-		"polymer": core.New(g, testMachine(), core.DefaultOptions()),
-		"ligra":   ligra.New(g, testMachine(), ligra.DefaultOptions()),
+		"polymer": core.MustNew(g, testMachine(), core.DefaultOptions()),
+		"ligra":   ligra.MustNew(g, testMachine(), ligra.DefaultOptions()),
 	} {
 		ranks, iters := PageRankDelta(e, 1e-10, 200)
 		e.Close()
@@ -36,14 +36,14 @@ func TestPageRankDeltaConvergesToFixedPoint(t *testing.T) {
 
 func TestPageRankDeltaFrontierShrinks(t *testing.T) {
 	g, _ := gen.Load(gen.Twitter, gen.Tiny, false)
-	e := core.New(g, testMachine(), core.DefaultOptions())
+	e := core.MustNew(g, testMachine(), core.DefaultOptions())
 	defer e.Close()
 	_, iters := PageRankDelta(e, 1e-4, 200)
 	if iters >= 200 || iters < 2 {
 		t.Fatalf("unexpected iteration count %d", iters)
 	}
 	// A loose eps must converge faster than a tight one.
-	e2 := core.New(g, testMachine(), core.DefaultOptions())
+	e2 := core.MustNew(g, testMachine(), core.DefaultOptions())
 	defer e2.Close()
 	_, itersTight := PageRankDelta(e2, 1e-12, 500)
 	if itersTight <= iters {
@@ -56,7 +56,7 @@ func TestPageRankDeltaMaxIterCap(t *testing.T) {
 	// binds.
 	n, edges := gen.Chain(50)
 	g := graph.FromEdges(n, edges, false)
-	e := core.New(g, testMachine(), core.DefaultOptions())
+	e := core.MustNew(g, testMachine(), core.DefaultOptions())
 	defer e.Close()
 	_, iters := PageRankDelta(e, 0, 7)
 	if iters != 7 {
@@ -69,7 +69,7 @@ func TestPageRankDeltaUniformCycleConvergesImmediately(t *testing.T) {
 	// the first round produces zero deltas.
 	n, edges := gen.Cycle(32)
 	g := graph.FromEdges(n, edges, false)
-	e := core.New(g, testMachine(), core.DefaultOptions())
+	e := core.MustNew(g, testMachine(), core.DefaultOptions())
 	defer e.Close()
 	ranks, iters := PageRankDelta(e, 1e-15, 100)
 	if iters != 1 {
@@ -85,7 +85,7 @@ func TestPageRankDeltaUniformCycleConvergesImmediately(t *testing.T) {
 func TestPageRankDeltaEmptyGraph(t *testing.T) {
 	g := graph.FromEdges(0, nil, false)
 	m := numa.NewMachine(numa.IntelXeon80(), 1, 1)
-	e := core.New(g, m, core.DefaultOptions())
+	e := core.MustNew(g, m, core.DefaultOptions())
 	defer e.Close()
 	ranks, iters := PageRankDelta(e, 1e-6, 10)
 	if ranks != nil || iters != 0 {

@@ -46,22 +46,22 @@ func TestRandomGraphsAllEnginesAgree(t *testing.T) {
 		wantSSSP := RefSSSP(g, src)
 		wantCC := RefCC(g)
 
-		e := core.New(g, m1, opt)
+		e := core.MustNew(g, m1, opt)
 		gotBFS := BFS(e, src)
 		e.Close()
 		// A fresh engine per algorithm keeps data arrays independent.
-		e = core.New(g, numa.NewMachine(topo, nodes, cores), opt)
+		e = core.MustNew(g, numa.NewMachine(topo, nodes, cores), opt)
 		gotSSSP := SSSP(e, src)
 		e.Close()
-		eSym := core.New(g.Symmetrized(), numa.NewMachine(topo, nodes, cores), opt)
+		eSym := core.MustNew(g.Symmetrized(), numa.NewMachine(topo, nodes, cores), opt)
 		gotCC := CC(eSym)
 		eSym.Close()
 
-		le := ligra.New(g, numa.NewMachine(topo, nodes, cores), ligra.DefaultOptions())
+		le := ligra.MustNew(g, numa.NewMachine(topo, nodes, cores), ligra.DefaultOptions())
 		ligraBFS := BFS(le, src)
 		le.Close()
 
-		ge := galois.New(g, numa.NewMachine(topo, nodes, cores), galois.DefaultOptions())
+		ge := galois.MustNew(g, numa.NewMachine(topo, nodes, cores), galois.DefaultOptions())
 		galoisSSSP := ge.SSSP(src)
 		ge.Close()
 
@@ -104,7 +104,7 @@ func TestSelfLoopsAndDuplicateEdges(t *testing.T) {
 	}
 	g := graph.FromEdges(3, edges, true)
 	want := RefSSSP(g, 0)
-	e := core.New(g, testMachine(), core.DefaultOptions())
+	e := core.MustNew(g, testMachine(), core.DefaultOptions())
 	defer e.Close()
 	got := SSSP(e, 0)
 	for v := range want {
@@ -122,7 +122,7 @@ func TestSelfLoopsAndDuplicateEdges(t *testing.T) {
 func TestDisconnectedSource(t *testing.T) {
 	_, edges := gen.Chain(5)
 	g := graph.FromEdges(7, edges, false) // vertices 5,6 isolated
-	e := core.New(g, testMachine(), core.DefaultOptions())
+	e := core.MustNew(g, testMachine(), core.DefaultOptions())
 	defer e.Close()
 	levels := BFS(e, 6)
 	for v := 0; v < 7; v++ {

@@ -10,117 +10,39 @@ import (
 // scatter-gather engine (the paper's Algorithm 4.1, measured over the
 // first five iterations as in Section 6.2) and returns the ranks.
 func PageRank(e sg.Engine, iters int, damping float64) []float64 {
-	g := e.Graph()
-	n := g.NumVertices()
-	if n == 0 {
-		return nil
+	out, err := pageRankRun(e, iters, damping, nil, nil)
+	if err != nil {
+		panic(err)
 	}
-	currA := e.NewData("pr/curr")
-	nextA := e.NewData("pr/next")
-	curr, next := currA.Data, nextA.Data
-	invOut := make([]float64, n)
-	for v := 0; v < n; v++ {
-		curr[v] = 1 / float64(n)
-		if d := g.OutDegree(graph.Vertex(v)); d > 0 {
-			invOut[v] = 1 / float64(d)
-		}
-	}
-	k := prKernel{curr: curr, next: next, invOut: invOut}
-	all := state.NewAll(e.Bounds())
-	base := (1 - damping) / float64(n)
-	for it := 0; it < iters; it++ {
-		edgeMap(e, all, k, prHints)
-		e.VertexMap(all, func(v graph.Vertex) bool {
-			k.next[v] = base + damping*k.next[v]
-			k.curr[v] = 0 // pre-zero the array that becomes next
-			return true
-		})
-		k.curr, k.next = k.next, k.curr
-	}
-	out := make([]float64, n)
-	copy(out, k.curr)
 	return out
 }
 
 // SpMV multiplies the weighted adjacency matrix with a dense vector iters
 // times (y[v] = sum over in-edges (u,v) of w * x[u]; then x <- y).
 func SpMV(e sg.Engine, iters int, x0 []float64) []float64 {
-	g := e.Graph()
-	n := g.NumVertices()
-	if n == 0 {
-		return nil
+	out, err := SpMVE(e, iters, x0, nil)
+	if err != nil {
+		panic(err)
 	}
-	xA := e.NewData("spmv/x")
-	yA := e.NewData("spmv/y")
-	k := spmvKernel{x: xA.Data, y: yA.Data}
-	copy(k.x, x0)
-	all := state.NewAll(e.Bounds())
-	for it := 0; it < iters; it++ {
-		edgeMap(e, all, k, spmvHints)
-		e.VertexMap(all, func(v graph.Vertex) bool {
-			k.x[v] = 0 // pre-zero the array that becomes y
-			return true
-		})
-		k.x, k.y = k.y, k.x
-	}
-	out := make([]float64, n)
-	copy(out, k.x)
 	return out
 }
 
 // BP runs iters rounds of Bayesian belief propagation along weighted
 // edges and returns per-vertex beliefs in [0, 1].
 func BP(e sg.Engine, iters int) []float64 {
-	g := e.Graph()
-	n := g.NumVertices()
-	if n == 0 {
-		return nil
+	out, err := BPE(e, iters, nil)
+	if err != nil {
+		panic(err)
 	}
-	currA := e.NewData("bp/curr")
-	accA := e.NewData("bp/acc")
-	k := bpKernel{curr: currA.Data, acc: accA.Data}
-	for v := 0; v < n; v++ {
-		k.curr[v] = 0.5
-		k.acc[v] = 1
-	}
-	all := state.NewAll(e.Bounds())
-	for it := 0; it < iters; it++ {
-		edgeMap(e, all, k, bpHints)
-		e.VertexMap(all, func(v graph.Vertex) bool {
-			k.acc[v] = 1 - k.acc[v] // belief from the message product
-			k.curr[v] = 1           // becomes the next accumulator
-			return true
-		})
-		k.curr, k.acc = k.acc, k.curr
-	}
-	out := make([]float64, n)
-	copy(out, k.curr)
 	return out
 }
 
 // BFS runs a direction-optimizing breadth-first search from src and
 // returns the level of every vertex (-1 if unreachable).
 func BFS(e sg.Engine, src graph.Vertex) []int64 {
-	g := e.Graph()
-	n := g.NumVertices()
-	levels := make([]int64, n)
-	for i := range levels {
-		levels[i] = -1
-	}
-	if n == 0 {
-		return levels
-	}
-	parentA := e.NewData32("bfs/parent")
-	k := bfsKernel{parent: parentA.Data}
-	for i := range k.parent {
-		k.parent[i] = unvisited
-	}
-	k.parent[src] = src
-	levels[src] = 0
-	frontier := state.NewSingle(e.Bounds(), src)
-	for level := int64(1); !frontier.IsEmpty(); level++ {
-		frontier = edgeMap(e, frontier, k, bfsHints)
-		frontier.ForEach(func(v graph.Vertex) { levels[v] = level })
+	levels, err := BFSE(e, src, nil)
+	if err != nil {
+		panic(err)
 	}
 	return levels
 }

@@ -24,31 +24,10 @@ func (k *xsPR) Gather(d graph.Vertex, val float64) bool {
 
 // XSPageRank runs iters push-based PageRank iterations on X-Stream.
 func XSPageRank(e *xstream.Engine, iters int, damping float64) []float64 {
-	g := e.Graph()
-	n := g.NumVertices()
-	if n == 0 {
-		return nil
+	out, err := XSPageRankE(e, iters, damping, nil)
+	if err != nil {
+		panic(err)
 	}
-	currA, nextA := e.NewData("pr/curr"), e.NewData("pr/next")
-	k := &xsPR{curr: currA.Data, next: nextA.Data, base: (1 - damping) / float64(n), damping: damping}
-	k.invOut = make([]float64, n)
-	for v := 0; v < n; v++ {
-		k.curr[v] = 1 / float64(n)
-		if d := g.OutDegree(graph.Vertex(v)); d > 0 {
-			k.invOut[v] = 1 / float64(d)
-		}
-	}
-	for it := 0; it < iters; it++ {
-		e.SetAllActive()
-		e.Iterate(k, func(v graph.Vertex) bool {
-			k.next[v] = k.base + k.damping*k.next[v]
-			k.curr[v] = 0
-			return true
-		})
-		k.curr, k.next = k.next, k.curr
-	}
-	out := make([]float64, n)
-	copy(out, k.curr)
 	return out
 }
 

@@ -135,7 +135,7 @@ func Figure11(t *numa.Topology, sc gen.Scale) (*Fig11Result, error) {
 		opt := core.DefaultOptions()
 		opt.Mode = core.Push
 		opt.EdgeBalanced = balanced
-		e := core.New(g, m, opt)
+		e := core.MustNew(g, m, opt)
 		runSG(e, PR, 0)
 		perThread := e.ThreadSeconds()
 		perSocket := make([]float64, t.Sockets)

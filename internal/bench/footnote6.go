@@ -38,7 +38,7 @@ func IterationOverhead(t *numa.Topology, sc gen.Scale) ([]IterOverheadRow, error
 		m := numa.NewMachine(t, t.Sockets, t.CoresPerSocket)
 		opt := core.DefaultOptions()
 		opt.Trace = true
-		e := core.New(g, m, opt)
+		e := core.MustNew(g, m, opt)
 		algorithms.BFS(e, 0)
 		var iters int64
 		for _, r := range e.Trace() {
@@ -52,7 +52,7 @@ func IterationOverhead(t *numa.Topology, sc gen.Scale) ([]IterOverheadRow, error
 	// Ligra: total over levels.
 	{
 		m := numa.NewMachine(t, t.Sockets, t.CoresPerSocket)
-		e := ligra.New(g, m, ligra.DefaultOptions())
+		e := ligra.MustNew(g, m, ligra.DefaultOptions())
 		levels := algorithms.BFS(e, 0)
 		iters := maxLevel(levels)
 		out = append(out, IterOverheadRow{Ligra, iters, e.SimSeconds() / float64(iters)})
@@ -61,7 +61,7 @@ func IterationOverhead(t *numa.Topology, sc gen.Scale) ([]IterOverheadRow, error
 	// X-Stream: total over levels; each iteration scans every edge.
 	{
 		m := numa.NewMachine(t, t.Sockets, t.CoresPerSocket)
-		e := xstream.New(g, m, xstream.DefaultOptions(), sg.Hints{})
+		e := xstream.MustNew(g, m, xstream.DefaultOptions(), sg.Hints{})
 		levels := algorithms.XSBFS(e, 0)
 		iters := maxLevel(levels)
 		out = append(out, IterOverheadRow{XStream, iters, e.SimSeconds() / float64(iters)})

@@ -168,7 +168,7 @@ func BarrierStudy(maxSockets, coresPerSocket, rounds int) []BarrierPoint {
 
 func measureBarrier(k barrier.Kind, sockets, cpn, rounds int) float64 {
 	b := barrier.New(k, sockets, cpn)
-	pool := par.NewPool(sockets * cpn)
+	pool := par.MustNewPool(sockets * cpn)
 	defer pool.Close()
 	start := time.Now()
 	pool.Run(func(th int) {

@@ -1,0 +1,277 @@
+package bench
+
+import (
+	"fmt"
+
+	"polymer/internal/algorithms"
+	"polymer/internal/core"
+	"polymer/internal/engines/galois"
+	"polymer/internal/engines/ligra"
+	"polymer/internal/engines/xstream"
+	"polymer/internal/fault"
+	"polymer/internal/graph"
+	"polymer/internal/numa"
+	"polymer/internal/partition"
+	"polymer/internal/sg"
+)
+
+// ResilienceReport summarises how a resilient run coped with its injected
+// faults: whole-run restarts (setup-time allocation failures), per-step
+// rollbacks, and the injector's arm/detect/repair log.
+type ResilienceReport struct {
+	Restarts  int
+	Rollbacks int
+	Log       []fault.Record
+}
+
+// Format renders the report for the CLI.
+func (r ResilienceReport) Format() string {
+	s := fmt.Sprintf("faults: %d rollback(s), %d restart(s)\n", r.Rollbacks, r.Restarts)
+	for _, rec := range r.Log {
+		s += fmt.Sprintf("  %-8s %s\n", rec.Action, rec.Event)
+	}
+	return s
+}
+
+// RunResilient executes one system x algorithm cell under an injected
+// fault schedule, recovering transient faults via checkpoint/restart so
+// the committed simulated result is bit-identical to a fault-free run.
+// mk builds a fresh machine per attempt: a setup-time allocation failure
+// (spec "alloc@-1") is recovered by whole-run restart, which discards the
+// partially charged machine. PR is supported on all four systems; BFS on
+// the scatter-gather systems (Polymer, Ligra).
+func RunResilient(sys System, alg Algo, g *graph.Graph, mk func() *numa.Machine, inj *fault.Injector, maxRestarts int) (RunResult, ResilienceReport, error) {
+	return RunResilientFrom(sys, alg, g, mk, inj, maxRestarts, 0)
+}
+
+// RunResilientFrom is RunResilient with an explicit traversal source.
+func RunResilientFrom(sys System, alg Algo, g *graph.Graph, mk func() *numa.Machine, inj *fault.Injector, maxRestarts int, src graph.Vertex) (RunResult, ResilienceReport, error) {
+	if inj == nil {
+		inj = fault.NewInjector(nil)
+	}
+	var rep ResilienceReport
+	for restart := 0; ; restart++ {
+		m := mk()
+		inj.ArmSetup(m)
+		r, rollbacks, err := runResilientOnce(sys, alg, g, m, inj, src)
+		rep.Rollbacks += rollbacks
+		if err == nil {
+			rep.Log = inj.Log()
+			return r, rep, nil
+		}
+		inj.RetireSetup()
+		rep.Restarts++
+		if restart >= maxRestarts {
+			rep.Log = inj.Log()
+			return RunResult{}, rep, fmt.Errorf("bench: resilient run failed after %d restart(s): %w", rep.Restarts, err)
+		}
+	}
+}
+
+// runResilientOnce is one whole-run attempt. Construction-time panics
+// (a setup allocation failure surfacing inside NewData/trackData) are
+// contained by fault.Catch and reported as the attempt's error.
+func runResilientOnce(sys System, alg Algo, g *graph.Graph, m *numa.Machine, inj *fault.Injector, src graph.Vertex) (RunResult, int, error) {
+	r := RunResult{System: sys, Algo: alg}
+	rollbacks := 0
+	err := fault.Catch(func() error {
+		switch sys {
+		case Polymer, Ligra:
+			var e sg.Engine
+			if sys == Polymer {
+				opt := core.DefaultOptions()
+				if alg.iterated() {
+					opt.Mode = core.Push
+				}
+				ce, err := core.New(g, m, opt)
+				if err != nil {
+					return err
+				}
+				e = ce
+			} else {
+				le, err := ligra.New(g, m, ligra.DefaultOptions())
+				if err != nil {
+					return err
+				}
+				e = le
+			}
+			defer e.Close()
+			sess := fault.NewSession(e.(fault.Engine), inj)
+			switch alg {
+			case PR:
+				ranks, err := algorithms.PageRankE(e, defaultIters, defaultDamping, sess)
+				if err != nil {
+					return err
+				}
+				r.Checksum = sum(ranks)
+			case BFS:
+				levels, err := algorithms.BFSE(e, src, sess)
+				if err != nil {
+					return err
+				}
+				r.Checksum = sumI(levels)
+			default:
+				return fmt.Errorf("bench: resilient %s unsupported on %s", alg, sys)
+			}
+			rollbacks = sess.Rollbacks()
+			r.SimSeconds = e.SimSeconds()
+			r.Stats = e.RunStats()
+			r.ThreadSeconds = e.ThreadSeconds()
+		case XStream:
+			if alg != PR {
+				return fmt.Errorf("bench: resilient %s unsupported on %s", alg, sys)
+			}
+			e, err := xstream.New(g, m, xstream.DefaultOptions(), xsHints(alg))
+			if err != nil {
+				return err
+			}
+			defer e.Close()
+			sess := fault.NewSession(e, inj)
+			ranks, err := algorithms.XSPageRankE(e, defaultIters, defaultDamping, sess)
+			if err != nil {
+				return err
+			}
+			r.Checksum = sum(ranks)
+			rollbacks = sess.Rollbacks()
+			r.SimSeconds = e.SimSeconds()
+			r.Stats = e.RunStats()
+		case Galois:
+			if alg != PR {
+				return fmt.Errorf("bench: resilient %s unsupported on %s", alg, sys)
+			}
+			e, err := galois.New(g, m, galois.DefaultOptions())
+			if err != nil {
+				return err
+			}
+			defer e.Close()
+			sess := fault.NewSession(e, inj)
+			ranks, err := e.PageRankE(defaultIters, defaultDamping, sess)
+			if err != nil {
+				return err
+			}
+			r.Checksum = sum(ranks)
+			rollbacks = sess.Rollbacks()
+			r.SimSeconds = e.SimSeconds()
+			r.Stats = e.RunStats()
+		default:
+			return fmt.Errorf("bench: unknown system %q", sys)
+		}
+		r.PeakBytes = m.Alloc().Peak()
+		return nil
+	})
+	return r, rollbacks, err
+}
+
+// ResilientPolymerRanks runs resilient PageRank on the Polymer engine and
+// returns the raw per-vertex rank vector, so tests can compare recovered
+// runs against fault-free ones value-by-value, not just by checksum.
+func ResilientPolymerRanks(g *graph.Graph, m *numa.Machine, inj *fault.Injector) ([]float64, error) {
+	opt := core.DefaultOptions()
+	opt.Mode = core.Push
+	e, err := core.New(g, m, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	sess := fault.NewSession(e, inj)
+	return algorithms.PageRankE(e, defaultIters, defaultDamping, sess)
+}
+
+// DegradedResult reports a Polymer run that lost a NUMA node permanently
+// mid-run and finished on the survivors.
+type DegradedResult struct {
+	Result RunResult
+	// FailedNode and FailStep locate the permanent failure.
+	FailedNode int
+	FailStep   int
+	// MigratedBytes is the vertex state re-read from the checkpoint and
+	// redistributed over the surviving nodes' memories.
+	MigratedBytes int64
+	// MigrationSeconds is the honestly charged simulated cost of that
+	// redistribution.
+	MigrationSeconds float64
+}
+
+// RunPolymerDegraded runs PageRank on Polymer with a permanent node
+// failure after failStep iterations: the run is rebuilt on a machine with
+// one node fewer (core.New re-partitions the vertex space edge-balanced
+// across the survivors), the failed node's vertex state is restored from
+// the superstep checkpoint and its redistribution charged as interleaved
+// remote traffic, and the remaining iterations continue from the
+// checkpointed ranks. The returned SimSeconds is the sum of both segments
+// plus the migration cost; the checksum matches a fault-free run within
+// floating-point tolerance (the re-partitioned engine schedules additions
+// differently, so bit-identity is not preserved — unlike transient
+// recovery).
+func RunPolymerDegraded(g *graph.Graph, topo *numa.Topology, nodes, coresPerNode, failNode, failStep int) (DegradedResult, error) {
+	if nodes < 2 {
+		return DegradedResult{}, fmt.Errorf("bench: degraded run needs >= 2 nodes, got %d", nodes)
+	}
+	if failStep < 0 || failStep > defaultIters {
+		return DegradedResult{}, fmt.Errorf("bench: fail step %d out of range [0,%d]", failStep, defaultIters)
+	}
+	failNode %= nodes
+
+	opt := core.DefaultOptions()
+	opt.Mode = core.Push
+
+	// Segment 1: the full machine up to the failure.
+	m1 := numa.NewMachine(topo, nodes, coresPerNode)
+	e1, err := core.New(g, m1, opt)
+	if err != nil {
+		return DegradedResult{}, err
+	}
+	ranks := algorithms.PageRankFrom(e1, failStep, defaultDamping, nil)
+	seg1 := e1.SimSeconds()
+	stats1 := e1.RunStats()
+	peak1 := m1.Alloc().Peak()
+	e1.Close()
+
+	// Node failNode is now gone. Rebuild on the survivors; core.New
+	// re-partitions the vertex space edge-balanced over nodes-1 ranges.
+	m2 := numa.NewMachine(topo, nodes-1, coresPerNode)
+	e2, err := core.New(g, m2, opt)
+	if err != nil {
+		return DegradedResult{}, err
+	}
+	defer e2.Close()
+
+	// The lost partition's per-vertex state (curr+next ranks) is re-read
+	// from the checkpoint and written to its new owners: one interleaved
+	// sequential read + write per vertex, spread over the survivors.
+	lost := partition.EdgeBalanced(g, nodes, partition.In)[failNode]
+	const bytesPerVertex = 16 // two float64 rank arrays
+	migrated := int64(lost.Len()) * bytesPerVertex
+	ep := m2.NewEpoch()
+	threads := m2.Threads()
+	per := (int64(lost.Len()) + int64(threads) - 1) / int64(threads)
+	for th := 0; th < threads; th++ {
+		ep.AccessInterleaved(th, numa.Seq, numa.Load, per, bytesPerVertex, 0)
+		ep.AccessInterleaved(th, numa.Seq, numa.Store, per, bytesPerVertex, 0)
+	}
+	migSecs := ep.Time()
+
+	// Segment 2: continue from the checkpointed ranks on the survivors.
+	out := algorithms.PageRankFrom(e2, defaultIters-failStep, defaultDamping, ranks)
+
+	r := RunResult{System: Polymer, Algo: PR}
+	r.Checksum = sum(out)
+	r.SimSeconds = seg1 + migSecs + e2.SimSeconds()
+	r.Stats = stats1
+	r.Stats.Merge(e2.RunStats())
+	r.PeakBytes = max64(peak1, m2.Alloc().Peak())
+	return DegradedResult{
+		Result:           r,
+		FailedNode:       failNode,
+		FailStep:         failStep,
+		MigratedBytes:    migrated,
+		MigrationSeconds: migSecs,
+	}, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -104,9 +104,9 @@ func RunFrom(sys System, alg Algo, g *graph.Graph, m *numa.Machine, src graph.Ve
 			if alg.iterated() {
 				opt.Mode = core.Push
 			}
-			e = core.New(g, m, opt)
+			e = core.MustNew(g, m, opt)
 		} else {
-			e = ligra.New(g, m, ligra.DefaultOptions())
+			e = ligra.MustNew(g, m, ligra.DefaultOptions())
 		}
 		r.Checksum = runSG(e, alg, src)
 		r.SimSeconds = e.SimSeconds()
@@ -117,14 +117,14 @@ func RunFrom(sys System, alg Algo, g *graph.Graph, m *numa.Machine, src graph.Ve
 		e.Close()
 	case XStream:
 		h := xsHints(alg)
-		e := xstream.New(g, m, xstream.DefaultOptions(), h)
+		e := xstream.MustNew(g, m, xstream.DefaultOptions(), h)
 		r.Checksum = runXS(e, alg, src)
 		r.SimSeconds = e.SimSeconds()
 		r.Stats = e.RunStats()
 		r.PeakBytes = m.Alloc().Peak()
 		e.Close()
 	case Galois:
-		e := galois.New(g, m, galois.DefaultOptions())
+		e := galois.MustNew(g, m, galois.DefaultOptions())
 		r.Checksum = runGalois(e, alg, src)
 		r.SimSeconds = e.SimSeconds()
 		r.Stats = e.RunStats()
@@ -262,7 +262,7 @@ func RunPolymerTraced(alg Algo, g *graph.Graph, m *numa.Machine, src graph.Verte
 	if alg.iterated() {
 		opt.Mode = core.Push
 	}
-	e := core.New(g, m, opt)
+	e := core.MustNew(g, m, opt)
 	r := RunResult{System: Polymer, Algo: alg}
 	r.Checksum = runSG(e, alg, src)
 	r.SimSeconds = e.SimSeconds()

@@ -212,7 +212,7 @@ func ablationStudy(t *numa.Topology, sc gen.Scale, d gen.Dataset, tweak func(on 
 			if alg.iterated() {
 				opt.Mode = core.Push
 			}
-			e := core.New(gr, m, opt)
+			e := core.MustNew(gr, m, opt)
 			runSG(e, alg, 0)
 			if on {
 				row.With = e.SimSeconds()

@@ -71,12 +71,25 @@ func (e *Engine) AsyncTraverse(seeds []graph.Vertex, k AsyncKernel, h sg.Hints) 
 	}
 	counts := make([]asyncCounts, threads)
 
-	e.pool.Run(func(th int) {
+	// A worker panic (recovered by the pool) would otherwise leave pending
+	// permanently non-zero and spin the surviving workers forever; the
+	// aborted flag lets them drain out.
+	var aborted atomic.Bool
+	e.runPhase(func(th int) {
+		defer func() {
+			if r := recover(); r != nil {
+				aborted.Store(true)
+				panic(r) // re-panic so the pool records the failure
+			}
+		}()
 		p := e.m.NodeOfThread(th)
 		nl := &l.perNode[p]
 		c := &counts[th]
 		weighted := h.Weighted && nl.wts != nil
 		for {
+			if aborted.Load() {
+				return
+			}
 			v, ok := queues[p].pop()
 			if !ok {
 				if pending.Load() == 0 {
@@ -103,6 +116,10 @@ func (e *Engine) AsyncTraverse(seeds []graph.Vertex, k AsyncKernel, h sg.Hints) 
 			pending.Add(-1)
 		}
 	})
+
+	if e.err != nil {
+		return // failed traversal charges nothing
+	}
 
 	// Charge: like sparse push, but the far-side source reads happen in
 	// worklist order — random remote — and there is no barrier at all.

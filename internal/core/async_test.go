@@ -30,7 +30,7 @@ func TestAsyncTraverseComputesLevels(t *testing.T) {
 	n, edges := gen.RoadGrid(12, 12, 6)
 	g := graph.FromEdges(n, edges, true)
 	for _, shape := range []struct{ nodes, cores int }{{1, 1}, {2, 2}, {4, 2}} {
-		e := New(g, testMachine(shape.nodes, shape.cores), DefaultOptions())
+		e := MustNew(g, testMachine(shape.nodes, shape.cores), DefaultOptions())
 		k := &levelKernel{level: make([]int64, n)}
 		const inf = int64(1) << 40
 		for i := range k.level {
@@ -77,7 +77,7 @@ func refLevels(g *graph.Graph, src graph.Vertex) []int64 {
 func TestAsyncTraverseNoSeeds(t *testing.T) {
 	n, edges := gen.Chain(10)
 	g := graph.FromEdges(n, edges, false)
-	e := New(g, testMachine(2, 1), DefaultOptions())
+	e := MustNew(g, testMachine(2, 1), DefaultOptions())
 	defer e.Close()
 	e.AsyncTraverse(nil, &levelKernel{level: make([]int64, n)}, sg.Hints{})
 }
@@ -87,7 +87,7 @@ func TestEngineAccessors(t *testing.T) {
 	g := graph.FromEdges(n, edges, false)
 	m := testMachine(2, 2)
 	opt := DefaultOptions()
-	e := New(g, m, opt)
+	e := MustNew(g, m, opt)
 	defer e.Close()
 	if e.Graph() != g || e.Machine() != m {
 		t.Fatal("accessors must return the construction arguments")

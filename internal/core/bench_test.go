@@ -20,7 +20,7 @@ func benchSetup(b *testing.B, mode Mode) (*Engine, *state.Subset, int) {
 	opt := DefaultOptions()
 	opt.Mode = mode
 	opt.Adaptive = false
-	e := New(g, m, opt)
+	e := MustNew(g, m, opt)
 	b.Cleanup(e.Close)
 	return e, state.NewAll(e.Bounds()), n
 }
@@ -48,7 +48,7 @@ func BenchmarkEdgeMapDensePull(b *testing.B) {
 func BenchmarkEdgeMapSparse(b *testing.B) {
 	n, edges := gen.RMAT(13, 16, 1)
 	g := graph.FromEdges(n, edges, false)
-	e := New(g, testMachine(4, 2), DefaultOptions())
+	e := MustNew(g, testMachine(4, 2), DefaultOptions())
 	b.Cleanup(e.Close)
 	frontier := make([]graph.Vertex, 0, 64)
 	for v := 0; v < 64; v++ {
@@ -79,7 +79,7 @@ func BenchmarkLayoutBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		opt := DefaultOptions()
 		opt.Mode = Push
-		e := New(g, m, opt)
+		e := MustNew(g, m, opt)
 		e.ensurePush()
 		e.Close()
 	}

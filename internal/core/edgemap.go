@@ -37,7 +37,7 @@ func (e *Engine) EdgeMap(a *state.Subset, k sg.EdgeKernel, h sg.Hints) *state.Su
 // interface path above is the fallback instantiation.
 func EdgeMapK[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hints) *state.Subset {
 	h = h.Normalize()
-	if a.IsEmpty() {
+	if a.IsEmpty() || e.err != nil {
 		return state.NewEmpty(e.bounds)
 	}
 	e.met.EdgeMaps++
@@ -268,7 +268,7 @@ func edgeMapDensePush[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hin
 	ep := e.scr.beginPhase()
 	full := a.Count() == int64(e.g.NumVertices())
 
-	e.pool.Run(func(th int) {
+	e.runPhase(func(th int) {
 		p := e.m.NodeOfThread(th)
 		nl := &l.perNode[p]
 		rows := len(nl.rowIDs)
@@ -333,6 +333,9 @@ func edgeMapDensePush[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hin
 		})
 		e.addEdges(c.edges)
 	})
+	if e.err != nil {
+		return state.NewEmpty(e.bounds) // failed phase charges nothing
+	}
 	e.balanceWithinNodes(e.scr.chargers)
 	for th, c := range e.scr.chargers {
 		if c != nil {
@@ -361,7 +364,7 @@ func edgeMapDensePull[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hin
 	atomicUpdate := e.m.Nodes > 1 || e.m.CoresPerNode > 1
 	full := a.Count() == int64(e.g.NumVertices())
 
-	e.pool.Run(func(th int) {
+	e.runPhase(func(th int) {
 		p := e.m.NodeOfThread(th)
 		nl := &l.perNode[p]
 		rows := len(nl.rowIDs)
@@ -424,6 +427,9 @@ func edgeMapDensePull[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hin
 		})
 		e.addEdges(c.edges)
 	})
+	if e.err != nil {
+		return state.NewEmpty(e.bounds)
+	}
 	e.balanceWithinNodes(e.scr.chargers)
 	for th, c := range e.scr.chargers {
 		if c != nil {
@@ -464,7 +470,7 @@ func edgeMapSparse[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hints)
 	e.scr.actives, e.scr.ownerOf = actives, ownerOf
 	stride := par.MakeStrided(int64(len(actives)), chunkSize(int64(len(actives)), e.m.CoresPerNode), e.m.CoresPerNode)
 
-	e.pool.Run(func(th int) {
+	e.runPhase(func(th int) {
 		p := e.m.NodeOfThread(th)
 		nl := &l.perNode[p]
 		if len(nl.rowIDs) == 0 {
@@ -506,6 +512,9 @@ func edgeMapSparse[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hints)
 		})
 		e.addEdges(c.edges)
 	})
+	if e.err != nil {
+		return state.NewEmpty(e.bounds)
+	}
 	e.balanceWithinNodes(e.scr.chargers)
 	for th, c := range e.scr.chargers {
 		if c != nil {
@@ -523,7 +532,7 @@ func edgeMapSparse[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hints)
 // it returned true. Vertices are processed by their owning node's threads
 // with dynamic chunking.
 func (e *Engine) VertexMap(a *state.Subset, f sg.VertexFunc) *state.Subset {
-	if a.IsEmpty() {
+	if a.IsEmpty() || e.err != nil {
 		return state.NewEmpty(e.bounds)
 	}
 	e.met.VertexMaps++
@@ -532,7 +541,7 @@ func (e *Engine) VertexMap(a *state.Subset, f sg.VertexFunc) *state.Subset {
 
 	if a.Dense() {
 		strides := e.vmDenseStrides()
-		e.pool.Run(func(th int) {
+		e.runPhase(func(th int) {
 			p := e.m.NodeOfThread(th)
 			words := a.Words(p)
 			base := e.bounds[p]
@@ -558,7 +567,7 @@ func (e *Engine) VertexMap(a *state.Subset, f sg.VertexFunc) *state.Subset {
 			ep.Compute(th, float64(visited)*2e-9)
 		})
 	} else {
-		e.pool.Run(func(th int) {
+		e.runPhase(func(th int) {
 			p := e.m.NodeOfThread(th)
 			list := a.List(p)
 			var visited int64
@@ -576,6 +585,9 @@ func (e *Engine) VertexMap(a *state.Subset, f sg.VertexFunc) *state.Subset {
 			ep.Access(th, numa.Seq, numa.Load, p, visited, 4+vertexMapData, 0)
 			ep.Compute(th, float64(visited)*2e-9)
 		})
+	}
+	if e.err != nil {
+		return state.NewEmpty(e.bounds)
 	}
 	e.recordPhase("vertexmap", a.Dense(), false, a.Count(), e.chargePhase(ep))
 	return b.Build()

@@ -23,7 +23,10 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"sync/atomic"
+	"time"
 
 	"polymer/internal/barrier"
 	"polymer/internal/graph"
@@ -80,6 +83,11 @@ type Options struct {
 	// Trace records a PhaseRecord for every EdgeMap/VertexMap (small
 	// overhead; off by default).
 	Trace bool
+	// PhaseTimeout, when positive, bounds the host wall-clock duration of
+	// each parallel phase: a phase that takes longer records a deadline
+	// error on the engine (workers are cooperative, so the phase still
+	// joins; the error surfaces through Err after the join).
+	PhaseTimeout time.Duration
 }
 
 // PhaseRecord describes one executed parallel phase when tracing is on.
@@ -137,8 +145,8 @@ type Engine struct {
 	met            Metrics
 	edgesProcessed atomic.Int64 // workers accumulate without a lock
 
-	scr      *scratch               // phase-scoped reusable buffers
-	degreeOf func(v uint32) int64   // out-degree accessor for frontier builders
+	scr      *scratch             // phase-scoped reusable buffers
+	degreeOf func(v uint32) int64 // out-degree accessor for frontier builders
 
 	push *layout // lazily built; keyed by source, columns are local targets
 	pull *layout // lazily built; keyed by target, columns are local sources
@@ -148,12 +156,29 @@ type Engine struct {
 	arrays    []interface{ Free() }
 	topoBytes int64
 	closed    bool
+
+	err  error           // first execution failure (see fail/Err)
+	ctx  context.Context // optional cancellation; nil means background
+	snap *simSnapshot    // single slot for SnapshotSim/RestoreSim
+}
+
+// simSnapshot captures the engine's simulated-time state so a superstep
+// can be rolled back after an injected fault: clock, cumulative ledger,
+// metrics, edge counter, and trace position.
+type simSnapshot struct {
+	clock  float64
+	ledger *numa.Epoch
+	met    Metrics
+	edges  int64
+	trace  int
 }
 
 var _ sg.Engine = (*Engine)(nil)
 
-// New builds a Polymer engine for g on m.
-func New(g *graph.Graph, m *numa.Machine, opt Options) *Engine {
+// New builds a Polymer engine for g on m. It returns an error for invalid
+// configuration (a machine with no threads) or a simulated allocation
+// failure.
+func New(g *graph.Graph, m *numa.Machine, opt Options) (*Engine, error) {
 	if opt.Threshold <= 0 {
 		opt.Threshold = 20
 	}
@@ -171,13 +196,30 @@ func New(g *graph.Graph, m *numa.Machine, opt Options) *Engine {
 		e.parts = partition.VertexBalanced(g.NumVertices(), m.Nodes)
 	}
 	e.bounds = partition.Bounds(e.parts)
-	e.pool = par.NewPool(m.Threads())
+	pool, err := par.NewPool(m.Threads())
+	if err != nil {
+		return nil, err
+	}
+	e.pool = pool
 	e.ledger = m.NewEpoch()
 	e.scr = newScratch(e)
 	e.degreeOf = func(v uint32) int64 { return g.OutDegree(graph.Vertex(v)) }
 	// The engine keeps the construction-stage graph resident alongside
 	// its grouped per-node layouts (part of Table 5's footprint).
-	m.Alloc().Grow("polymer/graph", g.TopologyBytes())
+	if err := m.Alloc().Grow("polymer/graph", g.TopologyBytes()); err != nil {
+		pool.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// MustNew is New panicking on error, for statically valid configurations
+// (tests, examples, benchmarks).
+func MustNew(g *graph.Graph, m *numa.Machine, opt Options) *Engine {
+	e, err := New(g, m, opt)
+	if err != nil {
+		panic(err)
+	}
 	return e
 }
 
@@ -282,6 +324,98 @@ func (e *Engine) chargePhase(ep *numa.Epoch) float64 {
 	e.met.BarrierSeconds += b
 	e.ledger.Add(ep)
 	return t + b
+}
+
+// Err returns the first execution failure recorded during a parallel
+// phase (worker panic, offline node, allocation failure, cancelled
+// context, missed phase deadline), or nil. Once set, subsequent
+// EdgeMap/VertexMap calls are no-ops returning empty frontiers and charge
+// nothing, so a failed superstep leaves no residue in the simulated
+// clock beyond what the resilience layer rolls back.
+func (e *Engine) Err() error { return e.err }
+
+// ClearErr resets the failure so a rolled-back superstep can be
+// replayed.
+func (e *Engine) ClearErr() { e.err = nil }
+
+// fail records the first failure.
+func (e *Engine) fail(err error) {
+	if e.err == nil && err != nil {
+		e.err = err
+	}
+}
+
+// SetContext installs a cancellation context consulted before each
+// parallel phase; nil restores the default (never cancelled).
+func (e *Engine) SetContext(ctx context.Context) { e.ctx = ctx }
+
+// SetFaultHook installs (nil removes) the fault injector's per-dispatch
+// hook on the engine's worker pool.
+func (e *Engine) SetFaultHook(h func(th int) error) { e.pool.SetHook(h) }
+
+// runPhase dispatches one parallel phase, honouring the engine context
+// and the configured phase deadline. It returns false if the phase
+// failed (the failure is recorded on the engine) — callers must then skip
+// all simulated charging for the phase.
+func (e *Engine) runPhase(fn func(th int)) bool {
+	if e.err != nil {
+		return false
+	}
+	if e.ctx != nil {
+		if err := e.ctx.Err(); err != nil {
+			e.fail(err)
+			return false
+		}
+	}
+	var start time.Time
+	if e.opt.PhaseTimeout > 0 {
+		start = time.Now()
+	}
+	if err := e.pool.Run(fn); err != nil {
+		e.fail(err)
+		return false
+	}
+	if e.opt.PhaseTimeout > 0 {
+		if d := time.Since(start); d > e.opt.PhaseTimeout {
+			e.fail(fmt.Errorf("core: phase exceeded deadline: %v > %v", d, e.opt.PhaseTimeout))
+			return false
+		}
+	}
+	if e.ctx != nil {
+		if err := e.ctx.Err(); err != nil {
+			e.fail(err)
+			return false
+		}
+	}
+	return true
+}
+
+// SnapshotSim saves the simulated-time state (clock, cumulative ledger,
+// metrics, edge counter, trace position) into the engine's snapshot
+// slot; RestoreSim rolls back to it. The resilience layer wraps each
+// superstep in a Snapshot/Restore pair so an injected fault's partial
+// charges are discarded before replay.
+func (e *Engine) SnapshotSim() {
+	if e.snap == nil {
+		e.snap = &simSnapshot{ledger: e.m.NewEpoch()}
+	}
+	e.snap.clock = e.clock
+	e.snap.ledger.CopyFrom(e.ledger)
+	e.snap.met = e.met
+	e.snap.edges = e.edgesProcessed.Load()
+	e.snap.trace = len(e.trace)
+}
+
+// RestoreSim rolls the simulated-time state back to the last SnapshotSim.
+func (e *Engine) RestoreSim() {
+	if e.snap == nil {
+		return
+	}
+	e.clock = e.snap.clock
+	e.ledger.CopyFrom(e.snap.ledger)
+	e.met = e.snap.met
+	e.edgesProcessed.Store(e.snap.edges)
+	e.trace = e.trace[:e.snap.trace]
 }
 
 // Trace returns the recorded phase history (empty unless Options.Trace).

@@ -71,7 +71,7 @@ func TestEdgeMapDensePushAppliesAllActiveEdges(t *testing.T) {
 	opt := DefaultOptions()
 	opt.Mode = Push
 	opt.Adaptive = false
-	e := New(g, m, opt)
+	e := MustNew(g, m, opt)
 	defer e.Close()
 
 	k := newAddKernel(n)
@@ -102,7 +102,7 @@ func TestEdgeMapDensePullMatchesPush(t *testing.T) {
 	optPush := DefaultOptions()
 	optPush.Mode = Push
 	optPush.Adaptive = false
-	ePush := New(g, m, optPush)
+	ePush := MustNew(g, m, optPush)
 	defer ePush.Close()
 	kPush := newAddKernel(n)
 	ePush.EdgeMap(state.NewAll(ePush.Bounds()), kPush, sg.Hints{})
@@ -110,7 +110,7 @@ func TestEdgeMapDensePullMatchesPush(t *testing.T) {
 	optPull := DefaultOptions()
 	optPull.Mode = Pull
 	optPull.Adaptive = false
-	ePull := New(g, m, optPull)
+	ePull := MustNew(g, m, optPull)
 	defer ePull.Close()
 	kPull := newAddKernel(n)
 	ePull.EdgeMap(state.NewAll(ePull.Bounds()), kPull, sg.Hints{})
@@ -131,7 +131,7 @@ func TestEdgeMapSparseMatchesDense(t *testing.T) {
 	frontier := []graph.Vertex{1, 5, 9, 100, 101, 599}
 
 	optA := DefaultOptions() // adaptive: sparse for a tiny frontier
-	eA := New(g, m, optA)
+	eA := MustNew(g, m, optA)
 	defer eA.Close()
 	kA := newAddKernel(n)
 	outA := eA.EdgeMap(state.FromVertices(eA.Bounds(), frontier), kA, sg.Hints{DensePush: true})
@@ -142,7 +142,7 @@ func TestEdgeMapSparseMatchesDense(t *testing.T) {
 	optB := DefaultOptions()
 	optB.Adaptive = false // force dense
 	optB.Mode = Push
-	eB := New(g, m, optB)
+	eB := MustNew(g, m, optB)
 	defer eB.Close()
 	kB := newAddKernel(n)
 	outB := eB.EdgeMap(state.FromVertices(eB.Bounds(), frontier), kB, sg.Hints{DensePush: true})
@@ -184,7 +184,7 @@ func TestEdgeMapCondFiltersClaimed(t *testing.T) {
 	n, edges := gen.Star(100)
 	g := graph.FromEdges(n, edges, false)
 	m := testMachine(2, 2)
-	e := New(g, m, DefaultOptions())
+	e := MustNew(g, m, DefaultOptions())
 	defer e.Close()
 
 	k := &claimKernel{parent: make([]uint32, n)}
@@ -207,7 +207,7 @@ func TestVertexMapFilters(t *testing.T) {
 	n := 200
 	g := graph.FromEdges(n, []graph.Edge{{Src: 0, Dst: 1}}, false)
 	m := testMachine(2, 2)
-	e := New(g, m, DefaultOptions())
+	e := MustNew(g, m, DefaultOptions())
 	defer e.Close()
 
 	all := state.NewAll(e.Bounds())
@@ -232,7 +232,7 @@ func TestVertexMapVisitsEachActiveOnce(t *testing.T) {
 	n := 137
 	g := graph.FromEdges(n, nil, false)
 	m := testMachine(4, 2)
-	e := New(g, m, DefaultOptions())
+	e := MustNew(g, m, DefaultOptions())
 	defer e.Close()
 	counts := make([]int64, n)
 	var mu sync.Mutex
@@ -253,7 +253,7 @@ func TestEmptyInputsShortCircuit(t *testing.T) {
 	n, edges := gen.Chain(50)
 	g := graph.FromEdges(n, edges, false)
 	m := testMachine(2, 1)
-	e := New(g, m, DefaultOptions())
+	e := MustNew(g, m, DefaultOptions())
 	defer e.Close()
 	empty := state.NewEmpty(e.Bounds())
 	if out := e.EdgeMap(empty, newAddKernel(n), sg.Hints{}); !out.IsEmpty() {
@@ -271,7 +271,7 @@ func TestSimTimeAdvancesAndStatsAccumulate(t *testing.T) {
 	n, edges := gen.RMAT(9, 8, 7)
 	g := graph.FromEdges(n, edges, false)
 	m := testMachine(4, 2)
-	e := New(g, m, DefaultOptions())
+	e := MustNew(g, m, DefaultOptions())
 	defer e.Close()
 	e.EdgeMap(state.NewAll(e.Bounds()), newAddKernel(n), sg.Hints{DensePush: true})
 	if e.SimSeconds() <= 0 {
@@ -304,7 +304,7 @@ func TestCoLocatedFasterThanInterleavedAblation(t *testing.T) {
 		opt.Mode = Push
 		opt.Adaptive = false
 		opt.Layout = layout
-		e := New(g, m, opt)
+		e := MustNew(g, m, opt)
 		defer e.Close()
 		all := state.NewAll(e.Bounds())
 		for i := 0; i < 3; i++ {
@@ -330,7 +330,7 @@ func TestDisableAgentsSlower(t *testing.T) {
 		opt.Mode = Push
 		opt.Adaptive = false
 		opt.DisableAgents = disable
-		e := New(g, m, opt)
+		e := MustNew(g, m, opt)
 		defer e.Close()
 		all := state.NewAll(e.Bounds())
 		for i := 0; i < 3; i++ {
@@ -348,7 +348,7 @@ func TestAgentMemoryTracked(t *testing.T) {
 	n, edges := gen.Uniform(500, 5000, 5)
 	g := graph.FromEdges(n, edges, false)
 	m := testMachine(4, 1)
-	e := New(g, m, DefaultOptions())
+	e := MustNew(g, m, DefaultOptions())
 	e.EdgeMap(state.NewAll(e.Bounds()), newAddKernel(n), sg.Hints{DensePush: true})
 	if m.Alloc().Label("polymer/agents") <= 0 {
 		t.Fatal("agent memory must be tracked (Table 5)")
@@ -366,7 +366,7 @@ func TestNewDataPlacement(t *testing.T) {
 	n, edges := gen.Chain(100)
 	g := graph.FromEdges(n, edges, false)
 	m := testMachine(2, 1)
-	e := New(g, m, DefaultOptions())
+	e := MustNew(g, m, DefaultOptions())
 	defer e.Close()
 	d := e.NewData("ranks")
 	if d.Placement() != mem.CoLocated || d.Len() != n {
@@ -379,7 +379,7 @@ func TestNewDataPlacement(t *testing.T) {
 
 	opt := DefaultOptions()
 	opt.Layout = mem.Interleaved
-	e2 := New(g, m, opt)
+	e2 := MustNew(g, m, opt)
 	defer e2.Close()
 	if e2.NewData("x").Placement() != mem.Interleaved {
 		t.Fatal("layout override must apply to NewData")
@@ -390,7 +390,7 @@ func TestCloseIdempotent(t *testing.T) {
 	n, edges := gen.Chain(10)
 	g := graph.FromEdges(n, edges, false)
 	m := testMachine(1, 1)
-	e := New(g, m, DefaultOptions())
+	e := MustNew(g, m, DefaultOptions())
 	e.Close()
 	e.Close()
 }

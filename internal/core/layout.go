@@ -182,11 +182,17 @@ func (l *layout) bytes() int64 {
 	return b
 }
 
-// ensurePush lazily builds the push-direction layout.
+// ensurePush lazily builds the push-direction layout. If registering its
+// simulated allocation fails (injected fault), the layout is not cached:
+// the replay after recovery rebuilds and re-charges it, keeping the
+// allocation accounting identical to a fault-free run.
 func (e *Engine) ensurePush() *layout {
 	if e.push == nil {
-		e.push = buildLayout(e.g, e.parts, true)
-		e.registerLayout(e.push)
+		l := buildLayout(e.g, e.parts, true)
+		if !e.registerLayout(l) {
+			return l // e.err is set; the phase will abort uncharged
+		}
+		e.push = l
 	}
 	return e.push
 }
@@ -194,22 +200,33 @@ func (e *Engine) ensurePush() *layout {
 // ensurePull lazily builds the pull-direction layout.
 func (e *Engine) ensurePull() *layout {
 	if e.pull == nil {
-		e.pull = buildLayout(e.g, e.parts, false)
-		e.registerLayout(e.pull)
+		l := buildLayout(e.g, e.parts, false)
+		if !e.registerLayout(l) {
+			return l
+		}
+		e.pull = l
 	}
 	return e.pull
 }
 
-func (e *Engine) registerLayout(l *layout) {
+func (e *Engine) registerLayout(l *layout) bool {
 	l.strides = make([]par.Strided, len(l.perNode))
 	for p := range l.perNode {
 		rows := int64(len(l.perNode[p].rowIDs))
 		l.strides[p] = par.MakeStrided(rows, chunkSize(rows, e.m.CoresPerNode), e.m.CoresPerNode)
 	}
 	b := l.bytes()
-	e.m.Alloc().Grow("polymer/topology", b)
-	e.topoBytes += b
-	if l.agentBytes > 0 {
-		e.m.Alloc().Grow("polymer/agents", l.agentBytes)
+	if err := e.m.Alloc().Grow("polymer/topology", b); err != nil {
+		e.fail(err)
+		return false
 	}
+	if l.agentBytes > 0 {
+		if err := e.m.Alloc().Grow("polymer/agents", l.agentBytes); err != nil {
+			e.fail(err)
+			e.m.Alloc().Release("polymer/topology", b)
+			return false
+		}
+	}
+	e.topoBytes += b
+	return true
 }

@@ -17,7 +17,7 @@ func TestTraceRecordsPhases(t *testing.T) {
 	opt.Trace = true
 	opt.Mode = Push
 	opt.Adaptive = false
-	e := New(g, m, opt)
+	e := MustNew(g, m, opt)
 	defer e.Close()
 
 	all := state.NewAll(e.Bounds())
@@ -54,7 +54,7 @@ func TestTraceDistinguishesSparsePhases(t *testing.T) {
 	m := testMachine(2, 2)
 	opt := DefaultOptions()
 	opt.Trace = true
-	e := New(g, m, opt)
+	e := MustNew(g, m, opt)
 	defer e.Close()
 
 	k := &claimKernel{parent: make([]uint32, n)}
@@ -86,7 +86,7 @@ func TestTraceDistinguishesSparsePhases(t *testing.T) {
 func TestTraceOffByDefault(t *testing.T) {
 	n, edges := gen.Chain(20)
 	g := graph.FromEdges(n, edges, false)
-	e := New(g, testMachine(1, 1), DefaultOptions())
+	e := MustNew(g, testMachine(1, 1), DefaultOptions())
 	defer e.Close()
 	e.VertexMap(state.NewAll(e.Bounds()), func(graph.Vertex) bool { return true })
 	if len(e.Trace()) != 0 {

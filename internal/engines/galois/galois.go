@@ -21,6 +21,7 @@ import (
 
 	"polymer/internal/atomicx"
 	"polymer/internal/barrier"
+	"polymer/internal/fault"
 	"polymer/internal/graph"
 	"polymer/internal/numa"
 	"polymer/internal/par"
@@ -56,6 +57,9 @@ type Engine struct {
 	dataB  int64
 	closed bool
 
+	err  error        // first execution failure
+	snap *simSnapshot // SnapshotSim/RestoreSim slot
+
 	// Round-scoped scratch, reset between parallel rounds so steady-state
 	// iterations reuse the epoch, counters and worklist buffers instead of
 	// reallocating them. Host-only: charged traffic is unchanged.
@@ -66,7 +70,7 @@ type Engine struct {
 }
 
 // New builds a Galois engine for g on m.
-func New(g *graph.Graph, m *numa.Machine, opt Options) *Engine {
+func New(g *graph.Graph, m *numa.Machine, opt Options) (*Engine, error) {
 	if opt.OverheadNsPerEdge <= 0 {
 		opt.OverheadNsPerEdge = 0.8
 	}
@@ -76,9 +80,13 @@ func New(g *graph.Graph, m *numa.Machine, opt Options) *Engine {
 	if opt.Delta <= 0 {
 		opt.Delta = 8
 	}
+	pool, err := par.NewPool(m.Threads())
+	if err != nil {
+		return nil, err
+	}
 	e := &Engine{
 		g: g, m: m, opt: opt,
-		pool:   par.NewPool(m.Threads()),
+		pool:   pool,
 		ledger: m.NewEpoch(),
 	}
 	e.scrEp = m.NewEpoch()
@@ -88,8 +96,76 @@ func New(g *graph.Graph, m *numa.Machine, opt Options) *Engine {
 	// Galois keeps a single edge direction resident for most algorithms
 	// and reuses memory aggressively.
 	e.topoB = g.TopologyBytes() / 2
-	m.Alloc().Grow("galois/topology", e.topoB)
+	if err := m.Alloc().Grow("galois/topology", e.topoB); err != nil {
+		pool.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// MustNew is New panicking on error, for call sites with known-good
+// configuration.
+func MustNew(g *graph.Graph, m *numa.Machine, opt Options) *Engine {
+	e, err := New(g, m, opt)
+	if err != nil {
+		panic(err)
+	}
 	return e
+}
+
+// Err returns the first execution failure (worker panic, offline node,
+// allocation failure), or nil.
+func (e *Engine) Err() error { return e.err }
+
+// ClearErr resets the failure so a rolled-back round can be replayed.
+func (e *Engine) ClearErr() { e.err = nil }
+
+func (e *Engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+// SetFaultHook installs a per-dispatch fault hook on the worker pool.
+func (e *Engine) SetFaultHook(h func(th int) error) { e.pool.SetHook(h) }
+
+// runPhase dispatches fn across the pool, folding worker failures into
+// e.err. After a failure, subsequent rounds are no-ops until ClearErr.
+func (e *Engine) runPhase(fn func(th int)) {
+	if e.err != nil {
+		return
+	}
+	if err := e.pool.Run(fn); err != nil {
+		e.fail(err)
+	}
+}
+
+// simSnapshot holds the simulated-time state captured by SnapshotSim.
+type simSnapshot struct {
+	clock  float64
+	ledger *numa.Epoch
+	edges  int64
+}
+
+// SnapshotSim saves the simulated clock, ledger and edge counter so a
+// rolled-back round can restore them before replay.
+func (e *Engine) SnapshotSim() {
+	if e.snap == nil {
+		e.snap = &simSnapshot{ledger: e.m.NewEpoch()}
+	}
+	e.snap.clock = e.clock
+	e.snap.ledger.CopyFrom(e.ledger)
+	e.snap.edges = e.edges.Load()
+}
+
+// RestoreSim restores the state captured by the last SnapshotSim.
+func (e *Engine) RestoreSim() {
+	if e.snap == nil {
+		return
+	}
+	e.clock = e.snap.clock
+	e.ledger.CopyFrom(e.snap.ledger)
+	e.edges.Store(e.snap.edges)
 }
 
 // Graph returns the input graph.
@@ -120,10 +196,14 @@ func (e *Engine) Close() {
 	}
 }
 
-// trackData registers per-run application data (released at Close).
+// trackData registers per-run application data (released at Close). An
+// injected allocation failure panics; fault.Catch recovers it into the
+// session error so the run can restart.
 func (e *Engine) trackData(bytes int64) {
+	if err := e.m.Alloc().Grow("galois/data", bytes); err != nil {
+		panic(err)
+	}
 	e.dataB += bytes
-	e.m.Alloc().Grow("galois/data", bytes)
 }
 
 // counters accumulates per-thread work; each worker only touches its own
@@ -202,6 +282,18 @@ func (e *Engine) roundLists() (next, far [][]graph.Vertex) {
 // ("to reduce synchronization overhead") for iters iterations and returns
 // the ranks.
 func (e *Engine) PageRank(iters int, damping float64) []float64 {
+	r, err := e.PageRankE(iters, damping, nil)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// PageRankE is the fault-session-capable PageRank: each iteration runs as
+// one fault.Step, so an injected fault rolls back the round's simulated
+// charges and per-vertex state and replays it to a bit-identical result.
+// A nil session runs fault-free with plain panic recovery.
+func (e *Engine) PageRankE(iters int, damping float64, sess *fault.Session) ([]float64, error) {
 	g := e.g
 	n := g.NumVertices()
 	curr := make([]float64, n)
@@ -217,27 +309,41 @@ func (e *Engine) PageRank(iters int, damping float64) []float64 {
 		}
 	}
 	ck := par.MakeStrided(int64(n), 64, e.m.Threads())
+	if sess != nil {
+		sess.TrackF64(curr, next)
+	}
 	for it := 0; it < iters; it++ {
-		ep, cnt := e.beginRound()
-		e.pool.Run(func(th int) {
-			var edges, tasks int64
-			ck.Do(th, func(lo, hi int64) {
-				for v := lo; v < hi; v++ {
-					tasks++
-					var sum float64
-					for _, u := range g.InNeighbors(graph.Vertex(v)) {
-						edges++
-						sum += curr[u] * invOut[u]
+		err := fault.Step(sess, it, func() error {
+			ep, cnt := e.beginRound()
+			e.runPhase(func(th int) {
+				var edges, tasks int64
+				ck.Do(th, func(lo, hi int64) {
+					for v := lo; v < hi; v++ {
+						tasks++
+						var sum float64
+						for _, u := range g.InNeighbors(graph.Vertex(v)) {
+							edges++
+							sum += curr[u] * invOut[u]
+						}
+						next[v] = (1-damping)/float64(n) + damping*sum
 					}
-					next[v] = (1-damping)/float64(n) + damping*sum
-				}
+				})
+				cnt.add(th, edges, tasks)
 			})
-			cnt.add(th, edges, tasks)
+			if e.err != nil {
+				return e.err
+			}
+			e.chargeRound(ep, cnt, 8, barrier.H)
+			return fault.CheckFinite("galois/pagerank", next)
 		})
-		e.chargeRound(ep, cnt, 8, barrier.H)
+		if err != nil {
+			return nil, err
+		}
+		// Swap only after the step committed, so a replay reruns over the
+		// same input buffer.
 		curr, next = next, curr
 	}
-	return curr
+	return curr, nil
 }
 
 // SpMV multiplies the weighted adjacency matrix with a dense vector,
@@ -252,7 +358,7 @@ func (e *Engine) SpMV(iters int, x0 []float64) []float64 {
 	ck := par.MakeStrided(int64(n), 64, e.m.Threads())
 	for it := 0; it < iters; it++ {
 		ep, cnt := e.beginRound()
-		e.pool.Run(func(th int) {
+		e.runPhase(func(th int) {
 			var edges, tasks int64
 			ck.Do(th, func(lo, hi int64) {
 				for v := lo; v < hi; v++ {
@@ -273,6 +379,9 @@ func (e *Engine) SpMV(iters int, x0 []float64) []float64 {
 			})
 			cnt.add(th, edges, tasks)
 		})
+		if e.err != nil {
+			return x
+		}
 		e.chargeRound(ep, cnt, 8, barrier.H)
 		x, y = y, x
 	}
@@ -294,7 +403,7 @@ func (e *Engine) BP(iters int) []float64 {
 	ck := par.MakeStrided(int64(n), 64, e.m.Threads())
 	for it := 0; it < iters; it++ {
 		ep, cnt := e.beginRound()
-		e.pool.Run(func(th int) {
+		e.runPhase(func(th int) {
 			var edges, tasks int64
 			ck.Do(th, func(lo, hi int64) {
 				for v := lo; v < hi; v++ {
@@ -315,6 +424,9 @@ func (e *Engine) BP(iters int) []float64 {
 			})
 			cnt.add(th, edges, tasks)
 		})
+		if e.err != nil {
+			return curr
+		}
 		// Beliefs are wider than ranks (message tables).
 		e.chargeRound(ep, cnt, 16, barrier.H)
 		curr, next = next, curr
@@ -340,7 +452,7 @@ func (e *Engine) BFS(src graph.Vertex) []int64 {
 		nextLists, _ := e.roundLists()
 		ck := par.MakeStrided(int64(len(frontier)), 16, e.m.Threads())
 		ep, cnt := e.beginRound()
-		e.pool.Run(func(th int) {
+		e.runPhase(func(th int) {
 			var edges, tasks int64
 			ck.Do(th, func(lo, hi int64) {
 				for i := lo; i < hi; i++ {
@@ -357,6 +469,9 @@ func (e *Engine) BFS(src graph.Vertex) []int64 {
 			})
 			cnt.add(th, edges, tasks)
 		})
+		if e.err != nil {
+			break
+		}
 		e.chargeRound(ep, cnt, 8, barrier.N) // asynchronous scheduling: no kernel barrier
 		frontier = frontier[:0]
 		for _, l := range nextLists {
@@ -414,7 +529,7 @@ func (e *Engine) CC() []graph.Vertex {
 	// One pass over all edges, in parallel.
 	ck := par.MakeStrided(int64(n), 64, e.m.Threads())
 	ep, cnt := e.beginRound()
-	e.pool.Run(func(th int) {
+	e.runPhase(func(th int) {
 		var edges, tasks int64
 		ck.Do(th, func(lo, hi int64) {
 			for v := lo; v < hi; v++ {
@@ -427,13 +542,16 @@ func (e *Engine) CC() []graph.Vertex {
 		})
 		cnt.add(th, edges, tasks)
 	})
+	out := make([]graph.Vertex, n)
+	if e.err != nil {
+		return out
+	}
 	e.chargeRound(ep, cnt, 4, barrier.N)
 
 	// Final flattening pass.
-	out := make([]graph.Vertex, n)
 	ck2 := par.MakeStrided(int64(n), 64, e.m.Threads())
 	ep2, cnt2 := e.beginRound()
-	e.pool.Run(func(th int) {
+	e.runPhase(func(th int) {
 		var tasks int64
 		ck2.Do(th, func(lo, hi int64) {
 			for v := lo; v < hi; v++ {
@@ -443,6 +561,9 @@ func (e *Engine) CC() []graph.Vertex {
 		})
 		cnt2.add(th, 0, tasks)
 	})
+	if e.err != nil {
+		return out
+	}
 	e.chargeRound(ep2, cnt2, 4, barrier.N)
 	return out
 }
@@ -479,7 +600,7 @@ func (e *Engine) SSSP(src graph.Vertex) []float64 {
 			nextLists, farLists := e.roundLists()
 			ck := par.MakeStrided(int64(len(frontier)), 16, e.m.Threads())
 			ep, cnt := e.beginRound()
-			e.pool.Run(func(th int) {
+			e.runPhase(func(th int) {
 				var edges, tasks int64
 				ck.Do(th, func(lo, hi int64) {
 					for i := lo; i < hi; i++ {
@@ -510,6 +631,9 @@ func (e *Engine) SSSP(src graph.Vertex) []float64 {
 				})
 				cnt.add(th, edges, tasks)
 			})
+			if e.err != nil {
+				return dist
+			}
 			e.chargeRound(ep, cnt, 8, barrier.N)
 			frontier = frontier[:0]
 			for _, l := range nextLists {

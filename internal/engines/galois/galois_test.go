@@ -17,7 +17,7 @@ func testMachine(nodes, cores int) *numa.Machine {
 func TestBFSOnGrid(t *testing.T) {
 	n, edges := gen.RoadGrid(15, 15, 1)
 	g := graph.FromEdges(n, edges, true)
-	e := New(g, testMachine(2, 2), DefaultOptions())
+	e := MustNew(g, testMachine(2, 2), DefaultOptions())
 	defer e.Close()
 	dist := e.BFS(0)
 	want := refBFS(g, 0)
@@ -30,7 +30,7 @@ func TestBFSOnGrid(t *testing.T) {
 
 func TestBFSUnreachable(t *testing.T) {
 	g := graph.FromEdges(4, []graph.Edge{{Src: 0, Dst: 1}}, false)
-	e := New(g, testMachine(1, 1), DefaultOptions())
+	e := MustNew(g, testMachine(1, 1), DefaultOptions())
 	defer e.Close()
 	dist := e.BFS(0)
 	if dist[0] != 0 || dist[1] != 1 || dist[2] != -1 || dist[3] != -1 {
@@ -41,7 +41,7 @@ func TestBFSUnreachable(t *testing.T) {
 func TestCCGridOneComponent(t *testing.T) {
 	n, edges := gen.RoadGrid(10, 10, 2)
 	g := graph.FromEdges(n, edges, true)
-	e := New(g, testMachine(2, 2), DefaultOptions())
+	e := MustNew(g, testMachine(2, 2), DefaultOptions())
 	defer e.Close()
 	labels := e.CC()
 	for v, l := range labels {
@@ -55,7 +55,7 @@ func TestCCMultipleComponents(t *testing.T) {
 	// Two directed chains and one isolated vertex.
 	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 3, Dst: 4}}
 	g := graph.FromEdges(6, edges, false)
-	e := New(g, testMachine(2, 2), DefaultOptions())
+	e := MustNew(g, testMachine(2, 2), DefaultOptions())
 	defer e.Close()
 	labels := e.CC()
 	want := []graph.Vertex{0, 0, 0, 3, 3, 5}
@@ -69,7 +69,7 @@ func TestCCMultipleComponents(t *testing.T) {
 func TestSSSPMatchesDijkstra(t *testing.T) {
 	n, edges := gen.RoadGrid(12, 12, 3)
 	g := graph.FromEdges(n, edges, true)
-	e := New(g, testMachine(2, 2), DefaultOptions())
+	e := MustNew(g, testMachine(2, 2), DefaultOptions())
 	defer e.Close()
 	dist := e.SSSP(0)
 	want := refDijkstra(g, 0)
@@ -83,7 +83,7 @@ func TestSSSPMatchesDijkstra(t *testing.T) {
 func TestSSSPUnweightedDefaultsToHops(t *testing.T) {
 	n, edges := gen.Chain(10)
 	g := graph.FromEdges(n, edges, false)
-	e := New(g, testMachine(1, 1), DefaultOptions())
+	e := MustNew(g, testMachine(1, 1), DefaultOptions())
 	defer e.Close()
 	dist := e.SSSP(0)
 	for v := 0; v < n; v++ {
@@ -96,7 +96,7 @@ func TestSSSPUnweightedDefaultsToHops(t *testing.T) {
 func TestPageRankSumsToOne(t *testing.T) {
 	n, edges := gen.RMAT(8, 8, 5)
 	g := graph.FromEdges(n, edges, false)
-	e := New(g, testMachine(2, 2), DefaultOptions())
+	e := MustNew(g, testMachine(2, 2), DefaultOptions())
 	defer e.Close()
 	ranks := e.PageRank(5, 0.85)
 	var sum, dangling float64
@@ -120,7 +120,7 @@ func TestPageRankSumsToOne(t *testing.T) {
 func TestSpMV(t *testing.T) {
 	edges := []graph.Edge{{Src: 0, Dst: 1, Wt: 2}, {Src: 1, Dst: 2, Wt: 3}, {Src: 0, Dst: 2, Wt: 5}}
 	g := graph.FromEdges(3, edges, true)
-	e := New(g, testMachine(1, 1), DefaultOptions())
+	e := MustNew(g, testMachine(1, 1), DefaultOptions())
 	defer e.Close()
 	x0 := []float64{1, 10, 100}
 	y := e.SpMV(1, x0)
@@ -133,7 +133,7 @@ func TestSpMV(t *testing.T) {
 func TestBPBounded(t *testing.T) {
 	n, edges := gen.RoadGrid(8, 8, 4)
 	g := graph.FromEdges(n, edges, true)
-	e := New(g, testMachine(2, 1), DefaultOptions())
+	e := MustNew(g, testMachine(2, 1), DefaultOptions())
 	defer e.Close()
 	beliefs := e.BP(5)
 	for v, b := range beliefs {
@@ -147,7 +147,7 @@ func TestSimAccountingAndClose(t *testing.T) {
 	n, edges := gen.RMAT(8, 8, 6)
 	g := graph.FromEdges(n, edges, false)
 	m := testMachine(4, 2)
-	e := New(g, m, DefaultOptions())
+	e := MustNew(g, m, DefaultOptions())
 	e.PageRank(2, 0.85)
 	if e.SimSeconds() <= 0 {
 		t.Fatal("sim time must advance")

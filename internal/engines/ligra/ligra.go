@@ -57,6 +57,9 @@ type Engine struct {
 	edges  atomic.Int64
 	closed bool
 
+	err  error        // first execution failure
+	snap *simSnapshot // SnapshotSim/RestoreSim slot
+
 	scr      *scratch
 	degreeOf func(v uint32) int64
 
@@ -84,18 +87,23 @@ func (s *scratch) beginPhase() (*numa.Epoch, *phaseCounts) {
 	return s.ep, s.pc
 }
 
-// New builds a Ligra engine for g on m.
-func New(g *graph.Graph, m *numa.Machine, opt Options) *Engine {
+// New builds a Ligra engine for g on m. It returns an error for invalid
+// configuration or a simulated allocation failure.
+func New(g *graph.Graph, m *numa.Machine, opt Options) (*Engine, error) {
 	if opt.Threshold <= 0 {
 		opt.Threshold = 20
 	}
 	if opt.OverheadNsPerEdge <= 0 {
 		opt.OverheadNsPerEdge = 1.2
 	}
+	pool, err := par.NewPool(m.Threads())
+	if err != nil {
+		return nil, err
+	}
 	e := &Engine{
 		g: g, m: m, opt: opt,
 		bounds: []int{0, g.NumVertices()},
-		pool:   par.NewPool(m.Threads()),
+		pool:   pool,
 		ledger: m.NewEpoch(),
 	}
 	e.scr = &scratch{ep: m.NewEpoch(), pc: newPhaseCounts(m.Threads())}
@@ -103,7 +111,19 @@ func New(g *graph.Graph, m *numa.Machine, opt Options) *Engine {
 	n := int64(g.NumVertices())
 	e.vSweep = par.MakeStrided(n, chunkSize(n, m.Threads()), m.Threads())
 	e.vmWords = par.MakeStrided((n+63)/64, 64, m.Threads())
-	m.Alloc().Grow("ligra/topology", g.TopologyBytes())
+	if err := m.Alloc().Grow("ligra/topology", g.TopologyBytes()); err != nil {
+		pool.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// MustNew is New panicking on error, for statically valid configurations.
+func MustNew(g *graph.Graph, m *numa.Machine, opt Options) *Engine {
+	e, err := New(g, m, opt)
+	if err != nil {
+		panic(err)
+	}
 	return e
 }
 
@@ -163,6 +183,64 @@ func (e *Engine) Close() {
 		a.Free()
 	}
 	e.m.Alloc().Release("ligra/topology", e.g.TopologyBytes())
+}
+
+// simSnapshot captures the engine's simulated-time state for rollback.
+type simSnapshot struct {
+	clock  float64
+	ledger *numa.Epoch
+	edges  int64
+}
+
+// Err returns the first execution failure, or nil. After a failure,
+// EdgeMap/VertexMap are no-ops returning empty subsets until ClearErr.
+func (e *Engine) Err() error { return e.err }
+
+// ClearErr resets the failure so a rolled-back step can be replayed.
+func (e *Engine) ClearErr() { e.err = nil }
+
+func (e *Engine) fail(err error) {
+	if e.err == nil && err != nil {
+		e.err = err
+	}
+}
+
+// SetFaultHook installs (nil removes) the fault injector's per-dispatch
+// hook on the worker pool.
+func (e *Engine) SetFaultHook(h func(th int) error) { e.pool.SetHook(h) }
+
+// runPhase dispatches one parallel phase; on failure it records the error
+// and returns false, and the caller must skip all simulated charging.
+func (e *Engine) runPhase(fn func(th int)) bool {
+	if e.err != nil {
+		return false
+	}
+	if err := e.pool.Run(fn); err != nil {
+		e.fail(err)
+		return false
+	}
+	return true
+}
+
+// SnapshotSim saves the simulated clock, cumulative ledger and edge
+// counter; RestoreSim rolls back to the snapshot.
+func (e *Engine) SnapshotSim() {
+	if e.snap == nil {
+		e.snap = &simSnapshot{ledger: e.m.NewEpoch()}
+	}
+	e.snap.clock = e.clock
+	e.snap.ledger.CopyFrom(e.ledger)
+	e.snap.edges = e.edges.Load()
+}
+
+// RestoreSim rolls the simulated-time state back to the last SnapshotSim.
+func (e *Engine) RestoreSim() {
+	if e.snap == nil {
+		return
+	}
+	e.clock = e.snap.clock
+	e.ledger.CopyFrom(e.snap.ledger)
+	e.edges.Store(e.snap.edges)
 }
 
 func (e *Engine) chargePhase(ep *numa.Epoch) {
@@ -226,7 +304,7 @@ func (e *Engine) EdgeMap(a *state.Subset, k sg.EdgeKernel, h sg.Hints) *state.Su
 // is the fallback instantiation.
 func EdgeMapK[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hints) *state.Subset {
 	h = h.Normalize()
-	if a.IsEmpty() {
+	if a.IsEmpty() || e.err != nil {
 		return state.NewEmpty(e.bounds)
 	}
 	dense := true
@@ -257,7 +335,7 @@ func edgeMapDensePush[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hin
 	dataWS := int64(n) * int64(h.DataBytes)
 	full := a.Count() == int64(n)
 
-	e.pool.Run(func(th int) {
+	e.runPhase(func(th int) {
 		var scanned, active, edges, updates int64
 		e.vSweep.Do(th, func(lo, hi int64) {
 			for v := lo; v < hi; v++ {
@@ -300,6 +378,9 @@ func edgeMapDensePush[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hin
 		})
 		pc.slots[th] = [8]int64{scanned, active, edges, updates}
 	})
+	if e.err != nil {
+		return state.NewEmpty(e.bounds) // failed phase charges nothing
+	}
 	per := pc.per(e.m.Threads())
 	for th := 0; th < e.m.Threads(); th++ {
 		scanned, active, edges, updates := per[0], per[1], per[2], per[3]
@@ -338,7 +419,7 @@ func edgeMapDensePull[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hin
 	dataWS := int64(n) * int64(h.DataBytes)
 	full := a.Count() == int64(n)
 
-	e.pool.Run(func(th int) {
+	e.runPhase(func(th int) {
 		var scanned, edges, updates int64
 		e.vSweep.Do(th, func(lo, hi int64) {
 			for v := lo; v < hi; v++ {
@@ -376,6 +457,9 @@ func edgeMapDensePull[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hin
 		})
 		pc.slots[th] = [8]int64{scanned, 0, edges, updates}
 	})
+	if e.err != nil {
+		return state.NewEmpty(e.bounds)
+	}
 	per := pc.per(e.m.Threads())
 	for th := 0; th < e.m.Threads(); th++ {
 		scanned, edges, updates := per[0], per[2], per[3]
@@ -412,7 +496,7 @@ func edgeMapSparse[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hints)
 	ck := par.MakeStrided(int64(len(frontier)), chunkSize(int64(len(frontier)), e.m.Threads()), e.m.Threads())
 	dataWS := int64(n) * int64(h.DataBytes)
 
-	e.pool.Run(func(th int) {
+	e.runPhase(func(th int) {
 		var active, edges, updates int64
 		ck.Do(th, func(lo, hi int64) {
 			for i := lo; i < hi; i++ {
@@ -440,6 +524,9 @@ func edgeMapSparse[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hints)
 		})
 		pc.slots[th] = [8]int64{active, 0, edges, updates}
 	})
+	if e.err != nil {
+		return state.NewEmpty(e.bounds)
+	}
 	per := pc.per(e.m.Threads())
 	for th := 0; th < e.m.Threads(); th++ {
 		active, edges, updates := per[0], per[2], per[3]
@@ -463,7 +550,7 @@ func edgeMapSparse[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hints)
 
 // VertexMap applies f to the active set.
 func (e *Engine) VertexMap(a *state.Subset, f sg.VertexFunc) *state.Subset {
-	if a.IsEmpty() {
+	if a.IsEmpty() || e.err != nil {
 		return state.NewEmpty(e.bounds)
 	}
 	b := state.NewBuilder(e.bounds, e.m.Threads(), a.Dense()).Reuse(&e.scr.builder).WithDegrees(e.degreeOf)
@@ -471,7 +558,7 @@ func (e *Engine) VertexMap(a *state.Subset, f sg.VertexFunc) *state.Subset {
 
 	if a.Dense() {
 		words := a.Words(0)
-		e.pool.Run(func(th int) {
+		e.runPhase(func(th int) {
 			var visited, scanned int64
 			e.vmWords.Do(th, func(lo, hi int64) {
 				scanned += hi - lo
@@ -496,7 +583,7 @@ func (e *Engine) VertexMap(a *state.Subset, f sg.VertexFunc) *state.Subset {
 	} else {
 		list := a.List(0)
 		ck := par.MakeStrided(int64(len(list)), 64, e.m.Threads())
-		e.pool.Run(func(th int) {
+		e.runPhase(func(th int) {
 			var visited int64
 			ck.Do(th, func(lo, hi int64) {
 				for i := lo; i < hi; i++ {
@@ -511,6 +598,9 @@ func (e *Engine) VertexMap(a *state.Subset, f sg.VertexFunc) *state.Subset {
 			ep.AccessInterleaved(th, numa.Rand, numa.Load, visited, 16, int64(e.g.NumVertices())*16)
 			ep.Compute(th, float64(visited)*2e-9)
 		})
+	}
+	if e.err != nil {
+		return state.NewEmpty(e.bounds)
 	}
 	e.chargePhase(ep)
 	return b.Build()

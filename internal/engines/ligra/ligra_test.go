@@ -31,7 +31,7 @@ func (k *addKernel) Cond(graph.Vertex) bool { return true }
 func TestDensePushCountsInDegrees(t *testing.T) {
 	n, edges := gen.RMAT(9, 8, 1)
 	g := graph.FromEdges(n, edges, false)
-	e := New(g, testMachine(4, 2), DefaultOptions())
+	e := MustNew(g, testMachine(4, 2), DefaultOptions())
 	defer e.Close()
 	k := &addKernel{next: make([]float64, n)}
 	out := e.EdgeMap(state.NewAll(e.Bounds()), k, sg.Hints{DensePush: true})
@@ -48,7 +48,7 @@ func TestDensePushCountsInDegrees(t *testing.T) {
 func TestDensePullMatchesPush(t *testing.T) {
 	n, edges := gen.Uniform(300, 2500, 2)
 	g := graph.FromEdges(n, edges, false)
-	e := New(g, testMachine(2, 2), DefaultOptions())
+	e := MustNew(g, testMachine(2, 2), DefaultOptions())
 	defer e.Close()
 	kPush := &addKernel{next: make([]float64, n)}
 	kPull := &addKernel{next: make([]float64, n)}
@@ -66,14 +66,14 @@ func TestSparseMatchesDense(t *testing.T) {
 	g := graph.FromEdges(n, edges, false)
 	frontier := []graph.Vertex{0, 7, 77, 300, 499}
 
-	e1 := New(g, testMachine(2, 2), DefaultOptions()) // adaptive: tiny frontier -> sparse
+	e1 := MustNew(g, testMachine(2, 2), DefaultOptions()) // adaptive: tiny frontier -> sparse
 	defer e1.Close()
 	k1 := &addKernel{next: make([]float64, n)}
 	e1.EdgeMap(state.FromVertices(e1.Bounds(), frontier), k1, sg.Hints{DensePush: true})
 
 	opt := DefaultOptions()
 	opt.Adaptive = false
-	e2 := New(g, testMachine(2, 2), opt)
+	e2 := MustNew(g, testMachine(2, 2), opt)
 	defer e2.Close()
 	k2 := &addKernel{next: make([]float64, n)}
 	e2.EdgeMap(state.FromVertices(e2.Bounds(), frontier), k2, sg.Hints{DensePush: true})
@@ -88,7 +88,7 @@ func TestSparseMatchesDense(t *testing.T) {
 func TestVertexMap(t *testing.T) {
 	n := 128
 	g := graph.FromEdges(n, nil, false)
-	e := New(g, testMachine(2, 2), DefaultOptions())
+	e := MustNew(g, testMachine(2, 2), DefaultOptions())
 	defer e.Close()
 	var mu sync.Mutex
 	counts := make([]int, n)
@@ -120,7 +120,7 @@ func TestLigraSlowerThanPolymerShape(t *testing.T) {
 	// remote access rate on many nodes must be high (paper Table 4: 83%).
 	n, edges := gen.TwitterLike(20000, 4)
 	g := graph.FromEdges(n, edges, false)
-	e := New(g, testMachine(8, 2), DefaultOptions())
+	e := MustNew(g, testMachine(8, 2), DefaultOptions())
 	defer e.Close()
 	k := &addKernel{next: make([]float64, n)}
 	e.EdgeMap(state.NewAll(e.Bounds()), k, sg.Hints{DensePush: true})
@@ -137,7 +137,7 @@ func TestMemoryAccounting(t *testing.T) {
 	n, edges := gen.Chain(100)
 	g := graph.FromEdges(n, edges, false)
 	m := testMachine(2, 1)
-	e := New(g, m, DefaultOptions())
+	e := MustNew(g, m, DefaultOptions())
 	if m.Alloc().Label("ligra/topology") != g.TopologyBytes() {
 		t.Fatal("topology bytes must be tracked")
 	}
@@ -154,7 +154,7 @@ func TestMemoryAccounting(t *testing.T) {
 func TestEmptyFrontier(t *testing.T) {
 	n, edges := gen.Chain(10)
 	g := graph.FromEdges(n, edges, false)
-	e := New(g, testMachine(1, 1), DefaultOptions())
+	e := MustNew(g, testMachine(1, 1), DefaultOptions())
 	defer e.Close()
 	out := e.EdgeMap(state.NewEmpty(e.Bounds()), &addKernel{next: make([]float64, n)}, sg.Hints{})
 	if !out.IsEmpty() {
@@ -166,7 +166,7 @@ func TestAccessorsAndSparseVertexMap(t *testing.T) {
 	n, edges := gen.Chain(120)
 	g := graph.FromEdges(n, edges, false)
 	m := testMachine(2, 2)
-	e := New(g, m, DefaultOptions())
+	e := MustNew(g, m, DefaultOptions())
 	defer e.Close()
 	if e.Graph() != g || e.Machine() != m {
 		t.Fatal("accessors must return construction arguments")

@@ -83,6 +83,9 @@ type Engine struct {
 	dataB    int
 	weighted bool
 
+	err  error        // first execution failure
+	snap *simSnapshot // SnapshotSim/RestoreSim slot
+
 	// Iteration-scoped scratch: the phase epoch is reset (after each fold
 	// into the ledger) rather than reallocated, the shuffle buffers keep
 	// their capacity between iterations, and the next-active bitmap
@@ -97,15 +100,20 @@ type Engine struct {
 }
 
 // New builds an X-Stream engine for g on m. Hints supply the data width
-// used for tile sizing.
-func New(g *graph.Graph, m *numa.Machine, opt Options, h sg.Hints) *Engine {
+// used for tile sizing. It returns an error for invalid configuration or
+// a simulated allocation failure.
+func New(g *graph.Graph, m *numa.Machine, opt Options, h sg.Hints) (*Engine, error) {
 	h = h.Normalize()
 	if opt.OverheadNsPerEdge <= 0 {
 		opt.OverheadNsPerEdge = 1.5
 	}
+	pool, err := par.NewPool(m.Threads())
+	if err != nil {
+		return nil, err
+	}
 	e := &Engine{
 		g: g, m: m, opt: opt,
-		pool:     par.NewPool(m.Threads()),
+		pool:     pool,
 		ledger:   m.NewEpoch(),
 		dataB:    h.DataBytes,
 		weighted: h.Weighted,
@@ -120,8 +128,86 @@ func New(g *graph.Graph, m *numa.Machine, opt Options, h sg.Hints) *Engine {
 	e.scatterCounts = make([][2]int64, m.Threads())
 	e.gatherCounts = make([][2]int64, m.Threads())
 	e.applyCounts = make([]int64, m.Threads())
-	m.Alloc().Grow("xstream/topology", e.topoB)
+	if err := m.Alloc().Grow("xstream/topology", e.topoB); err != nil {
+		pool.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// MustNew is New panicking on error, for statically valid configurations.
+func MustNew(g *graph.Graph, m *numa.Machine, opt Options, h sg.Hints) *Engine {
+	e, err := New(g, m, opt, h)
+	if err != nil {
+		panic(err)
+	}
 	return e
+}
+
+// simSnapshot captures the engine's simulated-time state plus the active
+// bitmap for rollback.
+type simSnapshot struct {
+	clock   float64
+	ledger  *numa.Epoch
+	edges   int64
+	active  []uint64
+	nActive int64
+}
+
+// Err returns the first execution failure, or nil. After a failure,
+// Iterate is a no-op charging nothing until ClearErr.
+func (e *Engine) Err() error { return e.err }
+
+// ClearErr resets the failure so a rolled-back iteration can be replayed.
+func (e *Engine) ClearErr() { e.err = nil }
+
+func (e *Engine) fail(err error) {
+	if e.err == nil && err != nil {
+		e.err = err
+	}
+}
+
+// SetFaultHook installs (nil removes) the fault injector's per-dispatch
+// hook on the worker pool.
+func (e *Engine) SetFaultHook(h func(th int) error) { e.pool.SetHook(h) }
+
+// runPhase dispatches one parallel phase; on failure it records the error
+// and returns false, and the caller must skip all simulated charging.
+func (e *Engine) runPhase(fn func(th int)) bool {
+	if e.err != nil {
+		return false
+	}
+	if err := e.pool.Run(fn); err != nil {
+		e.fail(err)
+		return false
+	}
+	return true
+}
+
+// SnapshotSim saves the simulated clock, cumulative ledger, edge counter
+// and the current active set; RestoreSim rolls back to the snapshot.
+func (e *Engine) SnapshotSim() {
+	if e.snap == nil {
+		e.snap = &simSnapshot{ledger: e.m.NewEpoch(), active: make([]uint64, len(e.active))}
+	}
+	e.snap.clock = e.clock
+	e.snap.ledger.CopyFrom(e.ledger)
+	e.snap.edges = e.edges.Load()
+	copy(e.snap.active, e.active)
+	e.snap.nActive = e.nActive
+}
+
+// RestoreSim rolls the simulated-time state and active set back to the
+// last SnapshotSim.
+func (e *Engine) RestoreSim() {
+	if e.snap == nil {
+		return
+	}
+	e.clock = e.snap.clock
+	e.ledger.CopyFrom(e.snap.ledger)
+	e.edges.Store(e.snap.edges)
+	copy(e.active, e.snap.active)
+	e.nActive = e.snap.nActive
 }
 
 func (e *Engine) buildTiles(tileVerts int) {
@@ -248,6 +334,9 @@ func (e *Engine) isActive(v graph.Vertex) bool {
 // apply phase) and replaces the active set; it returns the new active
 // count.
 func (e *Engine) Iterate(k Kernel, apply Applier) int64 {
+	if e.err != nil {
+		return e.nActive
+	}
 	nTiles := len(e.tiles)
 	threads := e.m.Threads()
 	ep := e.scrEp
@@ -268,7 +357,7 @@ func (e *Engine) Iterate(k Kernel, apply Applier) int64 {
 	// skew does not serialise it.
 	ck := par.MakeStrided(int64(nTiles), 1, threads)
 	scatterCounts := e.scatterCounts
-	e.pool.Run(func(th int) {
+	e.runPhase(func(th int) {
 		var scanned, activeEdges int64
 		ck.Do(th, func(lo, hi int64) {
 			for ti := lo; ti < hi; ti++ {
@@ -293,6 +382,12 @@ func (e *Engine) Iterate(k Kernel, apply Applier) int64 {
 		})
 		scatterCounts[th] = [2]int64{scanned, activeEdges}
 	})
+	if e.err != nil {
+		// Abort before any charging, shuffle-buffer accounting, or
+		// active-set replacement: a failed iteration leaves no residue and
+		// replays bit-identically after recovery.
+		return e.nActive
+	}
 	var scannedT, activeT int64
 	for _, c := range scatterCounts {
 		scannedT += c[0]
@@ -328,7 +423,10 @@ func (e *Engine) Iterate(k Kernel, apply Applier) int64 {
 	// tile's worth of Uout/Uin is in flight at a time (the paper's
 	// Table 5 shows the shuffle buffers add ~8% over Ligra's footprint).
 	bufBytes := totalUpdates * 16 * 2 / int64(nTiles)
-	e.m.Alloc().Grow("xstream/buffers", bufBytes)
+	if err := e.m.Alloc().Grow("xstream/buffers", bufBytes); err != nil {
+		e.fail(err)
+		return e.nActive
+	}
 	ep2 := ep
 	perThread := totalUpdates / int64(threads)
 	for th := 0; th < threads; th++ {
@@ -349,7 +447,7 @@ func (e *Engine) Iterate(k Kernel, apply Applier) int64 {
 	ck2 := par.MakeStrided(int64(nTiles), 1, threads)
 	ep3 := ep2
 	gatherCounts := e.gatherCounts
-	e.pool.Run(func(th int) {
+	e.runPhase(func(th int) {
 		var applied, activated int64
 		var local int64
 		ck2.Do(th, func(lo, hi int64) {
@@ -374,6 +472,10 @@ func (e *Engine) Iterate(k Kernel, apply Applier) int64 {
 		nextCount += local
 		mu.Unlock()
 	})
+	if e.err != nil {
+		e.m.Alloc().Release("xstream/buffers", bufBytes)
+		return e.nActive
+	}
 	var appliedT, activatedT int64
 	for _, c := range gatherCounts {
 		appliedT += c[0]
@@ -392,6 +494,9 @@ func (e *Engine) Iterate(k Kernel, apply Applier) int64 {
 
 	if apply != nil {
 		nextCount = e.applyPhase(apply, next)
+	}
+	if e.err != nil {
+		return e.nActive // apply phase failed: keep the current active set
 	}
 	e.spare = e.active // recycle the retired bitmap next iteration
 	e.active = next
@@ -427,7 +532,7 @@ func (e *Engine) applyPhase(apply Applier, next []uint64) int64 {
 	ck := par.MakeStrided(int64(n), 256, e.m.Threads())
 	ep := e.scrEp
 	ep.Reset()
-	e.pool.Run(func(th int) {
+	e.runPhase(func(th int) {
 		var visited int64
 		ck.Do(th, func(lo, hi int64) {
 			for v := lo; v < hi; v++ {
@@ -445,6 +550,9 @@ func (e *Engine) applyPhase(apply Applier, next []uint64) int64 {
 		ep.AccessInterleaved(th, numa.Seq, numa.Load, visited, e.dataB*2, 0)
 		ep.Compute(th, float64(visited)*2e-9)
 	})
+	if e.err != nil {
+		return 0
+	}
 	e.clock += ep.Time() + barrier.SyncCost(barrier.H, e.m.Nodes)/e.m.Topo.SyncScale
 	e.ledger.Add(ep)
 	var total int64

@@ -26,7 +26,7 @@ func (k *sumKernel) Gather(d graph.Vertex, val float64) bool {
 func TestIterateCountsInDegrees(t *testing.T) {
 	n, edges := gen.RMAT(9, 8, 4)
 	g := graph.FromEdges(n, edges, false)
-	e := New(g, testMachine(4, 2), DefaultOptions(), sg.Hints{})
+	e := MustNew(g, testMachine(4, 2), DefaultOptions(), sg.Hints{})
 	defer e.Close()
 	e.SetAllActive()
 	k := &sumKernel{next: make([]float64, n)}
@@ -52,7 +52,7 @@ func TestScatterScansAllEdgesEvenWhenSparse(t *testing.T) {
 	// X-Stream's defining weakness: one active vertex still scans |E|.
 	n, edges := gen.RoadGrid(30, 30, 1)
 	g := graph.FromEdges(n, edges, true)
-	e := New(g, testMachine(2, 2), DefaultOptions(), sg.Hints{Weighted: true})
+	e := MustNew(g, testMachine(2, 2), DefaultOptions(), sg.Hints{Weighted: true})
 	defer e.Close()
 	e.SetActive([]graph.Vertex{0})
 	k := &sumKernel{next: make([]float64, n)}
@@ -65,7 +65,7 @@ func TestScatterScansAllEdgesEvenWhenSparse(t *testing.T) {
 func TestInactiveSourcesEmitNothing(t *testing.T) {
 	n, edges := gen.Star(50)
 	g := graph.FromEdges(n, edges, false)
-	e := New(g, testMachine(2, 1), DefaultOptions(), sg.Hints{})
+	e := MustNew(g, testMachine(2, 1), DefaultOptions(), sg.Hints{})
 	defer e.Close()
 	e.SetActive([]graph.Vertex{5}) // a leaf: no out-edges
 	k := &sumKernel{next: make([]float64, n)}
@@ -82,7 +82,7 @@ func TestInactiveSourcesEmitNothing(t *testing.T) {
 func TestApplyPhaseControlsNextFrontier(t *testing.T) {
 	n, edges := gen.Cycle(64)
 	g := graph.FromEdges(n, edges, false)
-	e := New(g, testMachine(2, 1), DefaultOptions(), sg.Hints{})
+	e := MustNew(g, testMachine(2, 1), DefaultOptions(), sg.Hints{})
 	defer e.Close()
 	e.SetAllActive()
 	k := &sumKernel{next: make([]float64, n)}
@@ -99,7 +99,7 @@ func TestTilesRespectLLC(t *testing.T) {
 	n, edges := gen.Uniform(100000, 100000, 2)
 	g := graph.FromEdges(n, edges, false)
 	m := testMachine(2, 1)
-	e := New(g, m, DefaultOptions(), sg.Hints{})
+	e := MustNew(g, m, DefaultOptions(), sg.Hints{})
 	defer e.Close()
 	if e.Tiles() < 2 {
 		t.Fatalf("100k vertices must need multiple tiles with a %dB LLC", m.Topo.LLCBytes)
@@ -109,7 +109,7 @@ func TestTilesRespectLLC(t *testing.T) {
 func TestWeightedScatter(t *testing.T) {
 	edges := []graph.Edge{{Src: 0, Dst: 1, Wt: 2}, {Src: 0, Dst: 2, Wt: 3}}
 	g := graph.FromEdges(3, edges, true)
-	e := New(g, testMachine(1, 1), DefaultOptions(), sg.Hints{Weighted: true})
+	e := MustNew(g, testMachine(1, 1), DefaultOptions(), sg.Hints{Weighted: true})
 	defer e.Close()
 	e.SetAllActive()
 	got := make([]float64, 3)
@@ -134,7 +134,7 @@ func TestSimTimeAndMemory(t *testing.T) {
 	n, edges := gen.RMAT(8, 8, 3)
 	g := graph.FromEdges(n, edges, false)
 	m := testMachine(4, 2)
-	e := New(g, m, DefaultOptions(), sg.Hints{})
+	e := MustNew(g, m, DefaultOptions(), sg.Hints{})
 	e.SetAllActive()
 	e.Iterate(&sumKernel{next: make([]float64, n)}, nil)
 	if e.SimSeconds() <= 0 {
@@ -152,7 +152,7 @@ func TestSimTimeAndMemory(t *testing.T) {
 func TestSetActiveCount(t *testing.T) {
 	n, edges := gen.Chain(100)
 	g := graph.FromEdges(n, edges, false)
-	e := New(g, testMachine(1, 1), DefaultOptions(), sg.Hints{})
+	e := MustNew(g, testMachine(1, 1), DefaultOptions(), sg.Hints{})
 	defer e.Close()
 	e.SetActive([]graph.Vertex{1, 1, 50, 99})
 	if e.ActiveCount() != 3 {

@@ -1,0 +1,59 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+)
+
+// CheckFinite scans a vertex array for NaN/Inf and returns a descriptive
+// error naming the first bad vertex. Iterative numeric algorithms
+// (PageRank, BP, SpMV) call it inside the superstep body so a divergence
+// is detected — and rolled back — by the surrounding session.
+func CheckFinite(name string, xs []float64) error {
+	for i, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("fault: %s diverged: vertex %d is %v", name, i, x)
+		}
+	}
+	return nil
+}
+
+// Watchdog guards an iterative run against runaway loops: a hard step
+// budget plus stall detection (a frontier whose size stops changing for
+// StallSteps consecutive supersteps while remaining non-empty, e.g. a
+// traversal ping-ponging over the same vertices).
+type Watchdog struct {
+	// MaxSteps is the step budget; 0 disables it.
+	MaxSteps int
+	// StallSteps is how many consecutive same-size non-empty frontiers
+	// count as a stall; 0 disables stall detection.
+	StallSteps int
+
+	steps     int
+	lastCount int64
+	stalled   int
+}
+
+// Tick records one superstep with the given frontier size and returns an
+// error if a budget or stall limit is hit.
+func (w *Watchdog) Tick(frontier int64) error {
+	w.steps++
+	if w.MaxSteps > 0 && w.steps > w.MaxSteps {
+		return fmt.Errorf("fault: step budget exceeded (%d steps)", w.MaxSteps)
+	}
+	if w.StallSteps > 0 {
+		if frontier > 0 && frontier == w.lastCount {
+			w.stalled++
+			if w.stalled >= w.StallSteps {
+				return fmt.Errorf("fault: frontier stalled at %d vertices for %d steps", frontier, w.stalled)
+			}
+		} else {
+			w.stalled = 0
+		}
+	}
+	w.lastCount = frontier
+	return nil
+}
+
+// Steps returns how many supersteps have been ticked.
+func (w *Watchdog) Steps() int { return w.steps }

@@ -14,6 +14,12 @@ func FuzzReadEdgeList(f *testing.F) {
 	f.Add("0 1\n# stray comment\n2 0\n")
 	f.Add("")
 	f.Add("a b c\n")
+	f.Add("# -1 2 false\n0 1\n")     // negative vertex count
+	f.Add("# 2 -5 true\n0 1 1\n")    // negative edge count
+	f.Add("# 2 1 false\n0 5\n")      // vertex outside declared range
+	f.Add("# 3 5 false\n0 1\n1 2\n") // fewer edges than declared
+	f.Add("# 2 1 true\n0 1 NaN\n")
+	f.Add("4294967295 0\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		n, edges, weighted, err := ReadEdgeList(strings.NewReader(in))
 		if err != nil {
@@ -42,6 +48,11 @@ func FuzzReadDIMACS(f *testing.F) {
 	f.Add("c x\np sp 2 2\na 1 2 1\na 2 1 1\n")
 	f.Add("p sp 0 0\n")
 	f.Add("garbage")
+	f.Add("p sp 2 1\np sp 2 1\na 1 2 1\n") // duplicate problem line
+	f.Add("p sp 2 1\na 1 2 NaN\n")         // non-finite weight
+	f.Add("p sp 2 1\na 1 2 1\na 2 1 1\n")  // more arcs than declared
+	f.Add("p sp 2 3\na 1 2 1\n")           // fewer arcs than declared
+	f.Add("p sp -1 -1\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		n, edges, err := ReadDIMACS(strings.NewReader(in))
 		if err != nil {
@@ -62,6 +73,10 @@ func FuzzReadBinary(f *testing.F) {
 	f.Add(buf.Bytes())
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, 40))
+	f.Add(buf.Bytes()[:len(buf.Bytes())-3]) // truncated edge stream
+	var bad bytes.Buffer
+	_ = WriteBinary(&bad, 2, []Edge{{0, 9, 0}}, false) // id outside declared n
+	f.Add(bad.Bytes())
 	f.Fuzz(func(t *testing.T, in []byte) {
 		// Cap the declared edge count implicitly by input length: the
 		// reader must fail gracefully on truncated streams.
@@ -73,7 +88,10 @@ func FuzzReadBinary(f *testing.F) {
 			return
 		}
 		_ = weighted
-		_ = n
-		_ = edges
+		for _, e := range edges {
+			if int(e.Src) >= n || int(e.Dst) >= n {
+				t.Fatalf("accepted edge (%d,%d) outside [0,%d)", e.Src, e.Dst, n)
+			}
+		}
 	})
 }

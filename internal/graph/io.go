@@ -32,11 +32,15 @@ func WriteEdgeList(w io.Writer, n int, edges []Edge, weighted bool) error {
 
 // ReadEdgeList parses the format written by WriteEdgeList. Lines starting
 // with '#' other than the header are ignored, so DIMACS-style comments are
-// tolerated.
+// tolerated. A header, once seen, is enforced: negative counts are
+// rejected, vertex ids must fall inside the declared range, and the edge
+// count must match the declared one. Headerless input infers n from the
+// largest vertex id.
 func ReadEdgeList(r io.Reader) (n int, edges []Edge, weighted bool, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	sawHeader := false
+	declaredM := -1
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
@@ -50,7 +54,10 @@ func ReadEdgeList(r io.Reader) (n int, edges []Edge, weighted bool, err error) {
 					mm, e2 := strconv.Atoi(f[1])
 					ww, e3 := strconv.ParseBool(f[2])
 					if e1 == nil && e2 == nil && e3 == nil {
-						n, weighted = nn, ww
+						if nn < 0 || mm < 0 {
+							return 0, nil, false, fmt.Errorf("graph: header declares negative counts n=%d m=%d", nn, mm)
+						}
+						n, weighted, declaredM = nn, ww, mm
 						edges = make([]Edge, 0, clampCap(mm))
 						sawHeader = true
 						continue
@@ -76,16 +83,25 @@ func ReadEdgeList(r io.Reader) (n int, edges []Edge, weighted bool, err error) {
 			}
 			e.Wt = float32(w)
 		}
-		if int(e.Src) >= n {
-			n = int(e.Src) + 1
-		}
-		if int(e.Dst) >= n {
-			n = int(e.Dst) + 1
+		if sawHeader {
+			if int(e.Src) >= n || int(e.Dst) >= n {
+				return 0, nil, false, fmt.Errorf("graph: edge (%d,%d) outside declared range [0,%d)", e.Src, e.Dst, n)
+			}
+		} else {
+			if int(e.Src) >= n {
+				n = int(e.Src) + 1
+			}
+			if int(e.Dst) >= n {
+				n = int(e.Dst) + 1
+			}
 		}
 		edges = append(edges, e)
 	}
 	if err := sc.Err(); err != nil {
 		return 0, nil, false, err
+	}
+	if sawHeader && len(edges) != declaredM {
+		return 0, nil, false, fmt.Errorf("graph: header declares %d edges, found %d", declaredM, len(edges))
 	}
 	return n, edges, weighted, nil
 }
@@ -121,13 +137,15 @@ func WriteBinary(w io.Writer, n int, edges []Edge, weighted bool) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses the format written by WriteBinary.
+// ReadBinary parses the format written by WriteBinary, validating the
+// weighted flag, every vertex id against the declared vertex count, and
+// reporting truncation with the offending edge index.
 func ReadBinary(r io.Reader) (n int, edges []Edge, weighted bool, err error) {
 	br := bufio.NewReader(r)
 	var hdr [4]uint64
 	for i := range hdr {
 		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
-			return 0, nil, false, err
+			return 0, nil, false, fmt.Errorf("graph: truncated binary header: %w", err)
 		}
 	}
 	if hdr[0] != binMagic {
@@ -136,6 +154,9 @@ func ReadBinary(r io.Reader) (n int, edges []Edge, weighted bool, err error) {
 	if hdr[1] > 1<<32 || hdr[2] > 1<<40 {
 		return 0, nil, false, fmt.Errorf("graph: implausible header sizes %d/%d", hdr[1], hdr[2])
 	}
+	if hdr[3] > 1 {
+		return 0, nil, false, fmt.Errorf("graph: bad weighted flag %d", hdr[3])
+	}
 	n, m, weighted := int(hdr[1]), int(hdr[2]), hdr[3] == 1
 	// Grow incrementally so a corrupt header cannot trigger a huge
 	// up-front allocation: truncated streams fail before memory does.
@@ -143,15 +164,18 @@ func ReadBinary(r io.Reader) (n int, edges []Edge, weighted bool, err error) {
 	for i := 0; i < m; i++ {
 		var e Edge
 		if err := binary.Read(br, binary.LittleEndian, &e.Src); err != nil {
-			return 0, nil, false, err
+			return 0, nil, false, fmt.Errorf("graph: truncated at edge %d of %d: %w", i, m, err)
 		}
 		if err := binary.Read(br, binary.LittleEndian, &e.Dst); err != nil {
-			return 0, nil, false, err
+			return 0, nil, false, fmt.Errorf("graph: truncated at edge %d of %d: %w", i, m, err)
 		}
 		if weighted {
 			if err := binary.Read(br, binary.LittleEndian, &e.Wt); err != nil {
-				return 0, nil, false, err
+				return 0, nil, false, fmt.Errorf("graph: truncated at edge %d of %d: %w", i, m, err)
 			}
+		}
+		if int(e.Src) >= n || int(e.Dst) >= n {
+			return 0, nil, false, fmt.Errorf("graph: edge %d (%d,%d) outside declared range [0,%d)", i, e.Src, e.Dst, n)
 		}
 		edges = append(edges, e)
 	}

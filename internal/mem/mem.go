@@ -89,7 +89,12 @@ func New[T any](m *numa.Machine, label string, n int, place Placement, bounds []
 		label:     label,
 		elemBytes: int64(unsafe.Sizeof(zero)),
 	}
-	m.Alloc().Grow(label, a.Bytes())
+	if err := m.Alloc().Grow(label, a.Bytes()); err != nil {
+		// Simulated allocation failure (fault injection): surface it as a
+		// panic so it propagates through construction code; the resilience
+		// harness (fault.Catch) recovers it into an error.
+		panic(err)
+	}
 	return a
 }
 

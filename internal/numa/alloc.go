@@ -1,9 +1,21 @@
 package numa
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 )
+
+// AllocFailure is the error returned by Grow when the fault injector has
+// armed a simulated allocation failure.
+type AllocFailure struct {
+	Label string
+	Bytes int64
+}
+
+func (e *AllocFailure) Error() string {
+	return fmt.Sprintf("numa: simulated allocation failure: %s (%d bytes)", e.Label, e.Bytes)
+}
 
 // AllocTracker records the simulated memory footprint of a run, by label,
 // so experiments can report peak usage the way the paper's Table 5 does
@@ -13,6 +25,11 @@ type AllocTracker struct {
 	current int64
 	peak    int64
 	byLabel map[string]int64
+
+	// failNext, when set, makes the next matching Grow fail. An empty
+	// failLabel matches any Grow.
+	failNext  bool
+	failLabel string
 }
 
 // NewAllocTracker returns an empty tracker.
@@ -20,14 +37,37 @@ func NewAllocTracker() *AllocTracker {
 	return &AllocTracker{byLabel: make(map[string]int64)}
 }
 
-// Grow records an allocation of n bytes under label.
-func (a *AllocTracker) Grow(label string, n int64) {
+// Grow records an allocation of n bytes under label. It fails only when
+// the fault injector has armed a simulated allocation failure (FailNext);
+// a failed Grow records nothing.
+func (a *AllocTracker) Grow(label string, n int64) error {
 	a.mu.Lock()
+	if a.failNext && (a.failLabel == "" || a.failLabel == label) {
+		a.failNext = false
+		a.mu.Unlock()
+		return &AllocFailure{Label: label, Bytes: n}
+	}
 	a.current += n
 	if a.current > a.peak {
 		a.peak = a.current
 	}
 	a.byLabel[label] += n
+	a.mu.Unlock()
+	return nil
+}
+
+// FailNext arms a one-shot simulated failure of the next Grow whose label
+// matches (empty label matches any).
+func (a *AllocTracker) FailNext(label string) {
+	a.mu.Lock()
+	a.failNext, a.failLabel = true, label
+	a.mu.Unlock()
+}
+
+// ClearFailure disarms a pending FailNext.
+func (a *AllocTracker) ClearFailure() {
+	a.mu.Lock()
+	a.failNext, a.failLabel = false, ""
 	a.mu.Unlock()
 }
 
@@ -79,5 +119,6 @@ func (a *AllocTracker) Reset() {
 	a.mu.Lock()
 	a.current, a.peak = 0, 0
 	a.byLabel = make(map[string]int64)
+	a.failNext, a.failLabel = false, ""
 	a.mu.Unlock()
 }

@@ -84,6 +84,9 @@ func (e *Epoch) Access(th int, p Pattern, op Op, node int, count int64, elemByte
 	from := e.m.NodeOfThread(th)
 	lvl := e.m.Level(from, node)
 	bytes := float64(count) * float64(elemBytes)
+	// Degraded links scale the effective memory bandwidth of the path; the
+	// LLC-hit portion of random traffic is unaffected (served from cache).
+	scale := e.m.linkScale(from, node)
 
 	if lvl == 0 {
 		t.localCount += count
@@ -93,7 +96,7 @@ func (e *Epoch) Access(th int, p Pattern, op Op, node int, count int64, elemByte
 
 	switch p {
 	case Seq:
-		t.memSeconds += bytes / (topo.SeqBW[lvl] * mb)
+		t.memSeconds += bytes / (topo.SeqBW[lvl] * mb * scale)
 		miss := bytes / float64(topo.CacheLineBytes)
 		t.missCount += miss
 		if lvl > 0 {
@@ -103,7 +106,7 @@ func (e *Epoch) Access(th int, p Pattern, op Op, node int, count int64, elemByte
 	case Rand:
 		hit := e.hitFraction(ws)
 		missBytes := bytes * (1 - hit)
-		t.memSeconds += missBytes/(topo.RandBW[lvl]*mb) + bytes*hit/(topo.CacheBW*mb)
+		t.memSeconds += missBytes/(topo.RandBW[lvl]*mb*scale) + bytes*hit/(topo.CacheBW*mb)
 		miss := float64(count) * (1 - hit)
 		t.missCount += miss
 		if lvl > 0 {
@@ -133,6 +136,12 @@ func (e *Epoch) AccessInterleaved(th int, p Pattern, op Op, count int64, elemByt
 	t.remoteCount += int64(float64(count) * remoteFrac)
 
 	seqBW, randBW := e.m.InterleavedBW(from)
+	// Interleaved traffic crosses every link; charge it at the most
+	// degraded one (conservative).
+	if scale := e.m.worstLinkScale(from); scale != 1 {
+		seqBW *= scale
+		randBW *= scale
+	}
 	var memBytes float64
 	switch p {
 	case Seq:
@@ -171,6 +180,8 @@ func (e *Epoch) LatencyBound(th int, op Op, node int, count int64) {
 	if op == Store {
 		lat = topo.StoreLatency[lvl]
 	}
+	// A degraded link stretches round-trip latency proportionally.
+	lat /= e.m.linkScale(from, node)
 	t.memSeconds += float64(count) * lat / (topo.ClockGHz * 1e9)
 	if lvl == 0 {
 		t.localCount += count
@@ -271,6 +282,22 @@ func (e *Epoch) Stats() Stats {
 	return s
 }
 
+// Merge folds another summary into this one, recomputing the rates as
+// weighted averages over the combined access counts. It aggregates runs
+// that span more than one machine (e.g. a degraded run rebuilt on fewer
+// nodes), where the raw epochs cannot be added.
+func (s *Stats) Merge(o Stats) {
+	t1 := s.LocalCount + s.RemoteCount
+	t2 := o.LocalCount + o.RemoteCount
+	s.LocalCount += o.LocalCount
+	s.RemoteCount += o.RemoteCount
+	s.MissCount += o.MissCount
+	if total := t1 + t2; total > 0 {
+		s.RemoteRate = float64(s.RemoteCount) / float64(total)
+		s.RemoteMissRate = (s.RemoteMissRate*float64(t1) + o.RemoteMissRate*float64(t2)) / float64(total)
+	}
+}
+
 // Add accumulates another epoch's raw ledger into this one. Both must
 // belong to the same machine. It is used to aggregate per-phase ledgers
 // into whole-run statistics.
@@ -291,6 +318,30 @@ func (e *Epoch) Add(o *Epoch) {
 			t.portBytes[n] += u.portBytes[n]
 		}
 	}
+}
+
+// CopyFrom overwrites this epoch's ledger with o's. Both must belong to
+// the same machine. The checkpoint layer uses it to snapshot and restore
+// the cumulative run ledger around a superstep that may be rolled back.
+func (e *Epoch) CopyFrom(o *Epoch) {
+	if e.m != o.m {
+		panic("numa: cannot copy epochs from different machines")
+	}
+	for i := range e.threads {
+		t, u := &e.threads[i], &o.threads[i]
+		nb, pb := t.nodeBytes, t.portBytes
+		*t = *u
+		t.nodeBytes, t.portBytes = nb, pb
+		copy(t.nodeBytes, u.nodeBytes)
+		copy(t.portBytes, u.portBytes)
+	}
+}
+
+// Clone returns an independent copy of the ledger.
+func (e *Epoch) Clone() *Epoch {
+	c := newEpoch(e.m)
+	c.CopyFrom(e)
+	return c
 }
 
 // Reset clears the ledger for reuse.

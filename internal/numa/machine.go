@@ -25,19 +25,32 @@ type Machine struct {
 	// interleaved values (Figure 4) within a few percent.
 	ilSeqBW  []float64
 	ilRandBW []float64
+
+	fault faultState // link degradation / node-offline state (see degrade.go)
 }
 
 // NewMachine configures nodes sockets with coresPerNode threads each.
 // It panics if the request exceeds the topology (a configuration bug).
 func NewMachine(t *Topology, nodes, coresPerNode int) *Machine {
-	if err := t.Validate(); err != nil {
+	m, err := NewMachineChecked(t, nodes, coresPerNode)
+	if err != nil {
 		panic(err)
 	}
+	return m
+}
+
+// NewMachineChecked is NewMachine returning an error instead of panicking,
+// for callers building machines from user-supplied configuration (cmd
+// flags).
+func NewMachineChecked(t *Topology, nodes, coresPerNode int) (*Machine, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
 	if nodes < 1 || nodes > t.Sockets {
-		panic(fmt.Sprintf("numa: %d nodes requested, topology %q has %d sockets", nodes, t.Name, t.Sockets))
+		return nil, fmt.Errorf("numa: %d nodes requested, topology %q has %d sockets", nodes, t.Name, t.Sockets)
 	}
 	if coresPerNode < 1 || coresPerNode > t.CoresPerSocket {
-		panic(fmt.Sprintf("numa: %d cores/node requested, topology %q has %d cores/socket", coresPerNode, t.Name, t.CoresPerSocket))
+		return nil, fmt.Errorf("numa: %d cores/node requested, topology %q has %d cores/socket", coresPerNode, t.Name, t.CoresPerSocket)
 	}
 	m := &Machine{
 		Topo:         t,
@@ -65,7 +78,7 @@ func NewMachine(t *Topology, nodes, coresPerNode int) *Machine {
 		m.ilSeqBW[i] = float64(nodes) / seqInv
 		m.ilRandBW[i] = float64(nodes) / randInv
 	}
-	return m
+	return m, nil
 }
 
 // InterleavedBW returns the effective sequential and random bandwidths a

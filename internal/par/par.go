@@ -6,6 +6,9 @@
 package par
 
 import (
+	"context"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -19,12 +22,43 @@ type Pool struct {
 	start []chan func(int)
 	wg    sync.WaitGroup
 	once  sync.Once
+
+	// hook, when set, runs on every worker at dispatch time before the
+	// phase function; a non-nil return aborts that worker's share of the
+	// phase (the fault injector uses it to take simulated nodes offline,
+	// panic or stall individual workers).
+	hook atomic.Pointer[func(th int) error]
+
+	errMu  sync.Mutex
+	runErr error
 }
 
-// NewPool starts threads persistent workers.
-func NewPool(threads int) *Pool {
+// PanicError is a worker panic recovered by Run, carrying the worker's
+// thread id and stack.
+type PanicError struct {
+	Thread int
+	Value  any
+	Stack  []byte
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("par: worker %d panicked: %v", p.Thread, p.Value)
+}
+
+// Unwrap exposes a panicked error value for errors.Is/As.
+func (p *PanicError) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// NewPool starts threads persistent workers. It returns an error for a
+// non-positive thread count instead of panicking, so callers constructing
+// pools from user-supplied configuration can fail gracefully.
+func NewPool(threads int) (*Pool, error) {
 	if threads < 1 {
-		panic("par: need at least one thread")
+		return nil, fmt.Errorf("par: need at least one thread, got %d", threads)
 	}
 	p := &Pool{n: threads, start: make([]chan func(int), threads)}
 	for i := range p.start {
@@ -36,19 +70,84 @@ func NewPool(threads int) *Pool {
 			}
 		}(i)
 	}
+	return p, nil
+}
+
+// MustNewPool is NewPool panicking on error, for statically valid
+// configurations (tests, benchmarks).
+func MustNewPool(threads int) *Pool {
+	p, err := NewPool(threads)
+	if err != nil {
+		panic(err)
+	}
 	return p
 }
 
 // Threads returns the worker count.
 func (p *Pool) Threads() int { return p.n }
 
-// Run executes fn(th) on every worker and blocks until all finish.
-func (p *Pool) Run(fn func(th int)) {
+// SetHook installs (or, with nil, removes) the per-dispatch fault hook.
+// The hook runs on each worker before the phase function: returning an
+// error makes that worker skip its share of the phase and Run report the
+// error; a panic inside the hook is recovered like any worker panic.
+func (p *Pool) SetHook(h func(th int) error) {
+	if h == nil {
+		p.hook.Store(nil)
+		return
+	}
+	p.hook.Store(&h)
+}
+
+func (p *Pool) setErr(err error) {
+	p.errMu.Lock()
+	if p.runErr == nil {
+		p.runErr = err
+	}
+	p.errMu.Unlock()
+}
+
+// Run executes fn(th) on every worker and blocks until all finish. A
+// worker panic is recovered into a *PanicError (first failure wins) so one
+// crashing worker cannot take down the process; the remaining workers
+// still complete the phase, keeping the pool reusable.
+func (p *Pool) Run(fn func(th int)) error {
+	p.runErr = nil
+	hook := p.hook.Load()
+	wrapped := func(th int) {
+		defer func() {
+			if r := recover(); r != nil {
+				p.setErr(&PanicError{Thread: th, Value: r, Stack: debug.Stack()})
+			}
+		}()
+		if hook != nil {
+			if err := (*hook)(th); err != nil {
+				p.setErr(err)
+				return
+			}
+		}
+		fn(th)
+	}
 	p.wg.Add(p.n)
 	for i := range p.start {
-		p.start[i] <- fn
+		p.start[i] <- wrapped
 	}
 	p.wg.Wait()
+	return p.runErr
+}
+
+// RunCtx is Run honouring context cancellation: a context already
+// cancelled skips the dispatch entirely, and a cancellation that arrives
+// during the phase is reported after the join (workers are cooperative;
+// they are never preempted mid-phase).
+func (p *Pool) RunCtx(ctx context.Context, fn func(th int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	runErr := p.Run(fn)
+	if err := ctx.Err(); err != nil && runErr == nil {
+		return err
+	}
+	return runErr
 }
 
 // Close terminates the workers. The pool must be idle. Close is

@@ -90,6 +90,13 @@ type Engine interface {
 	RunStats() numa.Stats
 	// ThreadSeconds returns per-thread simulated busy time (Figure 11b).
 	ThreadSeconds() []float64
+	// Err returns the first execution failure (worker panic, offline
+	// node, allocation failure), or nil. After a failure, EdgeMap and
+	// VertexMap are no-ops returning empty subsets and charging nothing
+	// until ClearErr.
+	Err() error
+	// ClearErr resets the failure so a rolled-back step can be replayed.
+	ClearErr()
 	// Close releases the engine's workers and simulated allocations.
 	Close()
 }

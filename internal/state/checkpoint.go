@@ -1,0 +1,111 @@
+// Checkpointing of vertex state for the resilience layer: a Checkpoint
+// tracks the backing arrays of an algorithm's double-buffered vertex data
+// and snapshots them before each superstep, so an injected fault can roll
+// the run back and replay the step to bit-identical output.
+
+package state
+
+// Checkpoint snapshots a set of tracked slices. Save buffers are
+// allocated once per tracked slice and reused across supersteps, so
+// steady-state checkpointing allocates nothing.
+//
+// Tracking is by backing array: algorithms that swap current/next
+// pointers after a step still restore correctly, because the snapshot
+// rewrites the arrays themselves, not the caller's slice headers.
+type Checkpoint struct {
+	f64 []trackedSlice[float64]
+	u32 []trackedSlice[uint32]
+	i64 []trackedSlice[int64]
+	u8  []trackedSlice[uint8]
+}
+
+type trackedSlice[T any] struct {
+	live []T
+	save []T
+}
+
+// NewCheckpoint returns an empty checkpoint.
+func NewCheckpoint() *Checkpoint { return &Checkpoint{} }
+
+// TrackF64 registers a float64 slice for snapshotting.
+func (c *Checkpoint) TrackF64(xs ...[]float64) {
+	for _, x := range xs {
+		c.f64 = append(c.f64, trackedSlice[float64]{live: x, save: make([]float64, len(x))})
+	}
+}
+
+// TrackU32 registers a uint32 slice for snapshotting.
+func (c *Checkpoint) TrackU32(xs ...[]uint32) {
+	for _, x := range xs {
+		c.u32 = append(c.u32, trackedSlice[uint32]{live: x, save: make([]uint32, len(x))})
+	}
+}
+
+// TrackI64 registers an int64 slice for snapshotting.
+func (c *Checkpoint) TrackI64(xs ...[]int64) {
+	for _, x := range xs {
+		c.i64 = append(c.i64, trackedSlice[int64]{live: x, save: make([]int64, len(x))})
+	}
+}
+
+// TrackU8 registers a byte slice for snapshotting.
+func (c *Checkpoint) TrackU8(xs ...[]uint8) {
+	for _, x := range xs {
+		c.u8 = append(c.u8, trackedSlice[uint8]{live: x, save: make([]uint8, len(x))})
+	}
+}
+
+// Save copies every tracked slice into its save buffer.
+func (c *Checkpoint) Save() {
+	for i := range c.f64 {
+		copy(c.f64[i].save, c.f64[i].live)
+	}
+	for i := range c.u32 {
+		copy(c.u32[i].save, c.u32[i].live)
+	}
+	for i := range c.i64 {
+		copy(c.i64[i].save, c.i64[i].live)
+	}
+	for i := range c.u8 {
+		copy(c.u8[i].save, c.u8[i].live)
+	}
+}
+
+// Restore copies every save buffer back over its tracked slice.
+func (c *Checkpoint) Restore() {
+	for i := range c.f64 {
+		copy(c.f64[i].live, c.f64[i].save)
+	}
+	for i := range c.u32 {
+		copy(c.u32[i].live, c.u32[i].save)
+	}
+	for i := range c.i64 {
+		copy(c.i64[i].live, c.i64[i].save)
+	}
+	for i := range c.u8 {
+		copy(c.u8[i].live, c.u8[i].save)
+	}
+}
+
+// Tracked returns how many slices are being checkpointed.
+func (c *Checkpoint) Tracked() int {
+	return len(c.f64) + len(c.u32) + len(c.i64) + len(c.u8)
+}
+
+// Bytes returns the snapshot footprint in bytes.
+func (c *Checkpoint) Bytes() int64 {
+	var n int64
+	for i := range c.f64 {
+		n += int64(len(c.f64[i].save)) * 8
+	}
+	for i := range c.u32 {
+		n += int64(len(c.u32[i].save)) * 4
+	}
+	for i := range c.i64 {
+		n += int64(len(c.i64[i].save)) * 8
+	}
+	for i := range c.u8 {
+		n += int64(len(c.u8[i].save))
+	}
+	return n
+}

@@ -10,12 +10,20 @@ cd "$(dirname "$0")/.."
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> go test -race (engines, core, state, par)"
+echo "==> errcheck (error-returning APIs in statement position)"
+sh scripts/errcheck.sh
+
+echo "==> go test -race (engines, core, state, par, fault, numa)"
 go test -race \
 	./internal/core/... \
 	./internal/engines/... \
 	./internal/state/... \
-	./internal/par/...
+	./internal/par/... \
+	./internal/fault/... \
+	./internal/numa/...
+
+echo "==> go test -race fault matrix (rollback/replay across all engines)"
+go test -race -run 'TestFaultMatrix|TestPolymerDegraded|TestResilientRanks' .
 
 echo "==> go test ./..."
 go test ./...
