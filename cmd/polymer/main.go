@@ -142,6 +142,10 @@ func main() {
 		var rr bench.ResilienceReport
 		r, rr, err = bench.RunResilientFrom(sys, alg, g, mk, inj, *faultRetriesFlag, src)
 		if err != nil {
+			// The report still records every rollback and restart attempted
+			// before the retry budget ran out — print it so a failed run is
+			// diagnosable, then exit non-zero.
+			fmt.Fprintf(os.Stderr, "%s", rr.Format())
 			fail("%v", err)
 		}
 		rep = &rr

@@ -1,0 +1,83 @@
+// Command polymerd serves graph-analytics requests over HTTP/JSON with
+// production robustness: bounded admission with load shedding, per-request
+// deadlines, retry with backoff over checkpoint/rollback recovery, a
+// per-engine circuit breaker with degraded-mode fallback, and graceful
+// drain on SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	polymerd -addr :8080 -queue 64 -workers 4 -budget 30s
+//
+//	curl -s localhost:8080/run -d '{"algo":"pr","system":"polymer","graph":"powerlaw","scale":"tiny"}'
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/metricsz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"polymer/internal/serve"
+)
+
+func main() {
+	addrFlag := flag.String("addr", ":8080", "listen address")
+	queueFlag := flag.Int("queue", 64, "admission queue depth (full queue sheds with 429)")
+	workersFlag := flag.Int("workers", 4, "concurrent request executions")
+	budgetFlag := flag.Duration("budget", 30*time.Second, "default per-request wall-clock budget")
+	drainFlag := flag.Duration("drain", 5*time.Second, "graceful drain deadline on SIGTERM")
+	retriesFlag := flag.Int("retries", 2, "default whole-run retries per request")
+	breakerFlag := flag.Int("breaker-threshold", 3, "consecutive failures that trip an engine's circuit")
+	cooldownFlag := flag.Duration("breaker-cooldown", 2*time.Second, "open-circuit period before a half-open probe")
+	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	srv := serve.NewServer(serve.Config{
+		QueueDepth:       *queueFlag,
+		Workers:          *workersFlag,
+		DefaultBudget:    *budgetFlag,
+		DrainTimeout:     *drainFlag,
+		RetryMax:         *retriesFlag,
+		BreakerThreshold: *breakerFlag,
+		BreakerCooldown:  *cooldownFlag,
+		Logger:           logger,
+	})
+
+	httpSrv := &http.Server{Addr: *addrFlag, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Info("polymerd listening", slog.String("addr", *addrFlag))
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case <-sigCtx.Done():
+		logger.Info("drain: signal received, refusing new work")
+		// Stop admitting and let in-flight work finish (or be cancelled at
+		// the drain deadline), then close the listener.
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainFlag+5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(drainCtx); err != nil {
+			logger.Error("drain: forced", slog.String("error", err.Error()))
+		}
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			logger.Error("http shutdown", slog.String("error", err.Error()))
+		}
+		logger.Info("polymerd drained")
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "polymerd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

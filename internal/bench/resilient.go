@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"polymer/internal/algorithms"
@@ -46,6 +48,30 @@ func RunResilient(sys System, alg Algo, g *graph.Graph, mk func() *numa.Machine,
 
 // RunResilientFrom is RunResilient with an explicit traversal source.
 func RunResilientFrom(sys System, alg Algo, g *graph.Graph, mk func() *numa.Machine, inj *fault.Injector, maxRestarts int, src graph.Vertex) (RunResult, ResilienceReport, error) {
+	opt := ResilientOptions{MaxRestarts: maxRestarts, SessionRetries: -1, Src: src}
+	return RunResilientCtx(context.Background(), sys, alg, g, mk, inj, opt)
+}
+
+// ResilientOptions tunes one resilient execution.
+type ResilientOptions struct {
+	// MaxRestarts caps whole-run restarts (setup faults, steps that
+	// exhausted their replay budget). 0 means fail on the first
+	// unrecovered attempt.
+	MaxRestarts int
+	// SessionRetries caps per-step replays inside the fault session;
+	// negative keeps the session default (3), 0 fails a step on its first
+	// faulted attempt.
+	SessionRetries int
+	// Src is the traversal source for BFS.
+	Src graph.Vertex
+}
+
+// RunResilientCtx is the resilient runner under a cancellation context:
+// the context is installed on the engine so every parallel phase observes
+// it, and a cancellation mid-run stops charging the simulated clock at
+// the superstep boundary (the partial step's charges are rolled back). A
+// context error is terminal — it is never retried by restart.
+func RunResilientCtx(ctx context.Context, sys System, alg Algo, g *graph.Graph, mk func() *numa.Machine, inj *fault.Injector, opt ResilientOptions) (RunResult, ResilienceReport, error) {
 	if inj == nil {
 		inj = fault.NewInjector(nil)
 	}
@@ -53,25 +79,38 @@ func RunResilientFrom(sys System, alg Algo, g *graph.Graph, mk func() *numa.Mach
 	for restart := 0; ; restart++ {
 		m := mk()
 		inj.ArmSetup(m)
-		r, rollbacks, err := runResilientOnce(sys, alg, g, m, inj, src)
+		r, rollbacks, err := runResilientOnce(ctx, sys, alg, g, m, inj, opt)
 		rep.Rollbacks += rollbacks
 		if err == nil {
 			rep.Log = inj.Log()
 			return r, rep, nil
 		}
 		inj.RetireSetup()
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			rep.Log = inj.Log()
+			return RunResult{}, rep, err
+		}
 		rep.Restarts++
-		if restart >= maxRestarts {
+		if restart >= opt.MaxRestarts {
 			rep.Log = inj.Log()
 			return RunResult{}, rep, fmt.Errorf("bench: resilient run failed after %d restart(s): %w", rep.Restarts, err)
 		}
 	}
 }
 
+// newSession pairs an engine with the injector, applying the replay cap.
+func newSession(e fault.Engine, inj *fault.Injector, retries int) *fault.Session {
+	sess := fault.NewSession(e, inj)
+	if retries >= 0 {
+		sess.SetMaxRetries(retries)
+	}
+	return sess
+}
+
 // runResilientOnce is one whole-run attempt. Construction-time panics
 // (a setup allocation failure surfacing inside NewData/trackData) are
 // contained by fault.Catch and reported as the attempt's error.
-func runResilientOnce(sys System, alg Algo, g *graph.Graph, m *numa.Machine, inj *fault.Injector, src graph.Vertex) (RunResult, int, error) {
+func runResilientOnce(ctx context.Context, sys System, alg Algo, g *graph.Graph, m *numa.Machine, inj *fault.Injector, opt ResilientOptions) (RunResult, int, error) {
 	r := RunResult{System: sys, Algo: alg}
 	rollbacks := 0
 	err := fault.Catch(func() error {
@@ -96,7 +135,9 @@ func runResilientOnce(sys System, alg Algo, g *graph.Graph, m *numa.Machine, inj
 				e = le
 			}
 			defer e.Close()
-			sess := fault.NewSession(e.(fault.Engine), inj)
+			fe := e.(fault.Engine)
+			fe.SetContext(ctx)
+			sess := newSession(fe, inj, opt.SessionRetries)
 			switch alg {
 			case PR:
 				ranks, err := algorithms.PageRankE(e, defaultIters, defaultDamping, sess)
@@ -104,8 +145,20 @@ func runResilientOnce(sys System, alg Algo, g *graph.Graph, m *numa.Machine, inj
 					return err
 				}
 				r.Checksum = sum(ranks)
+			case SpMV:
+				ys, err := algorithms.SpMVE(e, defaultIters, ones(g.NumVertices()), sess)
+				if err != nil {
+					return err
+				}
+				r.Checksum = sum(ys)
+			case BP:
+				beliefs, err := algorithms.BPE(e, defaultIters, sess)
+				if err != nil {
+					return err
+				}
+				r.Checksum = sum(beliefs)
 			case BFS:
-				levels, err := algorithms.BFSE(e, src, sess)
+				levels, err := algorithms.BFSE(e, opt.Src, sess)
 				if err != nil {
 					return err
 				}
@@ -126,7 +179,8 @@ func runResilientOnce(sys System, alg Algo, g *graph.Graph, m *numa.Machine, inj
 				return err
 			}
 			defer e.Close()
-			sess := fault.NewSession(e, inj)
+			e.SetContext(ctx)
+			sess := newSession(e, inj, opt.SessionRetries)
 			ranks, err := algorithms.XSPageRankE(e, defaultIters, defaultDamping, sess)
 			if err != nil {
 				return err
@@ -144,7 +198,8 @@ func runResilientOnce(sys System, alg Algo, g *graph.Graph, m *numa.Machine, inj
 				return err
 			}
 			defer e.Close()
-			sess := fault.NewSession(e, inj)
+			e.SetContext(ctx)
+			sess := newSession(e, inj, opt.SessionRetries)
 			ranks, err := e.PageRankE(defaultIters, defaultDamping, sess)
 			if err != nil {
 				return err
@@ -259,7 +314,7 @@ func RunPolymerDegraded(g *graph.Graph, topo *numa.Topology, nodes, coresPerNode
 	r.SimSeconds = seg1 + migSecs + e2.SimSeconds()
 	r.Stats = stats1
 	r.Stats.Merge(e2.RunStats())
-	r.PeakBytes = max64(peak1, m2.Alloc().Peak())
+	r.PeakBytes = max(peak1, m2.Alloc().Peak())
 	return DegradedResult{
 		Result:           r,
 		FailedNode:       failNode,
@@ -267,11 +322,4 @@ func RunPolymerDegraded(g *graph.Graph, topo *numa.Topology, nodes, coresPerNode
 		MigratedBytes:    migrated,
 		MigrationSeconds: migSecs,
 	}, nil
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -468,7 +468,7 @@ func edgeMapSparse[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hints)
 		}
 	}
 	e.scr.actives, e.scr.ownerOf = actives, ownerOf
-	stride := par.MakeStrided(int64(len(actives)), chunkSize(int64(len(actives)), e.m.CoresPerNode), e.m.CoresPerNode)
+	stride := par.MakeStrided(int64(len(actives)), par.ChunkSize(int64(len(actives)), e.m.CoresPerNode), e.m.CoresPerNode)
 
 	e.runPhase(func(th int) {
 		p := e.m.NodeOfThread(th)
@@ -591,14 +591,6 @@ func (e *Engine) VertexMap(a *state.Subset, f sg.VertexFunc) *state.Subset {
 	}
 	e.recordPhase("vertexmap", a.Dense(), false, a.Count(), e.chargePhase(ep))
 	return b.Build()
-}
-
-func chunkSize(n int64, threadsPerNode int) int64 {
-	c := n / int64(threadsPerNode*8)
-	if c < 64 {
-		c = 64
-	}
-	return c
 }
 
 // addEdges accumulates the processed-edge metric from worker goroutines.

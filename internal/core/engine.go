@@ -356,34 +356,29 @@ func (e *Engine) SetFaultHook(h func(th int) error) { e.pool.SetHook(h) }
 // runPhase dispatches one parallel phase, honouring the engine context
 // and the configured phase deadline. It returns false if the phase
 // failed (the failure is recorded on the engine) — callers must then skip
-// all simulated charging for the phase.
+// all simulated charging for the phase: a request cancelled mid-run stops
+// charging the simulated clock at the superstep boundary.
 func (e *Engine) runPhase(fn func(th int)) bool {
 	if e.err != nil {
 		return false
-	}
-	if e.ctx != nil {
-		if err := e.ctx.Err(); err != nil {
-			e.fail(err)
-			return false
-		}
 	}
 	var start time.Time
 	if e.opt.PhaseTimeout > 0 {
 		start = time.Now()
 	}
-	if err := e.pool.Run(fn); err != nil {
+	var err error
+	if e.ctx != nil {
+		err = e.pool.RunCtx(e.ctx, fn)
+	} else {
+		err = e.pool.Run(fn)
+	}
+	if err != nil {
 		e.fail(err)
 		return false
 	}
 	if e.opt.PhaseTimeout > 0 {
 		if d := time.Since(start); d > e.opt.PhaseTimeout {
 			e.fail(fmt.Errorf("core: phase exceeded deadline: %v > %v", d, e.opt.PhaseTimeout))
-			return false
-		}
-	}
-	if e.ctx != nil {
-		if err := e.ctx.Err(); err != nil {
-			e.fail(err)
 			return false
 		}
 	}

@@ -213,7 +213,7 @@ func (e *Engine) registerLayout(l *layout) bool {
 	l.strides = make([]par.Strided, len(l.perNode))
 	for p := range l.perNode {
 		rows := int64(len(l.perNode[p].rowIDs))
-		l.strides[p] = par.MakeStrided(rows, chunkSize(rows, e.m.CoresPerNode), e.m.CoresPerNode)
+		l.strides[p] = par.MakeStrided(rows, par.ChunkSize(rows, e.m.CoresPerNode), e.m.CoresPerNode)
 	}
 	b := l.bytes()
 	if err := e.m.Alloc().Grow("polymer/topology", b); err != nil {

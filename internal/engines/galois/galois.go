@@ -16,6 +16,7 @@
 package galois
 
 import (
+	"context"
 	"math"
 	"sync/atomic"
 
@@ -57,8 +58,9 @@ type Engine struct {
 	dataB  int64
 	closed bool
 
-	err  error        // first execution failure
-	snap *simSnapshot // SnapshotSim/RestoreSim slot
+	err  error           // first execution failure
+	ctx  context.Context // optional cancellation; nil means background
+	snap *simSnapshot    // SnapshotSim/RestoreSim slot
 
 	// Round-scoped scratch, reset between parallel rounds so steady-state
 	// iterations reuse the epoch, counters and worklist buffers instead of
@@ -129,13 +131,24 @@ func (e *Engine) fail(err error) {
 // SetFaultHook installs a per-dispatch fault hook on the worker pool.
 func (e *Engine) SetFaultHook(h func(th int) error) { e.pool.SetHook(h) }
 
+// SetContext installs a cancellation context consulted around each
+// parallel round; nil restores the default (never cancelled). A cancelled
+// context fails the round before any simulated charging.
+func (e *Engine) SetContext(ctx context.Context) { e.ctx = ctx }
+
 // runPhase dispatches fn across the pool, folding worker failures into
 // e.err. After a failure, subsequent rounds are no-ops until ClearErr.
 func (e *Engine) runPhase(fn func(th int)) {
 	if e.err != nil {
 		return
 	}
-	if err := e.pool.Run(fn); err != nil {
+	var err error
+	if e.ctx != nil {
+		err = e.pool.RunCtx(e.ctx, fn)
+	} else {
+		err = e.pool.Run(fn)
+	}
+	if err != nil {
 		e.fail(err)
 	}
 }

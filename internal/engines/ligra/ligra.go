@@ -15,6 +15,7 @@
 package ligra
 
 import (
+	"context"
 	"math/bits"
 	"sync/atomic"
 
@@ -57,8 +58,9 @@ type Engine struct {
 	edges  atomic.Int64
 	closed bool
 
-	err  error        // first execution failure
-	snap *simSnapshot // SnapshotSim/RestoreSim slot
+	err  error           // first execution failure
+	ctx  context.Context // optional cancellation; nil means background
+	snap *simSnapshot    // SnapshotSim/RestoreSim slot
 
 	scr      *scratch
 	degreeOf func(v uint32) int64
@@ -109,7 +111,7 @@ func New(g *graph.Graph, m *numa.Machine, opt Options) (*Engine, error) {
 	e.scr = &scratch{ep: m.NewEpoch(), pc: newPhaseCounts(m.Threads())}
 	e.degreeOf = func(v uint32) int64 { return g.OutDegree(graph.Vertex(v)) }
 	n := int64(g.NumVertices())
-	e.vSweep = par.MakeStrided(n, chunkSize(n, m.Threads()), m.Threads())
+	e.vSweep = par.MakeStrided(n, par.ChunkSize(n, m.Threads()), m.Threads())
 	e.vmWords = par.MakeStrided((n+63)/64, 64, m.Threads())
 	if err := m.Alloc().Grow("ligra/topology", g.TopologyBytes()); err != nil {
 		pool.Close()
@@ -209,13 +211,24 @@ func (e *Engine) fail(err error) {
 // hook on the worker pool.
 func (e *Engine) SetFaultHook(h func(th int) error) { e.pool.SetHook(h) }
 
+// SetContext installs a cancellation context consulted around each
+// parallel phase; nil restores the default (never cancelled). A cancelled
+// context fails the phase before any simulated charging.
+func (e *Engine) SetContext(ctx context.Context) { e.ctx = ctx }
+
 // runPhase dispatches one parallel phase; on failure it records the error
 // and returns false, and the caller must skip all simulated charging.
 func (e *Engine) runPhase(fn func(th int)) bool {
 	if e.err != nil {
 		return false
 	}
-	if err := e.pool.Run(fn); err != nil {
+	var err error
+	if e.ctx != nil {
+		err = e.pool.RunCtx(e.ctx, fn)
+	} else {
+		err = e.pool.Run(fn)
+	}
+	if err != nil {
 		e.fail(err)
 		return false
 	}
@@ -493,7 +506,7 @@ func edgeMapSparse[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hints)
 	}
 	ep, pc := e.scr.beginPhase()
 	frontier := a.List(0)
-	ck := par.MakeStrided(int64(len(frontier)), chunkSize(int64(len(frontier)), e.m.Threads()), e.m.Threads())
+	ck := par.MakeStrided(int64(len(frontier)), par.ChunkSize(int64(len(frontier)), e.m.Threads()), e.m.Threads())
 	dataWS := int64(n) * int64(h.DataBytes)
 
 	e.runPhase(func(th int) {
@@ -613,10 +626,3 @@ func edgeBytes(h sg.Hints) int {
 	return 4
 }
 
-func chunkSize(n int64, threads int) int64 {
-	c := n / int64(threads*8)
-	if c < 64 {
-		c = 64
-	}
-	return c
-}

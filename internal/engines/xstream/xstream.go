@@ -13,6 +13,7 @@
 package xstream
 
 import (
+	"context"
 	"math/bits"
 	"sync"
 	"sync/atomic"
@@ -83,8 +84,9 @@ type Engine struct {
 	dataB    int
 	weighted bool
 
-	err  error        // first execution failure
-	snap *simSnapshot // SnapshotSim/RestoreSim slot
+	err  error           // first execution failure
+	ctx  context.Context // optional cancellation; nil means background
+	snap *simSnapshot    // SnapshotSim/RestoreSim slot
 
 	// Iteration-scoped scratch: the phase epoch is reset (after each fold
 	// into the ledger) rather than reallocated, the shuffle buffers keep
@@ -171,13 +173,24 @@ func (e *Engine) fail(err error) {
 // hook on the worker pool.
 func (e *Engine) SetFaultHook(h func(th int) error) { e.pool.SetHook(h) }
 
+// SetContext installs a cancellation context consulted around each
+// parallel phase; nil restores the default (never cancelled). A cancelled
+// context fails the phase before any simulated charging.
+func (e *Engine) SetContext(ctx context.Context) { e.ctx = ctx }
+
 // runPhase dispatches one parallel phase; on failure it records the error
 // and returns false, and the caller must skip all simulated charging.
 func (e *Engine) runPhase(fn func(th int)) bool {
 	if e.err != nil {
 		return false
 	}
-	if err := e.pool.Run(fn); err != nil {
+	var err error
+	if e.ctx != nil {
+		err = e.pool.RunCtx(e.ctx, fn)
+	} else {
+		err = e.pool.Run(fn)
+	}
+	if err != nil {
 		e.fail(err)
 		return false
 	}

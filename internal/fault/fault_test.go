@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"strings"
@@ -147,6 +148,7 @@ func (f *fakeEngine) ClearErr()                      { f.err = nil }
 func (f *fakeEngine) SnapshotSim()                   { f.snap = f.clock }
 func (f *fakeEngine) RestoreSim()                    { f.clock = f.snap }
 func (f *fakeEngine) SetFaultHook(h func(int) error) { f.hook = h }
+func (f *fakeEngine) SetContext(context.Context)     {}
 
 func newFakeEngine() *fakeEngine {
 	return &fakeEngine{m: numa.NewMachine(numa.IntelXeon80(), 2, 2)}

@@ -1,6 +1,8 @@
 package fault
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -28,6 +30,11 @@ type Engine interface {
 	// SetFaultHook installs (nil removes) the per-dispatch injection hook
 	// on the engine's worker pool.
 	SetFaultHook(func(th int) error)
+	// SetContext installs a cancellation context consulted around each
+	// parallel phase (nil restores the default). A cancelled context fails
+	// the phase before any simulated charging, so an abandoned request
+	// stops charging the sim at the next superstep boundary.
+	SetContext(context.Context)
 }
 
 // Session wraps an engine's superstep loop with checkpoint/restart. The
@@ -115,6 +122,15 @@ func (s *Session) Step(step int, body func() error) error {
 		}
 		if err == nil && !armed {
 			return nil // commit
+		}
+		// Cancellation is not a repairable fault: the caller abandoned the
+		// request, so roll the step's partial state and sim charges back
+		// (no post-cancel charging) and surface the context error without
+		// replaying.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.eng.ClearErr()
+			s.restore()
+			return err
 		}
 		if err != nil {
 			for _, ev := range evs {

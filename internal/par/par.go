@@ -206,6 +206,17 @@ func (s Strided) Do(th int, fn func(lo, hi int64)) {
 	}
 }
 
+// ChunkSize picks the engines' shared phase chunk granularity: about 8
+// chunks per thread over [0, n), floored at 64 so tiny ranges do not
+// shred into per-element dispatches.
+func ChunkSize(n int64, threads int) int64 {
+	c := n / int64(threads*8)
+	if c < 64 {
+		c = 64
+	}
+	return c
+}
+
 // Chunker hands out [lo, hi) work chunks from [0, n) to competing
 // threads; Next is safe for concurrent use.
 type Chunker struct {

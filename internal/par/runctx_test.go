@@ -1,0 +1,87 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunCtxPreCancelledSkipsDispatch(t *testing.T) {
+	p := MustNewPool(4)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := p.RunCtx(ctx, func(int) { ran.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("cancelled dispatch still ran on %d workers", got)
+	}
+	// The pool stays usable after a refused dispatch.
+	if err := p.Run(func(int) { ran.Add(1) }); err != nil {
+		t.Fatalf("Run after refused dispatch: %v", err)
+	}
+	if got := ran.Load(); got != 4 {
+		t.Fatalf("follow-up Run reached %d workers, want 4", got)
+	}
+}
+
+func TestRunCtxCancelMidDispatch(t *testing.T) {
+	p := MustNewPool(4)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int32
+	// One worker cancels mid-phase. Workers are cooperative — never
+	// preempted — so every worker still completes its share, and the join
+	// reports the cancellation so the caller skips the phase's charges.
+	err := p.RunCtx(ctx, func(th int) {
+		if th == 2 {
+			cancel()
+		}
+		ran.Add(1)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 4 {
+		t.Fatalf("%d workers ran, want all 4 (no preemption)", got)
+	}
+}
+
+func TestRunCtxWorkerErrorWinsOverCancel(t *testing.T) {
+	p := MustNewPool(2)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := p.RunCtx(ctx, func(th int) {
+		if th == 0 {
+			cancel()
+			panic("boom")
+		}
+	})
+	// A real worker failure is more informative than the cancellation that
+	// accompanied it.
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("RunCtx = %v, want *PanicError", err)
+	}
+	if pe.Thread != 0 {
+		t.Fatalf("panic attributed to thread %d, want 0", pe.Thread)
+	}
+}
+
+func TestRunCtxDeadline(t *testing.T) {
+	p := MustNewPool(2)
+	defer p.Close()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer cancel()
+	err := p.RunCtx(ctx, func(int) { t.Error("dispatched past an expired deadline") })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunCtx = %v, want context.DeadlineExceeded", err)
+	}
+}

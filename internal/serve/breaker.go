@@ -1,0 +1,136 @@
+// Per-engine circuit breaker: consecutive execution failures trip the
+// circuit so a misbehaving engine stops consuming queue slots and worker
+// time; after a cooldown a single half-open probe tests recovery. While
+// the circuit is open, PageRank-class requests are routed to the honest
+// degraded path instead of being refused outright.
+
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState names the circuit's condition.
+type BreakerState string
+
+// The three classic breaker states.
+const (
+	BreakerClosed   BreakerState = "closed"
+	BreakerOpen     BreakerState = "open"
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// Breaker is a consecutive-failure circuit breaker. The zero value is not
+// valid; use newBreaker.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures that trip the circuit
+	cooldown  time.Duration // open duration before a half-open probe
+	now       func() time.Time
+
+	state    BreakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last tripped
+	probing  bool      // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now, state: BreakerClosed}
+}
+
+// State reports the current state (transitioning open -> half-open if the
+// cooldown has elapsed).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	return b.state
+}
+
+// Allow asks whether a request may execute on the guarded engine.
+// probe=true marks the single half-open trial request; the caller must
+// report its outcome via Success or Failure so the circuit can close or
+// re-open.
+func (b *Breaker) Allow() (admit, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	switch b.state {
+	case BreakerClosed:
+		return true, false
+	case BreakerHalfOpen:
+		if b.probing {
+			return false, false // one probe at a time
+		}
+		b.probing = true
+		return true, true
+	default:
+		return false, false
+	}
+}
+
+// maybeHalfOpen transitions open -> half-open once the cooldown elapsed.
+// Caller holds b.mu.
+func (b *Breaker) maybeHalfOpen() {
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		b.state = BreakerHalfOpen
+		b.probing = false
+	}
+}
+
+// Success records a completed execution: it closes a half-open circuit
+// and resets the consecutive-failure count.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// Failure records a failed execution: it re-opens a half-open circuit
+// immediately, and trips a closed one after threshold consecutive
+// failures.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.trip()
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.trip()
+		}
+	}
+}
+
+// trip opens the circuit. Caller holds b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.fails = 0
+	b.probing = false
+	b.openedAt = b.now()
+}
+
+// RetryAfter reports how long until the circuit will accept a probe
+// (zero when not open).
+func (b *Breaker) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return 0
+	}
+	d := b.cooldown - b.now().Sub(b.openedAt)
+	if d < 0 {
+		return 0
+	}
+	return d
+}

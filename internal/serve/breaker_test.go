@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(3, time.Second, clk.now)
+
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if got := b.State(); got != BreakerClosed {
+			t.Fatalf("after %d failures state = %s, want closed", i+1, got)
+		}
+		if admit, _ := b.Allow(); !admit {
+			t.Fatalf("closed breaker refused admission after %d failures", i+1)
+		}
+	}
+	b.Failure() // third consecutive failure trips
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("after threshold failures state = %s, want open", got)
+	}
+	if admit, _ := b.Allow(); admit {
+		t.Fatal("open breaker admitted a request")
+	}
+	if ra := b.RetryAfter(); ra != time.Second {
+		t.Fatalf("RetryAfter = %v, want 1s", ra)
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(3, time.Second, clk.now)
+	b.Failure()
+	b.Failure()
+	b.Success() // streak broken
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("non-consecutive failures tripped the circuit: state = %s", got)
+	}
+	b.Failure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("three consecutive failures did not trip: state = %s", got)
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(1, time.Second, clk.now)
+	b.Failure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %s, want open", got)
+	}
+
+	// Before the cooldown: still refusing.
+	clk.advance(999 * time.Millisecond)
+	if admit, _ := b.Allow(); admit {
+		t.Fatal("breaker admitted before cooldown elapsed")
+	}
+
+	// After the cooldown: exactly one probe may pass.
+	clk.advance(time.Millisecond)
+	admit, probe := b.Allow()
+	if !admit || !probe {
+		t.Fatalf("Allow() = (%t,%t), want probe admission", admit, probe)
+	}
+	if admit, _ := b.Allow(); admit {
+		t.Fatal("second concurrent probe admitted in half-open")
+	}
+
+	// A failed probe re-opens and restarts the cooldown.
+	b.Failure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("after failed probe state = %s, want open", got)
+	}
+	if admit, _ := b.Allow(); admit {
+		t.Fatal("breaker admitted right after a failed probe")
+	}
+
+	// Next cooldown, the probe succeeds and the circuit closes.
+	clk.advance(time.Second)
+	admit, probe = b.Allow()
+	if !admit || !probe {
+		t.Fatalf("Allow() = (%t,%t), want probe admission after second cooldown", admit, probe)
+	}
+	b.Success()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("after successful probe state = %s, want closed", got)
+	}
+	if admit, probe := b.Allow(); !admit || probe {
+		t.Fatalf("Allow() = (%t,%t) on closed circuit, want plain admission", admit, probe)
+	}
+}
+
+func TestBreakerCancelProbeReleasesSlot(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(1, time.Second, clk.now)
+	b.Failure()
+	clk.advance(time.Second)
+	if admit, probe := b.Allow(); !admit || !probe {
+		t.Fatalf("Allow() = (%t,%t), want probe", admit, probe)
+	}
+	// The probe was cut short by the client's own deadline: releasing it
+	// must neither close nor re-open the circuit, just free the slot.
+	b.cancelProbe()
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("after cancelProbe state = %s, want half-open", got)
+	}
+	if admit, probe := b.Allow(); !admit || !probe {
+		t.Fatalf("Allow() = (%t,%t), want a fresh probe after cancel", admit, probe)
+	}
+}

@@ -1,0 +1,118 @@
+// HTTP surface: POST /run executes one analytics request through the
+// admission queue; GET /healthz reports liveness with counters; GET
+// /readyz flips to 503 the moment a drain starts (so load balancers stop
+// routing before in-flight work finishes); GET /metricsz exposes the
+// counters and breaker states.
+
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"polymer/internal/bench"
+)
+
+// Handler returns the server's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /run", s.handleRun)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	v, err := DecodeRequest(r.Body)
+	if err != nil {
+		var bad *BadRequest
+		if errors.As(err, &bad) {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: bad.Error()})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	t, shed, err := s.submit(v, r.Context())
+	if err != nil {
+		if shed {
+			// Load shedding is synchronous: the refusal costs no queue
+			// slot and no worker time, so it lands well inside any budget.
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+			return
+		}
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	}
+	out := <-t.done
+	if out.status == http.StatusServiceUnavailable {
+		if ra := s.breakers[v.sys].RetryAfter(); ra > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(int(ra.Seconds())+1))
+		} else {
+			w.Header().Set("Retry-After", "1")
+		}
+	}
+	writeJSON(w, out.status, out.resp)
+}
+
+type healthBody struct {
+	Status   string          `json:"status"`
+	Counters CounterSnapshot `json:"counters"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, healthBody{Status: "ok", Counters: s.counters.Snapshot()})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+type metricsBody struct {
+	Counters CounterSnapshot   `json:"counters"`
+	Breakers map[string]string `json:"breakers"`
+	Queue    map[string]int64  `json:"queue"`
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
+	brs := make(map[string]string, len(s.breakers))
+	for _, sys := range bench.Systems() {
+		brs[string(sys)] = string(s.breakers[sys].State())
+	}
+	writeJSON(w, http.StatusOK, metricsBody{
+		Counters: s.counters.Snapshot(),
+		Breakers: brs,
+		Queue: map[string]int64{
+			"depth":    int64(cap(s.queue)),
+			"length":   int64(len(s.queue)),
+			"inflight": s.inflight.Load(),
+		},
+	})
+}
+
+// String renders the config for startup logs.
+func (c Config) String() string {
+	return fmt.Sprintf("queue=%d workers=%d budget=%v drain=%v retries=%d breaker=%d/%v",
+		c.QueueDepth, c.Workers, c.DefaultBudget, c.DrainTimeout, c.RetryMax,
+		c.BreakerThreshold, c.BreakerCooldown)
+}

@@ -1,0 +1,61 @@
+// Service counters: every request is accounted exactly once as admitted
+// or shed, and every admitted request resolves to exactly one of
+// completed / degraded / failed / expired / cancelled. Retried and broken
+// count additional events along the way.
+
+package serve
+
+import "sync/atomic"
+
+// Counters aggregates service activity. All fields are safe for
+// concurrent update; Snapshot returns a consistent-enough view for
+// monitoring (individual loads are atomic).
+type Counters struct {
+	// Admitted requests entered the queue; Shed were refused with 429 at
+	// admission because the queue was full.
+	Admitted atomic.Int64
+	Shed     atomic.Int64
+	// Completed requests returned a full-fidelity result; Degraded
+	// returned the honest degraded-mode result while a circuit was open.
+	Completed atomic.Int64
+	Degraded  atomic.Int64
+	// Retried counts whole-run retry attempts (backoff + jitter) beyond
+	// each request's first execution.
+	Retried atomic.Int64
+	// Broken counts requests refused (503) because a circuit was open and
+	// no degraded route applied.
+	Broken atomic.Int64
+	// Failed requests exhausted their retries; Expired hit their deadline;
+	// Cancelled were abandoned by the client or a drain.
+	Failed    atomic.Int64
+	Expired   atomic.Int64
+	Cancelled atomic.Int64
+}
+
+// CounterSnapshot is the JSON form of Counters.
+type CounterSnapshot struct {
+	Admitted  int64 `json:"admitted"`
+	Shed      int64 `json:"shed"`
+	Completed int64 `json:"completed"`
+	Degraded  int64 `json:"degraded"`
+	Retried   int64 `json:"retried"`
+	Broken    int64 `json:"broken"`
+	Failed    int64 `json:"failed"`
+	Expired   int64 `json:"expired"`
+	Cancelled int64 `json:"cancelled"`
+}
+
+// Snapshot reads every counter.
+func (c *Counters) Snapshot() CounterSnapshot {
+	return CounterSnapshot{
+		Admitted:  c.Admitted.Load(),
+		Shed:      c.Shed.Load(),
+		Completed: c.Completed.Load(),
+		Degraded:  c.Degraded.Load(),
+		Retried:   c.Retried.Load(),
+		Broken:    c.Broken.Load(),
+		Failed:    c.Failed.Load(),
+		Expired:   c.Expired.Load(),
+		Cancelled: c.Cancelled.Load(),
+	}
+}

@@ -1,0 +1,230 @@
+// Request decoding and validation for polymerd. Everything a client can
+// send is checked here, before any simulated resource is touched: unknown
+// engines/algorithms/datasets, absurd budgets, malformed fault specs and
+// oversized bodies all yield a 4xx error — never a panic and never an
+// admission-queue slot.
+
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"polymer/internal/bench"
+	"polymer/internal/fault"
+	"polymer/internal/gen"
+	"polymer/internal/graph"
+	"polymer/internal/numa"
+)
+
+// MaxBodyBytes bounds a /run request body; larger bodies are rejected
+// before JSON decoding starts.
+const MaxBodyBytes = 1 << 16
+
+// MaxBudget bounds the per-request wall-clock budget a client may ask
+// for; anything above is an absurd budget and a 400.
+const MaxBudget = 10 * time.Minute
+
+// Request is the wire form of one analytics request.
+type Request struct {
+	// Algo is the algorithm: pr, spmv, bp or bfs.
+	Algo string `json:"algo"`
+	// System is the engine: polymer, ligra, xstream or galois.
+	System string `json:"system"`
+	// Graph is the dataset name (twitter, rmat24, rmat27, powerlaw,
+	// roadUS).
+	Graph string `json:"graph"`
+	// Scale is the dataset scale: tiny, small or default.
+	Scale string `json:"scale"`
+	// Machine is the simulated topology: intel or amd.
+	Machine string `json:"machine"`
+	// Sockets and Cores bound the simulated machine (0 = topology max).
+	Sockets int `json:"sockets"`
+	Cores   int `json:"cores"`
+	// Src is the traversal source for bfs.
+	Src uint32 `json:"src"`
+	// BudgetMs is the request's wall-clock budget in milliseconds; the
+	// deadline starts at admission and is propagated as a context through
+	// every engine superstep. 0 means the server default.
+	BudgetMs int64 `json:"budget_ms"`
+	// Fault is an optional fault.ParseSpec schedule injected into the run
+	// (chaos testing); FaultSeed generates a deterministic schedule
+	// instead. Fault wins when both are set.
+	Fault     string `json:"fault"`
+	FaultSeed uint64 `json:"fault_seed"`
+	// Retries caps server-level whole-run retries (backoff + jitter) on
+	// top of the fault session's per-step replays. -1 (and an absent
+	// field) means the server default; 0 disables retries.
+	Retries int `json:"retries"`
+	// SessionRetries caps per-superstep replays inside the fault session.
+	// -1 (absent) keeps the session default of 3; 0 fails a step on its
+	// first faulted attempt — chaos requests use it to make injected
+	// faults unrecoverable so the circuit breaker's failure path is
+	// exercisable end to end.
+	SessionRetries int `json:"session_retries"`
+	// Restarts caps whole-run restarts for setup-time faults within one
+	// execution attempt. -1 (absent) means the server default.
+	Restarts int `json:"restarts"`
+}
+
+// BadRequest is a client error: the request never reached the admission
+// queue. Handlers map it to 400.
+type BadRequest struct{ msg string }
+
+func (e *BadRequest) Error() string { return e.msg }
+
+func badReq(format string, args ...any) error {
+	return &BadRequest{msg: fmt.Sprintf(format, args...)}
+}
+
+// resolved is a validated request bound to concrete bench/gen types.
+type resolved struct {
+	req    Request
+	sys    bench.System
+	alg    bench.Algo
+	data   gen.Dataset
+	scale  gen.Scale
+	topo   *numa.Topology
+	nodes  int
+	cores  int
+	src    graph.Vertex
+	budget time.Duration // 0 = server default
+	events []*fault.Event
+}
+
+var systems = map[string]bench.System{
+	"polymer": bench.Polymer, "ligra": bench.Ligra,
+	"xstream": bench.XStream, "x-stream": bench.XStream, "galois": bench.Galois,
+}
+
+var algos = map[string]bench.Algo{
+	"pr": bench.PR, "spmv": bench.SpMV, "bp": bench.BP, "bfs": bench.BFS,
+}
+
+var scales = map[string]gen.Scale{
+	"": gen.Tiny, "tiny": gen.Tiny, "small": gen.Small, "default": gen.Default,
+}
+
+// supported mirrors the resilient runner's coverage: PR runs on all four
+// systems, the scatter-gather systems additionally serve SpMV, BP and BFS.
+func supported(sys bench.System, alg bench.Algo) bool {
+	if alg == bench.PR {
+		return true
+	}
+	return sys == bench.Polymer || sys == bench.Ligra
+}
+
+// DecodeRequest reads and validates one request body. Every error it
+// returns is a *BadRequest; it never panics on hostile input.
+func DecodeRequest(r io.Reader) (*resolved, error) {
+	dec := json.NewDecoder(io.LimitReader(r, MaxBodyBytes+1))
+	dec.DisallowUnknownFields()
+	// Absent knobs mean "server default", not zero.
+	req := Request{Retries: -1, SessionRetries: -1, Restarts: -1}
+	if err := dec.Decode(&req); err != nil {
+		return nil, badReq("bad JSON: %v", err)
+	}
+	// A second document (or trailing garbage) is malformed too.
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		return nil, badReq("trailing data after request object")
+	}
+	return resolve(req)
+}
+
+func resolve(req Request) (*resolved, error) {
+	v := &resolved{req: req}
+	var ok bool
+	if v.alg, ok = algos[strings.ToLower(req.Algo)]; !ok {
+		return nil, badReq("unknown algorithm %q (want pr, spmv, bp or bfs)", req.Algo)
+	}
+	if v.sys, ok = systems[strings.ToLower(req.System)]; !ok {
+		return nil, badReq("unknown system %q (want polymer, ligra, xstream or galois)", req.System)
+	}
+	if !supported(v.sys, v.alg) {
+		return nil, badReq("%s is not served on %s (PR runs everywhere; spmv/bp/bfs need polymer or ligra)", v.alg, v.sys)
+	}
+	if v.scale, ok = scales[strings.ToLower(req.Scale)]; !ok {
+		return nil, badReq("unknown scale %q (want tiny, small or default)", req.Scale)
+	}
+	v.data = gen.Dataset(strings.TrimSpace(req.Graph))
+	found := false
+	for _, d := range gen.Datasets() {
+		if d == v.data {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, badReq("unknown dataset %q", req.Graph)
+	}
+	switch strings.ToLower(req.Machine) {
+	case "", "intel":
+		v.topo = numa.IntelXeon80()
+	case "amd":
+		v.topo = numa.AMDOpteron64()
+	default:
+		return nil, badReq("unknown machine %q (want intel or amd)", req.Machine)
+	}
+	if req.Sockets < 0 || req.Sockets > v.topo.Sockets {
+		return nil, badReq("sockets %d out of range [0,%d]", req.Sockets, v.topo.Sockets)
+	}
+	if req.Cores < 0 || req.Cores > v.topo.CoresPerSocket {
+		return nil, badReq("cores %d out of range [0,%d]", req.Cores, v.topo.CoresPerSocket)
+	}
+	v.nodes, v.cores = req.Sockets, req.Cores
+	if v.nodes == 0 {
+		v.nodes = v.topo.Sockets
+	}
+	if v.cores == 0 {
+		v.cores = v.topo.CoresPerSocket
+	}
+	if req.BudgetMs < 0 {
+		return nil, badReq("budget_ms %d is negative", req.BudgetMs)
+	}
+	// Compare in milliseconds: converting first would overflow Duration
+	// for absurd values and slip past the check as a negative budget.
+	if req.BudgetMs > MaxBudget.Milliseconds() {
+		return nil, badReq("budget_ms %d exceeds the %v maximum", req.BudgetMs, MaxBudget)
+	}
+	v.budget = time.Duration(req.BudgetMs) * time.Millisecond
+	if req.Retries < -1 || req.Retries > 10 {
+		return nil, badReq("retries %d out of range [-1,10]", req.Retries)
+	}
+	if req.SessionRetries < -1 || req.SessionRetries > 10 {
+		return nil, badReq("session_retries %d out of range [-1,10]", req.SessionRetries)
+	}
+	if req.Restarts < -1 || req.Restarts > 10 {
+		return nil, badReq("restarts %d out of range [-1,10]", req.Restarts)
+	}
+	v.src = graph.Vertex(req.Src)
+	if req.Fault != "" {
+		evs, err := fault.ParseSpec(req.Fault)
+		if err != nil {
+			return nil, badReq("bad fault spec: %v", err)
+		}
+		v.events = evs
+	}
+	return v, nil
+}
+
+// injector builds a fresh injector for one execution attempt. Event state
+// (fired/repaired) is per-run, so each attempt needs its own schedule.
+func (v *resolved) injector() *fault.Injector {
+	switch {
+	case v.req.Fault != "":
+		evs, err := fault.ParseSpec(v.req.Fault) // validated in resolve
+		if err != nil {
+			return fault.NewInjector(nil)
+		}
+		return fault.NewInjector(evs)
+	case v.req.FaultSeed != 0:
+		threads := v.nodes * v.cores
+		return fault.NewInjector(fault.Schedule(v.req.FaultSeed, 5, threads, v.nodes))
+	default:
+		return fault.NewInjector(nil)
+	}
+}

@@ -1,0 +1,516 @@
+// Package serve is polymerd's overload-safe serving layer: a bounded
+// admission queue with load shedding in front of a fixed worker pool,
+// per-request deadlines propagated as contexts through every engine
+// superstep, retry with exponential backoff and jitter layered over the
+// fault session's checkpoint/rollback recovery, and a per-engine circuit
+// breaker that routes PageRank-class requests to the honest degraded path
+// while the circuit is open.
+//
+// The serving layer reuses the repo's whole stack unchanged: requests
+// execute through bench.RunResilientCtx, so an injected or genuine fault
+// inside a run is first handled by superstep rollback/replay, then by
+// whole-run restart, and only then surfaces as a request failure that the
+// breaker and the retry loop see.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polymer/internal/bench"
+	"polymer/internal/gen"
+	"polymer/internal/graph"
+	"polymer/internal/numa"
+)
+
+// Config tunes the server; zero fields take the documented defaults.
+type Config struct {
+	// QueueDepth bounds the admission queue (default 64). A full queue
+	// sheds new requests with 429 + Retry-After instead of queueing
+	// unboundedly.
+	QueueDepth int
+	// Workers is the number of concurrent executions (default 4).
+	Workers int
+	// DefaultBudget is the per-request wall-clock budget when the client
+	// sends none (default 30s). The deadline starts at admission.
+	DefaultBudget time.Duration
+	// DrainTimeout bounds graceful drain: in-flight work past the
+	// deadline is cancelled through its context (default 5s).
+	DrainTimeout time.Duration
+	// RetryMax is the default number of whole-run retries after a failed
+	// execution (default 2); each retry waits RetryBase * 2^attempt
+	// +/- 50% deterministic jitter (default base 10ms).
+	RetryMax  int
+	RetryBase time.Duration
+	// RestartMax caps whole-run restarts for setup-time faults inside one
+	// execution attempt (default 3).
+	RestartMax int
+	// BreakerThreshold trips an engine's circuit after that many
+	// consecutive failed executions (default 3); BreakerCooldown is the
+	// open period before a half-open probe (default 2s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Logger receives one structured record per request outcome; nil
+	// discards.
+	Logger *slog.Logger
+	// Now overrides the clock (tests).
+	Now func() time.Time
+	// noWorkers skips spawning the worker pool so tests can exercise
+	// admission and queue mechanics in isolation.
+	noWorkers bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.DefaultBudget <= 0 {
+		c.DefaultBudget = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	if c.RetryMax < 0 {
+		c.RetryMax = 0
+	} else if c.RetryMax == 0 {
+		c.RetryMax = 2
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 10 * time.Millisecond
+	}
+	if c.RestartMax <= 0 {
+		c.RestartMax = 3
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(discardHandler{})
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// discardHandler drops every record (the default logger).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// Response is the wire form of one completed request.
+type Response struct {
+	ID         int64   `json:"id"`
+	System     string  `json:"system"`
+	Algo       string  `json:"algo"`
+	Graph      string  `json:"graph"`
+	Scale      string  `json:"scale"`
+	SimSeconds float64 `json:"sim_seconds"`
+	Checksum   float64 `json:"checksum"`
+	PeakBytes  int64   `json:"peak_bytes"`
+	Rollbacks  int     `json:"rollbacks"`
+	Restarts   int     `json:"restarts"`
+	Attempts   int     `json:"attempts"`
+	Degraded   bool    `json:"degraded"`
+	// LostNode is the simulated node sacrificed on the degraded path.
+	LostNode int     `json:"lost_node,omitempty"`
+	Breaker  string  `json:"breaker,omitempty"`
+	WallMs   float64 `json:"wall_ms"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// outcome pairs a response with its HTTP status.
+type outcome struct {
+	status int
+	resp   Response
+}
+
+// task is one admitted request travelling through the queue.
+type task struct {
+	id     int64
+	v      *resolved
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan outcome // buffered; the worker never blocks on it
+}
+
+// Server owns the admission queue, the worker pool, the per-engine
+// circuit breakers and the graph cache.
+type Server struct {
+	cfg Config
+	log *slog.Logger
+
+	queue    chan *task
+	stop     chan struct{}
+	workers  sync.WaitGroup
+	inflight atomic.Int64 // queued + executing tasks
+	draining atomic.Bool
+	admitMu  sync.RWMutex // submit holds R; Shutdown holds W to flip draining
+	ids      atomic.Int64
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	breakers map[bench.System]*Breaker
+	counters Counters
+
+	graphMu sync.Mutex
+	graphs  map[string]*graph.Graph
+}
+
+// NewServer builds and starts a server (workers spawn immediately).
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	base, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		log:      cfg.Logger,
+		queue:    make(chan *task, cfg.QueueDepth),
+		stop:     make(chan struct{}),
+		baseCtx:  base,
+		cancel:   cancel,
+		breakers: make(map[bench.System]*Breaker),
+		graphs:   make(map[string]*graph.Graph),
+	}
+	for _, sys := range bench.Systems() {
+		s.breakers[sys] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now)
+	}
+	if !cfg.noWorkers {
+		for i := 0; i < cfg.Workers; i++ {
+			s.workers.Add(1)
+			go s.worker()
+		}
+	}
+	return s
+}
+
+// Breaker exposes an engine's circuit (tests and /metricsz).
+func (s *Server) Breaker(sys bench.System) *Breaker { return s.breakers[sys] }
+
+// Counters exposes the service counters.
+func (s *Server) Counters() *Counters { return &s.counters }
+
+// Draining reports whether the server has stopped admitting.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// submit runs admission control: it either enqueues the request and
+// returns its task, or reports why it was refused (shed=true means the
+// queue was full — a 429; draining means a 503). The per-request deadline
+// starts here, at admission, so time spent queued consumes the budget.
+func (s *Server) submit(v *resolved, clientCtx context.Context) (t *task, shed bool, err error) {
+	// The read lock orders this admission against Shutdown's draining
+	// flip: a task enqueued here is visible to the drain loop's in-flight
+	// count, so no request is ever orphaned without a responder.
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	if s.draining.Load() {
+		return nil, false, errors.New("serve: draining, not admitting")
+	}
+	budget := v.budget
+	if budget == 0 {
+		budget = s.cfg.DefaultBudget
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, budget)
+	if clientCtx != nil {
+		// A disconnected client cancels its task so the run stops
+		// charging the sim and frees the worker.
+		context.AfterFunc(clientCtx, cancel)
+	}
+	t = &task{
+		id:     s.ids.Add(1),
+		v:      v,
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan outcome, 1),
+	}
+	s.inflight.Add(1)
+	select {
+	case s.queue <- t:
+		s.counters.Admitted.Add(1)
+		return t, false, nil
+	default:
+		s.inflight.Add(-1)
+		cancel()
+		s.counters.Shed.Add(1)
+		return nil, true, errors.New("serve: queue full")
+	}
+}
+
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case t := <-s.queue:
+			s.execute(t)
+			s.inflight.Add(-1)
+		}
+	}
+}
+
+// ctxErr reports whether err is a context cancellation or expiry.
+func ctxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// execute runs one admitted task to an outcome: full-fidelity result,
+// degraded result, breaker refusal, deadline expiry, cancellation, or
+// failure after retries.
+func (s *Server) execute(t *task) {
+	start := time.Now()
+	defer t.cancel()
+	v := t.v
+	resp := Response{
+		ID:     t.id,
+		System: string(v.sys),
+		Algo:   string(v.alg),
+		Graph:  string(v.data),
+		Scale:  v.req.Scale,
+	}
+	finish := func(status int, out Response) {
+		out.WallMs = float64(time.Since(start).Microseconds()) / 1000
+		out.Breaker = string(s.breakers[v.sys].State())
+		s.log.LogAttrs(context.Background(), slog.LevelInfo, "request",
+			slog.Int64("id", out.ID),
+			slog.String("system", out.System),
+			slog.String("algo", out.Algo),
+			slog.String("graph", out.Graph),
+			slog.Int("status", status),
+			slog.Int("attempts", out.Attempts),
+			slog.Int("rollbacks", out.Rollbacks),
+			slog.Int("restarts", out.Restarts),
+			slog.Bool("degraded", out.Degraded),
+			slog.String("breaker", out.Breaker),
+			slog.Float64("sim_seconds", out.SimSeconds),
+			slog.Float64("wall_ms", out.WallMs),
+			slog.String("error", out.Error),
+		)
+		t.done <- outcome{status: status, resp: out}
+	}
+
+	// Expired or abandoned while queued: answer without burning a run.
+	if err := t.ctx.Err(); err != nil {
+		resp.Error = err.Error()
+		finish(s.recordCtxErr(err), resp)
+		return
+	}
+
+	g, err := s.graphFor(v)
+	if err != nil {
+		resp.Error = err.Error()
+		s.counters.Failed.Add(1)
+		finish(500, resp)
+		return
+	}
+	if int(v.src) >= g.NumVertices() {
+		resp.Error = fmt.Sprintf("source %d outside [0,%d)", v.src, g.NumVertices())
+		s.counters.Failed.Add(1)
+		finish(400, resp)
+		return
+	}
+
+	br := s.breakers[v.sys]
+	admit, probe := br.Allow()
+	if !admit {
+		s.degradedOrRefuse(t, g, resp, finish)
+		return
+	}
+
+	maxRetries := s.cfg.RetryMax
+	if v.req.Retries >= 0 {
+		maxRetries = v.req.Retries
+	}
+	mk := func() *numa.Machine { return numa.NewMachine(v.topo, v.nodes, v.cores) }
+	opt := bench.ResilientOptions{
+		MaxRestarts:    s.cfg.RestartMax,
+		SessionRetries: v.req.SessionRetries,
+		Src:            v.src,
+	}
+	if v.req.Restarts >= 0 {
+		opt.MaxRestarts = v.req.Restarts
+	}
+	var lastErr error
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		if attempt > 0 {
+			s.counters.Retried.Add(1)
+			if !sleepBackoff(t.ctx, s.cfg.RetryBase, attempt, uint64(t.id)) {
+				lastErr = t.ctx.Err()
+				break
+			}
+		}
+		r, rep, err := bench.RunResilientCtx(t.ctx, v.sys, v.alg, g, mk, v.injector(), opt)
+		resp.Attempts = attempt + 1
+		resp.Rollbacks += rep.Rollbacks
+		resp.Restarts += rep.Restarts
+		if err == nil {
+			br.Success()
+			resp.SimSeconds = r.SimSeconds
+			resp.Checksum = r.Checksum
+			resp.PeakBytes = r.PeakBytes
+			s.counters.Completed.Add(1)
+			finish(200, resp)
+			return
+		}
+		lastErr = err
+		if ctxErr(err) {
+			// The client's deadline, not the engine's health: release a
+			// half-open probe without closing or re-opening the circuit.
+			if probe {
+				br.cancelProbe()
+			}
+			resp.Error = err.Error()
+			finish(s.recordCtxErr(err), resp)
+			return
+		}
+		br.Failure()
+		if probe {
+			break // the failed probe re-opened the circuit; stop here
+		}
+	}
+	resp.Error = lastErr.Error()
+	s.counters.Failed.Add(1)
+	finish(500, resp)
+}
+
+// recordCtxErr classifies a context error into the expired/cancelled
+// counters and returns the HTTP status: 504 for a spent budget, 503 for
+// a cancellation (client gone or server draining).
+func (s *Server) recordCtxErr(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.counters.Expired.Add(1)
+		return 504
+	}
+	s.counters.Cancelled.Add(1)
+	return 503
+}
+
+// degradedOrRefuse handles a request whose engine circuit is open:
+// PageRank-class requests are served by the honest degraded path (the run
+// is re-provisioned on a machine that permanently lost a NUMA node, with
+// the migration cost charged), everything else gets 503 + Retry-After.
+func (s *Server) degradedOrRefuse(t *task, g *graph.Graph, resp Response, finish func(int, Response)) {
+	v := t.v
+	if v.alg == bench.PR && v.nodes >= 2 {
+		dr, err := bench.RunPolymerDegraded(g, v.topo, v.nodes, v.cores, 0, 0)
+		if err == nil {
+			resp.Degraded = true
+			resp.LostNode = dr.FailedNode
+			resp.Attempts = 1
+			resp.SimSeconds = dr.Result.SimSeconds
+			resp.Checksum = dr.Result.Checksum
+			resp.PeakBytes = dr.Result.PeakBytes
+			s.counters.Degraded.Add(1)
+			finish(200, resp)
+			return
+		}
+		resp.Error = err.Error()
+		s.counters.Failed.Add(1)
+		finish(500, resp)
+		return
+	}
+	resp.Error = fmt.Sprintf("circuit open for %s", v.sys)
+	s.counters.Broken.Add(1)
+	finish(503, resp)
+}
+
+// cancelProbe releases a half-open probe slot without judging the engine
+// (the probe was cut short by the request's own deadline).
+func (b *Breaker) cancelProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
+// sleepBackoff waits RetryBase * 2^(attempt-1), capped at one second,
+// +/- 50% deterministic jitter derived from (seed, attempt) so retry
+// storms decorrelate without nondeterministic tests. It reports false if
+// the context expired first.
+func sleepBackoff(ctx context.Context, base time.Duration, attempt int, seed uint64) bool {
+	d := base << uint(attempt-1)
+	if d > time.Second {
+		d = time.Second
+	}
+	// splitmix64 finalizer over (seed, attempt) for platform-stable jitter.
+	z := seed + uint64(attempt)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	frac := float64(z%1024) / 1024 // [0,1)
+	jittered := time.Duration(float64(d) * (0.5 + frac))
+	timer := time.NewTimer(jittered)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-timer.C:
+		return true
+	}
+}
+
+// graphFor returns the request's dataset, loading it at most once per
+// (dataset, scale, weighted) key. Graphs are immutable after
+// construction, so concurrent runs share them freely.
+func (s *Server) graphFor(v *resolved) (*graph.Graph, error) {
+	weighted := v.alg.Weighted()
+	key := fmt.Sprintf("%s|%d|%t", v.data, v.scale, weighted)
+	s.graphMu.Lock()
+	defer s.graphMu.Unlock()
+	if g, ok := s.graphs[key]; ok {
+		return g, nil
+	}
+	g, err := gen.Load(v.data, v.scale, weighted)
+	if err != nil {
+		return nil, err
+	}
+	s.graphs[key] = g
+	return g, nil
+}
+
+// Shutdown gracefully drains the server: admission stops immediately
+// (readiness turns unready), queued and in-flight requests get until the
+// drain timeout to finish, then their contexts are cancelled so engine
+// supersteps abort and workers free up. It returns once no work is in
+// flight and all workers have exited, or ctx's error if the caller gave
+// up first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.admitMu.Lock()
+	s.draining.Store(true)
+	s.admitMu.Unlock()
+	deadline := time.NewTimer(s.cfg.DrainTimeout)
+	defer deadline.Stop()
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	forced := false
+	for s.inflight.Load() > 0 {
+		select {
+		case <-deadline.C:
+			if !forced {
+				forced = true
+				s.cancel() // cancel every task context; runs abort at the next superstep
+			}
+		case <-ctx.Done():
+			s.cancel()
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+	close(s.stop)
+	s.workers.Wait()
+	s.cancel()
+	return nil
+}

@@ -1,0 +1,87 @@
+package state
+
+import "testing"
+
+// TestCheckpointRollbackAfterSwap exercises the property the resilience
+// layer depends on: tracking is by backing array, so an algorithm that
+// swaps its current/next slice headers after a step still restores
+// correctly — the checkpoint rewrites the arrays, not the caller's
+// variables.
+func TestCheckpointRollbackAfterSwap(t *testing.T) {
+	curr := []float64{1, 2, 3, 4}
+	next := []float64{0, 0, 0, 0}
+	c := NewCheckpoint()
+	c.TrackF64(curr, next)
+
+	c.Save() // checkpoint the pre-step state
+
+	// One superstep: write next from curr, then swap the headers the way
+	// PageRank-style double buffering does.
+	for i := range next {
+		next[i] = curr[i] * 10
+	}
+	curr, next = next, curr
+
+	// A fault: roll back. Both arrays must read as they did at Save time,
+	// regardless of which header now points at which array.
+	c.Restore()
+	// curr points at the array tracked as "next" (all zeros at Save);
+	// next points at the array tracked as "curr" (1..4 at Save).
+	for i, want := range []float64{0, 0, 0, 0} {
+		if curr[i] != want {
+			t.Fatalf("after rollback curr[%d] = %v, want %v", i, curr[i], want)
+		}
+	}
+	for i, want := range []float64{1, 2, 3, 4} {
+		if next[i] != want {
+			t.Fatalf("after rollback next[%d] = %v, want %v", i, next[i], want)
+		}
+	}
+
+	// Replay the step and roll back again: a double rollback must be
+	// deterministic — the save buffers are not consumed by Restore.
+	curr, next = next, curr // undo the swap the rollback logically reverted
+	for i := range next {
+		next[i] = curr[i] * 10
+	}
+	curr, next = next, curr
+	firstReplay := append([]float64(nil), curr...)
+
+	c.Restore()
+	for i, want := range []float64{1, 2, 3, 4} {
+		if next[i] != want {
+			t.Fatalf("after second rollback next[%d] = %v, want %v", i, next[i], want)
+		}
+	}
+	curr, next = next, curr
+	for i := range next {
+		next[i] = curr[i] * 10
+	}
+	curr, next = next, curr
+	for i := range curr {
+		if curr[i] != firstReplay[i] {
+			t.Fatalf("second replay diverged at %d: %v vs %v", i, curr[i], firstReplay[i])
+		}
+	}
+}
+
+// TestCheckpointRestoreIdempotent: consecutive restores with no
+// intervening writes are no-ops.
+func TestCheckpointRestoreIdempotent(t *testing.T) {
+	xs := []uint32{7, 8, 9}
+	c := NewCheckpoint()
+	c.TrackU32(xs)
+	c.Save()
+	xs[0], xs[1], xs[2] = 1, 2, 3
+	c.Restore()
+	first := append([]uint32(nil), xs...)
+	c.Restore()
+	for i := range xs {
+		if xs[i] != first[i] {
+			t.Fatalf("second restore changed xs[%d]: %v vs %v", i, xs[i], first[i])
+		}
+	}
+	if xs[0] != 7 || xs[1] != 8 || xs[2] != 9 {
+		t.Fatalf("restore lost data: %v", xs)
+	}
+}

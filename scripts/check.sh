@@ -13,14 +13,15 @@ go vet ./...
 echo "==> errcheck (error-returning APIs in statement position)"
 sh scripts/errcheck.sh
 
-echo "==> go test -race (engines, core, state, par, fault, numa)"
+echo "==> go test -race (engines, core, state, par, fault, numa, serve)"
 go test -race \
 	./internal/core/... \
 	./internal/engines/... \
 	./internal/state/... \
 	./internal/par/... \
 	./internal/fault/... \
-	./internal/numa/...
+	./internal/numa/... \
+	./internal/serve/...
 
 echo "==> go test -race fault matrix (rollback/replay across all engines)"
 go test -race -run 'TestFaultMatrix|TestPolymerDegraded|TestResilientRanks' .
