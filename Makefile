@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test check bench trace
 
 build:
 	$(GO) build ./...
@@ -17,3 +17,8 @@ check:
 # Host wall-clock hot-path benchmarks (compare against BENCH_baseline.json).
 bench:
 	$(GO) test -bench HotPath -benchmem -benchtime 20x -count 3 -run '^$$' .
+
+# Traced PageRank run: per-superstep breakdown on stdout, Chrome trace
+# JSON in trace.json (open in https://ui.perfetto.dev or chrome://tracing).
+trace:
+	$(GO) run ./cmd/polymer -algo pr -graph powerlaw -scale small -trace trace.json -breakdown

@@ -8,20 +8,52 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"polymer/internal/bench"
 	"polymer/internal/numa"
+	"polymer/internal/obs"
 )
 
 func main() {
 	sockets := flag.Int("sockets", 8, "sockets for the barrier study")
 	cores := flag.Int("cores", 4, "goroutines per socket for the measured barrier study")
 	rounds := flag.Int("rounds", 200, "barrier rounds to average over")
+	traceFlag := flag.String("trace", "", "write the microbenchmark sweep as Chrome trace_event JSON and print its traffic breakdown")
 	flag.Parse()
 
 	for _, topo := range []*numa.Topology{numa.IntelXeon80(), numa.AMDOpteron64()} {
 		fmt.Println(bench.FormatLatencyTable(topo, bench.LatencyTable(topo)))
 		fmt.Println(bench.FormatBandwidthTable(topo, bench.BandwidthTable(topo)))
+		if *traceFlag != "" {
+			// One sweep per topology through the shared event schema: the
+			// same sinks that consume engine supersteps consume these cells.
+			chrome := obs.NewChrome()
+			bd := obs.NewBreakdown()
+			bench.TraceMicro(topo, obs.New(obs.Multi{chrome, bd}))
+			fmt.Printf("traffic breakdown — %s\n%s\n", topo.Name, bd.Format())
+			out := *traceFlag
+			if topo.Name != numa.IntelXeon80().Name {
+				out = out + "." + topo.Name
+			}
+			f, err := os.Create(out)
+			if err != nil {
+				fail("%v", err)
+			}
+			if err := chrome.Export(f); err != nil {
+				f.Close()
+				fail("writing trace: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				fail("writing trace: %v", err)
+			}
+			fmt.Printf("trace: %d events -> %s\n\n", chrome.Len(), out)
+		}
 	}
 	fmt.Println(bench.FormatBarrierStudy(bench.BarrierStudy(*sockets, *cores, *rounds)))
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "numabench: "+format+"\n", args...)
+	os.Exit(1)
 }

@@ -9,9 +9,11 @@
 //	polymer -algo sssp -file my-graph.txt -src 42
 //	polymer -algo pr -graph powerlaw -scale tiny -fault "panic@2:t3,offline@1:n1"
 //	polymer -algo pr -graph powerlaw -scale tiny -fault-seed 7
+//	polymer -algo pr -graph powerlaw -scale tiny -trace trace.json -breakdown
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +26,7 @@ import (
 	"polymer/internal/gen"
 	"polymer/internal/graph"
 	"polymer/internal/numa"
+	"polymer/internal/obs"
 )
 
 func main() {
@@ -36,7 +39,9 @@ func main() {
 	socketsFlag := flag.Int("sockets", 0, "sockets to use (0 = all)")
 	coresFlag := flag.Int("cores", 0, "cores per socket (0 = all)")
 	srcFlag := flag.Uint("src", 0, "source vertex for bfs/sssp")
-	traceFlag := flag.Bool("trace", false, "print the per-phase execution trace (polymer only)")
+	phasesFlag := flag.Bool("phases", false, "print the per-phase execution trace (polymer only)")
+	traceFlag := flag.String("trace", "", "write a Chrome trace_event JSON file (open in Perfetto or chrome://tracing)")
+	breakdownFlag := flag.Bool("breakdown", false, "print the per-superstep NUMA traffic breakdown")
 	faultFlag := flag.String("fault", "", "inject a fault spec, e.g. panic@2:t3,stall@1:t0,offline@1:n1,link@3:n0-n1*0.25,alloc@-1")
 	faultSeedFlag := flag.Uint64("fault-seed", 0, "generate a deterministic fault schedule from this seed (overridden by -fault)")
 	faultRetriesFlag := flag.Int("fault-retries", 3, "whole-run restarts allowed for setup-time faults")
@@ -120,6 +125,26 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	// The trace flags share one tracer: every sink sees the same event
+	// stream, so -trace and -breakdown compose.
+	var (
+		chrome *obs.Chrome
+		bd     *obs.Breakdown
+		sinks  obs.Multi
+	)
+	if *traceFlag != "" {
+		chrome = obs.NewChrome()
+		sinks = append(sinks, chrome)
+	}
+	if *breakdownFlag {
+		bd = obs.NewBreakdown()
+		sinks = append(sinks, bd)
+	}
+	var tr *obs.Tracer
+	if len(sinks) > 0 {
+		tr = obs.New(sinks)
+	}
+
 	wall := time.Now()
 	var (
 		r      bench.RunResult
@@ -139,8 +164,9 @@ func main() {
 		}
 		inj := fault.NewInjector(evs)
 		mk := func() *numa.Machine { return numa.NewMachine(topo, sockets, cores) }
+		opt := bench.ResilientOptions{MaxRestarts: *faultRetriesFlag, SessionRetries: -1, Src: src, Tracer: tr}
 		var rr bench.ResilienceReport
-		r, rr, err = bench.RunResilientFrom(sys, alg, g, mk, inj, *faultRetriesFlag, src)
+		r, rr, err = bench.RunResilientCtx(context.Background(), sys, alg, g, mk, inj, opt)
 		if err != nil {
 			// The report still records every rollback and restart attempted
 			// before the retry budget ran out — print it so a failed run is
@@ -149,10 +175,10 @@ func main() {
 			fail("%v", err)
 		}
 		rep = &rr
-	case *traceFlag && sys == bench.Polymer:
+	case *phasesFlag && sys == bench.Polymer:
 		r, phases = bench.RunPolymerTraced(alg, g, m, src)
 	default:
-		r = bench.RunFrom(sys, alg, g, m, src)
+		r = bench.RunWithTracer(sys, alg, g, m, src, tr)
 	}
 	elapsed := time.Since(wall)
 
@@ -170,6 +196,23 @@ func main() {
 	fmt.Printf("checksum   : %g\n", r.Checksum)
 	if rep != nil {
 		fmt.Printf("\n%s", rep.Format())
+	}
+	if bd != nil {
+		fmt.Printf("\n%s", bd.Format())
+	}
+	if chrome != nil {
+		f, ferr := os.Create(*traceFlag)
+		if ferr != nil {
+			fail("%v", ferr)
+		}
+		if err := chrome.Export(f); err != nil {
+			f.Close()
+			fail("writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("writing trace: %v", err)
+		}
+		fmt.Printf("trace      : %d events -> %s (load in Perfetto or chrome://tracing)\n", chrome.Len(), *traceFlag)
 	}
 	if len(phases) > 0 {
 		fmt.Printf("\n%-4s %-10s %-7s %-6s %12s %14s\n", "#", "phase", "repr", "dir", "active-in", "sim (usec)")

@@ -11,6 +11,7 @@
 //	curl -s localhost:8080/run -d '{"algo":"pr","system":"polymer","graph":"powerlaw","scale":"tiny"}'
 //	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/metricsz
+//	curl -s localhost:8080/debugz/trace   # flight recorder dump
 package main
 
 import (
@@ -20,11 +21,13 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"polymer/internal/obs"
 	"polymer/internal/serve"
 )
 
@@ -37,9 +40,23 @@ func main() {
 	retriesFlag := flag.Int("retries", 2, "default whole-run retries per request")
 	breakerFlag := flag.Int("breaker-threshold", 3, "consecutive failures that trip an engine's circuit")
 	cooldownFlag := flag.Duration("breaker-cooldown", 2*time.Second, "open-circuit period before a half-open probe")
+	cacheFlag := flag.Int64("graph-cache-bytes", 0, "graph cache budget in topology bytes (0 = 1 GiB default, negative = unbounded)")
+	traceReqFlag := flag.Int("trace-requests", 256, "flight recorder: last N request spans kept for /debugz/trace (0 disables the recorder with -trace-steps 0)")
+	traceStepFlag := flag.Int("trace-steps", 4096, "flight recorder: last N engine/fault events kept for /debugz/trace")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	// The flight recorder is the server's always-on trace sink: fixed-size
+	// rings, so steady-state overhead is bounded regardless of uptime.
+	var (
+		rec *obs.Recorder
+		tr  *obs.Tracer
+	)
+	if *traceReqFlag > 0 || *traceStepFlag > 0 {
+		rec = obs.NewRecorder(*traceReqFlag, *traceStepFlag)
+		tr = obs.New(rec)
+	}
 	srv := serve.NewServer(serve.Config{
 		QueueDepth:       *queueFlag,
 		Workers:          *workersFlag,
@@ -48,10 +65,26 @@ func main() {
 		RetryMax:         *retriesFlag,
 		BreakerThreshold: *breakerFlag,
 		BreakerCooldown:  *cooldownFlag,
+		GraphCacheBytes:  *cacheFlag,
+		Tracer:           tr,
+		Recorder:         rec,
 		Logger:           logger,
 	})
 
-	httpSrv := &http.Server{Addr: *addrFlag, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofFlag {
+		// The service mux uses strict method patterns, so mount pprof on a
+		// wrapper mux rather than relying on the DefaultServeMux side effects.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	httpSrv := &http.Server{Addr: *addrFlag, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() {
 		logger.Info("polymerd listening", slog.String("addr", *addrFlag))

@@ -11,6 +11,7 @@ import (
 	"polymer/internal/engines/xstream"
 	"polymer/internal/fault"
 	"polymer/internal/graph"
+	"polymer/internal/obs"
 	"polymer/internal/sg"
 	"polymer/internal/state"
 )
@@ -60,6 +61,9 @@ func pageRankRun(e sg.Engine, iters int, damping float64, init []float64, sess *
 		sess.TrackF64(curr, next)
 	}
 	for it := 0; it < iters; it++ {
+		// Span the step only once it commits: a rolled-back attempt is
+		// re-measured by the replay, so the emitted charge stays clean.
+		sp := obs.BeginStep(e, it)
 		err := fault.Step(sess, it, func() error {
 			edgeMap(e, all, k, prHints)
 			if err := e.Err(); err != nil {
@@ -78,6 +82,7 @@ func pageRankRun(e sg.Engine, iters int, damping float64, init []float64, sess *
 		if err != nil {
 			return nil, err
 		}
+		sp.End()
 		// Swap only after the step committed, so a replay reruns over the
 		// same input buffer.
 		k.curr, k.next = k.next, k.curr
@@ -103,6 +108,7 @@ func SpMVE(e sg.Engine, iters int, x0 []float64, sess *fault.Session) ([]float64
 		sess.TrackF64(k.x, k.y)
 	}
 	for it := 0; it < iters; it++ {
+		sp := obs.BeginStep(e, it)
 		err := fault.Step(sess, it, func() error {
 			edgeMap(e, all, k, spmvHints)
 			if err := e.Err(); err != nil {
@@ -120,6 +126,7 @@ func SpMVE(e sg.Engine, iters int, x0 []float64, sess *fault.Session) ([]float64
 		if err != nil {
 			return nil, err
 		}
+		sp.End()
 		k.x, k.y = k.y, k.x
 	}
 	out := make([]float64, n)
@@ -146,6 +153,7 @@ func BPE(e sg.Engine, iters int, sess *fault.Session) ([]float64, error) {
 		sess.TrackF64(k.curr, k.acc)
 	}
 	for it := 0; it < iters; it++ {
+		sp := obs.BeginStep(e, it)
 		err := fault.Step(sess, it, func() error {
 			edgeMap(e, all, k, bpHints)
 			if err := e.Err(); err != nil {
@@ -164,6 +172,7 @@ func BPE(e sg.Engine, iters int, sess *fault.Session) ([]float64, error) {
 		if err != nil {
 			return nil, err
 		}
+		sp.End()
 		k.curr, k.acc = k.acc, k.curr
 	}
 	out := make([]float64, n)
@@ -202,6 +211,7 @@ func BFSE(e sg.Engine, src graph.Vertex, sess *fault.Session) ([]int64, error) {
 	wd := fault.Watchdog{MaxSteps: n + 1}
 	for level := int64(1); !frontier.IsEmpty(); level++ {
 		var nf *state.Subset
+		sp := obs.BeginStep(e, int(level-1))
 		err := fault.Step(sess, int(level-1), func() error {
 			nf = edgeMap(e, frontier, k, bfsHints)
 			return e.Err()
@@ -209,6 +219,7 @@ func BFSE(e sg.Engine, src graph.Vertex, sess *fault.Session) ([]int64, error) {
 		if err != nil {
 			return nil, err
 		}
+		sp.End()
 		// Adopt the new frontier only after the step committed.
 		frontier = nf
 		frontier.ForEach(func(v graph.Vertex) { levels[v] = level })

@@ -2,6 +2,7 @@ package algorithms
 
 import (
 	"polymer/internal/graph"
+	"polymer/internal/obs"
 	"polymer/internal/sg"
 	"polymer/internal/state"
 )
@@ -59,8 +60,10 @@ func CC(e sg.Engine) []graph.Vertex {
 		k.labels[v] = uint32(v)
 	}
 	frontier := state.NewAll(e.Bounds())
-	for !frontier.IsEmpty() {
+	for step := 0; !frontier.IsEmpty(); step++ {
+		sp := obs.BeginStep(e, step)
 		frontier = edgeMap(e, frontier, k, ccHints)
+		sp.End()
 	}
 	out := make([]graph.Vertex, n)
 	copy(out, k.labels)
@@ -82,8 +85,10 @@ func SSSP(e sg.Engine, src graph.Vertex) []float64 {
 	}
 	k.dist[src] = 0
 	frontier := state.NewSingle(e.Bounds(), src)
-	for !frontier.IsEmpty() {
+	for step := 0; !frontier.IsEmpty(); step++ {
+		sp := obs.BeginStep(e, step)
 		frontier = edgeMap(e, frontier, k, ssspHints)
+		sp.End()
 	}
 	out := make([]float64, n)
 	copy(out, k.dist)

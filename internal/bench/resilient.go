@@ -13,6 +13,7 @@ import (
 	"polymer/internal/fault"
 	"polymer/internal/graph"
 	"polymer/internal/numa"
+	"polymer/internal/obs"
 	"polymer/internal/partition"
 	"polymer/internal/sg"
 )
@@ -64,6 +65,9 @@ type ResilientOptions struct {
 	SessionRetries int
 	// Src is the traversal source for BFS.
 	Src graph.Vertex
+	// Tracer, when non-nil, is installed on the engine of every attempt,
+	// so the flight recorder sees checkpoints, rollbacks and replays too.
+	Tracer *obs.Tracer
 }
 
 // RunResilientCtx is the resilient runner under a cancellation context:
@@ -118,20 +122,22 @@ func runResilientOnce(ctx context.Context, sys System, alg Algo, g *graph.Graph,
 		case Polymer, Ligra:
 			var e sg.Engine
 			if sys == Polymer {
-				opt := core.DefaultOptions()
+				copt := core.DefaultOptions()
 				if alg.iterated() {
-					opt.Mode = core.Push
+					copt.Mode = core.Push
 				}
-				ce, err := core.New(g, m, opt)
+				ce, err := core.New(g, m, copt)
 				if err != nil {
 					return err
 				}
+				ce.SetTracer(opt.Tracer)
 				e = ce
 			} else {
 				le, err := ligra.New(g, m, ligra.DefaultOptions())
 				if err != nil {
 					return err
 				}
+				le.SetTracer(opt.Tracer)
 				e = le
 			}
 			defer e.Close()
@@ -179,6 +185,7 @@ func runResilientOnce(ctx context.Context, sys System, alg Algo, g *graph.Graph,
 				return err
 			}
 			defer e.Close()
+			e.SetTracer(opt.Tracer)
 			e.SetContext(ctx)
 			sess := newSession(e, inj, opt.SessionRetries)
 			ranks, err := algorithms.XSPageRankE(e, defaultIters, defaultDamping, sess)
@@ -198,6 +205,7 @@ func runResilientOnce(ctx context.Context, sys System, alg Algo, g *graph.Graph,
 				return err
 			}
 			defer e.Close()
+			e.SetTracer(opt.Tracer)
 			e.SetContext(ctx)
 			sess := newSession(e, inj, opt.SessionRetries)
 			ranks, err := e.PageRankE(defaultIters, defaultDamping, sess)

@@ -19,6 +19,7 @@ import (
 	"polymer/internal/gen"
 	"polymer/internal/graph"
 	"polymer/internal/numa"
+	"polymer/internal/obs"
 	"polymer/internal/sg"
 )
 
@@ -92,6 +93,13 @@ func Run(sys System, alg Algo, g *graph.Graph, m *numa.Machine) RunResult {
 
 // RunFrom is Run with an explicit source vertex for BFS and SSSP.
 func RunFrom(sys System, alg Algo, g *graph.Graph, m *numa.Machine, src graph.Vertex) RunResult {
+	return RunWithTracer(sys, alg, g, m, src, nil)
+}
+
+// RunWithTracer is RunFrom with an obs tracer installed on the engine
+// before the run; tr == nil is exactly RunFrom (tracing disabled). A
+// traced run's simulated output is bit-identical to an untraced one.
+func RunWithTracer(sys System, alg Algo, g *graph.Graph, m *numa.Machine, src graph.Vertex, tr *obs.Tracer) RunResult {
 	if alg == CC {
 		g = g.Symmetrized()
 	}
@@ -104,9 +112,13 @@ func RunFrom(sys System, alg Algo, g *graph.Graph, m *numa.Machine, src graph.Ve
 			if alg.iterated() {
 				opt.Mode = core.Push
 			}
-			e = core.MustNew(g, m, opt)
+			ce := core.MustNew(g, m, opt)
+			ce.SetTracer(tr)
+			e = ce
 		} else {
-			e = ligra.MustNew(g, m, ligra.DefaultOptions())
+			le := ligra.MustNew(g, m, ligra.DefaultOptions())
+			le.SetTracer(tr)
+			e = le
 		}
 		r.Checksum = runSG(e, alg, src)
 		r.SimSeconds = e.SimSeconds()
@@ -118,6 +130,7 @@ func RunFrom(sys System, alg Algo, g *graph.Graph, m *numa.Machine, src graph.Ve
 	case XStream:
 		h := xsHints(alg)
 		e := xstream.MustNew(g, m, xstream.DefaultOptions(), h)
+		e.SetTracer(tr)
 		r.Checksum = runXS(e, alg, src)
 		r.SimSeconds = e.SimSeconds()
 		r.Stats = e.RunStats()
@@ -125,6 +138,7 @@ func RunFrom(sys System, alg Algo, g *graph.Graph, m *numa.Machine, src graph.Ve
 		e.Close()
 	case Galois:
 		e := galois.MustNew(g, m, galois.DefaultOptions())
+		e.SetTracer(tr)
 		r.Checksum = runGalois(e, alg, src)
 		r.SimSeconds = e.SimSeconds()
 		r.Stats = e.RunStats()

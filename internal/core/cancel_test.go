@@ -24,7 +24,7 @@ func (k *cancelKernel) Update(s, d graph.Vertex, w float32) bool {
 	return true
 }
 func (k *cancelKernel) UpdateAtomic(s, d graph.Vertex, w float32) bool { return k.Update(s, d, w) }
-func (k *cancelKernel) Cond(graph.Vertex) bool                        { return true }
+func (k *cancelKernel) Cond(graph.Vertex) bool                         { return true }
 
 func TestCancelledContextSkipsPhaseEntirely(t *testing.T) {
 	n, edges := gen.Powerlaw(600, 6, 2.0, 11)

@@ -32,6 +32,7 @@ import (
 	"polymer/internal/graph"
 	"polymer/internal/mem"
 	"polymer/internal/numa"
+	"polymer/internal/obs"
 	"polymer/internal/par"
 	"polymer/internal/partition"
 	"polymer/internal/sg"
@@ -152,6 +153,7 @@ type Engine struct {
 	pull *layout // lazily built; keyed by target, columns are local sources
 
 	trace []PhaseRecord
+	tr    *obs.Tracer // nil = tracing disabled
 
 	arrays    []interface{ Free() }
 	topoBytes int64
@@ -416,7 +418,28 @@ func (e *Engine) RestoreSim() {
 // Trace returns the recorded phase history (empty unless Options.Trace).
 func (e *Engine) Trace() []PhaseRecord { return e.trace }
 
+// SetTracer installs (nil removes) the obs tracer. Phase events are
+// stamped with the simulated clock; the worker pool additionally emits
+// host-lane dispatch spans.
+func (e *Engine) SetTracer(tr *obs.Tracer) {
+	e.tr = tr
+	e.pool.SetTracer(tr)
+}
+
+// Tracer, TraceCat and TrafficSnapshot make the engine an obs.SimSource,
+// so algorithm drivers can wrap its superstep loops in obs.BeginStep/End.
+func (e *Engine) Tracer() *obs.Tracer { return e.tr }
+
+// TraceCat returns the engine's obs event category.
+func (e *Engine) TraceCat() string { return "polymer" }
+
+// TrafficSnapshot copies the cumulative classified run traffic into dst.
+func (e *Engine) TrafficSnapshot(dst *numa.TrafficMatrix) { e.ledger.Traffic(dst) }
+
 func (e *Engine) recordPhase(kind string, dense, push bool, activeIn int64, seconds float64) {
+	if e.tr != nil {
+		e.tr.Phase("polymer", kind, dense, push, activeIn, e.clock-seconds, seconds)
+	}
 	if !e.opt.Trace {
 		return
 	}

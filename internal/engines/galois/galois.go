@@ -25,6 +25,7 @@ import (
 	"polymer/internal/fault"
 	"polymer/internal/graph"
 	"polymer/internal/numa"
+	"polymer/internal/obs"
 	"polymer/internal/par"
 )
 
@@ -61,6 +62,9 @@ type Engine struct {
 	err  error           // first execution failure
 	ctx  context.Context // optional cancellation; nil means background
 	snap *simSnapshot    // SnapshotSim/RestoreSim slot
+
+	tr    *obs.Tracer // nil = tracing disabled
+	round int         // committed round count, for superstep numbering
 
 	// Round-scoped scratch, reset between parallel rounds so steady-state
 	// iterations reuse the epoch, counters and worklist buffers instead of
@@ -158,6 +162,7 @@ type simSnapshot struct {
 	clock  float64
 	ledger *numa.Epoch
 	edges  int64
+	round  int
 }
 
 // SnapshotSim saves the simulated clock, ledger and edge counter so a
@@ -169,6 +174,7 @@ func (e *Engine) SnapshotSim() {
 	e.snap.clock = e.clock
 	e.snap.ledger.CopyFrom(e.ledger)
 	e.snap.edges = e.edges.Load()
+	e.snap.round = e.round
 }
 
 // RestoreSim restores the state captured by the last SnapshotSim.
@@ -179,7 +185,28 @@ func (e *Engine) RestoreSim() {
 	e.clock = e.snap.clock
 	e.ledger.CopyFrom(e.snap.ledger)
 	e.edges.Store(e.snap.edges)
+	e.round = e.snap.round
 }
+
+// SetTracer installs (nil removes) the obs tracer. Every charged round
+// then emits one superstep event with its traffic attribution; the worker
+// pool emits host-lane dispatch spans.
+func (e *Engine) SetTracer(tr *obs.Tracer) {
+	e.tr = tr
+	e.pool.SetTracer(tr)
+}
+
+// Tracer, TraceCat and TrafficSnapshot make the engine an obs.SimSource.
+// Galois owns its round loops (the unit of superstep here is one charged
+// round), so it emits superstep events itself — drivers must not wrap its
+// algorithm entry points in obs.BeginStep.
+func (e *Engine) Tracer() *obs.Tracer { return e.tr }
+
+// TraceCat returns the engine's obs event category.
+func (e *Engine) TraceCat() string { return "galois" }
+
+// TrafficSnapshot copies the cumulative classified run traffic into dst.
+func (e *Engine) TrafficSnapshot(dst *numa.TrafficMatrix) { e.ledger.Traffic(dst) }
 
 // Graph returns the input graph.
 func (e *Engine) Graph() *graph.Graph { return e.g }
@@ -268,9 +295,18 @@ func (e *Engine) chargeRound(ep *numa.Epoch, cnt *counters, dataBytes int, syncK
 		ep.AccessInterleaved(th, numa.Rand, numa.Store, perTasks, dataBytes, n*int64(dataBytes))
 		ep.Compute(th, (float64(perEdges)*e.opt.OverheadNsPerEdge+float64(perTasks)*e.opt.NsPerTask)*1e-9)
 	}
-	e.clock += ep.Time() + barrier.SyncCost(syncKind, e.m.Nodes)/e.m.Topo.SyncScale
+	dur := ep.Time() + barrier.SyncCost(syncKind, e.m.Nodes)/e.m.Topo.SyncScale
+	e.clock += dur
 	e.ledger.Add(ep)
 	e.edges.Add(edges)
+	if e.tr != nil {
+		// The round epoch is exactly this superstep's charge, so its
+		// classified traffic is the delta — no cumulative snapshot needed.
+		tm := &numa.TrafficMatrix{}
+		ep.Traffic(tm)
+		e.tr.Superstep("galois", e.round, e.clock-dur, dur, tm)
+	}
+	e.round++
 }
 
 // beginRound resets and hands out the round-scoped epoch and counters.

@@ -23,6 +23,7 @@ import (
 	"polymer/internal/graph"
 	"polymer/internal/mem"
 	"polymer/internal/numa"
+	"polymer/internal/obs"
 	"polymer/internal/par"
 	"polymer/internal/sg"
 	"polymer/internal/state"
@@ -61,6 +62,7 @@ type Engine struct {
 	err  error           // first execution failure
 	ctx  context.Context // optional cancellation; nil means background
 	snap *simSnapshot    // SnapshotSim/RestoreSim slot
+	tr   *obs.Tracer     // nil = tracing disabled
 
 	scr      *scratch
 	degreeOf func(v uint32) int64
@@ -256,12 +258,33 @@ func (e *Engine) RestoreSim() {
 	e.edges.Store(e.snap.edges)
 }
 
-func (e *Engine) chargePhase(ep *numa.Epoch) {
+func (e *Engine) chargePhase(ep *numa.Epoch, kind string, dense, push bool, active int64) {
 	// Ligra's Cilk-style fork/join behaves like a tree (hierarchical)
 	// barrier.
-	e.clock += ep.Time() + barrier.SyncCost(barrier.H, e.m.Nodes)/e.m.Topo.SyncScale
+	dur := ep.Time() + barrier.SyncCost(barrier.H, e.m.Nodes)/e.m.Topo.SyncScale
+	e.clock += dur
 	e.ledger.Add(ep)
+	if e.tr != nil {
+		e.tr.Phase("ligra", kind, dense, push, active, e.clock-dur, dur)
+	}
 }
+
+// SetTracer installs (nil removes) the obs tracer; phase events are
+// stamped with the simulated clock, and the worker pool emits host-lane
+// dispatch spans.
+func (e *Engine) SetTracer(tr *obs.Tracer) {
+	e.tr = tr
+	e.pool.SetTracer(tr)
+}
+
+// Tracer, TraceCat and TrafficSnapshot make the engine an obs.SimSource.
+func (e *Engine) Tracer() *obs.Tracer { return e.tr }
+
+// TraceCat returns the engine's obs event category.
+func (e *Engine) TraceCat() string { return "ligra" }
+
+// TrafficSnapshot copies the cumulative classified run traffic into dst.
+func (e *Engine) TrafficSnapshot(dst *numa.TrafficMatrix) { e.ledger.Traffic(dst) }
 
 func (e *Engine) addEdges(n int64) {
 	e.edges.Add(n)
@@ -411,7 +434,7 @@ func edgeMapDensePush[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hin
 		ep.Compute(th, (float64(edges)*(h.NsPerEdge+e.opt.OverheadNsPerEdge)+float64(scanned)*2)*1e-9)
 	}
 	e.addEdges(pc.total(2))
-	e.chargePhase(ep)
+	e.chargePhase(ep, "edgemap", true, true, a.Count())
 	if !collect {
 		return state.NewEmpty(e.bounds)
 	}
@@ -487,7 +510,7 @@ func edgeMapDensePull[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hin
 		ep.Compute(th, (float64(edges)*(h.NsPerEdge+e.opt.OverheadNsPerEdge)+float64(scanned)*2)*1e-9)
 	}
 	e.addEdges(pc.total(2))
-	e.chargePhase(ep)
+	e.chargePhase(ep, "edgemap", true, false, a.Count())
 	if !collect {
 		return state.NewEmpty(e.bounds)
 	}
@@ -554,7 +577,7 @@ func edgeMapSparse[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hints)
 		ep.Compute(th, (float64(edges)*(h.NsPerEdge+e.opt.OverheadNsPerEdge)+float64(active)*2)*1e-9)
 	}
 	e.addEdges(pc.total(2))
-	e.chargePhase(ep)
+	e.chargePhase(ep, "edgemap", false, true, a.Count())
 	if !collect {
 		return state.NewEmpty(e.bounds)
 	}
@@ -615,7 +638,7 @@ func (e *Engine) VertexMap(a *state.Subset, f sg.VertexFunc) *state.Subset {
 	if e.err != nil {
 		return state.NewEmpty(e.bounds)
 	}
-	e.chargePhase(ep)
+	e.chargePhase(ep, "vertexmap", a.Dense(), false, a.Count())
 	return b.Build()
 }
 
@@ -625,4 +648,3 @@ func edgeBytes(h sg.Hints) int {
 	}
 	return 4
 }
-

@@ -22,6 +22,7 @@ import (
 	"polymer/internal/graph"
 	"polymer/internal/mem"
 	"polymer/internal/numa"
+	"polymer/internal/obs"
 	"polymer/internal/par"
 	"polymer/internal/sg"
 )
@@ -87,6 +88,9 @@ type Engine struct {
 	err  error           // first execution failure
 	ctx  context.Context // optional cancellation; nil means background
 	snap *simSnapshot    // SnapshotSim/RestoreSim slot
+
+	tr    *obs.Tracer // nil = tracing disabled
+	round int         // committed Iterate count, for superstep numbering
 
 	// Iteration-scoped scratch: the phase epoch is reset (after each fold
 	// into the ledger) rather than reallocated, the shuffle buffers keep
@@ -154,6 +158,7 @@ type simSnapshot struct {
 	edges   int64
 	active  []uint64
 	nActive int64
+	round   int
 }
 
 // Err returns the first execution failure, or nil. After a failure,
@@ -208,6 +213,7 @@ func (e *Engine) SnapshotSim() {
 	e.snap.edges = e.edges.Load()
 	copy(e.snap.active, e.active)
 	e.snap.nActive = e.nActive
+	e.snap.round = e.round
 }
 
 // RestoreSim rolls the simulated-time state and active set back to the
@@ -221,6 +227,33 @@ func (e *Engine) RestoreSim() {
 	e.edges.Store(e.snap.edges)
 	copy(e.active, e.snap.active)
 	e.nActive = e.snap.nActive
+	e.round = e.snap.round
+}
+
+// SetTracer installs (nil removes) the obs tracer. Iterate then emits
+// scatter/shuffle/gather/apply phase spans and one superstep event per
+// committed iteration; the worker pool emits host-lane dispatch spans.
+func (e *Engine) SetTracer(tr *obs.Tracer) {
+	e.tr = tr
+	e.pool.SetTracer(tr)
+}
+
+// Tracer, TraceCat and TrafficSnapshot make the engine an obs.SimSource.
+// X-Stream owns its superstep loop, so it emits superstep events itself —
+// drivers must not additionally wrap Iterate in obs.BeginStep.
+func (e *Engine) Tracer() *obs.Tracer { return e.tr }
+
+// TraceCat returns the engine's obs event category.
+func (e *Engine) TraceCat() string { return "xstream" }
+
+// TrafficSnapshot copies the cumulative classified run traffic into dst.
+func (e *Engine) TrafficSnapshot(dst *numa.TrafficMatrix) { e.ledger.Traffic(dst) }
+
+// notePhase emits one phase span ending at the current clock.
+func (e *Engine) notePhase(kind string, active int64, dur float64) {
+	if e.tr != nil {
+		e.tr.Phase("xstream", kind, false, true, active, e.clock-dur, dur)
+	}
 }
 
 func (e *Engine) buildTiles(tileVerts int) {
@@ -352,6 +385,13 @@ func (e *Engine) Iterate(k Kernel, apply Applier) int64 {
 	}
 	nTiles := len(e.tiles)
 	threads := e.m.Threads()
+	simStart := e.clock
+	activeIn := e.nActive
+	var startTM *numa.TrafficMatrix
+	if e.tr != nil {
+		startTM = &numa.TrafficMatrix{}
+		e.ledger.Traffic(startTM)
+	}
 	ep := e.scrEp
 	ep.Reset()
 
@@ -419,8 +459,10 @@ func (e *Engine) Iterate(k Kernel, apply Applier) int64 {
 		ep.Compute(th, float64(scanned)*(e.opt.OverheadNsPerEdge)*1e-9)
 	}
 	e.addEdges(scannedT)
-	e.clock += ep.Time() + barrier.SyncCost(barrier.H, e.m.Nodes)/e.m.Topo.SyncScale
+	scatterDur := ep.Time() + barrier.SyncCost(barrier.H, e.m.Nodes)/e.m.Topo.SyncScale
+	e.clock += scatterDur
 	e.ledger.Add(ep)
+	e.notePhase("scatter", activeIn, scatterDur)
 	ep.Reset() // shuffle phase reuses the same epoch
 
 	// Shuffle accounting: every update is read from Uout and written to
@@ -448,8 +490,10 @@ func (e *Engine) Iterate(k Kernel, apply Applier) int64 {
 		ep2.Access(th, numa.Seq, numa.Load, e.m.NodeOfThread(th), perThread, 12, 0)
 		ep2.AccessInterleaved(th, numa.Seq, numa.Store, perThread, 12, 0)
 	}
-	e.clock += ep2.Time() + barrier.SyncCost(barrier.H, e.m.Nodes)/e.m.Topo.SyncScale
+	shuffleDur := ep2.Time() + barrier.SyncCost(barrier.H, e.m.Nodes)/e.m.Topo.SyncScale
+	e.clock += shuffleDur
 	e.ledger.Add(ep2)
+	e.notePhase("shuffle", totalUpdates, shuffleDur)
 	ep2.Reset() // gather phase reuses the same epoch
 
 	// Gather: each tile applies its incoming updates; one thread per tile
@@ -501,8 +545,10 @@ func (e *Engine) Iterate(k Kernel, apply Applier) int64 {
 		ep3.Access(th, numa.Rand, numa.Store, e.m.NodeOfThread(th), activated, 1, tileWS)
 		ep3.Compute(th, float64(applied)*2e-9)
 	}
-	e.clock += ep3.Time() + barrier.SyncCost(barrier.H, e.m.Nodes)/e.m.Topo.SyncScale
+	gatherDur := ep3.Time() + barrier.SyncCost(barrier.H, e.m.Nodes)/e.m.Topo.SyncScale
+	e.clock += gatherDur
 	e.ledger.Add(ep3)
+	e.notePhase("gather", appliedT, gatherDur)
 	e.m.Alloc().Release("xstream/buffers", bufBytes)
 
 	if apply != nil {
@@ -514,6 +560,13 @@ func (e *Engine) Iterate(k Kernel, apply Applier) int64 {
 	e.spare = e.active // recycle the retired bitmap next iteration
 	e.active = next
 	e.nActive = nextCount
+	if e.tr != nil {
+		delta := &numa.TrafficMatrix{}
+		e.ledger.Traffic(delta)
+		delta.Sub(startTM)
+		e.tr.Superstep("xstream", e.round, simStart, e.clock-simStart, delta)
+	}
+	e.round++
 	return e.nActive
 }
 
@@ -566,8 +619,10 @@ func (e *Engine) applyPhase(apply Applier, next []uint64) int64 {
 	if e.err != nil {
 		return 0
 	}
-	e.clock += ep.Time() + barrier.SyncCost(barrier.H, e.m.Nodes)/e.m.Topo.SyncScale
+	applyDur := ep.Time() + barrier.SyncCost(barrier.H, e.m.Nodes)/e.m.Topo.SyncScale
+	e.clock += applyDur
 	e.ledger.Add(ep)
+	e.notePhase("apply", int64(n), applyDur)
 	var total int64
 	for _, c := range counts {
 		total += c

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"polymer/internal/numa"
+	"polymer/internal/obs"
 	"polymer/internal/state"
 )
 
@@ -101,6 +102,26 @@ func Step(s *Session, step int, body func() error) error {
 	return s.Step(step, body)
 }
 
+// traceSource is the optional tracing capability of an engine. It is
+// asserted per step rather than added to Engine, so engines without
+// tracing still satisfy the interface and a tracer installed after the
+// session was built is picked up.
+type traceSource interface {
+	Tracer() *obs.Tracer
+	SimSeconds() float64
+}
+
+// trace returns the engine's tracer and simulated clock, or nil when the
+// engine has no enabled tracer.
+func (s *Session) trace() (*obs.Tracer, float64) {
+	if ts, ok := s.eng.(traceSource); ok {
+		if tr := ts.Tracer(); tr != nil {
+			return tr, ts.SimSeconds()
+		}
+	}
+	return nil, 0
+}
+
 // Step runs one superstep under the session's fault regime:
 //
 //	save state  ->  arm this step's events  ->  run body  ->  detect
@@ -114,6 +135,13 @@ func (s *Session) Step(step int, body func() error) error {
 	evs := s.inj.eventsAt(step)
 	for attempt := 0; ; attempt++ {
 		s.save()
+		if tr, sim := s.trace(); tr != nil {
+			if attempt > 0 {
+				tr.Instant("fault", "replay", step, sim, fmt.Sprintf("attempt %d", attempt+1))
+			} else {
+				tr.Instant("fault", "checkpoint", step, sim, "")
+			}
+		}
 		armed := s.arm(evs)
 		err := Catch(body)
 		s.disarm(evs)
@@ -130,6 +158,9 @@ func (s *Session) Step(step int, body func() error) error {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			s.eng.ClearErr()
 			s.restore()
+			if tr, sim := s.trace(); tr != nil {
+				tr.Instant("fault", "rollback", step, sim, err.Error())
+			}
 			return err
 		}
 		if err != nil {
@@ -143,6 +174,13 @@ func (s *Session) Step(step int, body func() error) error {
 		s.restore()
 		s.repair(evs)
 		s.rollbacks++
+		if tr, sim := s.trace(); tr != nil {
+			detail := "armed fault"
+			if err != nil {
+				detail = err.Error()
+			}
+			tr.Instant("fault", "rollback", step, sim, detail)
+		}
 		if attempt >= s.maxRetries {
 			if err == nil {
 				err = fmt.Errorf("fault: step %d: fault persisted", step)

@@ -39,15 +39,23 @@ type threadLedger struct {
 	missCount  float64
 	remoteMiss float64
 
+	// classBytes[lvl*2+pattern] is memory-reaching traffic classified by
+	// hop level and access pattern, the raw material of TrafficMatrix
+	// snapshots. Random accesses count only their modelled miss portion
+	// (the hit portion never leaves the LLC).
+	classBytes []float64
+
 	_ [3]int64 // pad to reduce false sharing between thread shards
 }
 
 func newEpoch(m *Machine) *Epoch {
 	e := &Epoch{m: m, threads: make([]threadLedger, m.Threads())}
 	n := m.Nodes
+	levels := m.Topo.MaxLevel() + 1
 	for i := range e.threads {
 		e.threads[i].nodeBytes = make([]float64, n)
 		e.threads[i].portBytes = make([]float64, n)
+		e.threads[i].classBytes = make([]float64, levels*2)
 	}
 	return e
 }
@@ -102,6 +110,7 @@ func (e *Epoch) Access(th int, p Pattern, op Op, node int, count int64, elemByte
 		if lvl > 0 {
 			t.remoteMiss += miss
 		}
+		t.classBytes[lvl*2+int(Seq)] += bytes
 		t.chargeResource(from, node, bytes)
 	case Rand:
 		hit := e.hitFraction(ws)
@@ -112,6 +121,7 @@ func (e *Epoch) Access(th int, p Pattern, op Op, node int, count int64, elemByte
 		if lvl > 0 {
 			t.remoteMiss += miss
 		}
+		t.classBytes[lvl*2+int(Rand)] += missBytes
 		t.chargeResource(from, node, missBytes)
 	}
 	_ = op // direction currently shares one bandwidth table, as in the paper's Figure 4
@@ -161,6 +171,7 @@ func (e *Epoch) AccessInterleaved(th int, p Pattern, op Op, count int64, elemByt
 	}
 	share := memBytes / float64(nodes)
 	for n := 0; n < nodes; n++ {
+		t.classBytes[e.m.Level(from, n)*2+int(p)] += share
 		t.chargeResource(from, n, share)
 	}
 	_ = op
@@ -190,6 +201,9 @@ func (e *Epoch) LatencyBound(th int, op Op, node int, count int64) {
 		t.remoteMiss += float64(count)
 	}
 	t.missCount += float64(count)
+	// Latency-bound ops move one element each way; classify them as random
+	// traffic at the element size (8 bytes, the engines' widest atomic).
+	t.classBytes[lvl*2+int(Rand)] += float64(count) * 8
 }
 
 // Compute records pure computation time (software overhead, arithmetic)
@@ -317,6 +331,9 @@ func (e *Epoch) Add(o *Epoch) {
 			t.nodeBytes[n] += u.nodeBytes[n]
 			t.portBytes[n] += u.portBytes[n]
 		}
+		for n := range t.classBytes {
+			t.classBytes[n] += u.classBytes[n]
+		}
 	}
 }
 
@@ -329,11 +346,12 @@ func (e *Epoch) CopyFrom(o *Epoch) {
 	}
 	for i := range e.threads {
 		t, u := &e.threads[i], &o.threads[i]
-		nb, pb := t.nodeBytes, t.portBytes
+		nb, pb, cb := t.nodeBytes, t.portBytes, t.classBytes
 		*t = *u
-		t.nodeBytes, t.portBytes = nb, pb
+		t.nodeBytes, t.portBytes, t.classBytes = nb, pb, cb
 		copy(t.nodeBytes, u.nodeBytes)
 		copy(t.portBytes, u.portBytes)
+		copy(t.classBytes, u.classBytes)
 	}
 }
 
@@ -348,12 +366,15 @@ func (e *Epoch) Clone() *Epoch {
 func (e *Epoch) Reset() {
 	for i := range e.threads {
 		t := &e.threads[i]
-		nb, pb := t.nodeBytes, t.portBytes
+		nb, pb, cb := t.nodeBytes, t.portBytes, t.classBytes
 		for n := range nb {
 			nb[n] = 0
 			pb[n] = 0
 		}
-		*t = threadLedger{nodeBytes: nb, portBytes: pb}
+		for n := range cb {
+			cb[n] = 0
+		}
+		*t = threadLedger{nodeBytes: nb, portBytes: pb, classBytes: cb}
 	}
 }
 

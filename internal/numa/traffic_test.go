@@ -1,0 +1,178 @@
+package numa
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	return diff <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestTrafficClassification pins the attribution semantics: sequential
+// accesses count full bytes at their hop level, random accesses only the
+// modelled LLC-miss portion, latency-bound operations 8 bytes per op as
+// random traffic, all on the accessing thread's node row.
+func TestTrafficClassification(t *testing.T) {
+	topo := IntelXeon80()
+	m := NewMachine(topo, 4, 2)
+	ep := m.NewEpoch()
+
+	// Thread 0 lives on node 0; thread 2 on node 1.
+	ep.Access(0, Seq, Load, 0, 1000, 8, 0) // local sequential: 8000 B at h0
+	lvl01 := m.Level(0, 1)
+	ep.Access(0, Seq, Store, 1, 500, 8, 0) // remote sequential: 4000 B
+	const ws = int64(1) << 40
+	ep.Access(2, Rand, Load, 0, 100, 8, ws) // remote random from node 1
+
+	var tm TrafficMatrix
+	ep.Traffic(&tm)
+	if tm.Nodes != 4 || tm.Levels != topo.MaxLevel()+1 {
+		t.Fatalf("shape = %dx%d, want 4x%d", tm.Nodes, tm.Levels, topo.MaxLevel()+1)
+	}
+	if got := tm.At(0, 0, Seq); got != 8000 {
+		t.Errorf("local seq = %g, want 8000", got)
+	}
+	if got := tm.At(0, lvl01, Seq); got != 4000 {
+		t.Errorf("remote seq at h%d = %g, want 4000", lvl01, got)
+	}
+	// Random traffic counts only the miss portion of the 800 bytes.
+	hit := float64(topo.LLCBytes) / float64(ws)
+	wantRand := 800 * (1 - hit)
+	lvl10 := m.Level(1, 0)
+	if got := tm.At(1, lvl10, Rand); !almost(got, wantRand) {
+		t.Errorf("remote rand = %g, want %g", got, wantRand)
+	}
+	if got := tm.At(1, lvl10, Seq); got != 0 {
+		t.Errorf("rand access leaked into seq cell: %g", got)
+	}
+
+	// Latency-bound ops classify as 8-byte random traffic.
+	ep2 := m.NewEpoch()
+	ep2.LatencyBound(0, Load, 1, 10)
+	var tm2 TrafficMatrix
+	ep2.Traffic(&tm2)
+	if got := tm2.At(0, lvl01, Rand); got != 80 {
+		t.Errorf("latency-bound rand = %g, want 80", got)
+	}
+	if got := tm2.Total(); got != 80 {
+		t.Errorf("latency-bound total = %g, want 80", got)
+	}
+}
+
+// TestTrafficInterleaved checks that interleaved accesses spread their
+// bytes across all nodes' hop levels from the accessing node's view.
+func TestTrafficInterleaved(t *testing.T) {
+	m := NewMachine(IntelXeon80(), 4, 2)
+	ep := m.NewEpoch()
+	ep.AccessInterleaved(0, Seq, Load, 1000, 8, 0)
+	var tm TrafficMatrix
+	ep.Traffic(&tm)
+	if got := tm.Total(); !almost(got, 8000) {
+		t.Fatalf("total = %g, want 8000", got)
+	}
+	// All traffic is issued by node 0's threads.
+	if got := tm.NodeBytes(0); !almost(got, 8000) {
+		t.Errorf("node 0 bytes = %g, want 8000", got)
+	}
+	for n := 1; n < 4; n++ {
+		if got := tm.NodeBytes(n); got != 0 {
+			t.Errorf("node %d bytes = %g, want 0", n, got)
+		}
+	}
+	// One quarter of the shares lands locally; the rest is remote.
+	if got, want := tm.RemoteFraction(), 3.0/4; !almost(got, want) {
+		t.Errorf("remote fraction = %g, want %g", got, want)
+	}
+	// The local share is exactly bytes/nodes.
+	if got := tm.At(0, 0, Seq); !almost(got, 2000) {
+		t.Errorf("local share = %g, want 2000", got)
+	}
+}
+
+// TestTrafficMatrixOps exercises the matrix arithmetic used by the
+// superstep delta logic.
+func TestTrafficMatrixOps(t *testing.T) {
+	m := NewMachine(IntelXeon80(), 2, 1)
+	ep := m.NewEpoch()
+	ep.Access(0, Seq, Load, 0, 100, 8, 0)
+
+	var a TrafficMatrix
+	ep.Traffic(&a)
+	b := a.Clone()
+	b.Add(&a)
+	if got := b.Total(); !almost(got, 2*a.Total()) {
+		t.Errorf("Add: total = %g, want %g", got, 2*a.Total())
+	}
+	b.Sub(&a)
+	for i := range b.Cells {
+		if b.Cells[i] != a.Cells[i] {
+			t.Fatalf("Sub: cell %d = %g, want %g", i, b.Cells[i], a.Cells[i])
+		}
+	}
+	var c TrafficMatrix
+	c.CopyFrom(&a)
+	c.Cells[0] += 5
+	if a.Cells[0] == c.Cells[0] {
+		t.Error("CopyFrom shares backing array with source")
+	}
+
+	// Resize reuses the backing array when shapes repeat (snapshot loops
+	// must not allocate per step).
+	before := &a.Cells[0]
+	ep.Traffic(&a)
+	if before != &a.Cells[0] {
+		t.Error("Traffic reallocated the matrix backing array on same-shape resize")
+	}
+}
+
+// TestEpochLedgerPreservesTraffic pins the checkpoint/rollback contract:
+// Clone/CopyFrom carry classified traffic, so a rolled-back superstep's
+// traffic delta vanishes from subsequent snapshots.
+func TestEpochLedgerPreservesTraffic(t *testing.T) {
+	m := NewMachine(IntelXeon80(), 2, 2)
+	ledger := m.NewEpoch()
+	ledger.Access(0, Seq, Load, 0, 100, 8, 0)
+
+	snap := ledger.Clone()
+
+	// A speculative superstep charges more traffic...
+	ledger.Access(1, Rand, Store, 1, 50, 8, 1<<40)
+	ledger.Access(2, Seq, Load, 0, 10, 8, 0)
+	var during TrafficMatrix
+	ledger.Traffic(&during)
+	var atSnap TrafficMatrix
+	snap.Traffic(&atSnap)
+	if during.Total() <= atSnap.Total() {
+		t.Fatalf("charging did not grow traffic: %g <= %g", during.Total(), atSnap.Total())
+	}
+
+	// ...and is rolled back.
+	ledger.CopyFrom(snap)
+	var after TrafficMatrix
+	ledger.Traffic(&after)
+	if len(after.Cells) != len(atSnap.Cells) {
+		t.Fatalf("shape changed across rollback")
+	}
+	for i := range after.Cells {
+		if after.Cells[i] != atSnap.Cells[i] {
+			t.Fatalf("rollback: cell %d = %g, want %g", i, after.Cells[i], atSnap.Cells[i])
+		}
+	}
+
+	// Add folds traffic cell-wise.
+	other := m.NewEpoch()
+	other.Access(0, Seq, Load, 1, 100, 8, 0)
+	ledger.Add(other)
+	var sum TrafficMatrix
+	ledger.Traffic(&sum)
+	var otherTM TrafficMatrix
+	other.Traffic(&otherTM)
+	if got, want := sum.Total(), atSnap.Total()+otherTM.Total(); !almost(got, want) {
+		t.Errorf("Add: total = %g, want %g", got, want)
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"polymer/internal/numa"
+)
+
+// Breakdown is a sink that accumulates superstep events into the paper's
+// access-pattern breakdown: per superstep, how many megabytes moved in
+// each SEQ/RAND × hop-level class, and per node, who paid for them.
+type Breakdown struct {
+	mu   sync.Mutex
+	rows []BreakdownRow
+}
+
+// BreakdownRow is one superstep's attribution.
+type BreakdownRow struct {
+	Cat     string
+	Step    int
+	SimSecs float64 // superstep duration, simulated seconds
+	Traffic *numa.TrafficMatrix
+}
+
+// NewBreakdown returns an empty breakdown sink.
+func NewBreakdown() *Breakdown { return &Breakdown{} }
+
+// Emit implements Sink, keeping only superstep events that carry traffic.
+func (b *Breakdown) Emit(ev Event) {
+	if ev.Name != "superstep" || ev.Traffic == nil {
+		return
+	}
+	b.mu.Lock()
+	b.rows = append(b.rows, BreakdownRow{
+		Cat: ev.Cat, Step: ev.Step, SimSecs: ev.Dur / 1e6, Traffic: ev.Traffic,
+	})
+	b.mu.Unlock()
+}
+
+// Rows returns the collected supersteps in emission order.
+func (b *Breakdown) Rows() []BreakdownRow {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]BreakdownRow(nil), b.rows...)
+}
+
+// Format renders two tables: per-superstep traffic by access class
+// (aggregated over nodes), and whole-run traffic per node × hop level —
+// the "which node paid for remote random accesses" view the paper's
+// placement arguments rest on.
+func (b *Breakdown) Format() string {
+	rows := b.Rows()
+	var sb strings.Builder
+	if len(rows) == 0 {
+		sb.WriteString("no supersteps traced\n")
+		return sb.String()
+	}
+	levels := rows[0].Traffic.Levels
+	nodes := rows[0].Traffic.Nodes
+
+	sb.WriteString("per-superstep traffic by access class (MB; hN = N hops from the accessing node)\n")
+	fmt.Fprintf(&sb, "%-4s %-8s %12s", "#", "engine", "sim (usec)")
+	for l := 0; l < levels; l++ {
+		fmt.Fprintf(&sb, " %9s %9s", fmt.Sprintf("seq@h%d", l), fmt.Sprintf("rand@h%d", l))
+	}
+	fmt.Fprintf(&sb, " %8s\n", "remote%")
+	total := &numa.TrafficMatrix{}
+	total.Resize(nodes, levels)
+	for _, r := range rows {
+		if r.Traffic.Levels != levels || r.Traffic.Nodes != nodes {
+			continue // mixed machines in one sink; skip rather than misalign
+		}
+		fmt.Fprintf(&sb, "%-4d %-8s %12.2f", r.Step, r.Cat, r.SimSecs*1e6)
+		for l := 0; l < levels; l++ {
+			fmt.Fprintf(&sb, " %9.2f %9.2f",
+				r.Traffic.LevelBytes(l, numa.Seq)/1e6, r.Traffic.LevelBytes(l, numa.Rand)/1e6)
+		}
+		fmt.Fprintf(&sb, " %7.1f%%\n", r.Traffic.RemoteFraction()*100)
+		total.Add(r.Traffic)
+	}
+
+	sb.WriteString("\nwhole-run traffic per node (MB)\n")
+	fmt.Fprintf(&sb, "%-6s", "node")
+	for l := 0; l < levels; l++ {
+		fmt.Fprintf(&sb, " %9s %9s", fmt.Sprintf("seq@h%d", l), fmt.Sprintf("rand@h%d", l))
+	}
+	fmt.Fprintf(&sb, " %9s\n", "total")
+	for n := 0; n < nodes; n++ {
+		fmt.Fprintf(&sb, "n%-5d", n)
+		for l := 0; l < levels; l++ {
+			fmt.Fprintf(&sb, " %9.2f %9.2f", total.At(n, l, numa.Seq)/1e6, total.At(n, l, numa.Rand)/1e6)
+		}
+		fmt.Fprintf(&sb, " %9.2f\n", total.NodeBytes(n)/1e6)
+	}
+	return sb.String()
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Chrome is a sink that collects events and exports them in the Chrome
+// trace_event JSON format, loadable in chrome://tracing and Perfetto.
+type Chrome struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewChrome returns an empty Chrome-trace sink.
+func NewChrome() *Chrome { return &Chrome{} }
+
+// Emit implements Sink.
+func (c *Chrome) Emit(ev Event) {
+	c.mu.Lock()
+	c.events = append(c.events, ev)
+	c.mu.Unlock()
+}
+
+// Len returns the number of collected events.
+func (c *Chrome) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// Export writes the collected events as trace_event JSON. The output is
+// deterministic for a deterministic event sequence: metadata first (pids
+// in ascending order), then events in emission order, map keys sorted by
+// encoding/json.
+func (c *Chrome) Export(w io.Writer) error {
+	c.mu.Lock()
+	events := append([]Event(nil), c.events...)
+	c.mu.Unlock()
+	return ExportChrome(w, events)
+}
+
+// chromeEvent is the wire form of one trace_event record.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+var pidNames = map[int]string{
+	PidSim:   "sim (simulated clock)",
+	PidHost:  "host (wall clock)",
+	PidServe: "serve (wall clock)",
+}
+
+// ExportChrome writes events as trace_event JSON, prefixed with
+// process_name metadata for every pid lane present.
+func ExportChrome(w io.Writer, events []Event) error {
+	out := chromeTrace{DisplayTimeUnit: "ms"}
+	pids := map[int]bool{}
+	for _, ev := range events {
+		pids[ev.Pid] = true
+	}
+	order := make([]int, 0, len(pids))
+	for pid := range pids {
+		order = append(order, pid)
+	}
+	sort.Ints(order)
+	for _, pid := range order {
+		name := pidNames[pid]
+		if name == "" {
+			name = fmt.Sprintf("pid %d", pid)
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Name, Cat: ev.Cat, Ph: ev.Ph,
+			Ts: ev.Ts, Dur: ev.Dur, Pid: ev.Pid, Tid: ev.Tid,
+			Args: chromeArgs(ev),
+		}
+		if ev.Ph == PhInstant {
+			ce.S = "t" // thread-scoped instant
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// chromeArgs flattens an event's payload into the trace_event args map.
+// Traffic matrices become per-hop SEQ/RAND megabyte aggregates plus a
+// per-node total, mirroring the breakdown table columns.
+func chromeArgs(ev Event) map[string]any {
+	args := map[string]any{}
+	if ev.Step >= 0 {
+		args["step"] = ev.Step
+	}
+	if ev.Active != 0 {
+		args["active"] = ev.Active
+	}
+	if ev.Ph == PhSpan && ev.Pid == PidSim && ev.Name != "superstep" && ev.Cat != "fault" {
+		repr := "sparse"
+		if ev.Dense {
+			repr = "dense"
+		}
+		args["repr"] = repr
+		if ev.Push {
+			args["dir"] = "push"
+		} else {
+			args["dir"] = "pull"
+		}
+	}
+	if ev.Detail != "" {
+		args["detail"] = ev.Detail
+	}
+	if tm := ev.Traffic; tm != nil {
+		for l := 0; l < tm.Levels; l++ {
+			args[fmt.Sprintf("seq_h%d_mb", l)] = round3(tm.LevelBytes(l, 0) / 1e6)
+			args[fmt.Sprintf("rand_h%d_mb", l)] = round3(tm.LevelBytes(l, 1) / 1e6)
+		}
+		for n := 0; n < tm.Nodes; n++ {
+			args[fmt.Sprintf("node%d_mb", n)] = round3(tm.NodeBytes(n) / 1e6)
+		}
+		args["remote_frac"] = round3(tm.RemoteFraction())
+	}
+	if len(args) == 0 {
+		return nil
+	}
+	return args
+}
+
+// round3 keeps exported megabyte figures readable (three decimals) and
+// their JSON encoding stable.
+func round3(v float64) float64 {
+	return float64(int64(v*1000+0.5)) / 1000
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"polymer/internal/numa"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenEvents is a fixed synthetic event sequence covering every event
+// shape the exporter handles: phases, supersteps with traffic, instants,
+// host spans, multiple pid lanes.
+func goldenEvents() []Event {
+	tm := &numa.TrafficMatrix{}
+	tm.Resize(2, 2)
+	tm.Cells[0] = 1.5e6  // node 0, h0, seq
+	tm.Cells[3] = 0.25e6 // node 0, h1, rand
+	tm.Cells[4] = 2e6    // node 1, h0, seq
+	return []Event{
+		{Name: "edgemap", Cat: "polymer", Ph: PhSpan, Pid: PidSim, Ts: 0, Dur: 10, Step: -1, Active: 500, Dense: true, Push: true},
+		{Name: "vertexmap", Cat: "polymer", Ph: PhSpan, Pid: PidSim, Ts: 10, Dur: 2, Step: -1, Active: 500},
+		{Name: "superstep", Cat: "polymer", Ph: PhSpan, Pid: PidSim, Tid: 1, Ts: 0, Dur: 12, Step: 0, Traffic: tm},
+		{Name: "checkpoint", Cat: "fault", Ph: PhInstant, Pid: PidSim, Ts: 12, Step: 1},
+		{Name: "rollback", Cat: "fault", Ph: PhInstant, Pid: PidSim, Ts: 30, Step: 1, Detail: "injected panic"},
+		{Name: "pool.run", Cat: "par", Ph: PhSpan, Pid: PidHost, Ts: 100, Dur: 50, Step: -1, Active: 8},
+		{Name: "request", Cat: "serve", Ph: PhSpan, Pid: PidServe, Ts: 90, Dur: 70, Step: -1, Active: 1, Detail: "pr/powerlaw on Polymer status=200"},
+	}
+}
+
+// TestChromeGolden pins the exporter's byte output: the trace format is a
+// contract with external viewers, so any change must be deliberate.
+func TestChromeGolden(t *testing.T) {
+	c := NewChrome()
+	for _, ev := range goldenEvents() {
+		c.Emit(ev)
+	}
+	var buf bytes.Buffer
+	if err := c.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with go test -run Golden -update ./internal/obs): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("export differs from golden file\ngot:  %s\nwant: %s", buf.Bytes(), want)
+	}
+
+	// Export must be repeatable: same sink, same bytes.
+	var again bytes.Buffer
+	if err := c.Export(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("two exports of the same sink differ")
+	}
+}
+
+// TestChromeStructure validates the trace_event envelope: well-formed
+// JSON, the displayTimeUnit field, metadata before data, and the required
+// fields on every record — what chrome://tracing actually parses.
+func TestChromeStructure(t *testing.T) {
+	c := NewChrome()
+	for _, ev := range goldenEvents() {
+		c.Emit(ev)
+	}
+	var buf bytes.Buffer
+	if err := c.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		DisplayUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayUnit)
+	}
+	if len(doc.TraceEvents) != len(goldenEvents())+3 { // + one process_name per pid lane
+		t.Fatalf("traceEvents = %d records, want %d", len(doc.TraceEvents), len(goldenEvents())+3)
+	}
+	meta := 0
+	for i, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if ph == "" {
+			t.Fatalf("record %d has no ph: %v", i, ev)
+		}
+		if ph == "M" {
+			meta++
+			if meta != i+1 {
+				t.Errorf("metadata record %d appears after data records", i)
+			}
+			continue
+		}
+		if _, ok := ev["name"].(string); !ok {
+			t.Errorf("record %d has no name", i)
+		}
+		if _, ok := ev["pid"].(float64); !ok {
+			t.Errorf("record %d has no pid", i)
+		}
+		if _, ok := ev["ts"].(float64); !ok {
+			t.Errorf("record %d has no ts", i)
+		}
+		if ph != PhSpan && ph != PhInstant {
+			t.Errorf("record %d has unexpected ph %q", i, ph)
+		}
+	}
+	if meta != 3 {
+		t.Errorf("metadata records = %d, want 3", meta)
+	}
+
+	// The superstep record carries flattened traffic args.
+	var super map[string]any
+	for _, ev := range doc.TraceEvents {
+		if n, _ := ev["name"].(string); n == "superstep" {
+			super = ev
+		}
+	}
+	if super == nil {
+		t.Fatal("no superstep record exported")
+	}
+	args, _ := super["args"].(map[string]any)
+	if args == nil {
+		t.Fatal("superstep has no args")
+	}
+	for _, key := range []string{"seq_h0_mb", "rand_h1_mb", "node0_mb", "node1_mb", "remote_frac", "step"} {
+		if _, ok := args[key]; !ok {
+			t.Errorf("superstep args missing %q (have %v)", key, args)
+		}
+	}
+	if got := args["seq_h0_mb"].(float64); got != 3.5 {
+		t.Errorf("seq_h0_mb = %v, want 3.5", got)
+	}
+}

@@ -1,0 +1,79 @@
+package obs
+
+import "sync"
+
+// Ring is a fixed-size event ring buffer: the flight recorder's storage.
+// Writes never block and never grow memory; old events are overwritten.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total int64
+}
+
+// NewRing returns a ring holding the last size events. A non-positive
+// size yields a ring that records nothing (Emit is still safe).
+func NewRing(size int) *Ring {
+	if size < 0 {
+		size = 0
+	}
+	return &Ring{buf: make([]Event, size)}
+}
+
+// Emit implements Sink.
+func (r *Ring) Emit(ev Event) {
+	r.mu.Lock()
+	if len(r.buf) > 0 {
+		r.buf[r.next] = ev
+		r.next = (r.next + 1) % len(r.buf)
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns how many events were ever emitted (including overwritten
+// ones).
+func (r *Ring) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot returns the retained events, oldest first.
+func (r *Ring) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.buf)
+	if r.total < int64(n) {
+		n = int(r.total)
+		return append([]Event(nil), r.buf[:n]...)
+	}
+	out := make([]Event, 0, n)
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Recorder is polymerd's flight recorder: two rings, one for request
+// spans (serve lane) and one for everything the engines and the fault
+// layer emit (supersteps, phases, rollbacks). It implements Sink and is
+// what /debugz/trace serves.
+type Recorder struct {
+	Requests *Ring
+	Steps    *Ring
+}
+
+// NewRecorder sizes the two rings (last N request spans, last M
+// engine/fault events).
+func NewRecorder(requests, steps int) *Recorder {
+	return &Recorder{Requests: NewRing(requests), Steps: NewRing(steps)}
+}
+
+// Emit implements Sink, routing by category.
+func (r *Recorder) Emit(ev Event) {
+	if ev.Cat == "serve" {
+		r.Requests.Emit(ev)
+		return
+	}
+	r.Steps.Emit(ev)
+}

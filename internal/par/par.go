@@ -11,6 +11,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"polymer/internal/obs"
 )
 
 // Pool runs phases across a fixed set of worker goroutines. Workers are
@@ -28,6 +30,11 @@ type Pool struct {
 	// phase (the fault injector uses it to take simulated nodes offline,
 	// panic or stall individual workers).
 	hook atomic.Pointer[func(th int) error]
+
+	// trace, when set, times each Run dispatch on the host clock and
+	// emits a span in the obs host lane. Loaded once per Run: the
+	// disabled path costs one atomic load.
+	trace atomic.Pointer[obs.Tracer]
 
 	errMu  sync.Mutex
 	runErr error
@@ -98,6 +105,16 @@ func (p *Pool) SetHook(h func(th int) error) {
 	p.hook.Store(&h)
 }
 
+// SetTracer installs (or, with nil, removes) the pool's tracer. When set,
+// every Run emits a host-lane "pool.run" span covering dispatch to join.
+func (p *Pool) SetTracer(tr *obs.Tracer) {
+	if tr == nil {
+		p.trace.Store(nil)
+		return
+	}
+	p.trace.Store(tr)
+}
+
 func (p *Pool) setErr(err error) {
 	p.errMu.Lock()
 	if p.runErr == nil {
@@ -127,11 +144,20 @@ func (p *Pool) Run(fn func(th int)) error {
 		}
 		fn(th)
 	}
+	tr := p.trace.Load()
+	var dispatched float64
+	if tr != nil {
+		dispatched = obs.NowMicros()
+	}
 	p.wg.Add(p.n)
 	for i := range p.start {
 		p.start[i] <- wrapped
 	}
 	p.wg.Wait()
+	if tr != nil {
+		tr.Span("par", "pool.run", obs.PidHost, dispatched, obs.NowMicros()-dispatched,
+			-1, int64(p.n), "")
+	}
 	return p.runErr
 }
 

@@ -1,0 +1,160 @@
+// The graph cache: per-key singleflight so concurrent requests for the
+// same dataset trigger exactly one load (without holding any lock across
+// it), plus a memory-budgeted LRU with refcounting — in-flight requests
+// pin their graph, pinned entries are never evicted, and eviction removes
+// least-recently-used unpinned graphs until the budget holds again.
+
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"polymer/internal/graph"
+)
+
+// cacheEntry is one (dataset, scale, weighted) slot. ready is closed when
+// the load finishes; g/err/bytes are immutable afterwards. refs counts
+// waiting or executing requests pinning the entry.
+type cacheEntry struct {
+	key   string
+	ready chan struct{}
+	g     *graph.Graph
+	err   error
+	bytes int64
+	refs  int
+	elem  *list.Element // position in the LRU order while resident
+}
+
+// cacheStats is the JSON form of the cache counters for /metricsz.
+type cacheStats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// graphCache implements the singleflight + refcounted LRU. budget <= 0
+// means unbounded (never evict).
+type graphCache struct {
+	mu      sync.Mutex
+	budget  int64
+	entries map[string]*cacheEntry
+	lru     *list.List // front = most recently used
+	bytes   int64
+	hits    int64
+	misses  int64
+	evicted int64
+	onEvict func(key string, bytes int64)
+}
+
+func newGraphCache(budget int64, onEvict func(key string, bytes int64)) *graphCache {
+	return &graphCache{
+		budget:  budget,
+		entries: make(map[string]*cacheEntry),
+		lru:     list.New(),
+		onEvict: onEvict,
+	}
+}
+
+// get returns the graph for key, loading it via load at most once across
+// concurrent callers. On success the entry is pinned: the caller must
+// invoke release once done with the graph. Failed loads are not cached —
+// the entry is removed so the next request retries.
+func (c *graphCache) get(key string, load func() (*graph.Graph, error)) (*graph.Graph, func(), error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		e.refs++
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			// The loader already removed the failed entry; just drop the pin.
+			c.mu.Lock()
+			e.refs--
+			c.mu.Unlock()
+			return nil, nil, e.err
+		}
+		c.mu.Lock()
+		c.hits++
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
+		c.mu.Unlock()
+		return e.g, c.releaseFunc(e), nil
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{}), refs: 1}
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	g, err := load()
+
+	c.mu.Lock()
+	e.g, e.err = g, err
+	if err != nil {
+		delete(c.entries, key)
+		e.refs--
+		close(e.ready)
+		c.mu.Unlock()
+		return nil, nil, err
+	}
+	e.bytes = g.TopologyBytes()
+	c.bytes += e.bytes
+	e.elem = c.lru.PushFront(e)
+	close(e.ready)
+	c.evictLocked()
+	c.mu.Unlock()
+	return g, c.releaseFunc(e), nil
+}
+
+// releaseFunc unpins e exactly once; the release may be the moment an
+// over-budget cache can finally evict.
+func (c *graphCache) releaseFunc(e *cacheEntry) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.mu.Lock()
+			e.refs--
+			c.evictLocked()
+			c.mu.Unlock()
+		})
+	}
+}
+
+// evictLocked removes least-recently-used unpinned entries until the
+// budget holds. Pinned entries are skipped, so the cache can transiently
+// exceed its budget while every resident graph is in use.
+func (c *graphCache) evictLocked() {
+	if c.budget <= 0 {
+		return
+	}
+	for el := c.lru.Back(); el != nil && c.bytes > c.budget; {
+		e := el.Value.(*cacheEntry)
+		prev := el.Prev()
+		if e.refs == 0 {
+			c.lru.Remove(el)
+			e.elem = nil
+			delete(c.entries, e.key)
+			c.bytes -= e.bytes
+			c.evicted++
+			if c.onEvict != nil {
+				c.onEvict(e.key, e.bytes)
+			}
+		}
+		el = prev
+	}
+}
+
+// stats snapshots the cache counters.
+func (c *graphCache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{
+		Entries:   len(c.entries),
+		Bytes:     c.bytes,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evicted,
+	}
+}

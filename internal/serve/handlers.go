@@ -14,6 +14,7 @@ import (
 	"strconv"
 
 	"polymer/internal/bench"
+	"polymer/internal/obs"
 )
 
 // Handler returns the server's HTTP mux.
@@ -23,6 +24,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	mux.HandleFunc("GET /debugz/trace", s.handleDebugTrace)
 	return mux
 }
 
@@ -92,6 +94,7 @@ type metricsBody struct {
 	Counters CounterSnapshot   `json:"counters"`
 	Breakers map[string]string `json:"breakers"`
 	Queue    map[string]int64  `json:"queue"`
+	Cache    cacheStats        `json:"graph_cache"`
 }
 
 func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
@@ -107,6 +110,33 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
 			"length":   int64(len(s.queue)),
 			"inflight": s.inflight.Load(),
 		},
+		Cache: s.cache.stats(),
+	})
+}
+
+// traceBody is the flight-recorder dump: the most recent request spans and
+// engine/fault events still resident in the rings, oldest first.
+type traceBody struct {
+	Requests []obs.Event `json:"requests"`
+	Steps    []obs.Event `json:"steps"`
+	// Dropped counts events that aged out of each ring.
+	DroppedRequests int64 `json:"dropped_requests"`
+	DroppedSteps    int64 `json:"dropped_steps"`
+}
+
+func (s *Server) handleDebugTrace(w http.ResponseWriter, _ *http.Request) {
+	rec := s.cfg.Recorder
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "flight recorder disabled (start polymerd with -trace-requests/-trace-steps > 0)"})
+		return
+	}
+	reqs := rec.Requests.Snapshot()
+	steps := rec.Steps.Snapshot()
+	writeJSON(w, http.StatusOK, traceBody{
+		Requests:        reqs,
+		Steps:           steps,
+		DroppedRequests: rec.Requests.Total() - int64(len(reqs)),
+		DroppedSteps:    rec.Steps.Total() - int64(len(steps)),
 	})
 }
 

@@ -30,6 +30,8 @@ type Counters struct {
 	Failed    atomic.Int64
 	Expired   atomic.Int64
 	Cancelled atomic.Int64
+	// Evicted counts graphs dropped from the memory-budgeted cache.
+	Evicted atomic.Int64
 }
 
 // CounterSnapshot is the JSON form of Counters.
@@ -43,6 +45,7 @@ type CounterSnapshot struct {
 	Failed    int64 `json:"failed"`
 	Expired   int64 `json:"expired"`
 	Cancelled int64 `json:"cancelled"`
+	Evicted   int64 `json:"evicted"`
 }
 
 // Snapshot reads every counter.
@@ -57,5 +60,6 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		Failed:    c.Failed.Load(),
 		Expired:   c.Expired.Load(),
 		Cancelled: c.Cancelled.Load(),
+		Evicted:   c.Evicted.Load(),
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"polymer/internal/gen"
 	"polymer/internal/graph"
 	"polymer/internal/numa"
+	"polymer/internal/obs"
 )
 
 // Config tunes the server; zero fields take the documented defaults.
@@ -55,6 +56,19 @@ type Config struct {
 	// open period before a half-open probe (default 2s).
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// GraphCacheBytes budgets the graph cache (topology bytes of resident
+	// datasets). 0 means the 1 GiB default; negative disables eviction.
+	// Graphs pinned by in-flight requests are never evicted, so the cache
+	// can transiently exceed the budget under load.
+	GraphCacheBytes int64
+	// Tracer, when non-nil, receives serve-lane request spans and is
+	// installed on every engine the server runs, so a flight recorder sees
+	// supersteps, rollbacks and evictions alongside request lifecycles.
+	Tracer *obs.Tracer
+	// Recorder, when non-nil, is the in-memory flight recorder exposed at
+	// GET /debugz/trace. It is the caller's job to route the Tracer's sink
+	// into it (typically Tracer = obs.New(Recorder)).
+	Recorder *obs.Recorder
 	// Logger receives one structured record per request outcome; nil
 	// discards.
 	Logger *slog.Logger
@@ -94,6 +108,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.GraphCacheBytes == 0 {
+		c.GraphCacheBytes = 1 << 30
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(discardHandler{})
@@ -146,6 +163,9 @@ type task struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan outcome // buffered; the worker never blocks on it
+	// admitted is the admission wall time (obs.NowMicros), so the request
+	// span can attribute queue wait separately from execution.
+	admitted float64
 }
 
 // Server owns the admission queue, the worker pool, the per-engine
@@ -168,8 +188,7 @@ type Server struct {
 	breakers map[bench.System]*Breaker
 	counters Counters
 
-	graphMu sync.Mutex
-	graphs  map[string]*graph.Graph
+	cache *graphCache
 }
 
 // NewServer builds and starts a server (workers spawn immediately).
@@ -184,8 +203,12 @@ func NewServer(cfg Config) *Server {
 		baseCtx:  base,
 		cancel:   cancel,
 		breakers: make(map[bench.System]*Breaker),
-		graphs:   make(map[string]*graph.Graph),
 	}
+	s.cache = newGraphCache(cfg.GraphCacheBytes, func(key string, bytes int64) {
+		s.counters.Evicted.Add(1)
+		cfg.Tracer.HostInstant("serve", "evict", obs.PidServe, obs.NowMicros(), -1,
+			fmt.Sprintf("%s (%d bytes)", key, bytes))
+	})
 	for _, sys := range bench.Systems() {
 		s.breakers[sys] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now)
 	}
@@ -231,11 +254,12 @@ func (s *Server) submit(v *resolved, clientCtx context.Context) (t *task, shed b
 		context.AfterFunc(clientCtx, cancel)
 	}
 	t = &task{
-		id:     s.ids.Add(1),
-		v:      v,
-		ctx:    ctx,
-		cancel: cancel,
-		done:   make(chan outcome, 1),
+		id:       s.ids.Add(1),
+		v:        v,
+		ctx:      ctx,
+		cancel:   cancel,
+		done:     make(chan outcome, 1),
+		admitted: obs.NowMicros(),
 	}
 	s.inflight.Add(1)
 	select {
@@ -246,6 +270,8 @@ func (s *Server) submit(v *resolved, clientCtx context.Context) (t *task, shed b
 		s.inflight.Add(-1)
 		cancel()
 		s.counters.Shed.Add(1)
+		s.cfg.Tracer.HostInstant("serve", "shed", obs.PidServe, obs.NowMicros(), -1,
+			fmt.Sprintf("queue full (%s/%s)", v.sys, v.alg))
 		return nil, true, errors.New("serve: queue full")
 	}
 }
@@ -273,8 +299,13 @@ func ctxErr(err error) bool {
 // failure after retries.
 func (s *Server) execute(t *task) {
 	start := time.Now()
+	startMicros := obs.NowMicros()
 	defer t.cancel()
 	v := t.v
+	tr := s.cfg.Tracer
+	// Queue wait is its own span: under overload it dominates the request
+	// lifecycle and must not be read as execution time.
+	tr.Span("serve", "queue", obs.PidServe, t.admitted, startMicros-t.admitted, -1, t.id, "")
 	resp := Response{
 		ID:     t.id,
 		System: string(v.sys),
@@ -285,6 +316,10 @@ func (s *Server) execute(t *task) {
 	finish := func(status int, out Response) {
 		out.WallMs = float64(time.Since(start).Microseconds()) / 1000
 		out.Breaker = string(s.breakers[v.sys].State())
+		tr.Span("serve", "request", obs.PidServe, startMicros, obs.NowMicros()-startMicros, -1, out.ID,
+			fmt.Sprintf("%s/%s on %s status=%d attempts=%d rollbacks=%d restarts=%d degraded=%t breaker=%s err=%s",
+				out.Algo, out.Graph, out.System, status, out.Attempts, out.Rollbacks,
+				out.Restarts, out.Degraded, out.Breaker, out.Error))
 		s.log.LogAttrs(context.Background(), slog.LevelInfo, "request",
 			slog.Int64("id", out.ID),
 			slog.String("system", out.System),
@@ -310,13 +345,16 @@ func (s *Server) execute(t *task) {
 		return
 	}
 
-	g, err := s.graphFor(v)
+	g, release, err := s.graphFor(v)
 	if err != nil {
 		resp.Error = err.Error()
 		s.counters.Failed.Add(1)
 		finish(500, resp)
 		return
 	}
+	// The pin outlives every use of g below (including the degraded path),
+	// so eviction can never free a graph out from under a running request.
+	defer release()
 	if int(v.src) >= g.NumVertices() {
 		resp.Error = fmt.Sprintf("source %d outside [0,%d)", v.src, g.NumVertices())
 		s.counters.Failed.Add(1)
@@ -340,6 +378,7 @@ func (s *Server) execute(t *task) {
 		MaxRestarts:    s.cfg.RestartMax,
 		SessionRetries: v.req.SessionRetries,
 		Src:            v.src,
+		Tracer:         tr,
 	}
 	if v.req.Restarts >= 0 {
 		opt.MaxRestarts = v.req.Restarts
@@ -348,6 +387,8 @@ func (s *Server) execute(t *task) {
 	for attempt := 0; attempt <= maxRetries; attempt++ {
 		if attempt > 0 {
 			s.counters.Retried.Add(1)
+			tr.HostInstant("serve", "retry", obs.PidServe, obs.NowMicros(), attempt,
+				fmt.Sprintf("request %d: %v", t.id, lastErr))
 			if !sleepBackoff(t.ctx, s.cfg.RetryBase, attempt, uint64(t.id)) {
 				lastErr = t.ctx.Err()
 				break
@@ -462,23 +503,18 @@ func sleepBackoff(ctx context.Context, base time.Duration, attempt int, seed uin
 	}
 }
 
-// graphFor returns the request's dataset, loading it at most once per
-// (dataset, scale, weighted) key. Graphs are immutable after
-// construction, so concurrent runs share them freely.
-func (s *Server) graphFor(v *resolved) (*graph.Graph, error) {
+// graphFor returns the request's dataset through the singleflight cache:
+// concurrent requests for the same (dataset, scale, weighted) key share
+// one load without any request holding a lock across gen.Load, so a slow
+// dataset build never blocks requests for other graphs. The returned
+// release unpins the graph; graphs are immutable after construction, so
+// concurrent runs share them freely.
+func (s *Server) graphFor(v *resolved) (*graph.Graph, func(), error) {
 	weighted := v.alg.Weighted()
 	key := fmt.Sprintf("%s|%d|%t", v.data, v.scale, weighted)
-	s.graphMu.Lock()
-	defer s.graphMu.Unlock()
-	if g, ok := s.graphs[key]; ok {
-		return g, nil
-	}
-	g, err := gen.Load(v.data, v.scale, weighted)
-	if err != nil {
-		return nil, err
-	}
-	s.graphs[key] = g
-	return g, nil
+	return s.cache.get(key, func() (*graph.Graph, error) {
+		return gen.Load(v.data, v.scale, weighted)
+	})
 }
 
 // Shutdown gracefully drains the server: admission stops immediately

@@ -13,7 +13,7 @@ go vet ./...
 echo "==> errcheck (error-returning APIs in statement position)"
 sh scripts/errcheck.sh
 
-echo "==> go test -race (engines, core, state, par, fault, numa, serve)"
+echo "==> go test -race (engines, core, state, par, fault, numa, serve, obs)"
 go test -race \
 	./internal/core/... \
 	./internal/engines/... \
@@ -21,7 +21,8 @@ go test -race \
 	./internal/par/... \
 	./internal/fault/... \
 	./internal/numa/... \
-	./internal/serve/...
+	./internal/serve/... \
+	./internal/obs/...
 
 echo "==> go test -race fault matrix (rollback/replay across all engines)"
 go test -race -run 'TestFaultMatrix|TestPolymerDegraded|TestResilientRanks' .
