@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench trace
+.PHONY: build test check bench trace conform conform-nightly
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,19 @@ test:
 # fault-injection matrix under -race + full suite.
 check:
 	sh scripts/check.sh
+
+# Quick conformance tier: the cross-engine differential/metamorphic/
+# invariant suite plus a small CLI sweep. Runs on every push.
+conform:
+	$(GO) test ./internal/conform/...
+	$(GO) run ./cmd/conform -seed 1 -graphs 4
+
+# Nightly conformance tier: the suite under the race detector plus a
+# deep seeded sweep. On divergence the CLI writes conform-repro.el, a
+# minimal loadable failing graph.
+conform-nightly:
+	$(GO) test -race -count=2 ./internal/conform/...
+	$(GO) run ./cmd/conform -seed $${CONFORM_SEED:-1} -graphs 32 -out conform-repro.el
 
 # Host wall-clock hot-path benchmarks (compare against BENCH_baseline.json).
 bench:

@@ -37,16 +37,18 @@ func (k prKernel) UpdateAtomic(s, d graph.Vertex, w float32) bool {
 
 func (k prKernel) Cond(graph.Vertex) bool { return true }
 
-// spmvKernel accumulates w * x[s] into y[d].
+// spmvKernel accumulates w * x[s] into y[d]. Unweighted graphs use the
+// adjacency matrix itself (unit weights), the same convention as
+// edgeWeight — all engines and the reference must agree on it.
 type spmvKernel struct{ x, y []float64 }
 
 func (k spmvKernel) Update(s, d graph.Vertex, w float32) bool {
-	k.y[d] += float64(w) * k.x[s]
+	k.y[d] += edgeWeight(w) * k.x[s]
 	return true
 }
 
 func (k spmvKernel) UpdateAtomic(s, d graph.Vertex, w float32) bool {
-	atomicx.AddFloat64(&k.y[d], float64(w)*k.x[s])
+	atomicx.AddFloat64(&k.y[d], edgeWeight(w)*k.x[s])
 	return true
 }
 

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"polymer/internal/atomicx"
+	"polymer/internal/engines/xstream"
 	"polymer/internal/graph"
 	"polymer/internal/sg"
 	"polymer/internal/state"
@@ -68,6 +69,71 @@ func PageRankDelta(e sg.Engine, eps float64, maxIter int) ([]float64, int) {
 			var nd float64
 			if first {
 				// delta_1 = r_1 - r_0 with r_1 = base + d*A^T r_0.
+				nd = base + d*k.acc[v] - k.delta[v]
+			} else {
+				nd = d * k.acc[v]
+			}
+			rank[v] += nd
+			k.delta[v] = nd
+			k.acc[v] = 0
+			return math.Abs(nd) > eps
+		})
+	}
+	out := make([]float64, n)
+	copy(out, rank)
+	return out, iter
+}
+
+// xsPRDelta is the edge-centric delta kernel: scatter an active source's
+// scaled delta, gather into the destination's accumulator. The apply
+// phase (per iteration, below) folds the accumulator into the rank and
+// decides frontier membership, so Gather's verdict is irrelevant — the
+// apply phase overwrites the next active set.
+type xsPRDelta struct{ delta, acc, invOut []float64 }
+
+func (k *xsPRDelta) Scatter(s graph.Vertex, w float32) (float64, bool) {
+	return k.delta[s] * k.invOut[s], true
+}
+
+func (k *xsPRDelta) Gather(d graph.Vertex, val float64) bool {
+	k.acc[d] += val
+	return true
+}
+
+// XSPageRankDelta is PageRankDelta on X-Stream's edge-centric interface:
+// the active set carries only vertices whose rank is still changing, and
+// every iteration still streams all edges (scattering only from active
+// sources), which is exactly the engine's cost model. It returns the
+// ranks and the number of iterations.
+func XSPageRankDelta(e *xstream.Engine, eps float64, maxIter int) ([]float64, int) {
+	g := e.Graph()
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, 0
+	}
+	rankA := e.NewData("prd/rank")
+	deltaA := e.NewData("prd/delta")
+	accA := e.NewData("prd/acc")
+	rank, delta, acc := rankA.Data, deltaA.Data, accA.Data
+	invOut := make([]float64, n)
+	for v := 0; v < n; v++ {
+		rank[v] = 1 / float64(n)
+		delta[v] = 1 / float64(n)
+		if d := g.OutDegree(graph.Vertex(v)); d > 0 {
+			invOut[v] = 1 / float64(d)
+		}
+	}
+	k := &xsPRDelta{delta: delta, acc: acc, invOut: invOut}
+	const d = 0.85
+	base := (1 - d) / float64(n)
+
+	e.SetAllActive()
+	iter := 0
+	for ; iter < maxIter && e.ActiveCount() > 0; iter++ {
+		first := iter == 0
+		e.Iterate(k, func(v graph.Vertex) bool {
+			var nd float64
+			if first {
 				nd = base + d*k.acc[v] - k.delta[v]
 			} else {
 				nd = d * k.acc[v]

@@ -52,7 +52,7 @@ func RefSpMV(g *graph.Graph, iters int, x0 []float64) []float64 {
 			var sum float64
 			for j, u := range nbrs {
 				w := 1.0
-				if wts != nil {
+				if wts != nil && wts[j] != 0 {
 					w = float64(wts[j])
 				}
 				sum += w * x[u]

@@ -34,7 +34,7 @@ func XSPageRank(e *xstream.Engine, iters int, damping float64) []float64 {
 type xsSpMV struct{ x, y []float64 }
 
 func (k *xsSpMV) Scatter(s graph.Vertex, w float32) (float64, bool) {
-	return float64(w) * k.x[s], true
+	return edgeWeight(w) * k.x[s], true
 }
 
 func (k *xsSpMV) Gather(d graph.Vertex, val float64) bool {
@@ -128,6 +128,9 @@ func (k *xsLevel) Gather(d graph.Vertex, val float64) bool {
 // levels (-1 when unreachable).
 func XSBFS(e *xstream.Engine, src graph.Vertex) []int64 {
 	n := e.Graph().NumVertices()
+	if n == 0 {
+		return nil
+	}
 	distA := e.NewData("bfs/dist")
 	k := &xsLevel{dist: distA.Data}
 	for i := range k.dist {
@@ -152,6 +155,9 @@ func XSBFS(e *xstream.Engine, src graph.Vertex) []int64 {
 // XSSSSP runs single-source shortest paths on X-Stream.
 func XSSSSP(e *xstream.Engine, src graph.Vertex) []float64 {
 	n := e.Graph().NumVertices()
+	if n == 0 {
+		return nil
+	}
 	distA := e.NewData("sssp/dist")
 	k := &xsLevel{dist: distA.Data, weighted: true}
 	for i := range k.dist {

@@ -1,0 +1,118 @@
+package conform
+
+import (
+	"fmt"
+	"math"
+
+	"polymer/internal/graph"
+	"polymer/internal/numa"
+	"polymer/internal/sg"
+	"polymer/internal/state"
+)
+
+// Substrate invariants: structural properties of the simulated NUMA
+// machinery that must hold for every engine and every run. These are
+// the checks behind the paper's central claim that placement changes
+// where traffic goes, never how much of it there is or what it computes.
+
+// SimEngine is the slice of engine surface the invariant layer needs;
+// all four engines satisfy it.
+type SimEngine interface {
+	SimSeconds() float64
+	RunStats() numa.Stats
+	TrafficSnapshot(dst *numa.TrafficMatrix)
+	SnapshotSim()
+	RestoreSim()
+}
+
+// CheckTrafficConservation verifies the classified traffic matrix is
+// internally consistent: the grand total equals the per-node sums and
+// the per-level-per-pattern sums (the same bytes classified three ways),
+// and no cell is negative.
+func CheckTrafficConservation(tm *numa.TrafficMatrix) error {
+	total := tm.Total()
+	var nodeSum float64
+	for n := 0; n < tm.Nodes; n++ {
+		nodeSum += tm.NodeBytes(n)
+	}
+	var levelSum float64
+	for l := 0; l < tm.Levels; l++ {
+		levelSum += tm.LevelBytes(l, numa.Seq) + tm.LevelBytes(l, numa.Rand)
+	}
+	if !closeRel(total, nodeSum) {
+		return fmt.Errorf("traffic conservation: total %v != node sum %v", total, nodeSum)
+	}
+	if !closeRel(total, levelSum) {
+		return fmt.Errorf("traffic conservation: total %v != level sum %v", total, levelSum)
+	}
+	for i, c := range tm.Cells {
+		if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("traffic conservation: cell %d is %v", i, c)
+		}
+	}
+	return nil
+}
+
+// CheckRollbackResidue verifies a snapshot/rollback cycle leaves zero
+// residue: SnapshotSim, run work, RestoreSim — the simulated clock,
+// traffic matrix and access statistics must come back bit-identical to
+// the pre-snapshot state.
+func CheckRollbackResidue(e SimEngine, work func()) error {
+	before := &numa.TrafficMatrix{}
+	e.TrafficSnapshot(before)
+	clock := e.SimSeconds()
+	stats := e.RunStats()
+
+	e.SnapshotSim()
+	work()
+	e.RestoreSim()
+
+	after := &numa.TrafficMatrix{}
+	e.TrafficSnapshot(after)
+	if e.SimSeconds() != clock {
+		return fmt.Errorf("rollback residue: clock %v != %v", e.SimSeconds(), clock)
+	}
+	if e.RunStats() != stats {
+		return fmt.Errorf("rollback residue: stats %+v != %+v", e.RunStats(), stats)
+	}
+	if err := sameTraffic(before, after); err != nil {
+		return fmt.Errorf("rollback residue: %w", err)
+	}
+	return nil
+}
+
+// CheckDegreeCache verifies a subset's cached degree — however it was
+// produced (builder accumulation, memoized scan, full-frontier
+// shortcut) — matches a from-scratch rescan of the graph.
+func CheckDegreeCache(g *graph.Graph, s *state.Subset) error {
+	var want int64
+	s.ForEach(func(v graph.Vertex) { want += g.OutDegree(v) })
+	got := sg.ActiveDegree(g, s)
+	if got != want {
+		return fmt.Errorf("degree cache: ActiveDegree %d != rescan %d", got, want)
+	}
+	if cached, ok := s.Degree(); !ok || cached != want {
+		return fmt.Errorf("degree cache: cached %d (ok=%v) != rescan %d", cached, ok, want)
+	}
+	return nil
+}
+
+// sameTraffic demands bit-identical traffic matrices.
+func sameTraffic(a, b *numa.TrafficMatrix) error {
+	if a.Nodes != b.Nodes || a.Levels != b.Levels {
+		return fmt.Errorf("traffic shape %dx%d != %dx%d", a.Nodes, a.Levels, b.Nodes, b.Levels)
+	}
+	for i := range a.Cells {
+		if math.Float64bits(a.Cells[i]) != math.Float64bits(b.Cells[i]) {
+			return fmt.Errorf("traffic cell %d: %v != %v", i, a.Cells[i], b.Cells[i])
+		}
+	}
+	return nil
+}
+
+// closeRel compares two sums of the same cells added in different
+// orders.
+func closeRel(a, b float64) bool {
+	d := math.Abs(a - b)
+	return d <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}

@@ -1,0 +1,154 @@
+package conform
+
+import (
+	"fmt"
+
+	"polymer/internal/graph"
+)
+
+// Injected bugs: deliberately broken oracle variants used to prove the
+// harness detects divergences and that the shrinking reducer minimises
+// them. Each is a classic graph-analytics mistake; each has a tiny
+// canonical repro the reducer should find (documented per bug).
+
+// InjectedBug names one deliberately broken oracle variant.
+type InjectedBug string
+
+const (
+	// BugPRSelfLoop is PageRank that forgets self-loop in-edges while
+	// still counting them in the out-degree. Minimal repro: one vertex
+	// with one self-loop.
+	BugPRSelfLoop InjectedBug = "pr-selfloop"
+	// BugCCDirected is connected components that follows only out-edges,
+	// computing strongly- instead of weakly-connected reachability.
+	// Minimal repro: two vertices, one edge from the higher id to the
+	// lower.
+	BugCCDirected InjectedBug = "cc-directed"
+	// BugBFSOffByOne is BFS whose levels start at 1 instead of 0 for the
+	// source's neighbours... which is to say, at 2 hops for 1. Minimal
+	// repro: two vertices, one edge out of the source.
+	BugBFSOffByOne InjectedBug = "bfs-offbyone"
+)
+
+// InjectedBugs lists the available variants.
+func InjectedBugs() []InjectedBug {
+	return []InjectedBug{BugPRSelfLoop, BugCCDirected, BugBFSOffByOne}
+}
+
+// Algo returns the algorithm the bug variant computes.
+func (b InjectedBug) Algo() Algo {
+	switch b {
+	case BugPRSelfLoop:
+		return PR
+	case BugCCDirected:
+		return CC
+	case BugBFSOffByOne:
+		return BFS
+	}
+	panic(fmt.Sprintf("conform: unknown injected bug %q", b))
+}
+
+// BuggyRef runs the broken variant and returns its normalized output.
+func BuggyRef(b InjectedBug, g *graph.Graph, src graph.Vertex) []float64 {
+	switch b {
+	case BugPRSelfLoop:
+		return buggyPRSelfLoop(g)
+	case BugCCDirected:
+		return buggyCCDirected(g)
+	case BugBFSOffByOne:
+		return buggyBFSOffByOne(g, src)
+	}
+	panic(fmt.Sprintf("conform: unknown injected bug %q", b))
+}
+
+// CheckInjected compares the broken variant against the true oracle
+// under the algorithm's policy; a nil result means the bug is invisible
+// on this graph.
+func CheckInjected(b InjectedBug, g *graph.Graph, src graph.Vertex) *Divergence {
+	c := Case{Engine: Engine("injected:" + string(b)), Algo: b.Algo(), Topo: Intel80, Src: src}
+	want := Ref(b.Algo(), g, src)
+	got := BuggyRef(b, g, src)
+	return Compare(c, PolicyFor(b.Algo()), want.Out, got)
+}
+
+func buggyPRSelfLoop(g *graph.Graph) []float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	curr := make([]float64, n)
+	next := make([]float64, n)
+	invOut := make([]float64, n)
+	for v := 0; v < n; v++ {
+		curr[v] = 1 / float64(n)
+		if d := g.OutDegree(graph.Vertex(v)); d > 0 {
+			invOut[v] = 1 / float64(d)
+		}
+	}
+	base := (1 - Damping) / float64(n)
+	for it := 0; it < Iters; it++ {
+		for v := 0; v < n; v++ {
+			var sum float64
+			for _, u := range g.InNeighbors(graph.Vertex(v)) {
+				if int(u) == v {
+					continue // the bug: self-loops carry no rank
+				}
+				sum += curr[u] * invOut[u]
+			}
+			next[v] = base + Damping*sum
+		}
+		curr, next = next, curr
+	}
+	return curr
+}
+
+func buggyCCDirected(g *graph.Graph) []float64 {
+	n := g.NumVertices()
+	labels := make([]float64, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		if labels[v] >= 0 {
+			continue
+		}
+		labels[v] = float64(v)
+		queue := []graph.Vertex{graph.Vertex(v)}
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			// The bug: only out-edges, so reachability is directed.
+			for _, u := range g.OutNeighbors(x) {
+				if labels[u] < 0 {
+					labels[u] = float64(v)
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return labels
+}
+
+func buggyBFSOffByOne(g *graph.Graph, src graph.Vertex) []float64 {
+	n := g.NumVertices()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if n == 0 {
+		return dist
+	}
+	dist[src] = 0
+	queue := []graph.Vertex{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.OutNeighbors(v) {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 2 // the bug: each hop counts twice
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}

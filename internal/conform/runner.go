@@ -1,0 +1,233 @@
+package conform
+
+import (
+	"fmt"
+
+	"polymer/internal/algorithms"
+	"polymer/internal/core"
+	"polymer/internal/engines/galois"
+	"polymer/internal/engines/ligra"
+	"polymer/internal/engines/xstream"
+	"polymer/internal/graph"
+	"polymer/internal/numa"
+	"polymer/internal/sg"
+)
+
+// The fixed-iteration counts and constants every run uses, matching the
+// bench package ("the first five iterations" for the iterated kernels)
+// and the prdelta test conventions.
+const (
+	Iters      = 5
+	Damping    = 0.85
+	PRDEps     = 1e-10
+	PRDMaxIter = 250
+)
+
+// Case is one cell of the conformance matrix.
+type Case struct {
+	Engine Engine
+	Algo   Algo
+	Topo   Topo
+	// Nodes and Cores size the simulated machine (0,0 = 2x2).
+	Nodes, Cores int
+	// Src is the traversal source for BFS and SSSP.
+	Src graph.Vertex
+}
+
+func (c Case) String() string {
+	return fmt.Sprintf("%s/%s/%s[%dx%d]/src=%d", c.Engine, c.Algo, c.Topo, c.nodes(), c.cores(), c.Src)
+}
+
+func (c Case) nodes() int {
+	if c.Nodes == 0 {
+		return 2
+	}
+	return c.Nodes
+}
+
+func (c Case) cores() int {
+	if c.Cores == 0 {
+		return 2
+	}
+	return c.Cores
+}
+
+// Machine builds a fresh simulated machine for the case.
+func (c Case) Machine() *numa.Machine {
+	return numa.NewMachine(c.Topo.Topology(), c.nodes(), c.cores())
+}
+
+// Result is one run's normalized output: every algorithm's answer as
+// one float64 per vertex (BFS levels and CC labels widened), plus the
+// simulated clock and the convergence iteration count (PRDelta only).
+type Result struct {
+	Out        []float64
+	SimSeconds float64
+	Iters      int
+}
+
+// Run executes the case on a fresh machine and engine and returns the
+// normalized output. CC runs on the symmetrized graph, as everywhere
+// else in the repository.
+func Run(c Case, g *graph.Graph) Result {
+	if c.Algo == CC {
+		g = g.Symmetrized()
+	}
+	m := c.Machine()
+	switch c.Engine {
+	case Polymer, Ligra:
+		var e sg.Engine
+		if c.Engine == Polymer {
+			opt := core.DefaultOptions()
+			if c.Algo == PR || c.Algo == SpMV || c.Algo == BP {
+				opt.Mode = core.Push
+			}
+			e = core.MustNew(g, m, opt)
+		} else {
+			e = ligra.MustNew(g, m, ligra.DefaultOptions())
+		}
+		defer e.Close()
+		r := runSG(e, c)
+		r.SimSeconds = e.SimSeconds()
+		return r
+	case XStream:
+		h := sg.Hints{DataBytes: 8, Weighted: c.Algo.Weighted()}
+		if c.Algo == BP {
+			h.DataBytes = 16
+		}
+		e := xstream.MustNew(g, m, xstream.DefaultOptions(), h)
+		defer e.Close()
+		r := runXS(e, c)
+		r.SimSeconds = e.SimSeconds()
+		return r
+	case Galois:
+		e := galois.MustNew(g, m, galois.DefaultOptions())
+		defer e.Close()
+		r := runGalois(e, c)
+		r.SimSeconds = e.SimSeconds()
+		return r
+	}
+	panic(fmt.Sprintf("conform: unknown engine %q", c.Engine))
+}
+
+func runSG(e sg.Engine, c Case) Result {
+	n := e.Graph().NumVertices()
+	switch c.Algo {
+	case PR:
+		return Result{Out: algorithms.PageRank(e, Iters, Damping)}
+	case PRDelta:
+		out, iters := algorithms.PageRankDelta(e, PRDEps, PRDMaxIter)
+		return Result{Out: out, Iters: iters}
+	case SpMV:
+		return Result{Out: algorithms.SpMV(e, Iters, ones(n))}
+	case BP:
+		return Result{Out: algorithms.BP(e, Iters)}
+	case BFS:
+		return Result{Out: widenI(algorithms.BFS(e, c.Src))}
+	case CC:
+		return Result{Out: widenV(algorithms.CC(e))}
+	case SSSP:
+		return Result{Out: algorithms.SSSP(e, c.Src)}
+	}
+	panic("conform: unknown algorithm")
+}
+
+func runXS(e *xstream.Engine, c Case) Result {
+	n := e.Graph().NumVertices()
+	switch c.Algo {
+	case PR:
+		return Result{Out: algorithms.XSPageRank(e, Iters, Damping)}
+	case PRDelta:
+		out, iters := algorithms.XSPageRankDelta(e, PRDEps, PRDMaxIter)
+		return Result{Out: out, Iters: iters}
+	case SpMV:
+		return Result{Out: algorithms.XSSpMV(e, Iters, ones(n))}
+	case BP:
+		return Result{Out: algorithms.XSBP(e, Iters)}
+	case BFS:
+		return Result{Out: widenI(algorithms.XSBFS(e, c.Src))}
+	case CC:
+		return Result{Out: widenV(algorithms.XSCC(e))}
+	case SSSP:
+		return Result{Out: algorithms.XSSSSP(e, c.Src)}
+	}
+	panic("conform: unknown algorithm")
+}
+
+func runGalois(e *galois.Engine, c Case) Result {
+	n := e.Graph().NumVertices()
+	switch c.Algo {
+	case PR:
+		return Result{Out: e.PageRank(Iters, Damping)}
+	case PRDelta:
+		out, iters := e.PageRankDelta(PRDEps, PRDMaxIter)
+		return Result{Out: out, Iters: iters}
+	case SpMV:
+		return Result{Out: e.SpMV(Iters, ones(n))}
+	case BP:
+		return Result{Out: e.BP(Iters)}
+	case BFS:
+		return Result{Out: widenI(e.BFS(c.Src))}
+	case CC:
+		return Result{Out: widenV(e.CC())}
+	case SSSP:
+		return Result{Out: e.SSSP(c.Src)}
+	}
+	panic("conform: unknown algorithm")
+}
+
+// Ref runs the sequential oracle for the algorithm. PRDelta's oracle is
+// a long fixed-iteration power-method run: at eps=1e-10 the delta
+// formulation has converged well inside the PRDelta policy's absolute
+// tolerance.
+func Ref(a Algo, g *graph.Graph, src graph.Vertex) Result {
+	switch a {
+	case PR:
+		return Result{Out: algorithms.RefPageRank(g, Iters, Damping)}
+	case PRDelta:
+		return Result{Out: algorithms.RefPageRank(g, PRDMaxIter+20, Damping)}
+	case SpMV:
+		return Result{Out: algorithms.RefSpMV(g, Iters, ones(g.NumVertices()))}
+	case BP:
+		return Result{Out: algorithms.RefBP(g, Iters)}
+	case BFS:
+		return Result{Out: widenI(algorithms.RefBFS(g, src))}
+	case CC:
+		return Result{Out: widenV(algorithms.RefCC(g))}
+	case SSSP:
+		return Result{Out: algorithms.RefSSSP(g, src)}
+	}
+	panic("conform: unknown algorithm")
+}
+
+// Check runs the case and its oracle and returns the first divergence
+// under the algorithm's policy, or nil.
+func Check(c Case, g *graph.Graph) *Divergence {
+	want := Ref(c.Algo, g, c.Src)
+	got := Run(c, g)
+	return Compare(c, PolicyFor(c.Algo), want.Out, got.Out)
+}
+
+func ones(n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	return x
+}
+
+func widenI(xs []int64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+func widenV(xs []graph.Vertex) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package conform
+
+import "polymer/internal/graph"
+
+// Failing reports whether the harness still fails on the candidate
+// graph. Predicates must be deterministic: the reducer revisits
+// candidates and assumes stable verdicts.
+type Failing func(n int, edges []graph.Edge) bool
+
+// Shrink minimises a failing graph with a deterministic delta-debugging
+// pass: ddmin over the edge list (chunk removal with halving
+// granularity down to single edges), then vertex compaction (drop
+// isolated vertices and renumber the rest densely). Every reduction is
+// re-validated through fails, so the result is the smallest graph the
+// reducer found that still fails — a loadable, human-readable repro.
+func Shrink(n int, edges []graph.Edge, fails Failing) (int, []graph.Edge) {
+	cur := append([]graph.Edge(nil), edges...)
+	if !fails(n, cur) {
+		return n, cur // not failing to begin with: nothing to minimise
+	}
+
+	// ddmin over edges.
+	for gran := 2; len(cur) > 0; {
+		chunk := (len(cur) + gran - 1) / gran
+		reduced := false
+		for start := 0; start < len(cur); start += chunk {
+			end := min(start+chunk, len(cur))
+			cand := make([]graph.Edge, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if fails(n, cand) {
+				cur = cand
+				gran = max(gran-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if gran >= len(cur) {
+				break
+			}
+			gran = min(gran*2, len(cur))
+		}
+	}
+
+	// Vertex compaction: keep only vertices incident to a surviving
+	// edge, renumbered in ascending order. Adopted only if the compacted
+	// graph still fails (the failure may live in an isolated vertex).
+	used := make([]bool, n)
+	for _, e := range cur {
+		used[e.Src] = true
+		used[e.Dst] = true
+	}
+	remap := make([]graph.Vertex, n)
+	k := 0
+	for v := 0; v < n; v++ {
+		if used[v] {
+			remap[v] = graph.Vertex(k)
+			k++
+		}
+	}
+	if k < n {
+		cand := make([]graph.Edge, len(cur))
+		for i, e := range cur {
+			cand[i] = graph.Edge{Src: remap[e.Src], Dst: remap[e.Dst], Wt: e.Wt}
+		}
+		candN := k
+		if candN == 0 && len(cand) == 0 {
+			// Try the truly empty graph first, then a single vertex.
+			if fails(0, nil) {
+				return 0, nil
+			}
+			if fails(1, nil) {
+				return 1, nil
+			}
+		}
+		if candN > 0 && fails(candN, cand) {
+			return candN, cand
+		}
+	}
+	return n, cur
+}

@@ -1,0 +1,105 @@
+package conform
+
+import (
+	"testing"
+
+	"polymer/internal/gen"
+	"polymer/internal/graph"
+)
+
+// failsInjected builds the shrink predicate for an injected-bug oracle:
+// the candidate graph still fails while the broken variant diverges from
+// the true oracle on it.
+func failsInjected(b InjectedBug) Failing {
+	return func(n int, edges []graph.Edge) bool {
+		g := graph.FromEdges(n, edges, false)
+		return CheckInjected(b, g, 0) != nil
+	}
+}
+
+// seedGraph is a random graph every injected bug is visible on.
+func seedGraph(t *testing.T, b InjectedBug) (int, []graph.Edge) {
+	t.Helper()
+	n, edges := gen.Uniform(64, 300, 3)
+	// Guarantee the bug's trigger exists regardless of the random draw:
+	// a self-loop for pr-selfloop, a back-edge into vertex 0 for
+	// cc-directed and bfs-offbyone (0 has out-edges with high probability
+	// already; the loop below makes a divergent hop certain).
+	edges = append(edges, graph.Edge{Src: 9, Dst: 9}, graph.Edge{Src: 17, Dst: 0}, graph.Edge{Src: 0, Dst: 33})
+	if !failsInjected(b)(n, edges) {
+		t.Fatalf("seed graph does not expose %s", b)
+	}
+	return n, edges
+}
+
+// TestShrinkMinimizesInjectedBugs: the reducer must take each injected
+// bug from a 300-edge random graph down to its documented canonical
+// repro.
+func TestShrinkMinimizesInjectedBugs(t *testing.T) {
+	want := map[InjectedBug]struct{ n, edges int }{
+		BugPRSelfLoop:  {1, 1}, // one vertex, one self-loop
+		BugCCDirected:  {2, 1}, // two vertices, one directed edge
+		BugBFSOffByOne: {2, 1}, // source plus one out-neighbour
+	}
+	for _, b := range InjectedBugs() {
+		t.Run(string(b), func(t *testing.T) {
+			n, edges := seedGraph(t, b)
+			sn, sedges := Shrink(n, edges, failsInjected(b))
+			if !failsInjected(b)(sn, sedges) {
+				t.Fatalf("shrunk graph no longer fails: n=%d edges=%v", sn, sedges)
+			}
+			w := want[b]
+			if sn != w.n || len(sedges) != w.edges {
+				t.Fatalf("shrunk to n=%d |E|=%d (%v), want n=%d |E|=%d", sn, len(sedges), sedges, w.n, w.edges)
+			}
+		})
+	}
+}
+
+// TestShrinkDeterministic: the reducer revisits candidates, so it must
+// produce the identical minimal graph on every invocation.
+func TestShrinkDeterministic(t *testing.T) {
+	n, edges := seedGraph(t, BugCCDirected)
+	n1, e1 := Shrink(n, append([]graph.Edge(nil), edges...), failsInjected(BugCCDirected))
+	n2, e2 := Shrink(n, append([]graph.Edge(nil), edges...), failsInjected(BugCCDirected))
+	if n1 != n2 || len(e1) != len(e2) {
+		t.Fatalf("nondeterministic shrink: (%d,%d) vs (%d,%d)", n1, len(e1), n2, len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("nondeterministic shrink at edge %d: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+}
+
+// TestShrinkPassingInputUnchanged: a graph that does not fail is
+// returned as-is.
+func TestShrinkPassingInputUnchanged(t *testing.T) {
+	n, edges := gen.Chain(8)
+	sn, sedges := Shrink(n, edges, func(int, []graph.Edge) bool { return false })
+	if sn != n || len(sedges) != len(edges) {
+		t.Fatalf("passing input was modified: n=%d |E|=%d", sn, len(sedges))
+	}
+}
+
+// TestInjectedBugsVisibleOnAdversarialCorpus: every injected bug is
+// caught by at least one adversarial shape, and none of them diverge on
+// the empty graph (the harness must not cry wolf).
+func TestInjectedBugsVisibleOnAdversarialCorpus(t *testing.T) {
+	for _, b := range InjectedBugs() {
+		caught := false
+		for _, shape := range gen.Adversarial() {
+			g := graph.FromEdges(shape.N, shape.Edges, false)
+			if CheckInjected(b, g, 0) != nil {
+				caught = true
+				break
+			}
+		}
+		if !caught {
+			t.Errorf("%s not visible on any adversarial shape", b)
+		}
+		if d := CheckInjected(b, graph.FromEdges(0, nil, false), 0); d != nil {
+			t.Errorf("%s diverges on the empty graph: %v", b, d)
+		}
+	}
+}

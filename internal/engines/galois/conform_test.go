@@ -1,0 +1,26 @@
+package galois_test
+
+import (
+	"testing"
+
+	"polymer/internal/conform"
+	"polymer/internal/gen"
+	"polymer/internal/graph"
+)
+
+// TestConformance pins the Galois engine against the sequential oracles
+// for every algorithm; the cross-engine matrix lives in
+// internal/conform, this is the engine-local regression hook.
+func TestConformance(t *testing.T) {
+	n, e := gen.Powerlaw(160, 4, 2.0, 21)
+	gen.AddRandomWeights(e, 22)
+	g := graph.FromEdges(n, e, true)
+	for _, alg := range conform.Algos() {
+		c := conform.Case{Engine: conform.Galois, Algo: alg, Topo: conform.AMD64, Src: 2}
+		t.Run(c.String(), func(t *testing.T) {
+			if d := conform.Check(c, g); d != nil {
+				t.Fatal(d)
+			}
+		})
+	}
+}

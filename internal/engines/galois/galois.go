@@ -418,7 +418,7 @@ func (e *Engine) SpMV(iters int, x0 []float64) []float64 {
 					for j, u := range nbrs {
 						edges++
 						w := 1.0
-						if wts != nil {
+						if wts != nil && wts[j] != 0 {
 							w = float64(wts[j])
 						}
 						sum += w * x[u]
@@ -491,6 +491,9 @@ func (e *Engine) BFS(src graph.Vertex) []int64 {
 	n := g.NumVertices()
 	const unreached = math.MaxInt64
 	dist := make([]int64, n)
+	if n == 0 {
+		return dist
+	}
 	e.trackData(int64(n) * 8)
 	for i := range dist {
 		dist[i] = unreached
@@ -625,6 +628,9 @@ func (e *Engine) SSSP(src graph.Vertex) []float64 {
 	n := g.NumVertices()
 	delta := e.opt.Delta
 	dist := make([]float64, n)
+	if n == 0 {
+		return dist
+	}
 	e.trackData(int64(n) * 8)
 	for i := range dist {
 		dist[i] = math.Inf(1)

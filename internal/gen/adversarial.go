@@ -1,0 +1,83 @@
+package gen
+
+import (
+	"strconv"
+
+	"polymer/internal/graph"
+)
+
+// Named is an adversarial graph shape used by the conformance harness:
+// a corner-case topology that stresses engine edge handling (empty
+// inputs, self-loops, duplicate edges, extreme skew, disconnection, and
+// sizes straddling the 64-bit bitmap-word and power-of-two partition
+// boundaries).
+type Named struct {
+	Name  string
+	N     int
+	Edges []graph.Edge
+}
+
+// Adversarial returns the conformance corpus of corner-case graphs. The
+// set is deterministic: no seeds, no randomness, so a failure names a
+// reproducible shape.
+func Adversarial() []Named {
+	var out []Named
+	add := func(name string, n int, edges []graph.Edge) {
+		out = append(out, Named{Name: name, N: n, Edges: edges})
+	}
+
+	add("empty", 0, nil)
+	add("single-vertex", 1, nil)
+	add("single-self-loop", 1, []graph.Edge{{Src: 0, Dst: 0}})
+
+	// Every vertex loops onto itself: each rank/label update sources and
+	// targets the same slot, the tightest aliasing an edge kernel sees.
+	nl := 9
+	loops := make([]graph.Edge, nl)
+	for v := 0; v < nl; v++ {
+		loops[v] = graph.Edge{Src: graph.Vertex(v), Dst: graph.Vertex(v)}
+	}
+	add("all-self-loops", nl, loops)
+
+	// The same edge repeated: multigraph semantics must match between
+	// CSR-driven engines and the edge-streaming one.
+	add("duplicate-edges", 3, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 1}, {Src: 0, Dst: 1},
+		{Src: 1, Dst: 2}, {Src: 1, Dst: 2},
+	})
+
+	// Degree skew in both directions: one source fanning out, and one
+	// sink absorbing every edge (the transpose).
+	ns := 33
+	star := make([]graph.Edge, 0, ns-1)
+	rstar := make([]graph.Edge, 0, ns-1)
+	for v := 1; v < ns; v++ {
+		star = append(star, graph.Edge{Src: 0, Dst: graph.Vertex(v)})
+		rstar = append(rstar, graph.Edge{Src: graph.Vertex(v), Dst: 0})
+	}
+	add("star-out", ns, star)
+	add("star-in", ns, rstar)
+
+	// High diameter: frontier of size one for n-1 supersteps.
+	np, path := Chain(17)
+	add("path", np, path)
+
+	// Two components plus isolated vertices: unreachable-vertex handling
+	// (-1 levels, +Inf distances, per-component CC labels).
+	var disc []graph.Edge
+	for v := 0; v+1 < 5; v++ {
+		disc = append(disc, graph.Edge{Src: graph.Vertex(v), Dst: graph.Vertex(v + 1)})
+	}
+	for v := 8; v+1 < 12; v++ {
+		disc = append(disc, graph.Edge{Src: graph.Vertex(v), Dst: graph.Vertex(v + 1)})
+	}
+	add("disconnected", 15, disc) // vertices 5..7 and 12..14 isolated
+
+	// Sizes straddling the 64-bit bitmap word boundary and a power of
+	// two: off-by-one bugs in dense-subset tails live exactly here.
+	for _, n := range []int{63, 64, 65, 127, 128, 129} {
+		cn, cyc := Cycle(n)
+		add("cycle-"+strconv.Itoa(n), cn, cyc)
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package gen
+
+import (
+	"testing"
+
+	"polymer/internal/graph"
+)
+
+func TestAdversarialShapes(t *testing.T) {
+	shapes := Adversarial()
+	if len(shapes) < 10 {
+		t.Fatalf("corpus too small: %d shapes", len(shapes))
+	}
+	seen := map[string]bool{}
+	for _, s := range shapes {
+		if seen[s.Name] {
+			t.Fatalf("duplicate shape name %q", s.Name)
+		}
+		seen[s.Name] = true
+		for _, e := range s.Edges {
+			if int(e.Src) >= s.N || int(e.Dst) >= s.N {
+				t.Fatalf("%s: edge (%d,%d) outside [0,%d)", s.Name, e.Src, e.Dst, s.N)
+			}
+		}
+		// Every shape must build a CSR without panicking, in both the
+		// plain and symmetrized forms the engines consume.
+		g := graph.FromEdges(s.N, s.Edges, false)
+		if g.NumVertices() != s.N || g.NumEdges() != int64(len(s.Edges)) {
+			t.Fatalf("%s: CSR mismatch %d/%d vertices, %d/%d edges",
+				s.Name, g.NumVertices(), s.N, g.NumEdges(), len(s.Edges))
+		}
+		g.Symmetrized()
+	}
+	for _, want := range []string{"empty", "single-self-loop", "duplicate-edges", "disconnected", "cycle-64", "cycle-129"} {
+		if !seen[want] {
+			t.Fatalf("missing shape %q", want)
+		}
+	}
+}
+
+func TestAdversarialDeterministic(t *testing.T) {
+	a, b := Adversarial(), Adversarial()
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic corpus size")
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].N != b[i].N || len(a[i].Edges) != len(b[i].Edges) {
+			t.Fatalf("shape %d differs between calls", i)
+		}
+		for j := range a[i].Edges {
+			if a[i].Edges[j] != b[i].Edges[j] {
+				t.Fatalf("%s: edge %d differs between calls", a[i].Name, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package sg
+
+import (
+	"testing"
+
+	"polymer/internal/gen"
+	"polymer/internal/graph"
+	"polymer/internal/state"
+)
+
+// TestActiveDegreeMemoizes: the first call scans (or shortcuts) and
+// records the sum on the subset; the second call must serve the cached
+// value, including for the empty subset, whose legitimate sum of 0 must
+// not be confused with "unknown".
+func TestActiveDegreeMemoizes(t *testing.T) {
+	n, edges := gen.Star(12)
+	g := graph.FromEdges(n, edges, false)
+	bounds := []int{0, 6, 12}
+
+	for _, tc := range []struct {
+		name string
+		s    *state.Subset
+		want int64
+	}{
+		{"all", state.NewAll(bounds), g.NumEdges()},
+		{"empty", state.NewEmpty(bounds), 0},
+		{"hub", state.NewSingle(bounds, 0), 11},
+		{"leaves", state.FromVertices(bounds, []graph.Vertex{2, 9}), 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, ok := tc.s.Degree(); ok && tc.name != "empty" && tc.name != "leaves" {
+				// NewAll/NewSingle construct with an unknown degree; the
+				// sparse builders may legitimately have accumulated one.
+				t.Fatalf("degree unexpectedly cached before first use")
+			}
+			if got := ActiveDegree(g, tc.s); got != tc.want {
+				t.Fatalf("ActiveDegree = %d, want %d", got, tc.want)
+			}
+			cached, ok := tc.s.Degree()
+			if !ok || cached != tc.want {
+				t.Fatalf("after ActiveDegree: cached=(%d,%v), want (%d,true)", cached, ok, tc.want)
+			}
+			if got := ActiveDegree(g, tc.s); got != tc.want {
+				t.Fatalf("second ActiveDegree = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestActiveDegreeTrustsCache: ActiveDegree is a cache, not a validator —
+// a deliberately poisoned SetDegree value must be returned as-is. (The
+// conformance suite's degree-cache invariant is what checks cached
+// values against rescans; this pins the contract that makes that check
+// meaningful.)
+func TestActiveDegreeTrustsCache(t *testing.T) {
+	n, edges := gen.Chain(8)
+	g := graph.FromEdges(n, edges, false)
+	bounds := []int{0, 8}
+	s := state.NewSingle(bounds, 0)
+	s.SetDegree(1 << 40)
+	if got := ActiveDegree(g, s); got != 1<<40 {
+		t.Fatalf("ActiveDegree must serve the cached value, got %d", got)
+	}
+}
+
+// TestActiveDegreeFullFrontierShortcut: the all-active subset must
+// resolve to NumEdges without scanning — observable on a graph where a
+// scan and the shortcut agree, with the shortcut also memoized.
+func TestActiveDegreeFullFrontierShortcut(t *testing.T) {
+	n, edges := gen.Cycle(64)
+	g := graph.FromEdges(n, edges, false)
+	bounds := []int{0, 64}
+	all := state.NewAll(bounds)
+	if got := ActiveDegree(g, all); got != g.NumEdges() {
+		t.Fatalf("full frontier degree = %d, want %d", got, g.NumEdges())
+	}
+	if cached, ok := all.Degree(); !ok || cached != g.NumEdges() {
+		t.Fatalf("shortcut not memoized: (%d,%v)", cached, ok)
+	}
+}

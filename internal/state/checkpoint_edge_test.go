@@ -1,0 +1,102 @@
+package state
+
+import "testing"
+
+// TestCheckpointEmpty: a checkpoint with nothing tracked — the
+// empty-frontier / zero-state corner — must Save and Restore as no-ops
+// and report a zero footprint.
+func TestCheckpointEmpty(t *testing.T) {
+	c := NewCheckpoint()
+	c.Save()
+	c.Restore()
+	if c.Tracked() != 0 || c.Bytes() != 0 {
+		t.Fatalf("empty checkpoint: tracked=%d bytes=%d", c.Tracked(), c.Bytes())
+	}
+	// Zero-length tracked slices are equally legal (an algorithm on the
+	// empty graph tracks its zero-length vertex arrays).
+	c.TrackF64([]float64{})
+	c.TrackU32(nil)
+	c.Save()
+	c.Restore()
+	if c.Tracked() != 2 || c.Bytes() != 0 {
+		t.Fatalf("zero-length tracking: tracked=%d bytes=%d", c.Tracked(), c.Bytes())
+	}
+}
+
+// TestCheckpointDoubleRestore: Restore must be re-runnable — a second
+// rollback (the injector can fault the same step twice) lands on the
+// same snapshot, even with fresh mutations in between.
+func TestCheckpointDoubleRestore(t *testing.T) {
+	x := []float64{1, 2, 3}
+	u := []uint32{7, 8}
+	c := NewCheckpoint()
+	c.TrackF64(x)
+	c.TrackU32(u)
+	c.Save()
+
+	x[0], u[1] = 99, 99
+	c.Restore()
+	if x[0] != 1 || u[1] != 8 {
+		t.Fatalf("first restore: x=%v u=%v", x, u)
+	}
+	x[1], x[2], u[0] = -5, -6, 42
+	c.Restore()
+	if x[0] != 1 || x[1] != 2 || x[2] != 3 || u[0] != 7 || u[1] != 8 {
+		t.Fatalf("second restore: x=%v u=%v", x, u)
+	}
+}
+
+// TestCheckpointSaveOverwritesSnapshot: a later Save must replace the
+// snapshot, not accumulate; Restore then yields the latest saved state.
+func TestCheckpointSaveOverwritesSnapshot(t *testing.T) {
+	x := []int64{10, 20}
+	c := NewCheckpoint()
+	c.TrackI64(x)
+	c.Save()
+	x[0] = 11
+	c.Save() // snapshot now holds {11, 20}
+	x[0], x[1] = 0, 0
+	c.Restore()
+	if x[0] != 11 || x[1] != 20 {
+		t.Fatalf("restore after re-save: %v", x)
+	}
+}
+
+// TestCheckpointTrackAfterSave: a slice tracked after a Save has a
+// zero-valued save buffer until the next Save — restoring before that
+// zeroes it, the documented "track before first Save" contract that the
+// fault sessions rely on.
+func TestCheckpointTrackAfterSave(t *testing.T) {
+	x := []float64{1}
+	y := []uint8{5}
+	c := NewCheckpoint()
+	c.TrackF64(x)
+	c.Save()
+	c.TrackU8(y)
+	c.Restore()
+	if y[0] != 0 {
+		t.Fatalf("late-tracked slice must restore to its zero-valued buffer, got %d", y[0])
+	}
+	y[0] = 9
+	c.Save()
+	y[0] = 3
+	c.Restore()
+	if y[0] != 9 {
+		t.Fatalf("after next Save the late-tracked slice must round-trip, got %d", y[0])
+	}
+}
+
+// TestCheckpointBytesAccounting: Bytes must reflect element widths.
+func TestCheckpointBytesAccounting(t *testing.T) {
+	c := NewCheckpoint()
+	c.TrackF64(make([]float64, 3)) // 24
+	c.TrackU32(make([]uint32, 5))  // 20
+	c.TrackI64(make([]int64, 2))   // 16
+	c.TrackU8(make([]uint8, 7))    // 7
+	if got, want := c.Bytes(), int64(24+20+16+7); got != want {
+		t.Fatalf("Bytes = %d, want %d", got, want)
+	}
+	if c.Tracked() != 4 {
+		t.Fatalf("Tracked = %d, want 4", c.Tracked())
+	}
+}

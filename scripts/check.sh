@@ -13,7 +13,7 @@ go vet ./...
 echo "==> errcheck (error-returning APIs in statement position)"
 sh scripts/errcheck.sh
 
-echo "==> go test -race (engines, core, state, par, fault, numa, serve, obs)"
+echo "==> go test -race (engines, core, state, par, fault, numa, serve, obs, conform)"
 go test -race \
 	./internal/core/... \
 	./internal/engines/... \
@@ -22,7 +22,8 @@ go test -race \
 	./internal/fault/... \
 	./internal/numa/... \
 	./internal/serve/... \
-	./internal/obs/...
+	./internal/obs/... \
+	./internal/conform/...
 
 echo "==> go test -race fault matrix (rollback/replay across all engines)"
 go test -race -run 'TestFaultMatrix|TestPolymerDegraded|TestResilientRanks' .
