@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench trace conform conform-nightly
+.PHONY: build test check bench bench-serving trace conform conform-nightly
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,13 @@ conform-nightly:
 # Host wall-clock hot-path benchmarks (compare against BENCH_baseline.json).
 bench:
 	$(GO) test -bench HotPath -benchmem -benchtime 20x -count 3 -run '^$$' .
+
+# Serving-layer benchmark: the same duplicate-heavy Zipf schedule against
+# a server with the execution-reuse layer (coalescing + batching + result
+# cache) off and on. Writes BENCH_serving.json and gates on the checked-in
+# machine-independent goodput ratio.
+bench-serving:
+	$(GO) run ./cmd/servebench -baseline BENCH_serving.json -out BENCH_serving_current.json
 
 # Traced PageRank run: per-superstep breakdown on stdout, Chrome trace
 # JSON in trace.json (open in https://ui.perfetto.dev or chrome://tracing).

@@ -1,8 +1,11 @@
 // Command polymerd serves graph-analytics requests over HTTP/JSON with
 // production robustness: bounded admission with load shedding, per-request
 // deadlines, retry with backoff over checkpoint/rollback recovery, a
-// per-engine circuit breaker with degraded-mode fallback, and graceful
-// drain on SIGTERM/SIGINT.
+// per-engine circuit breaker with degraded-mode fallback, graceful drain
+// on SIGTERM/SIGINT, and an execution-reuse layer — identical in-flight
+// requests coalesce into one run, traversal point queries batch into
+// multi-source sweeps, and full-fidelity results replay from a versioned
+// cache until the dataset is invalidated.
 //
 // Usage:
 //
@@ -11,6 +14,7 @@
 //	curl -s localhost:8080/run -d '{"algo":"pr","system":"polymer","graph":"powerlaw","scale":"tiny"}'
 //	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/metricsz
+//	curl -s -X POST 'localhost:8080/invalidatez?graph=powerlaw'   # dataset refresh hook
 //	curl -s localhost:8080/debugz/trace   # flight recorder dump
 package main
 
@@ -41,6 +45,11 @@ func main() {
 	breakerFlag := flag.Int("breaker-threshold", 3, "consecutive failures that trip an engine's circuit")
 	cooldownFlag := flag.Duration("breaker-cooldown", 2*time.Second, "open-circuit period before a half-open probe")
 	cacheFlag := flag.Int64("graph-cache-bytes", 0, "graph cache budget in topology bytes (0 = 1 GiB default, negative = unbounded)")
+	resultCacheFlag := flag.Int64("result-cache-bytes", 0, "result cache budget in bytes (0 = 64 MiB default, negative disables)")
+	noCoalesceFlag := flag.Bool("no-coalesce", false, "disable execution coalescing of identical in-flight requests")
+	noBatchFlag := flag.Bool("no-batch", false, "disable multi-source batching of traversal queries")
+	batchMaxFlag := flag.Int("batch-max", 16, "max distinct sources fused into one multi-source sweep (cap 64)")
+	batchLingerFlag := flag.Duration("batch-linger", 0, "extra time a dequeued batch group waits for stragglers (0 = seal at dequeue)")
 	traceReqFlag := flag.Int("trace-requests", 256, "flight recorder: last N request spans kept for /debugz/trace (0 disables the recorder with -trace-steps 0)")
 	traceStepFlag := flag.Int("trace-steps", 4096, "flight recorder: last N engine/fault events kept for /debugz/trace")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
@@ -66,6 +75,11 @@ func main() {
 		BreakerThreshold: *breakerFlag,
 		BreakerCooldown:  *cooldownFlag,
 		GraphCacheBytes:  *cacheFlag,
+		ResultCacheBytes: *resultCacheFlag,
+		DisableCoalesce:  *noCoalesceFlag,
+		DisableBatch:     *noBatchFlag,
+		BatchMax:         *batchMaxFlag,
+		BatchLinger:      *batchLingerFlag,
 		Tracer:           tr,
 		Recorder:         rec,
 		Logger:           logger,

@@ -230,6 +230,54 @@ func BFSE(e sg.Engine, src graph.Vertex, sess *fault.Session) ([]int64, error) {
 	return levels, nil
 }
 
+// SSSPE is the fault-session-capable single-source shortest paths:
+// synchronous data-driven Bellman-Ford, one fault.Step per relaxation
+// round, with the distance array checkpointed and the frontier adopted
+// only after each step commits. The committed distances are the unique
+// least fixed point of the relaxation system, so they are bit-identical
+// to a fault-free run.
+func SSSPE(e sg.Engine, src graph.Vertex, sess *fault.Session) ([]float64, error) {
+	g := e.Graph()
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, nil
+	}
+	distA := e.NewData("sssp/dist")
+	k := ssspKernel{dist: distA.Data}
+	for i := range k.dist {
+		k.dist[i] = infinity
+	}
+	k.dist[src] = 0
+	frontier := state.NewSingle(e.Bounds(), src)
+	if sess != nil {
+		sess.TrackF64(k.dist)
+		sess.Frontier(
+			func() *state.Subset { return frontier },
+			func(f *state.Subset) { frontier = f },
+		)
+	}
+	wd := fault.Watchdog{MaxSteps: n + 1}
+	for step := 0; !frontier.IsEmpty(); step++ {
+		var nf *state.Subset
+		sp := obs.BeginStep(e, step)
+		err := fault.Step(sess, step, func() error {
+			nf = edgeMap(e, frontier, k, ssspHints)
+			return e.Err()
+		})
+		if err != nil {
+			return nil, err
+		}
+		sp.End()
+		frontier = nf
+		if err := wd.Tick(frontier.Count()); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]float64, n)
+	copy(out, k.dist)
+	return out, nil
+}
+
 // XSPageRankE is the fault-session-capable X-Stream PageRank. The active
 // edge-set lives inside the engine, so its snapshot rides on the engine's
 // SnapshotSim rather than the session's frontier accessors.

@@ -104,3 +104,24 @@ func MinInt64(p *int64, v int64) bool {
 func CASUint32(p *uint32, old, new uint32) bool {
 	return atomic.CompareAndSwapUint32(p, old, new)
 }
+
+// OrUint64 atomically sets *p |= v and returns the bits that were newly
+// set (v &^ old). Multi-source traversal kernels use the return value as
+// the per-source claim: each bit transitions 0->1 exactly once across
+// all racing updaters.
+func OrUint64(p *uint64, v uint64) uint64 {
+	for {
+		old := atomic.LoadUint64(p)
+		fresh := v &^ old
+		if fresh == 0 {
+			return 0
+		}
+		if atomic.CompareAndSwapUint64(p, old, old|v) {
+			return fresh
+		}
+	}
+}
+
+// LoadUint64 is a convenience re-export of atomic.LoadUint64 for kernels
+// that mix atomic claims with condition checks on the same word.
+func LoadUint64(p *uint64) uint64 { return atomic.LoadUint64(p) }

@@ -41,8 +41,8 @@ func (r ResilienceReport) Format() string {
 // the committed simulated result is bit-identical to a fault-free run.
 // mk builds a fresh machine per attempt: a setup-time allocation failure
 // (spec "alloc@-1") is recovered by whole-run restart, which discards the
-// partially charged machine. PR is supported on all four systems; BFS on
-// the scatter-gather systems (Polymer, Ligra).
+// partially charged machine. PR is supported on all four systems; BFS and
+// SSSP on the scatter-gather systems (Polymer, Ligra).
 func RunResilient(sys System, alg Algo, g *graph.Graph, mk func() *numa.Machine, inj *fault.Injector, maxRestarts int) (RunResult, ResilienceReport, error) {
 	return RunResilientFrom(sys, alg, g, mk, inj, maxRestarts, 0)
 }
@@ -169,6 +169,12 @@ func runResilientOnce(ctx context.Context, sys System, alg Algo, g *graph.Graph,
 					return err
 				}
 				r.Checksum = sumI(levels)
+			case SSSP:
+				dist, err := algorithms.SSSPE(e, opt.Src, sess)
+				if err != nil {
+					return err
+				}
+				r.Checksum = sumFinite(dist)
 			default:
 				return fmt.Errorf("bench: resilient %s unsupported on %s", alg, sys)
 			}

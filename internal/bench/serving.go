@@ -1,0 +1,136 @@
+// Serving-workload machinery for the duplicate-heavy benchmark behind
+// cmd/servebench: a deterministic Zipf request schedule (production point
+// -query traffic is head-heavy — a few hot queries dominate) and latency
+// summary statistics. Lives in bench, not serve, so the benchmark driver
+// can share it without an import cycle.
+
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ServingQuery is one wire request in a serving workload.
+type ServingQuery struct {
+	// Name labels the query for reporting (e.g. "bfs/src=3").
+	Name string `json:"name"`
+	// Body is the POST /run JSON payload.
+	Body string `json:"body"`
+}
+
+// ServingPopulation builds the query population for the duplicate-heavy
+// serving workload: PageRank on both scatter-gather engines followed by
+// BFS and SSSP point queries over distinct sources, all on the powerlaw
+// dataset at tiny scale. Rank order matters — ZipfSchedule weights the
+// head of the slice most heavily, so the hottest queries are the ones
+// coalescing and caching can absorb, while the traversal tail is batcher
+// fodder.
+func ServingPopulation(sources int) []ServingQuery {
+	pop := []ServingQuery{
+		{Name: "pr/polymer", Body: `{"algo":"pr","system":"polymer","graph":"powerlaw","scale":"tiny"}`},
+		{Name: "pr/ligra", Body: `{"algo":"pr","system":"ligra","graph":"powerlaw","scale":"tiny"}`},
+	}
+	for i := 0; i < sources; i++ {
+		pop = append(pop, ServingQuery{
+			Name: fmt.Sprintf("bfs/src=%d", i),
+			Body: fmt.Sprintf(`{"algo":"bfs","system":"ligra","graph":"powerlaw","scale":"tiny","src":%d}`, i),
+		})
+	}
+	for i := 0; i < sources/4; i++ {
+		pop = append(pop, ServingQuery{
+			Name: fmt.Sprintf("sssp/src=%d", i),
+			Body: fmt.Sprintf(`{"algo":"sssp","system":"ligra","graph":"powerlaw","scale":"tiny","src":%d}`, i),
+		})
+	}
+	return pop
+}
+
+// ZipfSchedule draws n queries from pop with Zipf(s) popularity over the
+// rank order: P(rank i) ~ 1/(i+1)^s. Deterministic in seed, so before-
+// and after-arms of a benchmark replay the identical request stream.
+func ZipfSchedule(pop []ServingQuery, n int, s float64, seed uint64) []ServingQuery {
+	if len(pop) == 0 || n <= 0 {
+		return nil
+	}
+	// Inverse-CDF sampling over the finite harmonic weights.
+	cdf := make([]float64, len(pop))
+	total := 0.0
+	for i := range pop {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	out := make([]ServingQuery, n)
+	z := seed
+	for i := range out {
+		// splitmix64: deterministic, platform-stable.
+		z += 0x9e3779b97f4a7c15
+		x := z
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		x ^= x >> 31
+		u := float64(x>>11) / (1 << 53) * total
+		out[i] = pop[sort.SearchFloat64s(cdf, u)]
+	}
+	return out
+}
+
+// ServingStats summarizes one benchmark arm.
+type ServingStats struct {
+	Requests   int     `json:"requests"`
+	OK         int     `json:"ok"`
+	Errors     int     `json:"errors"`
+	ShedRetry  int     `json:"shed_retries"`
+	WallSecs   float64 `json:"wall_secs"`
+	GoodputRPS float64 `json:"goodput_rps"`
+	MeanMs     float64 `json:"mean_ms"`
+	P50Ms      float64 `json:"p50_ms"`
+	P95Ms      float64 `json:"p95_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+}
+
+// SummarizeServing folds per-request latencies (milliseconds) and
+// outcome counts into one arm's stats. latencies is sorted in place.
+func SummarizeServing(latencies []float64, ok, errs, shedRetries int, wallSecs float64) ServingStats {
+	sort.Float64s(latencies)
+	st := ServingStats{
+		Requests:  len(latencies),
+		OK:        ok,
+		Errors:    errs,
+		ShedRetry: shedRetries,
+		WallSecs:  wallSecs,
+		MeanMs:    mean(latencies),
+		P50Ms:     Percentile(latencies, 50),
+		P95Ms:     Percentile(latencies, 95),
+		P99Ms:     Percentile(latencies, 99),
+	}
+	if wallSecs > 0 {
+		st.GoodputRPS = float64(ok) / wallSecs
+	}
+	return st
+}
+
+// Percentile reads the p-th percentile (nearest-rank) from a sorted
+// slice.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

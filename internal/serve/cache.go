@@ -8,6 +8,7 @@ package serve
 
 import (
 	"container/list"
+	"strings"
 	"sync"
 
 	"polymer/internal/graph"
@@ -144,6 +145,34 @@ func (c *graphCache) evictLocked() {
 		}
 		el = prev
 	}
+}
+
+// invalidate drops every resident unpinned entry whose dataset matches.
+// Pinned entries (a run in progress) and in-flight loads are left alone:
+// they finish against the snapshot they started with, and the result-
+// cache version bump guarantees their outputs are never served as fresh.
+// Returns the number of entries dropped.
+func (c *graphCache) invalidate(dataset string) int {
+	prefix := dataset + "|"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.lru.Back(); el != nil; {
+		e := el.Value.(*cacheEntry)
+		prev := el.Prev()
+		if e.refs == 0 && strings.HasPrefix(e.key, prefix) {
+			c.lru.Remove(el)
+			e.elem = nil
+			delete(c.entries, e.key)
+			c.bytes -= e.bytes
+			n++
+			if c.onEvict != nil {
+				c.onEvict(e.key, e.bytes)
+			}
+		}
+		el = prev
+	}
+	return n
 }
 
 // stats snapshots the cache counters.

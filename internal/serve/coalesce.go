@@ -1,0 +1,164 @@
+// Execution coalescing: requests whose canonical keys match an in-flight
+// run attach to it as followers instead of taking their own queue slot.
+// One execution answers all of them; each follower keeps its own budget
+// and can detach (504/503) without disturbing the leader, and the last
+// waiter to leave cancels the now-unwanted run. A leader failure — any
+// non-200 outcome — propagates to every attached waiter, so coalescing
+// never converts an error into a hang.
+//
+// Only reusable requests coalesce (resolved.reusable): fault-injected
+// runs are deliberately unique and always execute alone.
+
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"polymer/internal/obs"
+)
+
+// flight is one shared in-flight execution. refs counts attached
+// waiters; kind/out are written exactly once, before done is closed, and
+// are immutable afterwards (the channel close publishes them).
+type flight struct {
+	key      string
+	cancel   context.CancelFunc
+	refs     int
+	finished bool
+	done     chan struct{}
+	kind     resKind
+	out      outcome
+}
+
+// coalescer indexes open flights by canonical request key.
+type coalescer struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{flights: make(map[string]*flight)}
+}
+
+// coalesce answers one reusable request through the per-key flight:
+// attach to an existing run, or lead a new one through the admission
+// queue. The returned shed/err mirror submit's contract.
+func (s *Server) coalesce(v *resolved, clientCtx context.Context) (outcome, bool, error) {
+	key := v.key()
+	co := s.flights
+	co.mu.Lock()
+	if f, ok := co.flights[key]; ok {
+		f.refs++
+		co.mu.Unlock()
+		s.counters.Coalesced.Add(1)
+		s.cfg.Tracer.HostInstant("serve", "coalesce", obs.PidServe, obs.NowMicros(), -1, key)
+		return s.waitFlight(f, v, clientCtx, true), false, nil
+	}
+	co.mu.Unlock()
+
+	fctx, fcancel := context.WithCancel(s.baseCtx)
+	f := &flight{key: key, cancel: fcancel, refs: 1, done: make(chan struct{})}
+	t := s.newTask(v, fctx, fcancel)
+	t.fl = f
+	if shed, err := s.enqueue(t); err != nil {
+		fcancel()
+		return outcome{}, shed, err
+	}
+	// Publish the flight only after admission succeeded, so a follower can
+	// never attach to a run that was shed. If the worker already finished
+	// the task (tiny queue, fast run), the flight stays private.
+	co.mu.Lock()
+	if !f.finished {
+		co.flights[key] = f
+	}
+	co.mu.Unlock()
+	return s.waitFlight(f, v, clientCtx, false), false, nil
+}
+
+// waiterCtx builds one waiter's budget clock: the request's own budget
+// against the server base context, cancelled early if the client leaves.
+func (s *Server) waiterCtx(v *resolved, clientCtx context.Context) (context.Context, context.CancelFunc, func() bool) {
+	budget := v.budget
+	if budget == 0 {
+		budget = s.cfg.DefaultBudget
+	}
+	wctx, wcancel := context.WithTimeout(s.baseCtx, budget)
+	stop := func() bool { return false }
+	if clientCtx != nil {
+		stop = context.AfterFunc(clientCtx, wcancel)
+	}
+	return wctx, wcancel, stop
+}
+
+// waitFlight parks one request on its flight. Each waiter records its
+// own resolution: the shared outcome's kind on delivery, or its own
+// expiry/cancellation on detach.
+func (s *Server) waitFlight(f *flight, v *resolved, clientCtx context.Context, follower bool) outcome {
+	start := time.Now()
+	wctx, wcancel, stop := s.waiterCtx(v, clientCtx)
+	defer wcancel()
+	defer stop()
+	select {
+	case <-f.done:
+		s.recordKind(f.kind)
+		resp := f.out.resp
+		if follower {
+			// The leader's response is reused verbatim; only per-request
+			// provenance differs.
+			resp.ID = s.ids.Add(1)
+			resp.Coalesced = true
+			resp.WallMs = float64(time.Since(start).Microseconds()) / 1000
+		}
+		return outcome{status: f.out.status, resp: resp}
+	case <-wctx.Done():
+		s.detachFlight(f)
+		kind, status := classifyCtxErr(wctx.Err())
+		s.recordKind(kind)
+		return outcome{status: status, resp: Response{
+			ID:        s.ids.Add(1),
+			System:    string(v.sys),
+			Algo:      string(v.alg),
+			Graph:     string(v.data),
+			Scale:     v.req.Scale,
+			Coalesced: follower,
+			Error:     wctx.Err().Error(),
+			Breaker:   string(s.breakers[v.sys].State()),
+			WallMs:    float64(time.Since(start).Microseconds()) / 1000,
+		}}
+	}
+}
+
+// detachFlight drops one waiter. The last waiter to leave cancels the
+// shared run — nobody is left to consume its result — and retires the
+// flight so the next identical request starts fresh.
+func (s *Server) detachFlight(f *flight) {
+	co := s.flights
+	co.mu.Lock()
+	f.refs--
+	last := f.refs == 0
+	if last && co.flights[f.key] == f {
+		delete(co.flights, f.key)
+	}
+	co.mu.Unlock()
+	if last {
+		f.cancel()
+	}
+}
+
+// finishFlight publishes the task's outcome to every attached waiter and
+// retires the flight. Removal happens under the map lock before done is
+// closed, so no new request can attach to a finished flight.
+func (s *Server) finishFlight(f *flight, kind resKind, status int, out Response) {
+	co := s.flights
+	co.mu.Lock()
+	if co.flights[f.key] == f {
+		delete(co.flights, f.key)
+	}
+	f.finished = true
+	f.kind = kind
+	f.out = outcome{status: status, resp: out}
+	close(f.done)
+	co.mu.Unlock()
+}

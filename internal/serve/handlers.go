@@ -7,6 +7,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -21,6 +22,7 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /run", s.handleRun)
+	mux.HandleFunc("POST /invalidatez", s.handleInvalidate)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
@@ -49,7 +51,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 		return
 	}
-	t, shed, err := s.submit(v, r.Context())
+	out, shed, err := s.answer(v, r.Context())
 	if err != nil {
 		if shed {
 			// Load shedding is synchronous: the refusal costs no queue
@@ -62,7 +64,6 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 		return
 	}
-	out := <-t.done
 	if out.status == http.StatusServiceUnavailable {
 		if ra := s.breakers[v.sys].RetryAfter(); ra > 0 {
 			w.Header().Set("Retry-After", strconv.Itoa(int(ra.Seconds())+1))
@@ -71,6 +72,57 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, out.status, out.resp)
+}
+
+// answer routes one validated request through the cheapest path that can
+// satisfy it: the versioned result cache, then a multi-source batch
+// group (traversals), then the per-key flight, and only then a dedicated
+// execution. Fault-carrying requests always execute alone.
+func (s *Server) answer(v *resolved, clientCtx context.Context) (outcome, bool, error) {
+	// A draining server refuses everything up front — even requests the
+	// result cache could answer — so load balancers converge fast.
+	if s.draining.Load() {
+		return outcome{}, false, errors.New("serve: draining, not admitting")
+	}
+	if v.reusable() {
+		v.ver = s.results.version(string(v.data))
+		if resp, ok := s.results.get(v); ok {
+			// A hit is a completed request that cost nothing: it is
+			// accounted both ways.
+			s.counters.ResultHits.Add(1)
+			s.counters.Completed.Add(1)
+			s.cfg.Tracer.HostInstant("serve", "result-hit", obs.PidServe, obs.NowMicros(), -1, v.key())
+			resp.ID = s.ids.Add(1)
+			resp.Cached = true
+			resp.Breaker = string(s.breakers[v.sys].State())
+			return outcome{status: http.StatusOK, resp: resp}, false, nil
+		}
+		if v.batchable() && !s.cfg.DisableBatch {
+			return s.batchJoin(v, clientCtx)
+		}
+		if !s.cfg.DisableCoalesce {
+			return s.coalesce(v, clientCtx)
+		}
+	}
+	t, shed, err := s.submit(v, clientCtx)
+	if err != nil {
+		return outcome{}, shed, err
+	}
+	return <-t.done, false, nil
+}
+
+// handleInvalidate is the dataset-refresh hook: POST /invalidatez?graph=X
+// bumps X's result-cache generation and purges cached state.
+func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("graph")
+	if id == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "missing ?graph= parameter"})
+		return
+	}
+	ver, purged := s.InvalidateGraph(id)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"graph": id, "generation": ver, "purged": purged,
+	})
 }
 
 type healthBody struct {
@@ -95,6 +147,7 @@ type metricsBody struct {
 	Breakers map[string]string `json:"breakers"`
 	Queue    map[string]int64  `json:"queue"`
 	Cache    cacheStats        `json:"graph_cache"`
+	Results  cacheStats        `json:"result_cache"`
 }
 
 func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
@@ -110,7 +163,8 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
 			"length":   int64(len(s.queue)),
 			"inflight": s.inflight.Load(),
 		},
-		Cache: s.cache.stats(),
+		Cache:   s.cache.stats(),
+		Results: s.results.stats(),
 	})
 }
 

@@ -1,7 +1,13 @@
-// Service counters: every request is accounted exactly once as admitted
-// or shed, and every admitted request resolves to exactly one of
-// completed / degraded / failed / expired / cancelled. Retried and broken
-// count additional events along the way.
+// Service counters: every request is accounted exactly once at intake —
+// admitted (own queue slot), coalesced (attached to an in-flight
+// identical run), batched (joined a multi-source group), result-hit
+// (answered from the versioned result cache) or shed — and every
+// non-shed request resolves to exactly one of completed / degraded /
+// broken / failed / expired / cancelled. Retried and evicted count
+// additional events along the way. The soak suite asserts the identity
+//
+//	completed+degraded+broken+failed+expired+cancelled ==
+//	    admitted + coalesced + batched + result_hits
 
 package serve
 
@@ -15,6 +21,13 @@ type Counters struct {
 	// admission because the queue was full.
 	Admitted atomic.Int64
 	Shed     atomic.Int64
+	// Coalesced requests attached to an identical in-flight run instead
+	// of taking a queue slot; Batched joined an open multi-source group;
+	// ResultHits were answered from the versioned result cache without
+	// touching the queue at all.
+	Coalesced  atomic.Int64
+	Batched    atomic.Int64
+	ResultHits atomic.Int64
 	// Completed requests returned a full-fidelity result; Degraded
 	// returned the honest degraded-mode result while a circuit was open.
 	Completed atomic.Int64
@@ -36,8 +49,11 @@ type Counters struct {
 
 // CounterSnapshot is the JSON form of Counters.
 type CounterSnapshot struct {
-	Admitted  int64 `json:"admitted"`
-	Shed      int64 `json:"shed"`
+	Admitted   int64 `json:"admitted"`
+	Shed       int64 `json:"shed"`
+	Coalesced  int64 `json:"coalesced"`
+	Batched    int64 `json:"batched"`
+	ResultHits int64 `json:"result_hits"`
 	Completed int64 `json:"completed"`
 	Degraded  int64 `json:"degraded"`
 	Retried   int64 `json:"retried"`
@@ -51,8 +67,11 @@ type CounterSnapshot struct {
 // Snapshot reads every counter.
 func (c *Counters) Snapshot() CounterSnapshot {
 	return CounterSnapshot{
-		Admitted:  c.Admitted.Load(),
-		Shed:      c.Shed.Load(),
+		Admitted:   c.Admitted.Load(),
+		Shed:       c.Shed.Load(),
+		Coalesced:  c.Coalesced.Load(),
+		Batched:    c.Batched.Load(),
+		ResultHits: c.ResultHits.Load(),
 		Completed: c.Completed.Load(),
 		Degraded:  c.Degraded.Load(),
 		Retried:   c.Retried.Load(),

@@ -31,7 +31,7 @@ const MaxBudget = 10 * time.Minute
 
 // Request is the wire form of one analytics request.
 type Request struct {
-	// Algo is the algorithm: pr, spmv, bp or bfs.
+	// Algo is the algorithm: pr, spmv, bp, bfs or sssp.
 	Algo string `json:"algo"`
 	// System is the engine: polymer, ligra, xstream or galois.
 	System string `json:"system"`
@@ -45,7 +45,7 @@ type Request struct {
 	// Sockets and Cores bound the simulated machine (0 = topology max).
 	Sockets int `json:"sockets"`
 	Cores   int `json:"cores"`
-	// Src is the traversal source for bfs.
+	// Src is the traversal source for bfs and sssp.
 	Src uint32 `json:"src"`
 	// BudgetMs is the request's wall-clock budget in milliseconds; the
 	// deadline starts at admission and is propagated as a context through
@@ -89,11 +89,17 @@ type resolved struct {
 	data   gen.Dataset
 	scale  gen.Scale
 	topo   *numa.Topology
+	mach   string // normalized machine name ("intel" or "amd")
 	nodes  int
 	cores  int
 	src    graph.Vertex
 	budget time.Duration // 0 = server default
 	events []*fault.Event
+	// ver is the dataset's result-cache version, sampled when the request
+	// enters the reuse path; results computed by this request are cached
+	// under it, so an invalidation racing the run can never resurrect a
+	// pre-invalidation result under the new version.
+	ver uint64
 }
 
 var systems = map[string]bench.System{
@@ -103,6 +109,7 @@ var systems = map[string]bench.System{
 
 var algos = map[string]bench.Algo{
 	"pr": bench.PR, "spmv": bench.SpMV, "bp": bench.BP, "bfs": bench.BFS,
+	"sssp": bench.SSSP,
 }
 
 var scales = map[string]gen.Scale{
@@ -110,7 +117,8 @@ var scales = map[string]gen.Scale{
 }
 
 // supported mirrors the resilient runner's coverage: PR runs on all four
-// systems, the scatter-gather systems additionally serve SpMV, BP and BFS.
+// systems, the scatter-gather systems additionally serve SpMV, BP, BFS
+// and SSSP.
 func supported(sys bench.System, alg bench.Algo) bool {
 	if alg == bench.PR {
 		return true
@@ -139,13 +147,13 @@ func resolve(req Request) (*resolved, error) {
 	v := &resolved{req: req}
 	var ok bool
 	if v.alg, ok = algos[strings.ToLower(req.Algo)]; !ok {
-		return nil, badReq("unknown algorithm %q (want pr, spmv, bp or bfs)", req.Algo)
+		return nil, badReq("unknown algorithm %q (want pr, spmv, bp, bfs or sssp)", req.Algo)
 	}
 	if v.sys, ok = systems[strings.ToLower(req.System)]; !ok {
 		return nil, badReq("unknown system %q (want polymer, ligra, xstream or galois)", req.System)
 	}
 	if !supported(v.sys, v.alg) {
-		return nil, badReq("%s is not served on %s (PR runs everywhere; spmv/bp/bfs need polymer or ligra)", v.alg, v.sys)
+		return nil, badReq("%s is not served on %s (PR runs everywhere; spmv/bp/bfs/sssp need polymer or ligra)", v.alg, v.sys)
 	}
 	if v.scale, ok = scales[strings.ToLower(req.Scale)]; !ok {
 		return nil, badReq("unknown scale %q (want tiny, small or default)", req.Scale)
@@ -163,9 +171,9 @@ func resolve(req Request) (*resolved, error) {
 	}
 	switch strings.ToLower(req.Machine) {
 	case "", "intel":
-		v.topo = numa.IntelXeon80()
+		v.topo, v.mach = numa.IntelXeon80(), "intel"
 	case "amd":
-		v.topo = numa.AMDOpteron64()
+		v.topo, v.mach = numa.AMDOpteron64(), "amd"
 	default:
 		return nil, badReq("unknown machine %q (want intel or amd)", req.Machine)
 	}
@@ -209,6 +217,54 @@ func resolve(req Request) (*resolved, error) {
 		v.events = evs
 	}
 	return v, nil
+}
+
+// key is the canonical execution identity of a request: engine,
+// algorithm, dataset, scale and machine shape, plus the traversal source
+// for point queries. resolve already normalized aliases ("x-stream",
+// mixed case) and default-filled scale/machine/sockets/cores, so
+// semantically identical requests collide on one key no matter how they
+// were spelled. QoS knobs (budget, retries, restarts) don't affect the
+// computed result and stay out of the key; fault-carrying requests are
+// never keyed (see reusable).
+func (v *resolved) key() string { return v.keyFor(v.srcKey()) }
+
+// keyFor is key with an explicit source: the batcher caches each
+// demultiplexed per-source result under the key the equivalent
+// single-source request would look up.
+func (v *resolved) keyFor(src graph.Vertex) string {
+	return fmt.Sprintf("%s|%s|%s|%d|%s|%dx%d|%d",
+		v.sys, v.alg, v.data, v.scale, v.mach, v.nodes, v.cores, src)
+}
+
+// groupKey is key with the source slot wildcarded: requests that agree on
+// it differ only in src and can share one multi-source sweep.
+func (v *resolved) groupKey() string {
+	return fmt.Sprintf("%s|%s|%s|%d|%s|%dx%d|*",
+		v.sys, v.alg, v.data, v.scale, v.mach, v.nodes, v.cores)
+}
+
+// srcKey masks the source for non-traversals: src is dead weight for
+// pr/spmv/bp, and leaving it live would split identical requests across
+// distinct cache keys.
+func (v *resolved) srcKey() graph.Vertex {
+	if v.alg == bench.BFS || v.alg == bench.SSSP {
+		return v.src
+	}
+	return 0
+}
+
+// reusable reports whether the request's result is a pure function of
+// its key: fault-injected (chaos) runs are intentionally nondeterministic
+// in accounting and must never be coalesced, batched or cached.
+func (v *resolved) reusable() bool {
+	return v.req.Fault == "" && v.req.FaultSeed == 0
+}
+
+// batchable reports whether the request is a traversal point query that
+// a multi-source sweep can absorb.
+func (v *resolved) batchable() bool {
+	return v.alg == bench.BFS || v.alg == bench.SSSP
 }
 
 // injector builds a fresh injector for one execution attempt. Event state

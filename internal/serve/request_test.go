@@ -51,7 +51,7 @@ func TestDecodeRequestRejections(t *testing.T) {
 		{"not-an-object", `[1,2,3]`, "bad JSON"},
 		{"unknown-field", `{"algo":"pr","system":"polymer","graph":"powerlaw","bogus":1}`, "bad JSON"},
 		{"trailing-data", `{"algo":"pr","system":"polymer","graph":"powerlaw"}{"x":1}`, "trailing data"},
-		{"unknown-algo", `{"algo":"sssp","system":"polymer","graph":"powerlaw"}`, "unknown algorithm"},
+		{"unknown-algo", `{"algo":"cc","system":"polymer","graph":"powerlaw"}`, "unknown algorithm"},
 		{"unknown-system", `{"algo":"pr","system":"spark","graph":"powerlaw"}`, "unknown system"},
 		{"unsupported-pair", `{"algo":"bfs","system":"xstream","graph":"powerlaw"}`, "not served"},
 		{"unknown-graph", `{"algo":"pr","system":"polymer","graph":"friendster"}`, "unknown dataset"},

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"polymer/internal/algorithms"
 	"polymer/internal/bench"
 	"polymer/internal/gen"
 	"polymer/internal/graph"
@@ -61,6 +62,27 @@ type Config struct {
 	// Graphs pinned by in-flight requests are never evicted, so the cache
 	// can transiently exceed the budget under load.
 	GraphCacheBytes int64
+	// ResultCacheBytes budgets the versioned result cache (approximate
+	// bytes of cached responses). 0 means the 64 MiB default; negative
+	// disables result caching entirely.
+	ResultCacheBytes int64
+	// DisableCoalesce turns off execution coalescing: every fault-free
+	// request runs its own execution even when an identical run is already
+	// in flight.
+	DisableCoalesce bool
+	// DisableBatch turns off multi-source batching: traversal point
+	// queries take the coalescing path (or the direct path) instead of
+	// fusing into shared sweeps.
+	DisableBatch bool
+	// BatchMax caps the distinct sources fused into one multi-source sweep
+	// (default 16, hard cap algorithms.MaxMultiSources). A group that
+	// reaches the cap seals early; later arrivals open a fresh group.
+	BatchMax int
+	// BatchLinger optionally holds a dequeued batch group open for
+	// stragglers before it seals. The default (0) seals at dequeue: the
+	// time a group's task spends queued is the natural batching window,
+	// so batching adds no latency when the server is idle.
+	BatchLinger time.Duration
 	// Tracer, when non-nil, receives serve-lane request spans and is
 	// installed on every engine the server runs, so a flight recorder sees
 	// supersteps, rollbacks and evictions alongside request lifecycles.
@@ -112,6 +134,15 @@ func (c Config) withDefaults() Config {
 	if c.GraphCacheBytes == 0 {
 		c.GraphCacheBytes = 1 << 30
 	}
+	if c.ResultCacheBytes == 0 {
+		c.ResultCacheBytes = 64 << 20
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 16
+	}
+	if c.BatchMax > algorithms.MaxMultiSources {
+		c.BatchMax = algorithms.MaxMultiSources
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(discardHandler{})
 	}
@@ -148,6 +179,16 @@ type Response struct {
 	Breaker  string  `json:"breaker,omitempty"`
 	WallMs   float64 `json:"wall_ms"`
 	Error    string  `json:"error,omitempty"`
+	// Cached, Coalesced and BatchSize are provenance: how the serving
+	// layer produced the answer (result-cache replay, attachment to an
+	// in-flight identical run, or a BatchSize-source fused sweep). The
+	// semantic payload (checksum and per-vertex results it summarizes) is
+	// bit-identical to a cold single-request run's — the conformance
+	// suite asserts exactly that — so provenance is observable only here
+	// and in wall_ms/id.
+	Cached    bool `json:"cached,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	BatchSize int  `json:"batch,omitempty"`
 }
 
 // outcome pairs a response with its HTTP status.
@@ -166,6 +207,12 @@ type task struct {
 	// admitted is the admission wall time (obs.NowMicros), so the request
 	// span can attribute queue wait separately from execution.
 	admitted float64
+	// fl, when non-nil, is the shared flight this task computes for:
+	// the outcome is published to every attached waiter instead of done.
+	fl *flight
+	// grp, when non-nil, is the multi-source batch group this task
+	// executes; the worker routes it through executeMulti.
+	grp *batchGroup
 }
 
 // Server owns the admission queue, the worker pool, the per-engine
@@ -188,7 +235,10 @@ type Server struct {
 	breakers map[bench.System]*Breaker
 	counters Counters
 
-	cache *graphCache
+	cache   *graphCache
+	results *resultCache
+	flights *coalescer
+	batches *batcher
 }
 
 // NewServer builds and starts a server (workers spawn immediately).
@@ -203,6 +253,9 @@ func NewServer(cfg Config) *Server {
 		baseCtx:  base,
 		cancel:   cancel,
 		breakers: make(map[bench.System]*Breaker),
+		results:  newResultCache(cfg.ResultCacheBytes),
+		flights:  newCoalescer(),
+		batches:  newBatcher(),
 	}
 	s.cache = newGraphCache(cfg.GraphCacheBytes, func(key string, bytes int64) {
 		s.counters.Evicted.Add(1)
@@ -230,19 +283,12 @@ func (s *Server) Counters() *Counters { return &s.counters }
 // Draining reports whether the server has stopped admitting.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// submit runs admission control: it either enqueues the request and
-// returns its task, or reports why it was refused (shed=true means the
-// queue was full — a 429; draining means a 503). The per-request deadline
-// starts here, at admission, so time spent queued consumes the budget.
+// submit runs admission control for a direct (uncoalesced) request: it
+// either enqueues the request and returns its task, or reports why it
+// was refused (shed=true means the queue was full — a 429; draining
+// means a 503). The per-request deadline starts here, at admission, so
+// time spent queued consumes the budget.
 func (s *Server) submit(v *resolved, clientCtx context.Context) (t *task, shed bool, err error) {
-	// The read lock orders this admission against Shutdown's draining
-	// flip: a task enqueued here is visible to the drain loop's in-flight
-	// count, so no request is ever orphaned without a responder.
-	s.admitMu.RLock()
-	defer s.admitMu.RUnlock()
-	if s.draining.Load() {
-		return nil, false, errors.New("serve: draining, not admitting")
-	}
 	budget := v.budget
 	if budget == 0 {
 		budget = s.cfg.DefaultBudget
@@ -253,7 +299,17 @@ func (s *Server) submit(v *resolved, clientCtx context.Context) (t *task, shed b
 		// charging the sim and frees the worker.
 		context.AfterFunc(clientCtx, cancel)
 	}
-	t = &task{
+	t = s.newTask(v, ctx, cancel)
+	if shed, err = s.enqueue(t); err != nil {
+		cancel()
+		return nil, shed, err
+	}
+	return t, false, nil
+}
+
+// newTask allocates a queue entry; admission time is stamped here.
+func (s *Server) newTask(v *resolved, ctx context.Context, cancel context.CancelFunc) *task {
+	return &task{
 		id:       s.ids.Add(1),
 		v:        v,
 		ctx:      ctx,
@@ -261,18 +317,31 @@ func (s *Server) submit(v *resolved, clientCtx context.Context) (t *task, shed b
 		done:     make(chan outcome, 1),
 		admitted: obs.NowMicros(),
 	}
+}
+
+// enqueue places a task in the admission queue or sheds it. Flight and
+// batch leaders come here too: a shared run occupies exactly one queue
+// slot no matter how many requests ride it.
+func (s *Server) enqueue(t *task) (shed bool, err error) {
+	// The read lock orders this admission against Shutdown's draining
+	// flip: a task enqueued here is visible to the drain loop's in-flight
+	// count, so no request is ever orphaned without a responder.
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	if s.draining.Load() {
+		return false, errors.New("serve: draining, not admitting")
+	}
 	s.inflight.Add(1)
 	select {
 	case s.queue <- t:
 		s.counters.Admitted.Add(1)
-		return t, false, nil
+		return false, nil
 	default:
 		s.inflight.Add(-1)
-		cancel()
 		s.counters.Shed.Add(1)
 		s.cfg.Tracer.HostInstant("serve", "shed", obs.PidServe, obs.NowMicros(), -1,
-			fmt.Sprintf("queue full (%s/%s)", v.sys, v.alg))
-		return nil, true, errors.New("serve: queue full")
+			fmt.Sprintf("queue full (%s/%s)", t.v.sys, t.v.alg))
+		return true, errors.New("serve: queue full")
 	}
 }
 
@@ -283,7 +352,11 @@ func (s *Server) worker() {
 		case <-s.stop:
 			return
 		case t := <-s.queue:
-			s.execute(t)
+			if t.grp != nil {
+				s.executeMulti(t)
+			} else {
+				s.execute(t)
+			}
 			s.inflight.Add(-1)
 		}
 	}
@@ -292,6 +365,49 @@ func (s *Server) worker() {
 // ctxErr reports whether err is a context cancellation or expiry.
 func ctxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// resKind is the single resolution class every non-shed request ends in.
+// Exactly one kind is recorded per request — by its own waiter for
+// coalesced/batched requests, by execute for direct ones — which is what
+// keeps the counter identity in metrics.go exact.
+type resKind int
+
+const (
+	kindCompleted resKind = iota
+	kindDegraded
+	kindBroken
+	kindFailed
+	kindExpired
+	kindCancelled
+)
+
+// recordKind bumps the counter for one request resolution.
+func (s *Server) recordKind(k resKind) {
+	switch k {
+	case kindCompleted:
+		s.counters.Completed.Add(1)
+	case kindDegraded:
+		s.counters.Degraded.Add(1)
+	case kindBroken:
+		s.counters.Broken.Add(1)
+	case kindFailed:
+		s.counters.Failed.Add(1)
+	case kindExpired:
+		s.counters.Expired.Add(1)
+	case kindCancelled:
+		s.counters.Cancelled.Add(1)
+	}
+}
+
+// classifyCtxErr maps a context error to its resolution kind and HTTP
+// status: 504 for a spent budget, 503 for a cancellation (client gone or
+// server draining). It records nothing — the resolving waiter does.
+func classifyCtxErr(err error) (resKind, int) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return kindExpired, 504
+	}
+	return kindCancelled, 503
 }
 
 // execute runs one admitted task to an outcome: full-fidelity result,
@@ -313,7 +429,7 @@ func (s *Server) execute(t *task) {
 		Graph:  string(v.data),
 		Scale:  v.req.Scale,
 	}
-	finish := func(status int, out Response) {
+	finish := func(kind resKind, status int, out Response) {
 		out.WallMs = float64(time.Since(start).Microseconds()) / 1000
 		out.Breaker = string(s.breakers[v.sys].State())
 		tr.Span("serve", "request", obs.PidServe, startMicros, obs.NowMicros()-startMicros, -1, out.ID,
@@ -335,21 +451,31 @@ func (s *Server) execute(t *task) {
 			slog.Float64("wall_ms", out.WallMs),
 			slog.String("error", out.Error),
 		)
+		// Full-fidelity fault-free results feed the versioned cache no
+		// matter which path computed them (direct or flight leader).
+		if status == 200 && !out.Degraded && v.reusable() {
+			s.results.put(v, v.key(), out)
+		}
+		if t.fl != nil {
+			s.finishFlight(t.fl, kind, status, out)
+			return
+		}
+		s.recordKind(kind)
 		t.done <- outcome{status: status, resp: out}
 	}
 
 	// Expired or abandoned while queued: answer without burning a run.
 	if err := t.ctx.Err(); err != nil {
 		resp.Error = err.Error()
-		finish(s.recordCtxErr(err), resp)
+		kind, status := classifyCtxErr(err)
+		finish(kind, status, resp)
 		return
 	}
 
 	g, release, err := s.graphFor(v)
 	if err != nil {
 		resp.Error = err.Error()
-		s.counters.Failed.Add(1)
-		finish(500, resp)
+		finish(kindFailed, 500, resp)
 		return
 	}
 	// The pin outlives every use of g below (including the degraded path),
@@ -357,8 +483,7 @@ func (s *Server) execute(t *task) {
 	defer release()
 	if int(v.src) >= g.NumVertices() {
 		resp.Error = fmt.Sprintf("source %d outside [0,%d)", v.src, g.NumVertices())
-		s.counters.Failed.Add(1)
-		finish(400, resp)
+		finish(kindFailed, 400, resp)
 		return
 	}
 
@@ -403,8 +528,7 @@ func (s *Server) execute(t *task) {
 			resp.SimSeconds = r.SimSeconds
 			resp.Checksum = r.Checksum
 			resp.PeakBytes = r.PeakBytes
-			s.counters.Completed.Add(1)
-			finish(200, resp)
+			finish(kindCompleted, 200, resp)
 			return
 		}
 		lastErr = err
@@ -415,7 +539,8 @@ func (s *Server) execute(t *task) {
 				br.cancelProbe()
 			}
 			resp.Error = err.Error()
-			finish(s.recordCtxErr(err), resp)
+			kind, status := classifyCtxErr(err)
+			finish(kind, status, resp)
 			return
 		}
 		br.Failure()
@@ -424,27 +549,14 @@ func (s *Server) execute(t *task) {
 		}
 	}
 	resp.Error = lastErr.Error()
-	s.counters.Failed.Add(1)
-	finish(500, resp)
-}
-
-// recordCtxErr classifies a context error into the expired/cancelled
-// counters and returns the HTTP status: 504 for a spent budget, 503 for
-// a cancellation (client gone or server draining).
-func (s *Server) recordCtxErr(err error) int {
-	if errors.Is(err, context.DeadlineExceeded) {
-		s.counters.Expired.Add(1)
-		return 504
-	}
-	s.counters.Cancelled.Add(1)
-	return 503
+	finish(kindFailed, 500, resp)
 }
 
 // degradedOrRefuse handles a request whose engine circuit is open:
 // PageRank-class requests are served by the honest degraded path (the run
 // is re-provisioned on a machine that permanently lost a NUMA node, with
 // the migration cost charged), everything else gets 503 + Retry-After.
-func (s *Server) degradedOrRefuse(t *task, g *graph.Graph, resp Response, finish func(int, Response)) {
+func (s *Server) degradedOrRefuse(t *task, g *graph.Graph, resp Response, finish func(resKind, int, Response)) {
 	v := t.v
 	if v.alg == bench.PR && v.nodes >= 2 {
 		dr, err := bench.RunPolymerDegraded(g, v.topo, v.nodes, v.cores, 0, 0)
@@ -455,18 +567,15 @@ func (s *Server) degradedOrRefuse(t *task, g *graph.Graph, resp Response, finish
 			resp.SimSeconds = dr.Result.SimSeconds
 			resp.Checksum = dr.Result.Checksum
 			resp.PeakBytes = dr.Result.PeakBytes
-			s.counters.Degraded.Add(1)
-			finish(200, resp)
+			finish(kindDegraded, 200, resp)
 			return
 		}
 		resp.Error = err.Error()
-		s.counters.Failed.Add(1)
-		finish(500, resp)
+		finish(kindFailed, 500, resp)
 		return
 	}
 	resp.Error = fmt.Sprintf("circuit open for %s", v.sys)
-	s.counters.Broken.Add(1)
-	finish(503, resp)
+	finish(kindBroken, 503, resp)
 }
 
 // cancelProbe releases a half-open probe slot without judging the engine

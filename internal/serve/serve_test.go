@@ -362,7 +362,7 @@ func TestServeRejectsBadRequests(t *testing.T) {
 	srv := NewServer(Config{noWorkers: true})
 	h := srv.Handler()
 	for _, bad := range []string{
-		`{"algo":"sssp","system":"polymer","graph":"powerlaw"}`,
+		`{"algo":"cc","system":"polymer","graph":"powerlaw"}`,
 		`not json at all`,
 		``,
 	} {

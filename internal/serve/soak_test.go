@@ -11,6 +11,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -62,6 +63,10 @@ func TestServeSoakUnderChaos(t *testing.T) {
 			profile, reqBody = "starved", body("ligra", `"budget_ms":1`)
 		case 7:
 			profile, reqBody = "bfs", `{"algo":"bfs","system":"ligra","graph":"powerlaw","scale":"tiny","sockets":2,"cores":2,"src":3}`
+		case 8:
+			// Distinct sources over one shape: the batcher's fodder.
+			profile = "bfs-multi"
+			reqBody = fmt.Sprintf(`{"algo":"bfs","system":"ligra","graph":"powerlaw","scale":"tiny","sockets":2,"cores":2,"src":%d}`, i)
 		}
 		wg.Add(1)
 		go func(profile, reqBody string) {
@@ -115,7 +120,7 @@ func TestServeSoakUnderChaos(t *testing.T) {
 		shedTotal += r.sheds
 		counts[r.profile]++
 		switch r.profile {
-		case "clean-polymer", "clean-ligra", "bfs":
+		case "clean-polymer", "clean-ligra", "bfs", "bfs-multi":
 			if r.status != 200 {
 				t.Fatalf("%s: status %d (%s), want 200", r.profile, r.status, r.resp.Error)
 			}
@@ -158,14 +163,22 @@ func TestServeSoakUnderChaos(t *testing.T) {
 		t.Errorf("a %d-request burst against a %d-slot queue shed nothing", totalRequests, cap(srv.queue))
 	}
 
-	// Accounting balances: every admitted request resolved exactly once.
+	// Accounting balances: every request that was not shed entered exactly
+	// one way — its own queue slot, an in-flight coalesced run, a batch
+	// group, or the result cache — and resolved exactly once.
 	snap := srv.Counters().Snapshot()
 	resolved := snap.Completed + snap.Degraded + snap.Broken + snap.Failed + snap.Expired + snap.Cancelled
-	if snap.Admitted != resolved {
-		t.Fatalf("admitted %d != resolved %d (%+v)", snap.Admitted, resolved, snap)
+	entered := snap.Admitted + snap.Coalesced + snap.Batched + snap.ResultHits
+	if entered != resolved {
+		t.Fatalf("entered %d != resolved %d (%+v)", entered, resolved, snap)
 	}
 	if snap.Shed != int64(shedTotal) {
 		t.Fatalf("server counted %d sheds, clients saw %d", snap.Shed, shedTotal)
+	}
+	// The duplicate-heavy mix must actually engage the reuse layer: a
+	// burst of identical requests cannot all miss.
+	if snap.Coalesced+snap.Batched+snap.ResultHits == 0 {
+		t.Errorf("no request was coalesced, batched or cache-answered (%+v)", snap)
 	}
 
 	// Drain and verify nothing leaks: workers, tasks and HTTP plumbing all

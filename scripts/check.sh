@@ -31,4 +31,7 @@ go test -race -run 'TestFaultMatrix|TestPolymerDegraded|TestResilientRanks' .
 echo "==> go test ./..."
 go test ./...
 
+echo "==> servebench smoke (reuse layer end to end, small schedule)"
+go run ./cmd/servebench -requests 60 -clients 8 -queue 16 >/dev/null
+
 echo "check: OK"
