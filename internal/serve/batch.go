@@ -47,8 +47,10 @@ type batchGroup struct {
 	slots  []batchSlot
 }
 
-// batcher indexes open groups by the request key with the source
-// wildcarded.
+// batcher indexes open groups by the generation-qualified request key
+// with the source wildcarded. The generation (verKey) keeps
+// post-invalidation arrivals out of groups still sweeping the stale
+// pinned snapshot, mirroring the coalescer.
 type batcher struct {
 	mu   sync.Mutex
 	open map[string]*batchGroup
@@ -63,7 +65,7 @@ func newBatcher() *batcher {
 // task. Duplicate sources share a slot, so a group of k members may
 // sweep fewer than k sources.
 func (s *Server) batchJoin(v *resolved, clientCtx context.Context) (outcome, bool, error) {
-	key := v.groupKey()
+	key := verKey(v.ver, v.groupKey())
 	b := s.batches
 	b.mu.Lock()
 	if g, ok := b.open[key]; ok {
@@ -104,9 +106,12 @@ func (s *Server) batchJoin(v *resolved, clientCtx context.Context) (outcome, boo
 		return outcome{}, shed, err
 	}
 	// Open the group only after admission succeeded, so nobody can join a
-	// group that was shed. If the worker already sealed it, it stays solo.
+	// group that was shed. If the worker already sealed it, or a concurrent
+	// opener for the same key won the publish race while we were
+	// enqueueing, it stays solo rather than clobbering the registered
+	// group out of the map.
 	b.mu.Lock()
-	if !g.sealed {
+	if _, raced := b.open[key]; !raced && !g.sealed {
 		b.open[key] = g
 	}
 	b.mu.Unlock()

@@ -32,7 +32,10 @@ type flight struct {
 	out      outcome
 }
 
-// coalescer indexes open flights by canonical request key.
+// coalescer indexes open flights by generation-qualified canonical
+// request key (verKey): an invalidation bumps the dataset's generation,
+// so requests arriving after it can never attach to a pre-invalidation
+// run still computing against the stale pinned snapshot.
 type coalescer struct {
 	mu      sync.Mutex
 	flights map[string]*flight
@@ -46,7 +49,7 @@ func newCoalescer() *coalescer {
 // attach to an existing run, or lead a new one through the admission
 // queue. The returned shed/err mirror submit's contract.
 func (s *Server) coalesce(v *resolved, clientCtx context.Context) (outcome, bool, error) {
-	key := v.key()
+	key := verKey(v.ver, v.key())
 	co := s.flights
 	co.mu.Lock()
 	if f, ok := co.flights[key]; ok {
@@ -68,9 +71,12 @@ func (s *Server) coalesce(v *resolved, clientCtx context.Context) (outcome, bool
 	}
 	// Publish the flight only after admission succeeded, so a follower can
 	// never attach to a run that was shed. If the worker already finished
-	// the task (tiny queue, fast run), the flight stays private.
+	// the task (tiny queue, fast run), or a concurrent opener for the same
+	// key won the publish race while we were enqueueing, the flight stays
+	// private: it answers only its own waiter and never clobbers the
+	// registered one out of the map.
 	co.mu.Lock()
-	if !f.finished {
+	if _, raced := co.flights[key]; !raced && !f.finished {
 		co.flights[key] = f
 	}
 	co.mu.Unlock()

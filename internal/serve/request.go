@@ -209,6 +209,14 @@ func resolve(req Request) (*resolved, error) {
 		return nil, badReq("restarts %d out of range [-1,10]", req.Restarts)
 	}
 	v.src = graph.Vertex(req.Src)
+	if !v.batchable() {
+		// src is dead weight for pr/spmv/bp: normalize it to 0 here so the
+		// reuse key, execute's source bounds check and the cached result
+		// all see the same request no matter what the client sent. Without
+		// this, an out-of-range src on a pr request would 400 on a direct
+		// run but could 200 via a cache or coalesce hit (and vice versa).
+		v.src = 0
+	}
 	if req.Fault != "" {
 		evs, err := fault.ParseSpec(req.Fault)
 		if err != nil {
@@ -222,12 +230,12 @@ func resolve(req Request) (*resolved, error) {
 // key is the canonical execution identity of a request: engine,
 // algorithm, dataset, scale and machine shape, plus the traversal source
 // for point queries. resolve already normalized aliases ("x-stream",
-// mixed case) and default-filled scale/machine/sockets/cores, so
-// semantically identical requests collide on one key no matter how they
-// were spelled. QoS knobs (budget, retries, restarts) don't affect the
-// computed result and stay out of the key; fault-carrying requests are
-// never keyed (see reusable).
-func (v *resolved) key() string { return v.keyFor(v.srcKey()) }
+// mixed case), default-filled scale/machine/sockets/cores and zeroed
+// src for non-traversals, so semantically identical requests collide on
+// one key no matter how they were spelled. QoS knobs (budget, retries,
+// restarts) don't affect the computed result and stay out of the key;
+// fault-carrying requests are never keyed (see reusable).
+func (v *resolved) key() string { return v.keyFor(v.src) }
 
 // keyFor is key with an explicit source: the batcher caches each
 // demultiplexed per-source result under the key the equivalent
@@ -242,16 +250,6 @@ func (v *resolved) keyFor(src graph.Vertex) string {
 func (v *resolved) groupKey() string {
 	return fmt.Sprintf("%s|%s|%s|%d|%s|%dx%d|*",
 		v.sys, v.alg, v.data, v.scale, v.mach, v.nodes, v.cores)
-}
-
-// srcKey masks the source for non-traversals: src is dead weight for
-// pr/spmv/bp, and leaving it live would split identical requests across
-// distinct cache keys.
-func (v *resolved) srcKey() graph.Vertex {
-	if v.alg == bench.BFS || v.alg == bench.SSSP {
-		return v.src
-	}
-	return 0
 }
 
 // reusable reports whether the request's result is a pure function of

@@ -91,8 +91,11 @@ func (c *resultCache) get(v *resolved) (Response, bool) {
 // (a multi-source sweep inserts per-source entries whose keys differ
 // only in the source slot). Per-request provenance is stripped so a hit
 // replays only the deterministic payload; BatchSize survives because it
-// describes how the payload was computed, not who asked. Inserts against
-// a stale generation are dropped — the invalidation already won.
+// describes how the payload was computed, not who asked — and with it
+// the run's accounting (SimSeconds, PeakBytes, Attempts), which for a
+// batched insert describes the fused sweep rather than a solo run.
+// Inserts against a stale generation are dropped — the invalidation
+// already won.
 func (c *resultCache) put(v *resolved, key string, resp Response) {
 	if c.disabled {
 		return

@@ -108,16 +108,18 @@ func FuzzCanonicalKey(f *testing.F) {
 		if v.key() != v2.key() || v.groupKey() != v2.groupKey() {
 			t.Fatalf("canonical key unstable: %q vs %q", v.key(), v2.key())
 		}
-		if v.key() != v.keyFor(v.srcKey()) {
-			t.Fatalf("key %q != keyFor(srcKey) %q", v.key(), v.keyFor(v.srcKey()))
+		if v.key() != v.keyFor(v.src) {
+			t.Fatalf("key %q != keyFor(src) %q", v.key(), v.keyFor(v.src))
 		}
 		// groupKey == key with the last |-field replaced by *.
 		ki, gi := strings.LastIndexByte(v.key(), '|'), strings.LastIndexByte(v.groupKey(), '|')
 		if v.key()[:ki] != v.groupKey()[:gi] || v.groupKey()[gi:] != "|*" {
 			t.Fatalf("groupKey %q does not wildcard key %q", v.groupKey(), v.key())
 		}
-		if !v.batchable() && v.srcKey() != 0 {
-			t.Fatalf("non-traversal key carries a live source: %q", v.key())
+		// resolve normalizes src itself for non-traversals, so every
+		// downstream consumer (key, bounds check, cache) agrees.
+		if !v.batchable() && v.src != 0 {
+			t.Fatalf("non-traversal resolved with a live source: %q", v.key())
 		}
 	})
 }
@@ -446,6 +448,98 @@ func TestBatchDemux(t *testing.T) {
 	v3.ver = srv.results.version(string(v3.data))
 	if resp, ok := srv.results.get(v3); !ok || resp.Checksum != direct.resp.Checksum {
 		t.Fatalf("batched result not cached per-source: ok=%t %+v", ok, resp)
+	}
+}
+
+// TestInvalidationSplitsInFlightReuse: a request that samples its
+// generation after an invalidation must not attach to a flight or batch
+// group opened before it — the old run computes against the stale
+// pinned snapshot and its result may not be served past the bump.
+func TestInvalidationSplitsInFlightReuse(t *testing.T) {
+	srv := NewServer(Config{noWorkers: true})
+	const body = `{"algo":"pr","system":"polymer","graph":"powerlaw"}`
+	go func() {
+		out, _, _ := srv.coalesce(mustResolve(t, body), context.Background())
+		_ = out
+	}()
+	waitFor(t, "stale flight published", func() bool {
+		srv.flights.mu.Lock()
+		defer srv.flights.mu.Unlock()
+		return len(srv.flights.flights) == 1
+	})
+	srv.InvalidateGraph("powerlaw")
+	// A post-invalidation request samples the new generation (as answer()
+	// does) and must open its own flight, not ride the stale one.
+	fresh := mustResolve(t, body)
+	fresh.ver = srv.results.version(string(fresh.data))
+	go func() {
+		out, _, _ := srv.coalesce(fresh, context.Background())
+		_ = out
+	}()
+	waitFor(t, "fresh flight published", func() bool {
+		srv.flights.mu.Lock()
+		defer srv.flights.mu.Unlock()
+		return len(srv.flights.flights) == 2
+	})
+	if got := srv.Counters().Coalesced.Load(); got != 0 {
+		t.Fatalf("post-invalidation request coalesced onto a stale flight (coalesced=%d)", got)
+	}
+
+	// Same property for batch groups.
+	const tBody = `{"algo":"bfs","system":"ligra","graph":"rmat24","src":1}`
+	go func() {
+		out, _, _ := srv.batchJoin(mustResolve(t, tBody), context.Background())
+		_ = out
+	}()
+	waitFor(t, "stale group open", func() bool {
+		srv.batches.mu.Lock()
+		defer srv.batches.mu.Unlock()
+		return len(srv.batches.open) == 1
+	})
+	srv.InvalidateGraph("rmat24")
+	freshT := mustResolve(t, tBody)
+	freshT.ver = srv.results.version(string(freshT.data))
+	go func() {
+		out, _, _ := srv.batchJoin(freshT, context.Background())
+		_ = out
+	}()
+	waitFor(t, "fresh group open", func() bool {
+		srv.batches.mu.Lock()
+		defer srv.batches.mu.Unlock()
+		return len(srv.batches.open) == 2
+	})
+	if got := srv.Counters().Batched.Load(); got != 0 {
+		t.Fatalf("post-invalidation request joined a stale batch group (batched=%d)", got)
+	}
+	// Drain: execute the four queued tasks so no goroutine leaks.
+	for i := 0; i < 4; i++ {
+		tk := <-srv.queue
+		if tk.grp != nil {
+			srv.executeMulti(tk)
+		} else {
+			srv.execute(tk)
+		}
+	}
+}
+
+// TestNonTraversalSrcNormalized: src is dead weight for pr, so an
+// out-of-range src must not change the outcome on any path — resolve
+// zeroes it before the key or the bounds check can see it.
+func TestNonTraversalSrcNormalized(t *testing.T) {
+	srv := NewServer(Config{noWorkers: true})
+	const body = `{"algo":"pr","system":"polymer","graph":"powerlaw","src":4294967295}`
+	v := mustResolve(t, body)
+	if v.src != 0 {
+		t.Fatalf("pr src not normalized: %d", v.src)
+	}
+	td, _, err := srv.submit(v, context.Background())
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-srv.queue
+	srv.execute(td)
+	if out := <-td.done; out.status != 200 {
+		t.Fatalf("direct pr with absurd src: status %d (%s), want 200", out.status, out.resp.Error)
 	}
 }
 

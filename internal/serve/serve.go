@@ -184,8 +184,11 @@ type Response struct {
 	// in-flight identical run, or a BatchSize-source fused sweep). The
 	// semantic payload (checksum and per-vertex results it summarizes) is
 	// bit-identical to a cold single-request run's — the conformance
-	// suite asserts exactly that — so provenance is observable only here
-	// and in wall_ms/id.
+	// suite asserts exactly that. Accounting fields are provenance-like
+	// too: on a response marked with BatchSize (including one replayed
+	// from the cache), sim_seconds/peak_bytes/attempts describe the fused
+	// sweep that computed the payload, not the solo run a direct request
+	// would have made.
 	Cached    bool `json:"cached,omitempty"`
 	Coalesced bool `json:"coalesced,omitempty"`
 	BatchSize int  `json:"batch,omitempty"`
