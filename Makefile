@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-serving trace conform conform-nightly
+.PHONY: build test check bench bench-serving trace conform conform-nightly mutate-soak
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,15 @@ conform:
 conform-nightly:
 	$(GO) test -race -count=2 ./internal/conform/...
 	$(GO) run ./cmd/conform -seed $${CONFORM_SEED:-1} -graphs 32 -out conform-repro.el
+
+# Crash-recovery soak: the full crash-point injection matrix under -race
+# with an enlarged seed budget (MUTATE_SOAK_SEEDS trials per point,
+# default 3 in plain test runs). Every trial kills the store at an
+# injected point, tears the log tail to a seeded offset, recovers, and
+# verifies the snapshot bit-identically against a clean-apply oracle.
+mutate-soak:
+	MUTATE_SOAK_SEEDS=$${MUTATE_SOAK_SEEDS:-16} $(GO) test -race -count=1 \
+		-run 'TestCrashRecoveryMatrix' ./internal/mutate/
 
 # Host wall-clock hot-path benchmarks (compare against BENCH_baseline.json).
 bench:

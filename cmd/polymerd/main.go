@@ -16,6 +16,14 @@
 //	curl -s localhost:8080/metricsz
 //	curl -s -X POST 'localhost:8080/invalidatez?graph=powerlaw'   # dataset refresh hook
 //	curl -s localhost:8080/debugz/trace   # flight recorder dump
+//
+// With -wal-dir set, streaming mutations are enabled: POST /mutatez
+// appends a batch of edge inserts/deletes to a crash-consistent
+// write-ahead log, publishes a new graph snapshot, and bumps the
+// dataset's generation so cached results invalidate automatically:
+//
+//	polymerd -addr :8080 -wal-dir /var/lib/polymerd/wal
+//	curl -s localhost:8080/mutatez -d '{"graph":"roadUS","scale":"tiny","ops":[{"op":"insert","src":0,"dst":575,"wt":0.5}]}'
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"polymer/internal/mutate"
 	"polymer/internal/obs"
 	"polymer/internal/serve"
 )
@@ -53,6 +62,8 @@ func main() {
 	traceReqFlag := flag.Int("trace-requests", 256, "flight recorder: last N request spans kept for /debugz/trace (0 disables the recorder with -trace-steps 0)")
 	traceStepFlag := flag.Int("trace-steps", 4096, "flight recorder: last N engine/fault events kept for /debugz/trace")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	walDirFlag := flag.String("wal-dir", "", "mutation write-ahead log directory (empty disables POST /mutatez)")
+	ckptFlag := flag.Int("checkpoint-every", 0, "commits per key between WAL checkpoints (0 = default, negative disables)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -65,6 +76,18 @@ func main() {
 	if *traceReqFlag > 0 || *traceStepFlag > 0 {
 		rec = obs.NewRecorder(*traceReqFlag, *traceStepFlag)
 		tr = obs.New(rec)
+	}
+	// The mutation store recovers committed batches from the WAL before the
+	// listener opens, so the first request already sees every durable commit.
+	var mut *mutate.Store
+	if *walDirFlag != "" {
+		var err error
+		mut, err = mutate.Open(*walDirFlag, mutate.Options{CheckpointEvery: *ckptFlag})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "polymerd: opening mutation log: %v\n", err)
+			os.Exit(1)
+		}
+		logger.Info("mutation log open", slog.String("dir", *walDirFlag))
 	}
 	srv := serve.NewServer(serve.Config{
 		QueueDepth:       *queueFlag,
@@ -83,6 +106,7 @@ func main() {
 		Tracer:           tr,
 		Recorder:         rec,
 		Logger:           logger,
+		Mutations:        mut,
 	})
 
 	handler := srv.Handler()
@@ -119,6 +143,13 @@ func main() {
 		}
 		if err := httpSrv.Shutdown(drainCtx); err != nil {
 			logger.Error("http shutdown", slog.String("error", err.Error()))
+		}
+		// Workers are drained: no in-flight commit can race the close. Every
+		// acked mutation is already fsynced, so this only releases handles.
+		if mut != nil {
+			if err := mut.Close(); err != nil {
+				logger.Error("mutation log close", slog.String("error", err.Error()))
+			}
 		}
 		logger.Info("polymerd drained")
 	case err := <-errCh:

@@ -51,9 +51,13 @@ func NewDynamicSSSP(e sg.Engine, rebuild func(*graph.Graph) sg.Engine, src graph
 	for i := range d.kernel.dist {
 		d.kernel.dist[i] = infinity
 	}
-	d.kernel.dist[src] = 0
-	frontier := state.NewSingle(e.Bounds(), src)
-	d.relaxToFixpoint(frontier)
+	// An empty graph (or a source outside the vertex set) has nothing to
+	// seed: every distance stays infinite, and a later Rebase onto a
+	// snapshot that does contain src picks the computation up from there.
+	if int(src) < len(d.kernel.dist) {
+		d.kernel.dist[src] = 0
+		d.relaxToFixpoint(state.NewSingle(e.Bounds(), src))
+	}
 	return d
 }
 
@@ -71,11 +75,19 @@ func (d *DynamicSSSP) Close() { d.eng.Close() }
 
 // InsertEdges adds directed weighted edges and restores the
 // shortest-path fixpoint incrementally. Unweighted insertions (Wt == 0)
-// count as unit weight, as everywhere else.
+// count as unit weight, as everywhere else. The vertex set is fixed at
+// construction: edges with an endpoint outside it are skipped (growing
+// the vertex set needs a Rebase onto a larger snapshot). Duplicate
+// inserts are kept as parallel overlay edges; relaxation is idempotent
+// over them.
 func (d *DynamicSSSP) InsertEdges(edges []graph.Edge) {
+	n := graph.Vertex(len(d.overlay))
 	b := state.NewBuilder(d.eng.Bounds(), 1, false)
 	seeded := false
 	for _, e := range edges {
+		if e.Src >= n || e.Dst >= n {
+			continue
+		}
 		d.overlay[e.Src] = append(d.overlay[e.Src], overlayEdge{dst: e.Dst, wt: e.Wt})
 		d.overlayCount++
 		nd := d.kernel.dist[e.Src] + edgeWeight(e.Wt)
@@ -107,6 +119,48 @@ func (d *DynamicSSSP) relaxToFixpoint(frontier *state.Subset) {
 			}
 		})
 		frontier = changed.Build()
+	}
+}
+
+// Rebase hands the computation off to a new snapshot: e's graph must be
+// an edge-superset of the current topology plus overlay (the mutation
+// store's insert-only commits produce exactly that; after deletions,
+// build a fresh DynamicSSSP instead — shrinking the edge set can
+// invalidate settled distances). The old engine is closed, the overlay
+// resets (the snapshot already contains those edges), and the settled
+// distances carry over as upper bounds: every shortest path the new
+// edges open starts at a finite-distance vertex, so seeding the full
+// settled set and relaxing to fixpoint repairs them. The snapshot may
+// also grow the vertex set, in which case the new vertices start
+// unreachable (and src seeds itself if it just came into range).
+func (d *DynamicSSSP) Rebase(e sg.Engine) {
+	old := d.kernel.dist
+	d.eng.Close()
+	d.eng = e
+	g := e.Graph()
+	n := g.NumVertices()
+	d.baseEdges = collectEdges(g)
+	d.overlay = make([][]overlayEdge, n)
+	d.overlayCount = 0
+	distA := e.NewData("dynsssp/dist")
+	d.kernel = &ssspKernel{dist: distA.Data}
+	for i := range d.kernel.dist {
+		d.kernel.dist[i] = infinity
+	}
+	copy(d.kernel.dist, old)
+	if int(d.src) < n {
+		d.kernel.dist[d.src] = 0
+	}
+	b := state.NewBuilder(e.Bounds(), 1, false)
+	seeded := false
+	for v, dv := range d.kernel.dist {
+		if dv < infinity {
+			b.Add(0, graph.Vertex(v))
+			seeded = true
+		}
+	}
+	if seeded {
+		d.relaxToFixpoint(b.Build())
 	}
 }
 

@@ -124,6 +124,140 @@ func TestDynamicSSSPCompact(t *testing.T) {
 	}
 }
 
+func TestDynamicSSSPEmptyGraph(t *testing.T) {
+	g := graph.FromEdges(0, nil, true)
+	d := NewDynamicSSSP(newPolymer(g), newPolymer, 0)
+	defer d.Close()
+	if len(d.Dist()) != 0 {
+		t.Fatalf("empty graph dist has %d entries", len(d.Dist()))
+	}
+	// Every endpoint is outside the (empty) vertex set: the batch must be
+	// skipped, not panic.
+	d.InsertEdges([]graph.Edge{{Src: 0, Dst: 1, Wt: 2}, {Src: 3, Dst: 0}})
+	if d.OverlaySize() != 0 {
+		t.Fatalf("out-of-range inserts grew the overlay: %d", d.OverlaySize())
+	}
+	// A snapshot hand-off that introduces the vertex set picks the
+	// computation up: src seeds itself on the new topology.
+	n, chain := gen.Chain(6)
+	d.Rebase(newPolymer(graph.FromEdges(n, chain, false)))
+	for v := 0; v < n; v++ {
+		if d.Dist()[v] != float64(v) {
+			t.Fatalf("post-rebase dist[%d] = %v", v, d.Dist()[v])
+		}
+	}
+}
+
+func TestDynamicSSSPSourceOutOfRange(t *testing.T) {
+	n, base := gen.Chain(4)
+	g := graph.FromEdges(n, base, false)
+	d := NewDynamicSSSP(newPolymer(g), newPolymer, graph.Vertex(n+3))
+	defer d.Close()
+	for v := 0; v < n; v++ {
+		if !floatEq(d.Dist()[v], infinity) {
+			t.Fatalf("unreachable source must leave dist[%d] infinite, got %v", v, d.Dist()[v])
+		}
+	}
+}
+
+func TestDynamicSSSPDuplicateInserts(t *testing.T) {
+	n, base := gen.RoadGrid(6, 6, 3)
+	g := graph.FromEdges(n, base, true)
+	d := NewDynamicSSSP(newPolymer(g), newPolymer, 0)
+	defer d.Close()
+
+	// Duplicate an existing base edge, then insert the same new edge three
+	// times — twice at one weight, once cheaper. Parallel copies must not
+	// corrupt the fixpoint: it matches a clean recompute over all copies.
+	dup := base[2]
+	ins := []graph.Edge{
+		dup,
+		{Src: 0, Dst: graph.Vertex(n - 1), Wt: 9},
+		{Src: 0, Dst: graph.Vertex(n - 1), Wt: 9},
+		{Src: 0, Dst: graph.Vertex(n - 1), Wt: 4},
+	}
+	d.InsertEdges(ins)
+	all := append(append([]graph.Edge(nil), base...), ins...)
+	want := RefSSSP(graph.FromEdges(n, all, true), 0)
+	for v := 0; v < n; v++ {
+		if !floatEq(d.Dist()[v], want[v]) {
+			t.Fatalf("dist[%d] = %v, want %v", v, d.Dist()[v], want[v])
+		}
+	}
+	// Re-inserting the cheap edge yet again (exact duplicate of the current
+	// best) must neither change distances nor trigger relaxation work.
+	before := d.Engine().SimSeconds()
+	d.InsertEdges([]graph.Edge{{Src: 0, Dst: graph.Vertex(n - 1), Wt: 4}})
+	if d.Engine().SimSeconds() != before {
+		t.Fatal("exact-duplicate insert must not trigger any EdgeMap")
+	}
+	if !floatEq(d.Dist()[n-1], want[n-1]) {
+		t.Fatalf("duplicate insert corrupted dist: %v", d.Dist()[n-1])
+	}
+}
+
+func TestDynamicSSSPOutOfBoundsInsertSkipped(t *testing.T) {
+	n, base := gen.Chain(5)
+	g := graph.FromEdges(n, base, false)
+	d := NewDynamicSSSP(newPolymer(g), newPolymer, 0)
+	defer d.Close()
+	d.InsertEdges([]graph.Edge{
+		{Src: 0, Dst: graph.Vertex(n), Wt: 1},     // dst out of range
+		{Src: graph.Vertex(n + 7), Dst: 1, Wt: 1}, // src out of range
+		{Src: 0, Dst: 3, Wt: 1},                   // in range: a shortcut
+	})
+	if d.OverlaySize() != 1 {
+		t.Fatalf("overlay must hold only the in-range edge, has %d", d.OverlaySize())
+	}
+	if d.Dist()[3] != 1 {
+		t.Fatalf("in-range shortcut not applied: %v", d.Dist()[3])
+	}
+}
+
+func TestDynamicSSSPRebase(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n, base := gen.RoadGrid(8, 8, 2)
+	g := graph.FromEdges(n, base, true)
+	d := NewDynamicSSSP(newPolymer(g), newPolymer, 0)
+	defer d.Close()
+
+	all := append([]graph.Edge(nil), base...)
+	ins := make([]graph.Edge, 6)
+	for i := range ins {
+		ins[i] = graph.Edge{Src: graph.Vertex(rng.Intn(n)), Dst: graph.Vertex(rng.Intn(n)), Wt: 3}
+	}
+	d.InsertEdges(ins)
+	all = append(all, ins...)
+
+	// The committed snapshot: everything so far plus edges this instance
+	// has never seen (the part a hand-off must repair).
+	extra := []graph.Edge{
+		{Src: 0, Dst: graph.Vertex(n - 1), Wt: 2},
+		{Src: graph.Vertex(n / 2), Dst: graph.Vertex(n - 2), Wt: 1},
+	}
+	all = append(all, extra...)
+	g2 := graph.FromEdges(n, all, true)
+	d.Rebase(newPolymer(g2))
+
+	if d.OverlaySize() != 0 {
+		t.Fatalf("rebase must reset the overlay, has %d", d.OverlaySize())
+	}
+	if d.Engine().Graph().NumEdges() != int64(len(all)) {
+		t.Fatalf("rebased engine has %d edges, want %d", d.Engine().Graph().NumEdges(), len(all))
+	}
+	want := RefSSSP(g2, 0)
+	for v := 0; v < n; v++ {
+		if !floatEq(d.Dist()[v], want[v]) {
+			t.Fatalf("post-rebase dist[%d] = %v, want %v", v, d.Dist()[v], want[v])
+		}
+	}
+	// Incremental insertion keeps working on the new snapshot.
+	d.InsertEdges([]graph.Edge{{Src: 0, Dst: graph.Vertex(n - 3), Wt: 1}})
+	if d.Dist()[n-3] != 1 {
+		t.Fatalf("post-rebase insertion broken: %v", d.Dist()[n-3])
+	}
+}
+
 func TestDynamicSSSPUnweightedBFSSemantics(t *testing.T) {
 	n, base := gen.Chain(10)
 	g := graph.FromEdges(n, base, false)

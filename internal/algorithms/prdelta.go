@@ -38,6 +38,21 @@ func (k *prDeltaKernel) Cond(graph.Vertex) bool { return true }
 // frontier — and with it the adaptive runtime state — shrinks
 // geometrically. It returns the ranks and the number of iterations.
 func PageRankDelta(e sg.Engine, eps float64, maxIter int) ([]float64, int) {
+	return pageRankDeltaFrom(e, eps, maxIter, nil)
+}
+
+// PageRankDeltaWarm resumes the delta iteration from ranks computed on a
+// previous snapshot. Power iteration contracts toward the new topology's
+// fixed point from any start vector, and the first round's delta_1 =
+// r_1 - r_0 algebra holds for arbitrary r_0, so warm-starting from the
+// old ranks is exact — it just converges in far fewer rounds when the
+// snapshots are close. Vertices beyond len(prev) (a grown vertex set)
+// start at the uniform 1/n.
+func PageRankDeltaWarm(e sg.Engine, eps float64, maxIter int, prev []float64) ([]float64, int) {
+	return pageRankDeltaFrom(e, eps, maxIter, prev)
+}
+
+func pageRankDeltaFrom(e sg.Engine, eps float64, maxIter int, prev []float64) ([]float64, int) {
 	g := e.Graph()
 	n := g.NumVertices()
 	if n == 0 {
@@ -49,8 +64,12 @@ func PageRankDelta(e sg.Engine, eps float64, maxIter int) ([]float64, int) {
 	rank, delta, acc := rankA.Data, deltaA.Data, accA.Data
 	invOut := make([]float64, n)
 	for v := 0; v < n; v++ {
-		rank[v] = 1 / float64(n)
-		delta[v] = 1 / float64(n) // first round propagates r_0 itself
+		r0 := 1 / float64(n)
+		if v < len(prev) {
+			r0 = prev[v]
+		}
+		rank[v] = r0
+		delta[v] = r0 // first round propagates r_0 itself
 		if d := g.OutDegree(graph.Vertex(v)); d > 0 {
 			invOut[v] = 1 / float64(d)
 		}

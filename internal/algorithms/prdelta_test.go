@@ -82,6 +82,61 @@ func TestPageRankDeltaUniformCycleConvergesImmediately(t *testing.T) {
 	}
 }
 
+func TestPageRankDeltaWarmStartAfterSnapshotHandOff(t *testing.T) {
+	g1, _ := gen.Load(gen.Twitter, gen.Tiny, false)
+	e1 := core.MustNew(g1, testMachine(), core.DefaultOptions())
+	prev, _ := PageRankDelta(e1, 1e-10, 300)
+	e1.Close()
+
+	// The next snapshot: the same graph plus a handful of committed edges.
+	n := g1.NumVertices()
+	edges := collectEdges(g1)
+	edges = append(edges,
+		graph.Edge{Src: 0, Dst: graph.Vertex(n - 1)},
+		graph.Edge{Src: graph.Vertex(n / 2), Dst: 1},
+		graph.Edge{Src: graph.Vertex(n - 1), Dst: graph.Vertex(n / 3)},
+	)
+	g2 := graph.FromEdges(n, edges, false)
+
+	cold := core.MustNew(g2, testMachine(), core.DefaultOptions())
+	wantRanks, coldIters := PageRankDelta(cold, 1e-10, 300)
+	cold.Close()
+
+	warm := core.MustNew(g2, testMachine(), core.DefaultOptions())
+	gotRanks, warmIters := PageRankDeltaWarm(warm, 1e-10, 300, prev)
+	warm.Close()
+
+	// Same fixed point, reached from the old snapshot's ranks in no more
+	// rounds than the cold uniform start needs.
+	for v := range wantRanks {
+		if math.Abs(gotRanks[v]-wantRanks[v]) > 1e-7 {
+			t.Fatalf("warm rank[%d] = %v, cold %v", v, gotRanks[v], wantRanks[v])
+		}
+	}
+	if warmIters > coldIters {
+		t.Fatalf("warm start took %d iters, cold only %d", warmIters, coldIters)
+	}
+}
+
+func TestPageRankDeltaWarmNilPrevMatchesCold(t *testing.T) {
+	// A nil prev is the cold path: same code, uniform start vector.
+	g, _ := gen.Load(gen.Twitter, gen.Tiny, false)
+	e1 := core.MustNew(g, testMachine(), core.DefaultOptions())
+	coldRanks, coldIters := PageRankDelta(e1, 1e-8, 200)
+	e1.Close()
+	e2 := core.MustNew(g, testMachine(), core.DefaultOptions())
+	warmRanks, warmIters := PageRankDeltaWarm(e2, 1e-8, 200, nil)
+	e2.Close()
+	if warmIters != coldIters {
+		t.Fatalf("nil-prev warm took %d iters, cold %d", warmIters, coldIters)
+	}
+	for v := range coldRanks {
+		if math.Abs(warmRanks[v]-coldRanks[v]) > 1e-9 {
+			t.Fatalf("nil-prev warm diverged at %d: %v vs %v", v, warmRanks[v], coldRanks[v])
+		}
+	}
+}
+
 func TestPageRankDeltaEmptyGraph(t *testing.T) {
 	g := graph.FromEdges(0, nil, false)
 	m := numa.NewMachine(numa.IntelXeon80(), 1, 1)

@@ -36,6 +36,35 @@ func Datasets() []Dataset {
 	return []Dataset{Twitter, RMat24, RMat27, PowerLaw, RoadUS}
 }
 
+// Per-dataset size tables, shared by Load and NumVertices so the two can
+// never disagree on a dataset's vertex count.
+var (
+	twitterSizes = map[Scale]int{Tiny: 600, Small: 20_000, Default: 120_000}
+	rmat24Scales = map[Scale]int{Tiny: 9, Small: 13, Default: 16}
+	rmat27Scales = map[Scale]int{Tiny: 10, Small: 14, Default: 18}
+	powerSizes   = map[Scale]int{Tiny: 500, Small: 16_000, Default: 100_000}
+	roadSides    = map[Scale]int{Tiny: 24, Small: 120, Default: 300}
+)
+
+// NumVertices reports the vertex count of (name, sc) without generating
+// any edges: mutation validation bounds-checks incoming edge endpoints
+// against it before paying for a graph build.
+func NumVertices(name Dataset, sc Scale) (int, error) {
+	switch name {
+	case Twitter:
+		return twitterSizes[sc], nil
+	case RMat24:
+		return 1 << rmat24Scales[sc], nil
+	case RMat27:
+		return 1 << rmat27Scales[sc], nil
+	case PowerLaw:
+		return powerSizes[sc], nil
+	case RoadUS:
+		return roadSides[sc] * roadSides[sc], nil
+	}
+	return 0, fmt.Errorf("gen: unknown dataset %q", name)
+}
+
 // Load generates the named dataset at the given scale, optionally
 // weighting it (SpMV/SSSP inputs). roadUS is always weighted, as in the
 // paper. The same (name, scale) pair always yields the same graph.
@@ -46,20 +75,15 @@ func Load(name Dataset, sc Scale, weighted bool) (*graph.Graph, error) {
 	)
 	switch name {
 	case Twitter:
-		sizes := map[Scale]int{Tiny: 600, Small: 20_000, Default: 120_000}
-		n, edges = TwitterLike(sizes[sc], 0x7717)
+		n, edges = TwitterLike(twitterSizes[sc], 0x7717)
 	case RMat24:
-		scales := map[Scale]int{Tiny: 9, Small: 13, Default: 16}
-		n, edges = RMAT(scales[sc], 16, 0x24)
+		n, edges = RMAT(rmat24Scales[sc], 16, 0x24)
 	case RMat27:
-		scales := map[Scale]int{Tiny: 10, Small: 14, Default: 18}
-		n, edges = RMAT(scales[sc], 16, 0x27)
+		n, edges = RMAT(rmat27Scales[sc], 16, 0x27)
 	case PowerLaw:
-		sizes := map[Scale]int{Tiny: 500, Small: 16_000, Default: 100_000}
-		n, edges = Powerlaw(sizes[sc], 10.5, 2.0, 0x20)
+		n, edges = Powerlaw(powerSizes[sc], 10.5, 2.0, 0x20)
 	case RoadUS:
-		sides := map[Scale]int{Tiny: 24, Small: 120, Default: 300}
-		side := sides[sc]
+		side := roadSides[sc]
 		n, edges = RoadGrid(side, side, 0x0AD)
 		weighted = true
 	default:

@@ -1,0 +1,168 @@
+// Durable snapshot checkpoints: the folded net effect of every batch up
+// to a sequence number, written atomically (temp file + fsync + rename +
+// directory fsync). Recovery loads the checkpoint and replays only the
+// log records after its sequence number; the log is rotated to empty
+// only after the checkpoint is durable, so at every instant at least one
+// of the two files reconstructs the committed prefix.
+
+package mutate
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"polymer/internal/graph"
+)
+
+const ckptMagic = "PLYCKP1\n"
+
+// encodeCheckpoint renders the checkpoint payload: seq, the sorted
+// deleted-pair set, and the surviving inserts in insertion order.
+func encodeCheckpoint(seq uint64, ns *netState) []byte {
+	pairs := make([]uint64, 0, len(ns.deleted))
+	for p := range ns.deleted {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i] < pairs[j] })
+	buf := make([]byte, 8+8+len(pairs)*8+8+len(ns.live)*opBytes)
+	binary.LittleEndian.PutUint64(buf, seq)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(len(pairs)))
+	off := 16
+	for _, p := range pairs {
+		binary.LittleEndian.PutUint64(buf[off:], p)
+		off += 8
+	}
+	binary.LittleEndian.PutUint64(buf[off:], uint64(len(ns.live)))
+	off += 8
+	for _, op := range ns.live {
+		buf[off] = byte(op.Kind)
+		binary.LittleEndian.PutUint32(buf[off+1:], op.Src)
+		binary.LittleEndian.PutUint32(buf[off+5:], op.Dst)
+		binary.LittleEndian.PutUint32(buf[off+9:], math.Float32bits(op.Wt))
+		off += opBytes
+	}
+	return buf
+}
+
+// decodeCheckpoint parses a checkpoint payload. Like DecodeRecord it
+// never panics on hostile bytes.
+func decodeCheckpoint(payload []byte) (uint64, *netState, error) {
+	if len(payload) < 24 {
+		return 0, nil, fmt.Errorf("mutate: checkpoint payload %d bytes, want >= 24", len(payload))
+	}
+	seq := binary.LittleEndian.Uint64(payload)
+	ndel := binary.LittleEndian.Uint64(payload[8:])
+	if ndel > uint64(len(payload))/8 {
+		return 0, nil, fmt.Errorf("mutate: checkpoint claims %d deleted pairs", ndel)
+	}
+	off := uint64(16)
+	if uint64(len(payload)) < off+ndel*8+8 {
+		return 0, nil, fmt.Errorf("mutate: checkpoint truncated in deleted-pair set")
+	}
+	ns := newNetState()
+	for i := uint64(0); i < ndel; i++ {
+		ns.deleted[binary.LittleEndian.Uint64(payload[off:])] = struct{}{}
+		off += 8
+	}
+	nlive := binary.LittleEndian.Uint64(payload[off:])
+	off += 8
+	if want := off + nlive*opBytes; nlive > uint64(len(payload))/opBytes || uint64(len(payload)) != want {
+		return 0, nil, fmt.Errorf("mutate: checkpoint payload %d bytes, want %d for %d live inserts",
+			len(payload), off+nlive*opBytes, nlive)
+	}
+	for i := uint64(0); i < nlive; i++ {
+		k := OpKind(payload[off])
+		if k != OpInsert {
+			return 0, nil, fmt.Errorf("mutate: checkpoint live op %d has kind %d, want insert", i, k)
+		}
+		ns.live = append(ns.live, Op{
+			Kind: k,
+			Src:  graph.Vertex(binary.LittleEndian.Uint32(payload[off+1:])),
+			Dst:  graph.Vertex(binary.LittleEndian.Uint32(payload[off+5:])),
+			Wt:   math.Float32frombits(binary.LittleEndian.Uint32(payload[off+9:])),
+		})
+		off += opBytes
+	}
+	return seq, ns, nil
+}
+
+// writeCheckpoint durably replaces the checkpoint at path.
+func writeCheckpoint(path string, seq uint64, ns *netState) error {
+	payload := encodeCheckpoint(seq, ns)
+	buf := make([]byte, len(ckptMagic)+8+len(payload))
+	copy(buf, ckptMagic)
+	binary.LittleEndian.PutUint32(buf[len(ckptMagic):], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[len(ckptMagic)+4:], crc32.ChecksumIEEE(payload))
+	copy(buf[len(ckptMagic)+8:], payload)
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpPath := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpPath) }
+	if _, err := tmp.Write(buf); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// loadCheckpoint reads the checkpoint at path. A missing file is
+// (0, empty, nil): recovery starts from the base graph. A present but
+// invalid file is an error — rename-atomicity means a torn checkpoint is
+// never visible under the final name, so damage here is real corruption,
+// not a crash artifact.
+func loadCheckpoint(path string) (uint64, *netState, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, newNetState(), nil
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return 0, nil, err
+	}
+	hd, err := readFull(f, 0, len(ckptMagic)+8)
+	if err != nil || string(hd[:len(ckptMagic)]) != ckptMagic {
+		return 0, nil, fmt.Errorf("mutate: %s is not a checkpoint (bad magic)", path)
+	}
+	plen := binary.LittleEndian.Uint32(hd[len(ckptMagic):])
+	crc := binary.LittleEndian.Uint32(hd[len(ckptMagic)+4:])
+	if int64(plen) != info.Size()-int64(len(ckptMagic))-8 {
+		return 0, nil, fmt.Errorf("mutate: checkpoint %s length %d does not match file size", path, plen)
+	}
+	payload, err := readFull(f, int64(len(ckptMagic))+8, int(plen))
+	if err != nil {
+		return 0, nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != crc {
+		return 0, nil, fmt.Errorf("mutate: checkpoint %s failed its CRC", path)
+	}
+	seq, ns, err := decodeCheckpoint(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	return seq, ns, nil
+}

@@ -1,0 +1,238 @@
+// The write-ahead log: an append-only file of length-prefixed,
+// CRC32-checksummed batch records. Appends fsync before reporting
+// success — that fsync IS the commit point. Open scans the file, stops
+// at the first torn or corrupt record, and truncates the tail there, so
+// a kill mid-write can never leave a half-record visible to recovery.
+
+package mutate
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"polymer/internal/fault"
+)
+
+// walMagic begins every log file; a file that does not start with it is
+// not a torn tail but a different (or rotted) file, and Open refuses it.
+const walMagic = "PLYWAL1\n"
+
+// recHdBytes prefixes every record: 4-byte payload length, 4-byte CRC32
+// (IEEE) of the payload.
+const recHdBytes = 8
+
+// maxRecordBytes bounds a record's payload on read, so a corrupt length
+// field cannot provoke an absurd allocation during recovery.
+const maxRecordBytes = batchHdBytes + MaxBatchOps*opBytes
+
+// Log is one open WAL file. It is not safe for concurrent use; the Store
+// serializes commits.
+type Log struct {
+	path string
+	f    *os.File
+	// size is the append offset; durable is the offset known to have
+	// reached disk (the last fsync). size > durable only transiently
+	// inside Append — or permanently after a simulated crash, which is
+	// exactly the window the chaos harness truncates into.
+	size    int64
+	durable int64
+	dead    bool
+	// truncated records that Open found and cut a torn tail.
+	truncated bool
+}
+
+// OpenLog opens (creating if absent) the log at path, replays every
+// intact record, truncates a torn tail, and returns the committed
+// batches in order.
+func OpenLog(path string) (*Log, []Batch, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	l := &Log{path: path, f: f}
+	if info.Size() == 0 {
+		if _, err := f.Write([]byte(walMagic)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := l.sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		l.size, l.durable = int64(len(walMagic)), int64(len(walMagic))
+		return l, nil, nil
+	}
+	batches, good, err := scanLog(f, info.Size())
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if good < info.Size() {
+		// Torn tail: a record that never finished its write. Everything
+		// after the last intact record is unreliable — drop it.
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("mutate: truncating torn tail of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		l.truncated = true
+	}
+	l.size, l.durable = good, good
+	return l, batches, nil
+}
+
+// scanLog walks records from the header to the first tear, returning the
+// intact batches and the offset of the last intact record's end.
+func scanLog(f *os.File, size int64) ([]Batch, int64, error) {
+	hdr := make([]byte, len(walMagic))
+	if _, err := f.ReadAt(hdr, 0); err != nil || string(hdr) != walMagic {
+		return nil, 0, fmt.Errorf("mutate: %s is not a mutation log (bad magic)", f.Name())
+	}
+	var batches []Batch
+	off := int64(len(walMagic))
+	rh := make([]byte, recHdBytes)
+	for {
+		if size-off < recHdBytes {
+			return batches, off, nil // torn (or absent) record header
+		}
+		if _, err := f.ReadAt(rh, off); err != nil {
+			return nil, 0, err
+		}
+		plen := binary.LittleEndian.Uint32(rh)
+		crc := binary.LittleEndian.Uint32(rh[4:])
+		if plen == 0 || plen > maxRecordBytes || size-off-recHdBytes < int64(plen) {
+			return batches, off, nil // implausible length or torn payload
+		}
+		payload := make([]byte, plen)
+		if _, err := f.ReadAt(payload, off+recHdBytes); err != nil {
+			return nil, 0, err
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return batches, off, nil // torn or bit-flipped payload
+		}
+		b, err := DecodeRecord(payload)
+		if err != nil {
+			return batches, off, nil // CRC-clean but structurally invalid
+		}
+		batches = append(batches, b)
+		off += recHdBytes + int64(plen)
+	}
+}
+
+// appendBatch writes and fsyncs one record, honoring injected crash
+// points. On a simulated kill the log is dead and the error is
+// fault.ErrCrashed; bytes already issued stay in the file (the harness
+// decides how much of the unsynced tail "survives" the kill).
+func (l *Log) appendBatch(seq uint64, ops []Op, crasher fault.Crasher) error {
+	if l.dead {
+		return fault.ErrCrashed
+	}
+	payload := encodeBatch(seq, ops)
+	rec := make([]byte, recHdBytes+len(payload))
+	binary.LittleEndian.PutUint32(rec, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(payload))
+	copy(rec[recHdBytes:], payload)
+
+	if crasher != nil && crasher.Crash(fault.CrashMidRecord, seq) {
+		// Die with the record half-written and unsynced.
+		if _, err := l.f.WriteAt(rec[:len(rec)/2], l.size); err != nil {
+			return err
+		}
+		l.size += int64(len(rec) / 2)
+		l.dead = true
+		return fault.ErrCrashed
+	}
+	if _, err := l.f.WriteAt(rec, l.size); err != nil {
+		return err
+	}
+	l.size += int64(len(rec))
+	if crasher != nil && crasher.Crash(fault.CrashBeforeFsync, seq) {
+		l.dead = true
+		return fault.ErrCrashed
+	}
+	if err := l.sync(); err != nil {
+		return err
+	}
+	l.durable = l.size
+	return nil
+}
+
+func (l *Log) sync() error { return l.f.Sync() }
+
+// reset atomically replaces the log with an empty one (called after a
+// checkpoint made its records redundant): a fresh header is written to a
+// temp file, fsynced, renamed over the log, and the directory is
+// fsynced, so a kill at any instant leaves either the old or the new
+// log — both consistent with the durable checkpoint.
+func (l *Log) reset() error {
+	if l.dead {
+		return fault.ErrCrashed
+	}
+	dir := filepath.Dir(l.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(l.path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpPath := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpPath) }
+	if _, err := tmp.Write([]byte(walMagic)); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := os.Rename(tmpPath, l.path); err != nil {
+		cleanup()
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		tmp.Close()
+		return err
+	}
+	old := l.f
+	l.f = tmp
+	l.size, l.durable = int64(len(walMagic)), int64(len(walMagic))
+	return old.Close()
+}
+
+// Close releases the file handle (without fsync: closing is not a
+// commit point).
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// syncDir fsyncs a directory so a just-renamed file is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// readFull is a tiny helper for checkpoint loading.
+func readFull(r io.ReaderAt, off int64, n int) ([]byte, error) {
+	buf := make([]byte, n)
+	_, err := r.ReadAt(buf, off)
+	return buf, err
+}

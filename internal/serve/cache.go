@@ -25,6 +25,11 @@ type cacheEntry struct {
 	bytes int64
 	refs  int
 	elem  *list.Element // position in the LRU order while resident
+	// doomed marks an entry invalidated while pinned: a superseded
+	// snapshot that in-flight requests still read. The last release frees
+	// it immediately — its key carries a stale mutation sequence, so no
+	// future request can ever hit it and LRU aging would never reclaim it.
+	doomed bool
 }
 
 // cacheStats is the JSON form of the cache counters for /metricsz.
@@ -110,16 +115,32 @@ func (c *graphCache) get(key string, load func() (*graph.Graph, error)) (*graph.
 }
 
 // releaseFunc unpins e exactly once; the release may be the moment an
-// over-budget cache can finally evict.
+// over-budget cache can finally evict, or the moment a doomed (stale
+// pinned snapshot) entry can finally be dropped.
 func (c *graphCache) releaseFunc(e *cacheEntry) func() {
 	var once sync.Once
 	return func() {
 		once.Do(func() {
 			c.mu.Lock()
 			e.refs--
+			if e.doomed && e.refs == 0 && e.elem != nil {
+				c.removeLocked(e)
+			}
 			c.evictLocked()
 			c.mu.Unlock()
 		})
+	}
+}
+
+// removeLocked drops a resident entry and reports it as an eviction.
+func (c *graphCache) removeLocked(e *cacheEntry) {
+	c.lru.Remove(e.elem)
+	e.elem = nil
+	delete(c.entries, e.key)
+	c.bytes -= e.bytes
+	c.evicted++
+	if c.onEvict != nil {
+		c.onEvict(e.key, e.bytes)
 	}
 }
 
@@ -134,24 +155,19 @@ func (c *graphCache) evictLocked() {
 		e := el.Value.(*cacheEntry)
 		prev := el.Prev()
 		if e.refs == 0 {
-			c.lru.Remove(el)
-			e.elem = nil
-			delete(c.entries, e.key)
-			c.bytes -= e.bytes
-			c.evicted++
-			if c.onEvict != nil {
-				c.onEvict(e.key, e.bytes)
-			}
+			c.removeLocked(e)
 		}
 		el = prev
 	}
 }
 
-// invalidate drops every resident unpinned entry whose dataset matches.
-// Pinned entries (a run in progress) and in-flight loads are left alone:
-// they finish against the snapshot they started with, and the result-
-// cache version bump guarantees their outputs are never served as fresh.
-// Returns the number of entries dropped.
+// invalidate drops every resident unpinned entry whose dataset matches
+// and dooms the pinned ones. Pinned entries (a run in progress) and
+// in-flight loads finish against the snapshot they started with — the
+// result-cache version bump guarantees their outputs are never served as
+// fresh — and the doom mark makes the last release drop them instead of
+// leaving superseded snapshots resident under keys nobody will ask for
+// again. Returns the number of entries dropped immediately.
 func (c *graphCache) invalidate(dataset string) int {
 	prefix := dataset + "|"
 	c.mu.Lock()
@@ -160,17 +176,33 @@ func (c *graphCache) invalidate(dataset string) int {
 	for el := c.lru.Back(); el != nil; {
 		e := el.Value.(*cacheEntry)
 		prev := el.Prev()
-		if e.refs == 0 && strings.HasPrefix(e.key, prefix) {
-			c.lru.Remove(el)
-			e.elem = nil
-			delete(c.entries, e.key)
-			c.bytes -= e.bytes
-			n++
-			if c.onEvict != nil {
-				c.onEvict(e.key, e.bytes)
+		if strings.HasPrefix(e.key, prefix) {
+			if e.refs == 0 {
+				c.lru.Remove(el)
+				e.elem = nil
+				delete(c.entries, e.key)
+				c.bytes -= e.bytes
+				n++
+				if c.onEvict != nil {
+					c.onEvict(e.key, e.bytes)
+				}
+			} else {
+				e.doomed = true
 			}
 		}
 		el = prev
+	}
+	return n
+}
+
+// pinnedRefs sums refcounts across resident entries: tests assert it
+// returns to zero after load, so no path leaks a graph pin.
+func (c *graphCache) pinnedRefs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.entries {
+		n += e.refs
 	}
 	return n
 }

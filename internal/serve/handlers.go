@@ -15,6 +15,7 @@ import (
 	"strconv"
 
 	"polymer/internal/bench"
+	"polymer/internal/mutate"
 	"polymer/internal/obs"
 )
 
@@ -22,6 +23,7 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /run", s.handleRun)
+	mux.HandleFunc("POST /mutatez", s.handleMutate)
 	mux.HandleFunc("POST /invalidatez", s.handleInvalidate)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -148,6 +150,8 @@ type metricsBody struct {
 	Queue    map[string]int64  `json:"queue"`
 	Cache    cacheStats        `json:"graph_cache"`
 	Results  cacheStats        `json:"result_cache"`
+	// Mutations is present only when the mutation store is attached.
+	Mutations *mutate.StoreStats `json:"mutations,omitempty"`
 }
 
 func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
@@ -155,7 +159,7 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
 	for _, sys := range bench.Systems() {
 		brs[string(sys)] = string(s.breakers[sys].State())
 	}
-	writeJSON(w, http.StatusOK, metricsBody{
+	body := metricsBody{
 		Counters: s.counters.Snapshot(),
 		Breakers: brs,
 		Queue: map[string]int64{
@@ -165,7 +169,12 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
 		},
 		Cache:   s.cache.stats(),
 		Results: s.results.stats(),
-	})
+	}
+	if s.mut != nil {
+		st := s.mut.Stats()
+		body.Mutations = &st
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // traceBody is the flight-recorder dump: the most recent request spans and

@@ -45,6 +45,11 @@ type Counters struct {
 	Cancelled atomic.Int64
 	// Evicted counts graphs dropped from the memory-budgeted cache.
 	Evicted atomic.Int64
+	// Mutations counts committed mutation batches (each one a durable WAL
+	// record, a new snapshot and a generation bump). Like Retried and
+	// Evicted it is an event counter outside the resolution identity —
+	// mutation requests themselves resolve as completed/failed/etc.
+	Mutations atomic.Int64
 }
 
 // CounterSnapshot is the JSON form of Counters.
@@ -62,6 +67,7 @@ type CounterSnapshot struct {
 	Expired   int64 `json:"expired"`
 	Cancelled int64 `json:"cancelled"`
 	Evicted   int64 `json:"evicted"`
+	Mutations int64 `json:"mutations"`
 }
 
 // Snapshot reads every counter.
@@ -80,5 +86,6 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		Expired:   c.Expired.Load(),
 		Cancelled: c.Cancelled.Load(),
 		Evicted:   c.Evicted.Load(),
+		Mutations: c.Mutations.Load(),
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"polymer/internal/bench"
 	"polymer/internal/gen"
 	"polymer/internal/graph"
+	"polymer/internal/mutate"
 	"polymer/internal/numa"
 	"polymer/internal/obs"
 )
@@ -83,6 +84,12 @@ type Config struct {
 	// time a group's task spends queued is the natural batching window,
 	// so batching adds no latency when the server is idle.
 	BatchLinger time.Duration
+	// Mutations, when non-nil, enables the streaming-mutation surface
+	// (POST /mutatez): commits append to its WAL, and each committed batch
+	// publishes a new graph snapshot and bumps the dataset's result-cache
+	// generation. The caller owns the store's lifecycle (open before
+	// NewServer, close after Shutdown).
+	Mutations *mutate.Store
 	// Tracer, when non-nil, receives serve-lane request spans and is
 	// installed on every engine the server runs, so a flight recorder sees
 	// supersteps, rollbacks and evictions alongside request lifecycles.
@@ -192,6 +199,11 @@ type Response struct {
 	Cached    bool `json:"cached,omitempty"`
 	Coalesced bool `json:"coalesced,omitempty"`
 	BatchSize int  `json:"batch,omitempty"`
+	// Seq and Generation are mutation-commit provenance (POST /mutatez):
+	// the committed batch's sequence number — the snapshot version that
+	// includes it — and the dataset's new result-cache generation.
+	Seq        uint64 `json:"seq,omitempty"`
+	Generation uint64 `json:"generation,omitempty"`
 }
 
 // outcome pairs a response with its HTTP status.
@@ -216,6 +228,9 @@ type task struct {
 	// grp, when non-nil, is the multi-source batch group this task
 	// executes; the worker routes it through executeMulti.
 	grp *batchGroup
+	// mut, when non-nil, is the mutation batch this task commits; the
+	// worker routes it through executeMutate (and v is nil).
+	mut *mutation
 }
 
 // Server owns the admission queue, the worker pool, the per-engine
@@ -242,6 +257,7 @@ type Server struct {
 	results *resultCache
 	flights *coalescer
 	batches *batcher
+	mut     *mutate.Store
 }
 
 // NewServer builds and starts a server (workers spawn immediately).
@@ -259,6 +275,7 @@ func NewServer(cfg Config) *Server {
 		results:  newResultCache(cfg.ResultCacheBytes),
 		flights:  newCoalescer(),
 		batches:  newBatcher(),
+		mut:      cfg.Mutations,
 	}
 	s.cache = newGraphCache(cfg.GraphCacheBytes, func(key string, bytes int64) {
 		s.counters.Evicted.Add(1)
@@ -355,9 +372,12 @@ func (s *Server) worker() {
 		case <-s.stop:
 			return
 		case t := <-s.queue:
-			if t.grp != nil {
+			switch {
+			case t.mut != nil:
+				s.executeMutate(t)
+			case t.grp != nil:
 				s.executeMulti(t)
-			} else {
+			default:
 				s.execute(t)
 			}
 			s.inflight.Add(-1)
@@ -621,11 +641,29 @@ func sleepBackoff(ctx context.Context, base time.Duration, attempt int, seed uin
 // dataset build never blocks requests for other graphs. The returned
 // release unpins the graph; graphs are immutable after construction, so
 // concurrent runs share them freely.
+//
+// With a mutation store attached, the key also carries the dataset's
+// committed mutation sequence number, sampled here: each commit publishes
+// a distinct immutable snapshot under a distinct key, requests that
+// sampled before the commit keep their pinned pre-commit snapshot
+// (snapshot isolation), and the commit's invalidation dooms the old
+// entry so the last release frees it.
 func (s *Server) graphFor(v *resolved) (*graph.Graph, func(), error) {
 	weighted := v.alg.Weighted()
-	key := fmt.Sprintf("%s|%d|%t", v.data, v.scale, weighted)
+	var seq uint64
+	if s.mut != nil {
+		var err error
+		if seq, err = s.mut.Seq(string(v.data), int(v.scale)); err != nil {
+			return nil, nil, err
+		}
+	}
+	key := fmt.Sprintf("%s|%d|%t|m%d", v.data, v.scale, weighted, seq)
 	return s.cache.get(key, func() (*graph.Graph, error) {
-		return gen.Load(v.data, v.scale, weighted)
+		base, err := gen.Load(v.data, v.scale, weighted)
+		if err != nil || seq == 0 {
+			return base, err
+		}
+		return s.mut.GraphAt(string(v.data), int(v.scale), seq, base)
 	})
 }
 

@@ -13,7 +13,7 @@ go vet ./...
 echo "==> errcheck (error-returning APIs in statement position)"
 sh scripts/errcheck.sh
 
-echo "==> go test -race (engines, core, state, par, fault, numa, serve, obs, conform)"
+echo "==> go test -race (engines, core, state, par, fault, numa, serve, mutate, obs, conform)"
 go test -race \
 	./internal/core/... \
 	./internal/engines/... \
@@ -22,6 +22,7 @@ go test -race \
 	./internal/fault/... \
 	./internal/numa/... \
 	./internal/serve/... \
+	./internal/mutate/... \
 	./internal/obs/... \
 	./internal/conform/...
 
@@ -33,5 +34,8 @@ go test ./...
 
 echo "==> servebench smoke (reuse layer end to end, small schedule)"
 go run ./cmd/servebench -requests 60 -clients 8 -queue 16 >/dev/null
+
+echo "==> mutate soak smoke (crash-point matrix under -race, small seed budget)"
+MUTATE_SOAK_SEEDS=4 go test -race -count=1 -run 'TestCrashRecoveryMatrix' ./internal/mutate/ >/dev/null
 
 echo "check: OK"
