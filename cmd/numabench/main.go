@@ -3,14 +3,26 @@
 // (Figure 3(b)), the bandwidth-by-distance table (Figure 4), and the
 // barrier study (Figure 10(a)), including wall-clock measurements of the
 // real Go barrier implementations on this host.
+//
+// With -machines it instead lifts the Figure-4 scaling experiment one
+// level — whole replicated machines joined by the network cost model —
+// at gen.Huge, 4x the single-box evaluation size:
+//
+//	numabench -machines 1,2,4,8 -graph powerlaw -scale huge
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"polymer/internal/bench"
+	"polymer/internal/cluster"
+	"polymer/internal/gen"
+	"polymer/internal/graph"
 	"polymer/internal/numa"
 	"polymer/internal/obs"
 )
@@ -20,7 +32,17 @@ func main() {
 	cores := flag.Int("cores", 4, "goroutines per socket for the measured barrier study")
 	rounds := flag.Int("rounds", 200, "barrier rounds to average over")
 	traceFlag := flag.String("trace", "", "write the microbenchmark sweep as Chrome trace_event JSON and print its traffic breakdown")
+	machinesFlag := flag.String("machines", "", "comma-separated machine counts for the cluster scaling sweep (e.g. 1,2,4,8); empty runs the single-box microbenchmarks")
+	replicasFlag := flag.Int("replicas", 0, "replicas per shard for the cluster sweep (0 = min(2, machines))")
+	graphFlag := flag.String("graph", "powerlaw", "dataset for the cluster sweep")
+	scaleFlag := flag.String("scale", "huge", "dataset scale for the cluster sweep: tiny, small, default or huge")
+	srcFlag := flag.Uint("src", 0, "source vertex for the cluster sweep's bfs/sssp lines")
 	flag.Parse()
+
+	if *machinesFlag != "" {
+		clusterSweep(*machinesFlag, *replicasFlag, *graphFlag, *scaleFlag, graph.Vertex(*srcFlag))
+		return
+	}
 
 	for _, topo := range []*numa.Topology{numa.IntelXeon80(), numa.AMDOpteron64()} {
 		fmt.Println(bench.FormatLatencyTable(topo, bench.LatencyTable(topo)))
@@ -51,6 +73,43 @@ func main() {
 		}
 	}
 	fmt.Println(bench.FormatBarrierStudy(bench.BarrierStudy(*sockets, *cores, *rounds)))
+}
+
+// clusterSweep runs every cluster kernel across the machine counts on
+// one graph and prints the scaling table plus the per-link and per-hop
+// traffic evidence from each kernel's largest run.
+func clusterSweep(machineList string, replicas int, dataset, scale string, src graph.Vertex) {
+	var machines []int
+	for _, f := range strings.Split(machineList, ",") {
+		mc, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || mc < 1 {
+			fail("bad machine count %q in -machines", f)
+		}
+		machines = append(machines, mc)
+	}
+	sc, ok := map[string]gen.Scale{"tiny": gen.Tiny, "small": gen.Small, "default": gen.Default, "huge": gen.Huge}[scale]
+	if !ok {
+		fail("unknown scale %q (want tiny, small, default or huge)", scale)
+	}
+	// One weighted load serves all three kernels; pr and bfs ignore the
+	// weights, sssp needs them.
+	g, err := gen.Load(gen.Dataset(dataset), sc, true)
+	if err != nil {
+		fail("%v", err)
+	}
+	if int(src) >= g.NumVertices() {
+		fail("source %d outside [0,%d)", src, g.NumVertices())
+	}
+	rows, err := cluster.Sweep(context.Background(), g, cluster.Config{Replicas: replicas}, cluster.Algos(), machines, src)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Println(cluster.FormatSweep(cluster.SweepGraphLabel(dataset, g), rows))
+	for _, row := range rows {
+		fmt.Printf("%s @ %d machines\n", row.Algo, row.Points[len(row.Points)-1].Machines)
+		fmt.Println(cluster.FormatLinks(row.Largest.Links))
+		fmt.Println(cluster.FormatTraffic(row.Largest.Traffic))
+	}
 }
 
 func fail(format string, args ...any) {

@@ -10,6 +10,8 @@
 //	polymer -algo pr -graph powerlaw -scale tiny -fault "panic@2:t3,offline@1:n1"
 //	polymer -algo pr -graph powerlaw -scale tiny -fault-seed 7
 //	polymer -algo pr -graph powerlaw -scale tiny -trace trace.json -breakdown
+//	polymer -algo pr -graph powerlaw -scale huge -machines 4 -replicas 2
+//	polymer -algo bfs -graph rmat24 -machines 6 -replicas 4 -fault-seed 11
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"time"
 
 	"polymer/internal/bench"
+	"polymer/internal/cluster"
 	"polymer/internal/core"
 	"polymer/internal/fault"
 	"polymer/internal/gen"
@@ -34,7 +37,7 @@ func main() {
 	graphFlag := flag.String("graph", "twitter", "dataset: twitter, rmat24, rmat27, powerlaw or roadUS")
 	fileFlag := flag.String("file", "", "load an edge-list file instead of a generated dataset")
 	systemFlag := flag.String("system", "polymer", "engine: polymer, ligra, xstream or galois")
-	scaleFlag := flag.String("scale", "default", "dataset scale: tiny, small or default")
+	scaleFlag := flag.String("scale", "default", "dataset scale: tiny, small, default or huge")
 	machineFlag := flag.String("machine", "intel", "topology: intel or amd")
 	socketsFlag := flag.Int("sockets", 0, "sockets to use (0 = all)")
 	coresFlag := flag.Int("cores", 0, "cores per socket (0 = all)")
@@ -45,6 +48,8 @@ func main() {
 	faultFlag := flag.String("fault", "", "inject a fault spec, e.g. panic@2:t3,stall@1:t0,offline@1:n1,link@3:n0-n1*0.25,alloc@-1")
 	faultSeedFlag := flag.Uint64("fault-seed", 0, "generate a deterministic fault schedule from this seed (overridden by -fault)")
 	faultRetriesFlag := flag.Int("fault-retries", 3, "whole-run restarts allowed for setup-time faults")
+	machinesFlag := flag.Int("machines", 0, "replicated cluster run across this many simulated machines (0 = single machine)")
+	replicasFlag := flag.Int("replicas", 0, "replicas per shard for cluster runs (0 = min(2, machines))")
 	flag.Parse()
 
 	alg, ok := map[string]bench.Algo{
@@ -61,9 +66,9 @@ func main() {
 	if !ok {
 		fail("unknown system %q", *systemFlag)
 	}
-	sc, ok := map[string]gen.Scale{"tiny": gen.Tiny, "small": gen.Small, "default": gen.Default}[*scaleFlag]
+	sc, ok := map[string]gen.Scale{"tiny": gen.Tiny, "small": gen.Small, "default": gen.Default, "huge": gen.Huge}[*scaleFlag]
 	if !ok {
-		fail("unknown scale %q", *scaleFlag)
+		fail("unknown scale %q (want tiny, small, default or huge)", *scaleFlag)
 	}
 	topo := numa.IntelXeon80()
 	if *machineFlag == "amd" {
@@ -121,10 +126,6 @@ func main() {
 		fail("source %d outside [0,%d)", src, g.NumVertices())
 	}
 
-	m, err := numa.NewMachineChecked(topo, sockets, cores)
-	if err != nil {
-		fail("%v", err)
-	}
 	// The trace flags share one tracer: every sink sees the same event
 	// stream, so -trace and -breakdown compose.
 	var (
@@ -143,6 +144,87 @@ func main() {
 	var tr *obs.Tracer
 	if len(sinks) > 0 {
 		tr = obs.New(sinks)
+	}
+
+	// Cluster runs replace the single simulated machine with N replicated
+	// ones behind the network cost model; everything after this branch is
+	// the single-machine path.
+	if *machinesFlag > 0 {
+		calg, ok := map[bench.Algo]cluster.Algo{
+			bench.PR: cluster.PR, bench.BFS: cluster.BFS, bench.SSSP: cluster.SSSP,
+		}[alg]
+		if !ok {
+			fail("algorithm %s is not served on the cluster substrate (want pr, bfs or sssp)", alg)
+		}
+		if *faultFlag != "" {
+			fail("single-machine fault specs don't apply to cluster runs; use -fault-seed for cluster chaos")
+		}
+		cfg := cluster.Config{
+			Machines: *machinesFlag, Replicas: *replicasFlag,
+			Topo: topo, Nodes: sockets, Cores: cores, Tracer: tr,
+		}
+		if *faultSeedFlag != 0 {
+			cfg.Events = fault.ClusterChaos(*faultSeedFlag, 3, *machinesFlag)
+		}
+		cl, err := cluster.New(g, cfg)
+		if err != nil {
+			fail("%v", err)
+		}
+		wall := time.Now()
+		res, err := cl.Run(context.Background(), calg, src)
+		if err != nil {
+			fail("%v", err)
+		}
+		elapsed := time.Since(wall)
+
+		healthy := 0
+		for _, mh := range res.Machines {
+			if mh.State == "healthy" {
+				healthy++
+			}
+		}
+		replicas := *replicasFlag
+		if replicas <= 0 {
+			replicas = 2
+		}
+		if replicas > *machinesFlag {
+			replicas = *machinesFlag
+		}
+		fmt.Printf("algorithm  : %s\n", alg)
+		fmt.Printf("graph      : %s\n", g)
+		fmt.Printf("cluster    : %d machines x (%d nodes x %d cores), %d replicas/shard\n",
+			*machinesFlag, sockets, cores, replicas)
+		fmt.Printf("sim time   : %.6f s\n", res.SimSeconds)
+		fmt.Printf("wall time  : %v\n", elapsed.Round(time.Millisecond))
+		fmt.Printf("supersteps : %d\n", res.Supersteps)
+		fmt.Printf("failovers  : %d\n", res.Failovers)
+		fmt.Printf("health     : %d/%d machines healthy\n", healthy, len(res.Machines))
+		fmt.Printf("net traffic: %.2f MB\n", res.NetBytes/1e6)
+		fmt.Printf("remote rate: %.1f%%  (%.1fM remote accesses)\n", res.Stats.RemoteRate*100, float64(res.Stats.RemoteCount)/1e6)
+		fmt.Printf("checksum   : %g\n", res.Checksum)
+		for _, mh := range res.Machines {
+			fmt.Printf("  m%-3d %-8s shards %v\n", mh.ID, mh.State, mh.Shards)
+		}
+		if len(res.Protocol) > 0 {
+			fmt.Printf("\nfailover protocol:\n")
+			for _, line := range res.Protocol {
+				fmt.Printf("  %s\n", line)
+			}
+		}
+		fmt.Printf("\n%s", cluster.FormatLinks(res.Links))
+		if *breakdownFlag && res.Traffic != nil {
+			fmt.Printf("\n%s", cluster.FormatTraffic(res.Traffic))
+		}
+		if bd != nil {
+			fmt.Printf("\n%s", bd.Format())
+		}
+		exportChrome(chrome, *traceFlag)
+		return
+	}
+
+	m, err := numa.NewMachineChecked(topo, sockets, cores)
+	if err != nil {
+		fail("%v", err)
 	}
 
 	wall := time.Now()
@@ -200,20 +282,7 @@ func main() {
 	if bd != nil {
 		fmt.Printf("\n%s", bd.Format())
 	}
-	if chrome != nil {
-		f, ferr := os.Create(*traceFlag)
-		if ferr != nil {
-			fail("%v", ferr)
-		}
-		if err := chrome.Export(f); err != nil {
-			f.Close()
-			fail("writing trace: %v", err)
-		}
-		if err := f.Close(); err != nil {
-			fail("writing trace: %v", err)
-		}
-		fmt.Printf("trace      : %d events -> %s (load in Perfetto or chrome://tracing)\n", chrome.Len(), *traceFlag)
-	}
+	exportChrome(chrome, *traceFlag)
 	if len(phases) > 0 {
 		fmt.Printf("\n%-4s %-10s %-7s %-6s %12s %14s\n", "#", "phase", "repr", "dir", "active-in", "sim (usec)")
 		for i, p := range phases {
@@ -231,6 +300,24 @@ func main() {
 			fmt.Printf("%-4d %-10s %-7s %-6s %12d %14.2f\n", i, p.Kind, repr, dir, p.ActiveIn, p.SimSeconds*1e6)
 		}
 	}
+}
+
+func exportChrome(chrome *obs.Chrome, path string) {
+	if chrome == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := chrome.Export(f); err != nil {
+		f.Close()
+		fail("writing trace: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fail("writing trace: %v", err)
+	}
+	fmt.Printf("trace      : %d events -> %s (load in Perfetto or chrome://tracing)\n", chrome.Len(), path)
 }
 
 func fail(format string, args ...any) {

@@ -64,6 +64,7 @@ func main() {
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	walDirFlag := flag.String("wal-dir", "", "mutation write-ahead log directory (empty disables POST /mutatez)")
 	ckptFlag := flag.Int("checkpoint-every", 0, "commits per key between WAL checkpoints (0 = default, negative disables)")
+	hedgeFlag := flag.Duration("hedge-delay", 0, "wait before hedging a cluster read to a replica (0 = adaptive p90, negative disables)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -77,8 +78,13 @@ func main() {
 		rec = obs.NewRecorder(*traceReqFlag, *traceStepFlag)
 		tr = obs.New(rec)
 	}
-	// The mutation store recovers committed batches from the WAL before the
-	// listener opens, so the first request already sees every durable commit.
+	// The mutation store replays committed batches from the WAL in the
+	// background after the listener opens; /readyz reports 503 until the
+	// replay finishes, so load balancers hold traffic instead of racing
+	// recovery. closeMut runs on every exit path — including a forced
+	// drain with a hung request and a listener error — and is safe there:
+	// a commit that loses the race fails with ErrClosed instead of
+	// appending to a closed WAL.
 	var mut *mutate.Store
 	if *walDirFlag != "" {
 		var err error
@@ -88,6 +94,14 @@ func main() {
 			os.Exit(1)
 		}
 		logger.Info("mutation log open", slog.String("dir", *walDirFlag))
+	}
+	closeMut := func() {
+		if mut == nil {
+			return
+		}
+		if err := mut.Close(); err != nil {
+			logger.Error("mutation log close", slog.String("error", err.Error()))
+		}
 	}
 	srv := serve.NewServer(serve.Config{
 		QueueDepth:       *queueFlag,
@@ -103,11 +117,13 @@ func main() {
 		DisableBatch:     *noBatchFlag,
 		BatchMax:         *batchMaxFlag,
 		BatchLinger:      *batchLingerFlag,
+		HedgeDelay:       *hedgeFlag,
 		Tracer:           tr,
 		Recorder:         rec,
 		Logger:           logger,
 		Mutations:        mut,
 	})
+	srv.RecoverInBackground()
 
 	handler := srv.Handler()
 	if *pprofFlag {
@@ -144,15 +160,13 @@ func main() {
 		if err := httpSrv.Shutdown(drainCtx); err != nil {
 			logger.Error("http shutdown", slog.String("error", err.Error()))
 		}
-		// Workers are drained: no in-flight commit can race the close. Every
-		// acked mutation is already fsynced, so this only releases handles.
-		if mut != nil {
-			if err := mut.Close(); err != nil {
-				logger.Error("mutation log close", slog.String("error", err.Error()))
-			}
-		}
+		// Every acked mutation is already fsynced at its commit point, so
+		// closing here — even after a forced drain left a request hung —
+		// loses nothing; the straggler's commit gets ErrClosed.
+		closeMut()
 		logger.Info("polymerd drained")
 	case err := <-errCh:
+		closeMut()
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintf(os.Stderr, "polymerd: %v\n", err)
 			os.Exit(1)

@@ -1,0 +1,142 @@
+// The cluster chaos matrix: {machine crash, link partition, slow
+// replica, crash-during-failover} × seeds × {bfs, pr, sssp} × both
+// topologies, every cell asserting the committed output is bit-identical
+// to the single-machine conform oracle. The external test package keeps
+// the conform import acyclic (conform itself imports cluster).
+
+package cluster_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"polymer/internal/cluster"
+	"polymer/internal/conform"
+	"polymer/internal/fault"
+	"polymer/internal/gen"
+	"polymer/internal/numa"
+)
+
+// soakSeeds is the per-kind seed budget; CLUSTER_SOAK_SEEDS raises it
+// for the nightly soak, mirroring MUTATE_SOAK_SEEDS.
+func soakSeeds(t *testing.T) int {
+	s := os.Getenv("CLUSTER_SOAK_SEEDS")
+	if s == "" {
+		return 4
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		t.Fatalf("CLUSTER_SOAK_SEEDS=%q: want a positive integer", s)
+	}
+	return n
+}
+
+// chaosCell is one matrix coordinate — also the minimized repro: the
+// cell's parameters regenerate the failing run exactly.
+type chaosCell struct {
+	kind     fault.ClusterKind
+	seed     uint64
+	algo     conform.Algo
+	topoName string
+	topo     *numa.Topology
+	dataset  gen.Dataset
+}
+
+func (c chaosCell) String() string {
+	return fmt.Sprintf("kind=%s seed=%d algo=%s topo=%s dataset=%s machines=4 replicas=3 steps=2 scale=tiny",
+		c.kind, c.seed, c.algo, c.topoName, c.dataset)
+}
+
+// failCell fails the test and, when CLUSTER_REPRO_FILE is set (the CI
+// soak does), appends the minimized repro line for artifact upload.
+func failCell(t *testing.T, cell chaosCell, evs []*fault.ClusterEvent, format string, args ...any) {
+	t.Helper()
+	line := fmt.Sprintf("%s events=%v: %s", cell, evs, fmt.Sprintf(format, args...))
+	if path := os.Getenv("CLUSTER_REPRO_FILE"); path != "" {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err == nil {
+			fmt.Fprintln(f, line)
+			f.Close()
+		}
+	}
+	t.Fatal(line)
+}
+
+func TestChaosMatrix(t *testing.T) {
+	seeds := soakSeeds(t)
+	topos := []struct {
+		name string
+		topo *numa.Topology
+	}{
+		{"intel80", numa.IntelXeon80()},
+		{"amd64", numa.AMDOpteron64()},
+	}
+	algos := []conform.Algo{conform.BFS, conform.PR, conform.SSSP}
+	datasets := []gen.Dataset{gen.Twitter, gen.RMat24, gen.PowerLaw}
+	for _, kind := range fault.ClusterKinds() {
+		for seed := 0; seed < seeds; seed++ {
+			for _, algo := range algos {
+				for _, tp := range topos {
+					cell := chaosCell{
+						kind: kind, seed: uint64(seed), algo: algo,
+						topoName: tp.name, topo: tp.topo,
+						dataset: datasets[seed%len(datasets)],
+					}
+					t.Run(fmt.Sprintf("%s/seed%d/%s/%s", kind, seed, algo, tp.name), func(t *testing.T) {
+						runChaosCell(t, cell)
+					})
+				}
+			}
+		}
+	}
+}
+
+func runChaosCell(t *testing.T, cell chaosCell) {
+	weighted := cell.algo == conform.SSSP
+	g, err := gen.Load(cell.dataset, gen.Tiny, weighted)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	// Faults land in the first two supersteps so every kernel (PR runs
+	// five rounds, the traversals at least a few) executes them; four
+	// machines at R=3 guarantee a surviving replica even for the double
+	// kill of crash-during-failover.
+	const machines, steps = 4, 2
+	evs := fault.ClusterSchedule(cell.seed, cell.kind, steps, machines)
+	cfg := cluster.Config{
+		Machines: machines, Replicas: 3,
+		Topo: cell.topo, Nodes: 2, Cores: 2,
+		Events: evs,
+	}
+	res, div, err := conform.CheckCluster(g, cfg, cell.algo, 1)
+	if err != nil {
+		failCell(t, cell, evs, "cluster error: %v", err)
+	}
+	if div != nil {
+		failCell(t, cell, evs, "divergence from oracle at vertex %d: want %v, got %v",
+			div.Vertex, div.Want, div.Got)
+	}
+	for _, ev := range evs {
+		if res.Supersteps > ev.Step && !ev.Fired() {
+			failCell(t, cell, evs, "event %s never fired in %d supersteps", ev, res.Supersteps)
+		}
+	}
+	switch cell.kind {
+	case fault.MachineCrash, fault.CrashDuringFailover:
+		if res.Failovers == 0 {
+			failCell(t, cell, evs, "crash committed without a failover")
+		}
+	case fault.LinkPartition:
+		// A single cut in a 4-machine full mesh must reroute, never
+		// evict: everyone stays in the primary component.
+		if res.Failovers != 0 {
+			failCell(t, cell, evs, "partition caused %d failovers in a full mesh", res.Failovers)
+		}
+	case fault.SlowLink:
+		if res.Failovers != 0 {
+			failCell(t, cell, evs, "slow link caused failover")
+		}
+	}
+}

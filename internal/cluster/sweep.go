@@ -1,0 +1,150 @@
+// The cluster scaling sweep — the Figure-4 experiment lifted one level:
+// instead of cores × sockets on one machine, whole simulated machines
+// joined by the network cost model, run at graph sizes a single box in
+// this suite never serves (gen.Huge, 4x the Default evaluation size).
+
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"polymer/internal/graph"
+	"polymer/internal/numa"
+)
+
+// SweepPoint is one (algo, machine count) cell of the sweep.
+type SweepPoint struct {
+	Machines   int
+	SimSeconds float64
+	Speedup    float64 // vs the sweep's smallest machine count
+	Supersteps int
+	NetBytes   float64
+	Failovers  int
+}
+
+// SweepRow is one algorithm's scaling line plus the traffic evidence
+// from its largest run (Out dropped — the sweep keeps checksums only).
+type SweepRow struct {
+	Algo     Algo
+	Checksum float64
+	Points   []SweepPoint
+	// Largest is the Result of the biggest machine count, with Out
+	// stripped: its Links and extended Traffic matrix are the per-link
+	// evidence the sweep reports.
+	Largest *Result
+}
+
+// Sweep runs each algorithm across the machine counts on one graph.
+// Every cell must agree on the checksum — a mismatch is a correctness
+// bug, reported as an error rather than a slow data point.
+func Sweep(ctx context.Context, g *graph.Graph, base Config, algos []Algo, machines []int, src graph.Vertex) ([]SweepRow, error) {
+	if len(machines) == 0 {
+		return nil, fmt.Errorf("cluster: empty machine-count sweep")
+	}
+	rows := make([]SweepRow, 0, len(algos))
+	for _, a := range algos {
+		row := SweepRow{Algo: a}
+		var baseSim float64
+		for i, mc := range machines {
+			cfg := base
+			cfg.Machines = mc
+			cl, err := New(g, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: sweep %s@%d: %w", a, mc, err)
+			}
+			res, err := cl.Run(ctx, a, src)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: sweep %s@%d: %w", a, mc, err)
+			}
+			if i == 0 {
+				baseSim = res.SimSeconds
+				row.Checksum = res.Checksum
+			} else if res.Checksum != row.Checksum {
+				return nil, fmt.Errorf("cluster: sweep %s@%d: checksum %g diverges from %g at %d machines",
+					a, mc, res.Checksum, row.Checksum, machines[0])
+			}
+			pt := SweepPoint{
+				Machines:   mc,
+				SimSeconds: res.SimSeconds,
+				Supersteps: res.Supersteps,
+				NetBytes:   res.NetBytes,
+				Failovers:  res.Failovers,
+			}
+			if res.SimSeconds > 0 {
+				pt.Speedup = baseSim / res.SimSeconds
+			}
+			row.Points = append(row.Points, pt)
+			if i == len(machines)-1 {
+				res.Out = nil
+				row.Largest = res
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatSweep renders the sweep as an aligned table.
+func FormatSweep(title string, rows []SweepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-6s %9s %12s %9s %7s %10s %10s\n",
+		"algo", "machines", "sim(s)", "speedup", "steps", "net(MB)", "failovers")
+	for _, row := range rows {
+		for _, pt := range row.Points {
+			fmt.Fprintf(&b, "%-6s %9d %12.4f %9.2fx %7d %10.2f %10d\n",
+				row.Algo, pt.Machines, pt.SimSeconds, pt.Speedup,
+				pt.Supersteps, pt.NetBytes/1e6, pt.Failovers)
+		}
+	}
+	return b.String()
+}
+
+// FormatLinks renders a cumulative per-link byte matrix (MB, rows =
+// sender) — the wire half of the traffic evidence.
+func FormatLinks(links [][]float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "per-link traffic (MB sent, row -> column)\n%8s", "")
+	for j := range links {
+		fmt.Fprintf(&b, " %8s", fmt.Sprintf("m%d", j))
+	}
+	b.WriteByte('\n')
+	for i, row := range links {
+		fmt.Fprintf(&b, "%8s", fmt.Sprintf("m%d", i))
+		for _, bytes := range row {
+			fmt.Fprintf(&b, " %8.2f", bytes/1e6)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatTraffic renders the extended machine × hop-level matrix; the
+// final level is the wire.
+func FormatTraffic(tm *numa.TrafficMatrix) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "traffic by machine × hop level (MB; last level = network)\n%8s", "")
+	for l := 0; l < tm.Levels; l++ {
+		name := fmt.Sprintf("hop%d", l)
+		if l == tm.Levels-1 {
+			name = "wire"
+		}
+		fmt.Fprintf(&b, " %10s", name)
+	}
+	b.WriteByte('\n')
+	for n := 0; n < tm.Nodes; n++ {
+		fmt.Fprintf(&b, "%8s", fmt.Sprintf("m%d", n))
+		for l := 0; l < tm.Levels; l++ {
+			fmt.Fprintf(&b, " %10.2f", (tm.At(n, l, numa.Seq)+tm.At(n, l, numa.Rand))/1e6)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SweepGraphLabel names the sweep input for titles.
+func SweepGraphLabel(name string, g *graph.Graph) string {
+	return fmt.Sprintf("cluster sweep: %s (n=%d, m=%d)", name, g.NumVertices(), g.NumEdges())
+}

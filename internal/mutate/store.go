@@ -8,14 +8,24 @@
 package mutate
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"polymer/internal/fault"
 	"polymer/internal/graph"
 )
+
+// ErrClosed is returned by every operation after Close: a shutdown path
+// that lost the drain race must still be able to close the store exactly
+// once and have late requests fail cleanly instead of appending to a
+// closed WAL.
+var ErrClosed = errors.New("mutate: store closed")
 
 // Options tunes a store; the zero value takes the defaults.
 type Options struct {
@@ -26,15 +36,20 @@ type Options struct {
 	// Crasher, when non-nil, injects simulated process kills at the
 	// commit crash points (chaos tests).
 	Crasher fault.Crasher
+	// RecoverHook, when non-nil, is called with each key just before
+	// RecoverAll replays it — a synchronization point for tests that need
+	// to observe a server mid-recovery.
+	RecoverHook func(key string)
 }
 
 // Store owns every per-key mutation log under one directory.
 type Store struct {
-	dir   string
-	opt   Options
-	mu    sync.Mutex
-	keys  map[string]*keyState
-	stats StoreStats
+	dir    string
+	opt    Options
+	mu     sync.Mutex
+	closed bool
+	keys   map[string]*keyState
+	stats  StoreStats
 }
 
 // keyState is one (dataset, scale) stream, recovered from disk on first
@@ -90,6 +105,9 @@ func (s *Store) state(dataset string, scale int) (*keyState, error) {
 	key := Key(dataset, scale)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
 	if st, ok := s.keys[key]; ok {
 		return st, nil
 	}
@@ -168,6 +186,10 @@ func (s *Store) Commit(dataset string, scale int, n int, ops []Op) (uint64, erro
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		// Close won the race between our state() lookup and this lock.
+		return 0, ErrClosed
+	}
 	if st.dead {
 		return 0, fault.ErrCrashed
 	}
@@ -287,10 +309,83 @@ func (s *Store) Stats() StoreStats {
 	return s.stats
 }
 
-// Close releases every open log.
+// RecoverAll eagerly replays every key with state on disk (a WAL, a
+// checkpoint, or both), so a restarted server can refuse readiness until
+// recovery is complete instead of paying replay latency on first-touch
+// requests. Safe to run concurrently with serving: each key recovers
+// under the store lock exactly as lazy first-touch recovery would.
+func (s *Store) RecoverAll() error {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	seen := make(map[string]bool)
+	var keys []string
+	for _, e := range entries {
+		name := e.Name()
+		var key string
+		switch {
+		case strings.HasSuffix(name, ".wal"):
+			key = strings.TrimSuffix(name, ".wal")
+		case strings.HasSuffix(name, ".ckpt"):
+			key = strings.TrimSuffix(name, ".ckpt")
+		default:
+			continue
+		}
+		if !seen[key] {
+			seen[key] = true
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	var first error
+	for _, key := range keys {
+		dataset, scale, ok := parseKey(key)
+		if !ok {
+			continue // not one of ours; leave the file alone
+		}
+		if s.opt.RecoverHook != nil {
+			s.opt.RecoverHook(key)
+		}
+		if _, err := s.state(dataset, scale); err != nil && first == nil {
+			first = fmt.Errorf("mutate: recover %s: %w", key, err)
+		}
+	}
+	return first
+}
+
+// parseKey inverts Key: "twitter@1" -> ("twitter", 1).
+func parseKey(key string) (dataset string, scale int, ok bool) {
+	i := strings.LastIndex(key, "@")
+	if i <= 0 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(key[i+1:])
+	if err != nil {
+		return "", 0, false
+	}
+	return key[:i], n, true
+}
+
+// Close releases every open log and marks the store closed: all later
+// operations — including commits that were racing the close — return
+// ErrClosed instead of appending to a closed WAL. Close is idempotent,
+// so a shutdown path that lost the graceful-drain race can still call it
+// unconditionally. Durability needs no flush here: every committed batch
+// was fsynced at its commit point, so the WAL replays cleanly on reopen.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
 	var first error
 	for _, st := range s.keys {
 		if err := st.log.Close(); err != nil && first == nil {

@@ -44,6 +44,15 @@ func (t *TrafficMatrix) add(node, level int, p Pattern, bytes float64) {
 	t.Cells[(node*t.Levels+level)*2+int(p)] += bytes
 }
 
+// Accumulate adds bytes to one cell. It is the entry point for layers
+// above the epoch ledger — the cluster substrate charges inter-machine
+// network transfers here, at a hop level past the topology's own maximum
+// ("hop level 3+"), so one matrix shape carries the whole memory
+// hierarchy from local DRAM to the wire.
+func (t *TrafficMatrix) Accumulate(node, level int, p Pattern, bytes float64) {
+	t.add(node, level, p, bytes)
+}
+
 // Sub subtracts o cell-wise; used to turn two cumulative snapshots into a
 // per-superstep delta. Both matrices must have the same shape.
 func (t *TrafficMatrix) Sub(o *TrafficMatrix) {

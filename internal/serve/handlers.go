@@ -102,9 +102,17 @@ func (s *Server) answer(v *resolved, clientCtx context.Context) (outcome, bool, 
 		if v.batchable() && !s.cfg.DisableBatch {
 			return s.batchJoin(v, clientCtx)
 		}
-		if !s.cfg.DisableCoalesce {
+		if !v.clustered() && !s.cfg.DisableCoalesce {
 			return s.coalesce(v, clientCtx)
 		}
+	}
+	if v.clustered() {
+		// Cluster requests hedge instead of coalescing: the win they need
+		// is tail-latency insurance against a slow or failing machine, and
+		// attaching waiters to one flight would put every rider behind the
+		// same slow primary. Repeats are still absorbed by the result
+		// cache above.
+		return s.hedged(v, clientCtx)
 	}
 	t, shed, err := s.submit(v, clientCtx)
 	if err != nil {
@@ -141,7 +149,35 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	if s.recovering.Load() {
+		// WAL replay in progress: refuse readiness so load balancers hold
+		// traffic instead of racing recovery; liveness (healthz) stays up.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "recovering: mutation store replaying WAL"})
+		return
+	}
+	body := map[string]any{"status": "ready"}
+	if cs := s.lastCluster.Load(); cs != nil {
+		body["cluster"] = fmt.Sprintf("%d/%d machines healthy", cs.Healthy, cs.Total)
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// RecoverInBackground marks the server not-ready and replays the
+// mutation store's WALs off the request path; /readyz returns 503 +
+// Retry-After until the replay finishes. Without a mutation store it is
+// a no-op.
+func (s *Server) RecoverInBackground() {
+	if s.mut == nil {
+		return
+	}
+	s.recovering.Store(true)
+	go func() {
+		if err := s.mut.RecoverAll(); err != nil {
+			s.log.Error("mutation store recovery", "error", err)
+		}
+		s.recovering.Store(false)
+	}()
 }
 
 type metricsBody struct {
@@ -152,6 +188,9 @@ type metricsBody struct {
 	Results  cacheStats        `json:"result_cache"`
 	// Mutations is present only when the mutation store is attached.
 	Mutations *mutate.StoreStats `json:"mutations,omitempty"`
+	// Cluster is the most recent cluster run's health snapshot, present
+	// once a cluster request has executed.
+	Cluster *clusterStatus `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
@@ -174,6 +213,7 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
 		st := s.mut.Stats()
 		body.Mutations = &st
 	}
+	body.Cluster = s.lastCluster.Load()
 	writeJSON(w, http.StatusOK, body)
 }
 

@@ -50,6 +50,12 @@ type Counters struct {
 	// Evicted it is an event counter outside the resolution identity —
 	// mutation requests themselves resolve as completed/failed/etc.
 	Mutations atomic.Int64
+	// Hedged counts hedge legs launched for cluster reads; HedgeWins
+	// counts the subset that answered before (or instead of) the primary.
+	// Both are event counters: each leg is also a full admission that
+	// resolves once, so they sit outside the identity like Retried.
+	Hedged    atomic.Int64
+	HedgeWins atomic.Int64
 }
 
 // CounterSnapshot is the JSON form of Counters.
@@ -68,6 +74,8 @@ type CounterSnapshot struct {
 	Cancelled int64 `json:"cancelled"`
 	Evicted   int64 `json:"evicted"`
 	Mutations int64 `json:"mutations"`
+	Hedged    int64 `json:"hedged"`
+	HedgeWins int64 `json:"hedge_wins"`
 }
 
 // Snapshot reads every counter.
@@ -87,5 +95,7 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		Cancelled: c.Cancelled.Load(),
 		Evicted:   c.Evicted.Load(),
 		Mutations: c.Mutations.Load(),
+		Hedged:    c.Hedged.Load(),
+		HedgeWins: c.HedgeWins.Load(),
 	}
 }

@@ -150,7 +150,7 @@ func TestMutateValidation(t *testing.T) {
 
 	for name, body := range map[string]string{
 		"unknown-dataset": `{"graph":"nope","scale":"tiny","ops":[{"op":"insert","src":0,"dst":1}]}`,
-		"unknown-scale":   `{"graph":"roadUS","scale":"huge","ops":[{"op":"insert","src":0,"dst":1}]}`,
+		"unknown-scale":   `{"graph":"roadUS","scale":"galactic","ops":[{"op":"insert","src":0,"dst":1}]}`,
 		"empty-ops":       `{"graph":"roadUS","scale":"tiny","ops":[]}`,
 		"bad-kind":        `{"graph":"roadUS","scale":"tiny","ops":[{"op":"upsert","src":0,"dst":1}]}`,
 		"oob-src":         `{"graph":"roadUS","scale":"tiny","ops":[{"op":"insert","src":576,"dst":1}]}`,

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"polymer/internal/bench"
+	"polymer/internal/cluster"
 	"polymer/internal/fault"
 	"polymer/internal/gen"
 	"polymer/internal/graph"
@@ -38,7 +39,7 @@ type Request struct {
 	// Graph is the dataset name (twitter, rmat24, rmat27, powerlaw,
 	// roadUS).
 	Graph string `json:"graph"`
-	// Scale is the dataset scale: tiny, small or default.
+	// Scale is the dataset scale: tiny, small, default or huge.
 	Scale string `json:"scale"`
 	// Machine is the simulated topology: intel or amd.
 	Machine string `json:"machine"`
@@ -69,6 +70,14 @@ type Request struct {
 	// Restarts caps whole-run restarts for setup-time faults within one
 	// execution attempt. -1 (absent) means the server default.
 	Restarts int `json:"restarts"`
+	// Machines > 0 runs the request on the replicated sharded cluster
+	// substrate (polymer engine; pr, bfs or sssp) instead of a single
+	// simulated machine. Replicas sets the shard replication factor
+	// (0 = the cluster default). For cluster runs fault_seed selects a
+	// deterministic chaos schedule (crash/partition/slow-link); the
+	// single-machine fault spec grammar does not apply.
+	Machines int `json:"machines"`
+	Replicas int `json:"replicas"`
 }
 
 // BadRequest is a client error: the request never reached the admission
@@ -95,6 +104,13 @@ type resolved struct {
 	src    graph.Vertex
 	budget time.Duration // 0 = server default
 	events []*fault.Event
+	// machines/replicas place the request on the cluster substrate
+	// (0 machines = single-machine execution). hedge is not wire state:
+	// the hedged-read path sets it on the secondary leg so the cluster
+	// serves from standby replicas while the primary leg runs home shards.
+	machines int
+	replicas int
+	hedge    bool
 	// ver is the dataset's result-cache version, sampled when the request
 	// enters the reuse path; results computed by this request are cached
 	// under it, so an invalidation racing the run can never resurrect a
@@ -114,7 +130,11 @@ var algos = map[string]bench.Algo{
 
 var scales = map[string]gen.Scale{
 	"": gen.Tiny, "tiny": gen.Tiny, "small": gen.Small, "default": gen.Default,
+	"huge": gen.Huge,
 }
+
+// MaxMachines bounds the simulated cluster size a request may ask for.
+const MaxMachines = 16
 
 // supported mirrors the resilient runner's coverage: PR runs on all four
 // systems, the scatter-gather systems additionally serve SpMV, BP, BFS
@@ -156,7 +176,7 @@ func resolve(req Request) (*resolved, error) {
 		return nil, badReq("%s is not served on %s (PR runs everywhere; spmv/bp/bfs/sssp need polymer or ligra)", v.alg, v.sys)
 	}
 	if v.scale, ok = scales[strings.ToLower(req.Scale)]; !ok {
-		return nil, badReq("unknown scale %q (want tiny, small or default)", req.Scale)
+		return nil, badReq("unknown scale %q (want tiny, small, default or huge)", req.Scale)
 	}
 	v.data = gen.Dataset(strings.TrimSpace(req.Graph))
 	found := false
@@ -224,8 +244,46 @@ func resolve(req Request) (*resolved, error) {
 		}
 		v.events = evs
 	}
+	if req.Machines < 0 || req.Machines > MaxMachines {
+		return nil, badReq("machines %d out of range [0,%d]", req.Machines, MaxMachines)
+	}
+	if req.Machines == 0 && req.Replicas != 0 {
+		return nil, badReq("replicas requires machines > 0")
+	}
+	if req.Machines > 0 {
+		if v.sys != bench.Polymer {
+			return nil, badReq("cluster runs are polymer-only (got %s)", v.sys)
+		}
+		if _, ok := clusterAlgos[v.alg]; !ok {
+			return nil, badReq("%s is not served on the cluster substrate (want pr, bfs or sssp)", v.alg)
+		}
+		if req.Fault != "" {
+			return nil, badReq("fault specs don't apply to cluster runs; use fault_seed for cluster chaos")
+		}
+		if req.Replicas < 0 || req.Replicas > req.Machines {
+			return nil, badReq("replicas %d out of range [0,%d]", req.Replicas, req.Machines)
+		}
+		v.machines, v.replicas = req.Machines, req.Replicas
+		if v.replicas == 0 {
+			// Normalize the cluster default here so identical requests
+			// collide on one reuse key regardless of spelling.
+			v.replicas = 2
+			if v.replicas > v.machines {
+				v.replicas = v.machines
+			}
+		}
+	}
 	return v, nil
 }
+
+// clusterAlgos maps the bench algorithms the cluster substrate serves to
+// its kernel names.
+var clusterAlgos = map[bench.Algo]cluster.Algo{
+	bench.PR: cluster.PR, bench.BFS: cluster.BFS, bench.SSSP: cluster.SSSP,
+}
+
+// clustered reports whether the request runs on the cluster substrate.
+func (v *resolved) clustered() bool { return v.machines > 0 }
 
 // key is the canonical execution identity of a request: engine,
 // algorithm, dataset, scale and machine shape, plus the traversal source
@@ -241,8 +299,15 @@ func (v *resolved) key() string { return v.keyFor(v.src) }
 // demultiplexed per-source result under the key the equivalent
 // single-source request would look up.
 func (v *resolved) keyFor(src graph.Vertex) string {
-	return fmt.Sprintf("%s|%s|%s|%d|%s|%dx%d|%d",
+	k := fmt.Sprintf("%s|%s|%s|%d|%s|%dx%d|%d",
 		v.sys, v.alg, v.data, v.scale, v.mach, v.nodes, v.cores, src)
+	if v.clustered() {
+		// The committed output is bit-identical for any cluster shape, but
+		// SimSeconds/NetBytes are not: cluster requests key separately per
+		// shape so cached timings stay honest.
+		k += fmt.Sprintf("|c%d|r%d", v.machines, v.replicas)
+	}
+	return k
 }
 
 // groupKey is key with the source slot wildcarded: requests that agree on
@@ -260,9 +325,10 @@ func (v *resolved) reusable() bool {
 }
 
 // batchable reports whether the request is a traversal point query that
-// a multi-source sweep can absorb.
+// a multi-source sweep can absorb. Cluster runs never batch: the sweep
+// engines are single-machine.
 func (v *resolved) batchable() bool {
-	return v.alg == bench.BFS || v.alg == bench.SSSP
+	return (v.alg == bench.BFS || v.alg == bench.SSSP) && !v.clustered()
 }
 
 // injector builds a fresh injector for one execution attempt. Event state

@@ -55,7 +55,7 @@ func TestDecodeRequestRejections(t *testing.T) {
 		{"unknown-system", `{"algo":"pr","system":"spark","graph":"powerlaw"}`, "unknown system"},
 		{"unsupported-pair", `{"algo":"bfs","system":"xstream","graph":"powerlaw"}`, "not served"},
 		{"unknown-graph", `{"algo":"pr","system":"polymer","graph":"friendster"}`, "unknown dataset"},
-		{"unknown-scale", `{"algo":"pr","system":"polymer","graph":"powerlaw","scale":"huge"}`, "unknown scale"},
+		{"unknown-scale", `{"algo":"pr","system":"polymer","graph":"powerlaw","scale":"galactic"}`, "unknown scale"},
 		{"unknown-machine", `{"algo":"pr","system":"polymer","graph":"powerlaw","machine":"sparc"}`, "unknown machine"},
 		{"sockets-range", `{"algo":"pr","system":"polymer","graph":"powerlaw","sockets":99}`, "sockets 99 out of range"},
 		{"cores-range", `{"algo":"pr","system":"polymer","graph":"powerlaw","cores":-1}`, "cores -1 out of range"},
@@ -65,6 +65,13 @@ func TestDecodeRequestRejections(t *testing.T) {
 		{"session-retries-range", `{"algo":"pr","system":"polymer","graph":"powerlaw","session_retries":-2}`, "session_retries -2 out of range"},
 		{"restarts-range", `{"algo":"pr","system":"polymer","graph":"powerlaw","restarts":99}`, "restarts 99 out of range"},
 		{"bad-fault-spec", `{"algo":"pr","system":"polymer","graph":"powerlaw","fault":"meteor@3"}`, "bad fault spec"},
+		{"machines-range", `{"algo":"pr","system":"polymer","graph":"powerlaw","machines":99}`, "machines 99 out of range"},
+		{"machines-negative", `{"algo":"pr","system":"polymer","graph":"powerlaw","machines":-1}`, "machines -1 out of range"},
+		{"replicas-without-machines", `{"algo":"pr","system":"polymer","graph":"powerlaw","replicas":2}`, "replicas requires machines"},
+		{"cluster-non-polymer", `{"algo":"pr","system":"ligra","graph":"powerlaw","machines":2}`, "polymer-only"},
+		{"cluster-bad-algo", `{"algo":"spmv","system":"polymer","graph":"powerlaw","machines":2}`, "not served on the cluster"},
+		{"cluster-fault-spec", `{"algo":"pr","system":"polymer","graph":"powerlaw","machines":2,"fault":"panic@1:t0"}`, "use fault_seed"},
+		{"cluster-replicas-range", `{"algo":"pr","system":"polymer","graph":"powerlaw","machines":2,"replicas":3}`, "replicas 3 out of range"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -24,6 +24,8 @@ import (
 
 	"polymer/internal/algorithms"
 	"polymer/internal/bench"
+	"polymer/internal/cluster"
+	"polymer/internal/fault"
 	"polymer/internal/gen"
 	"polymer/internal/graph"
 	"polymer/internal/mutate"
@@ -84,6 +86,11 @@ type Config struct {
 	// time a group's task spends queued is the natural batching window,
 	// so batching adds no latency when the server is idle.
 	BatchLinger time.Duration
+	// HedgeDelay tunes hedged cluster reads: how long the primary leg may
+	// run before a second leg is raced from standby replicas. 0 (the
+	// default) adapts to the p90 of recent primary latencies; a negative
+	// value disables hedging.
+	HedgeDelay time.Duration
 	// Mutations, when non-nil, enables the streaming-mutation surface
 	// (POST /mutatez): commits append to its WAL, and each committed batch
 	// publishes a new graph snapshot and bumps the dataset's result-cache
@@ -204,6 +211,15 @@ type Response struct {
 	// includes it — and the dataset's new result-cache generation.
 	Seq        uint64 `json:"seq,omitempty"`
 	Generation uint64 `json:"generation,omitempty"`
+	// Machines/Replicas/Supersteps/Failovers/NetBytes describe a cluster
+	// run; Hedged marks a response produced by the hedge leg (served from
+	// standby replicas) rather than the primary.
+	Machines   int     `json:"machines,omitempty"`
+	Replicas   int     `json:"replicas,omitempty"`
+	Supersteps int     `json:"supersteps,omitempty"`
+	Failovers  int     `json:"failovers,omitempty"`
+	NetBytes   float64 `json:"net_bytes,omitempty"`
+	Hedged     bool    `json:"hedged,omitempty"`
 }
 
 // outcome pairs a response with its HTTP status.
@@ -258,6 +274,14 @@ type Server struct {
 	flights *coalescer
 	batches *batcher
 	mut     *mutate.Store
+
+	// hedges tracks recent primary cluster latencies for the adaptive
+	// hedge delay; lastCluster is the most recent run's health snapshot,
+	// surfaced at /metricsz and /readyz. recovering gates readiness while
+	// the mutation store replays its WALs at startup.
+	hedges      *hedgeTracker
+	lastCluster atomic.Pointer[clusterStatus]
+	recovering  atomic.Bool
 }
 
 // NewServer builds and starts a server (workers spawn immediately).
@@ -276,6 +300,7 @@ func NewServer(cfg Config) *Server {
 		flights:  newCoalescer(),
 		batches:  newBatcher(),
 		mut:      cfg.Mutations,
+		hedges:   newHedgeTracker(64),
 	}
 	s.cache = newGraphCache(cfg.GraphCacheBytes, func(key string, bytes int64) {
 		s.counters.Evicted.Add(1)
@@ -358,9 +383,19 @@ func (s *Server) enqueue(t *task) (shed bool, err error) {
 		return false, nil
 	default:
 		s.inflight.Add(-1)
+		if t.v != nil && t.v.hedge {
+			// A shed hedge leg is not a refused client request — the
+			// primary leg is still running and will answer — so it stays
+			// out of the shed count (which mirrors client-visible 429s).
+			return true, errors.New("serve: queue full")
+		}
 		s.counters.Shed.Add(1)
+		label := "mutation"
+		if t.v != nil {
+			label = fmt.Sprintf("%s/%s", t.v.sys, t.v.alg)
+		}
 		s.cfg.Tracer.HostInstant("serve", "shed", obs.PidServe, obs.NowMicros(), -1,
-			fmt.Sprintf("queue full (%s/%s)", t.v.sys, t.v.alg))
+			"queue full ("+label+")")
 		return true, errors.New("serve: queue full")
 	}
 }
@@ -476,7 +511,9 @@ func (s *Server) execute(t *task) {
 		)
 		// Full-fidelity fault-free results feed the versioned cache no
 		// matter which path computed them (direct or flight leader).
-		if status == 200 && !out.Degraded && v.reusable() {
+		// Hedge legs don't: their standby-replica placement skews the
+		// timing fields, and the key carries no hedge bit.
+		if status == 200 && !out.Degraded && v.reusable() && !v.hedge {
 			s.results.put(v, v.key(), out)
 		}
 		if t.fl != nil {
@@ -507,6 +544,14 @@ func (s *Server) execute(t *task) {
 	if int(v.src) >= g.NumVertices() {
 		resp.Error = fmt.Sprintf("source %d outside [0,%d)", v.src, g.NumVertices())
 		finish(kindFailed, 400, resp)
+		return
+	}
+
+	if v.clustered() {
+		// Cluster runs bypass the per-engine breaker: the substrate has
+		// its own health tracking and fails shards over to replicas
+		// instead of tripping a circuit.
+		s.executeCluster(t, g, resp, finish)
 		return
 	}
 
@@ -573,6 +618,76 @@ func (s *Server) execute(t *task) {
 	}
 	resp.Error = lastErr.Error()
 	finish(kindFailed, 500, resp)
+}
+
+// clusterChaosSteps is the window (in supersteps) a fault_seed chaos
+// schedule lands its events in on cluster requests.
+const clusterChaosSteps = 3
+
+// clusterStatus is the /metricsz and /readyz view of the most recent
+// cluster run: member health, shard placement and cumulative link bytes.
+type clusterStatus struct {
+	Machines  []cluster.MachineHealth `json:"machines"`
+	Healthy   int                     `json:"healthy"`
+	Total     int                     `json:"total"`
+	Failovers int                     `json:"failovers"`
+	NetBytes  float64                 `json:"net_bytes"`
+	Links     [][]float64             `json:"links"`
+}
+
+// executeCluster runs one admitted request on the replicated sharded
+// cluster substrate. Faults are survived inside the run (failover +
+// checkpoint replay), so a returned error is terminal: no retry loop.
+func (s *Server) executeCluster(t *task, g *graph.Graph, resp Response, finish func(resKind, int, Response)) {
+	v := t.v
+	cfg := cluster.Config{
+		Machines: v.machines, Replicas: v.replicas,
+		Topo: v.topo, Nodes: v.nodes, Cores: v.cores,
+		// The hedge leg serves every shard from a standby replica, so a
+		// primary wedged on its home machines doesn't wedge the hedge.
+		PreferReplica: v.hedge,
+		Tracer:        s.cfg.Tracer,
+	}
+	if v.req.FaultSeed != 0 {
+		cfg.Events = fault.ClusterChaos(v.req.FaultSeed, clusterChaosSteps, v.machines)
+	}
+	c, err := cluster.New(g, cfg)
+	if err != nil {
+		resp.Error = err.Error()
+		finish(kindFailed, 400, resp)
+		return
+	}
+	res, err := c.Run(t.ctx, clusterAlgos[v.alg], v.src)
+	if err != nil {
+		resp.Error = err.Error()
+		if ctxErr(err) {
+			kind, status := classifyCtxErr(err)
+			finish(kind, status, resp)
+			return
+		}
+		finish(kindFailed, 500, resp)
+		return
+	}
+	healthy := 0
+	for _, m := range res.Machines {
+		if m.State == "healthy" {
+			healthy++
+		}
+	}
+	s.lastCluster.Store(&clusterStatus{
+		Machines: res.Machines, Healthy: healthy, Total: v.machines,
+		Failovers: res.Failovers, NetBytes: res.NetBytes, Links: res.Links,
+	})
+	resp.Attempts = 1
+	resp.SimSeconds = res.SimSeconds
+	resp.Checksum = res.Checksum
+	resp.Machines = v.machines
+	resp.Replicas = v.replicas
+	resp.Supersteps = res.Supersteps
+	resp.Failovers = res.Failovers
+	resp.NetBytes = res.NetBytes
+	resp.Hedged = v.hedge
+	finish(kindCompleted, 200, resp)
 }
 
 // degradedOrRefuse handles a request whose engine circuit is open:

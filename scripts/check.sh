@@ -13,7 +13,7 @@ go vet ./...
 echo "==> errcheck (error-returning APIs in statement position)"
 sh scripts/errcheck.sh
 
-echo "==> go test -race (engines, core, state, par, fault, numa, serve, mutate, obs, conform)"
+echo "==> go test -race (engines, core, state, par, fault, numa, serve, mutate, obs, conform, cluster)"
 go test -race \
 	./internal/core/... \
 	./internal/engines/... \
@@ -24,7 +24,8 @@ go test -race \
 	./internal/serve/... \
 	./internal/mutate/... \
 	./internal/obs/... \
-	./internal/conform/...
+	./internal/conform/... \
+	./internal/cluster/...
 
 echo "==> go test -race fault matrix (rollback/replay across all engines)"
 go test -race -run 'TestFaultMatrix|TestPolymerDegraded|TestResilientRanks' .
@@ -37,5 +38,8 @@ go run ./cmd/servebench -requests 60 -clients 8 -queue 16 >/dev/null
 
 echo "==> mutate soak smoke (crash-point matrix under -race, small seed budget)"
 MUTATE_SOAK_SEEDS=4 go test -race -count=1 -run 'TestCrashRecoveryMatrix' ./internal/mutate/ >/dev/null
+
+echo "==> cluster chaos smoke (fault matrix vs conform oracle under -race, small seed budget)"
+CLUSTER_SOAK_SEEDS=2 go test -race -count=1 -run 'TestChaosMatrix' ./internal/cluster/ >/dev/null
 
 echo "check: OK"
