@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-serving trace conform conform-nightly mutate-soak cluster-soak cluster-sweep
+.PHONY: build test check bench bench-serving trace conform conform-nightly mutate-soak cluster-soak cluster-sweep plan plan-sweep
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,17 @@ bench:
 # machine-independent goodput ratio.
 bench-serving:
 	$(GO) run ./cmd/servebench -baseline BENCH_serving.json -out BENCH_serving_current.json
+
+# Planner demo: profile a graph, print the full scored decision table,
+# and run the pick. -system auto hands the choice to the cost model.
+plan:
+	$(GO) run ./cmd/polymer -algo pr -graph powerlaw -scale small -system auto -plan
+
+# Planner-vs-oracle sweep: every corpus (graph, algorithm) cell runs
+# every candidate for real; gates on cost-weighted regret <= 10% and
+# writes the per-cell artifact nightly CI uploads.
+plan-sweep:
+	$(GO) run ./cmd/planbench -cores 2 -rows -o planner-regret.json -gate 0.10
 
 # Traced PageRank run: per-superstep breakdown on stdout, Chrome trace
 # JSON in trace.json (open in https://ui.perfetto.dev or chrome://tracing).

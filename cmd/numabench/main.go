@@ -25,6 +25,7 @@ import (
 	"polymer/internal/graph"
 	"polymer/internal/numa"
 	"polymer/internal/obs"
+	"polymer/internal/plan"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 	cores := flag.Int("cores", 4, "goroutines per socket for the measured barrier study")
 	rounds := flag.Int("rounds", 200, "barrier rounds to average over")
 	traceFlag := flag.String("trace", "", "write the microbenchmark sweep as Chrome trace_event JSON and print its traffic breakdown")
+	profileFlag := flag.Bool("profile", false, "print the planner's feature vectors for the sweep corpus instead of the microbenchmarks")
 	machinesFlag := flag.String("machines", "", "comma-separated machine counts for the cluster scaling sweep (e.g. 1,2,4,8); empty runs the single-box microbenchmarks")
 	replicasFlag := flag.Int("replicas", 0, "replicas per shard for the cluster sweep (0 = min(2, machines))")
 	graphFlag := flag.String("graph", "powerlaw", "dataset for the cluster sweep")
@@ -39,6 +41,10 @@ func main() {
 	srcFlag := flag.Uint("src", 0, "source vertex for the cluster sweep's bfs/sssp lines")
 	flag.Parse()
 
+	if *profileFlag {
+		profileCorpus()
+		return
+	}
 	if *machinesFlag != "" {
 		clusterSweep(*machinesFlag, *replicasFlag, *graphFlag, *scaleFlag, graph.Vertex(*srcFlag))
 		return
@@ -73,6 +79,18 @@ func main() {
 		}
 	}
 	fmt.Println(bench.FormatBarrierStudy(bench.BarrierStudy(*sockets, *cores, *rounds)))
+}
+
+// profileCorpus prints the deterministic feature vector the planner's
+// profiler extracts from every graph in the planbench sweep corpus —
+// the workload-side counterpart of the latency/bandwidth tables.
+func profileCorpus() {
+	fmt.Printf("planner feature vectors — planbench corpus\n")
+	fmt.Printf("%-22s %s\n", "graph", "features")
+	for _, e := range plan.Corpus() {
+		g := plan.BuildGraph(e, bench.PR)
+		fmt.Printf("%-22s %s\n", e.Name, plan.Profile(g))
+	}
 }
 
 // clusterSweep runs every cluster kernel across the machine counts on

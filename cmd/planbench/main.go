@@ -1,0 +1,113 @@
+// Command planbench sweeps the cost-model planner against the exhaustive
+// oracle: every (corpus graph, algorithm) cell runs every candidate for
+// real, and the planner's pick is scored by its regret against the true
+// argmin. This is the calibration harness and the nightly regression
+// gate for the planner.
+//
+//	planbench                        # full corpus, human-readable table
+//	planbench -gate 0.10             # exit 1 if mean regret exceeds 10%
+//	planbench -o regret.json -rows   # JSON artifact with per-candidate rows
+//	planbench -machine amd -learn -passes 3
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"polymer/internal/bench"
+	"polymer/internal/numa"
+	"polymer/internal/plan"
+)
+
+func main() {
+	machineFlag := flag.String("machine", "intel", "topology: intel or amd")
+	socketsFlag := flag.Int("sockets", 0, "requested sockets per cell (0 = all)")
+	coresFlag := flag.Int("cores", 2, "cores per socket (0 = all)")
+	algsFlag := flag.String("algs", "pr,bfs,sssp", "comma-separated algorithms to sweep")
+	learnFlag := flag.Bool("learn", false, "feed each pick's observation back to the learner")
+	passesFlag := flag.Int("passes", 1, "sweep passes (with -learn, later passes show the learned planner)")
+	rowsFlag := flag.Bool("rows", false, "keep per-candidate measurement rows in the artifact")
+	outFlag := flag.String("o", "", "write the sweep result as JSON to this file")
+	gateFlag := flag.Float64("gate", 0, "exit non-zero when cost-weighted regret exceeds this fraction (0 = no gate)")
+	flag.Parse()
+
+	topo := numa.IntelXeon80()
+	if *machineFlag == "amd" {
+		topo = numa.AMDOpteron64()
+	}
+	sockets, cores := *socketsFlag, *coresFlag
+	if sockets == 0 {
+		sockets = topo.Sockets
+	}
+	if cores == 0 {
+		cores = topo.CoresPerSocket
+	}
+	var algs []bench.Algo
+	known := map[string]bench.Algo{
+		"pr": bench.PR, "spmv": bench.SpMV, "bp": bench.BP,
+		"bfs": bench.BFS, "cc": bench.CC, "sssp": bench.SSSP,
+	}
+	for _, f := range strings.Split(*algsFlag, ",") {
+		a, ok := known[strings.ToLower(strings.TrimSpace(f))]
+		if !ok {
+			fail("unknown algorithm %q in -algs", f)
+		}
+		algs = append(algs, a)
+	}
+
+	p := plan.New(topo, cores)
+	entries := plan.Corpus()
+	var res plan.SweepResult
+	for pass := 0; pass < *passesFlag; pass++ {
+		res = plan.Sweep(p, entries, algs, sockets, *learnFlag, *rowsFlag)
+		if *passesFlag > 1 {
+			fmt.Printf("pass %d: cost regret %.1f%%  mean %.1f%%  max %.1f%%  (%d cells)\n",
+				pass+1, res.CostRegret*100, res.MeanRegret*100, res.MaxRegret*100, len(res.Cells))
+		}
+	}
+
+	fmt.Printf("planner v%d vs oracle — %s, %d sockets x %d cores, %d cells\n\n",
+		plan.Version, res.Topology, res.Nodes, res.Cores, len(res.Cells))
+	fmt.Printf("%-22s %-5s %-26s %-26s %8s\n", "graph", "alg", "pick", "oracle", "regret")
+	for _, c := range res.Cells {
+		match := ""
+		if c.Pick == c.Oracle {
+			match = "  =oracle"
+		}
+		fmt.Printf("%-22s %-5s %-26s %-26s %7.1f%%%s\n",
+			c.Graph, c.Alg, c.Pick, c.Oracle, c.Regret*100, match)
+	}
+	// Cost regret is the acceptance metric: the extra simulated cost the
+	// picks incur over the oracle, weighted by actual cost. The unweighted
+	// per-cell mean is the diagnostic that surfaces corner-case misses.
+	fmt.Printf("\ncost regret: %.1f%%   per-cell mean: %.1f%%   max: %.1f%%\n",
+		res.CostRegret*100, res.MeanRegret*100, res.MaxRegret*100)
+
+	if *outFlag != "" {
+		f, err := os.Create(*outFlag)
+		if err != nil {
+			fail("%v", err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			f.Close()
+			fail("writing artifact: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("writing artifact: %v", err)
+		}
+		fmt.Printf("artifact   : %s\n", *outFlag)
+	}
+	if *gateFlag > 0 && res.CostRegret > *gateFlag {
+		fail("cost regret %.1f%% exceeds the %.1f%% gate", res.CostRegret*100, *gateFlag*100)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "planbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -6,6 +6,8 @@
 //
 //	polymer -algo pr -graph twitter -system polymer -sockets 8 -cores 10
 //	polymer -algo bfs -graph roadUS -system xstream -scale small
+//	polymer -algo pr -graph powerlaw -system auto -plan
+//	polymer -algo sssp -graph roadUS -scale small -system auto
 //	polymer -algo sssp -file my-graph.txt -src 42
 //	polymer -algo pr -graph powerlaw -scale tiny -fault "panic@2:t3,offline@1:n1"
 //	polymer -algo pr -graph powerlaw -scale tiny -fault-seed 7
@@ -28,15 +30,18 @@ import (
 	"polymer/internal/fault"
 	"polymer/internal/gen"
 	"polymer/internal/graph"
+	"polymer/internal/mem"
 	"polymer/internal/numa"
 	"polymer/internal/obs"
+	"polymer/internal/plan"
 )
 
 func main() {
 	algoFlag := flag.String("algo", "pr", "algorithm: pr, spmv, bp, bfs, cc or sssp")
 	graphFlag := flag.String("graph", "twitter", "dataset: twitter, rmat24, rmat27, powerlaw or roadUS")
 	fileFlag := flag.String("file", "", "load an edge-list file instead of a generated dataset")
-	systemFlag := flag.String("system", "polymer", "engine: polymer, ligra, xstream or galois")
+	systemFlag := flag.String("system", "polymer", "engine: polymer, ligra, xstream, galois or auto (cost-model planner chooses)")
+	planFlag := flag.Bool("plan", false, "print the planner's scored decision table before running")
 	scaleFlag := flag.String("scale", "default", "dataset scale: tiny, small, default or huge")
 	machineFlag := flag.String("machine", "intel", "topology: intel or amd")
 	socketsFlag := flag.Int("sockets", 0, "sockets to use (0 = all)")
@@ -59,12 +64,16 @@ func main() {
 	if !ok {
 		fail("unknown algorithm %q", *algoFlag)
 	}
-	sys, ok := map[string]bench.System{
-		"polymer": bench.Polymer, "ligra": bench.Ligra,
-		"xstream": bench.XStream, "x-stream": bench.XStream, "galois": bench.Galois,
-	}[strings.ToLower(*systemFlag)]
-	if !ok {
-		fail("unknown system %q", *systemFlag)
+	autoSys := strings.EqualFold(*systemFlag, "auto")
+	var sys bench.System
+	if !autoSys {
+		sys, ok = map[string]bench.System{
+			"polymer": bench.Polymer, "ligra": bench.Ligra,
+			"xstream": bench.XStream, "x-stream": bench.XStream, "galois": bench.Galois,
+		}[strings.ToLower(*systemFlag)]
+		if !ok {
+			fail("unknown system %q (want polymer, ligra, xstream, galois or auto)", *systemFlag)
+		}
 	}
 	sc, ok := map[string]gen.Scale{"tiny": gen.Tiny, "small": gen.Small, "default": gen.Default, "huge": gen.Huge}[*scaleFlag]
 	if !ok {
@@ -150,6 +159,9 @@ func main() {
 	// ones behind the network cost model; everything after this branch is
 	// the single-machine path.
 	if *machinesFlag > 0 {
+		if *planFlag {
+			fail("-plan does not apply to cluster runs (the substrate is polymer-only)")
+		}
 		calg, ok := map[bench.Algo]cluster.Algo{
 			bench.PR: cluster.PR, bench.BFS: cluster.BFS, bench.SSSP: cluster.SSSP,
 		}[alg]
@@ -222,6 +234,48 @@ func main() {
 		return
 	}
 
+	// -system auto hands the (engine, placement, width) choice to the
+	// cost-model planner; -plan prints the scored table either way (with
+	// an explicit engine the table is restricted to that engine).
+	var (
+		layout    mem.Placement
+		layoutSet bool
+	)
+	if autoSys || *planFlag {
+		feats := plan.Profile(g)
+		q := plan.Query{Features: feats, Alg: alg, Nodes: sockets, NodesFixed: *socketsFlag != 0}
+		if !autoSys {
+			q.EngineFixed = sys
+		}
+		d := plan.New(topo, cores).Resolve(q)
+		if *planFlag {
+			fmt.Printf("profile    : %s\n", feats)
+			fmt.Printf("planner v%d decision table:\n", plan.Version)
+			for _, s := range d.Table {
+				mark := " "
+				if s.Candidate == d.Pick {
+					mark = "*"
+				}
+				note := ""
+				if s.Vetoed {
+					note = "  vetoed"
+				}
+				fmt.Printf("  %s %-30s cost %10.6f s   raw %10.6f s%s\n",
+					mark, s.Candidate, s.Cost, s.Raw, note)
+			}
+			if d.Fallback {
+				fmt.Printf("  (every candidate vetoed: fallback pick)\n")
+			}
+		}
+		if autoSys {
+			sys, sockets = d.Pick.Engine, d.Pick.Nodes
+			if sys == bench.Polymer && d.Pick.Placement != mem.CoLocated {
+				layout, layoutSet = d.Pick.Placement, true
+			}
+			fmt.Printf("planned    : %s (predicted %.6f s)\n", d.Pick, d.Predicted)
+		}
+	}
+
 	m, err := numa.NewMachineChecked(topo, sockets, cores)
 	if err != nil {
 		fail("%v", err)
@@ -247,6 +301,9 @@ func main() {
 		inj := fault.NewInjector(evs)
 		mk := func() *numa.Machine { return numa.NewMachine(topo, sockets, cores) }
 		opt := bench.ResilientOptions{MaxRestarts: *faultRetriesFlag, SessionRetries: -1, Src: src, Tracer: tr}
+		if layoutSet {
+			opt.Layout, opt.LayoutSet = layout, true
+		}
 		var rr bench.ResilienceReport
 		r, rr, err = bench.RunResilientCtx(context.Background(), sys, alg, g, mk, inj, opt)
 		if err != nil {
@@ -257,6 +314,13 @@ func main() {
 			fail("%v", err)
 		}
 		rep = &rr
+	case layoutSet:
+		// The planner chose a non-native placement; the placed entry point
+		// carries the layout through to the engine.
+		r, err = bench.RunPlacedFrom(sys, alg, g, m, src, layout)
+		if err != nil {
+			fail("%v", err)
+		}
 	case *phasesFlag && sys == bench.Polymer:
 		r, phases = bench.RunPolymerTraced(alg, g, m, src)
 	default:

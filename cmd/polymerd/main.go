@@ -7,11 +7,16 @@
 // multi-source sweeps, and full-fidelity results replay from a versioned
 // cache until the dataset is invalidated.
 //
+// Requests that omit "system" (or say "auto") hand the engine, placement
+// and width choice to the cost-model planner, which learns online from
+// the traffic it observes; responses carry the decision under "plan".
+//
 // Usage:
 //
 //	polymerd -addr :8080 -queue 64 -workers 4 -budget 30s
 //
 //	curl -s localhost:8080/run -d '{"algo":"pr","system":"polymer","graph":"powerlaw","scale":"tiny"}'
+//	curl -s localhost:8080/run -d '{"algo":"pr","graph":"powerlaw","scale":"tiny"}'   # planner chooses
 //	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/metricsz
 //	curl -s -X POST 'localhost:8080/invalidatez?graph=powerlaw'   # dataset refresh hook
@@ -65,6 +70,7 @@ func main() {
 	walDirFlag := flag.String("wal-dir", "", "mutation write-ahead log directory (empty disables POST /mutatez)")
 	ckptFlag := flag.Int("checkpoint-every", 0, "commits per key between WAL checkpoints (0 = default, negative disables)")
 	hedgeFlag := flag.Duration("hedge-delay", 0, "wait before hedging a cluster read to a replica (0 = adaptive p90, negative disables)")
+	noLearnFlag := flag.Bool("no-learn", false, "freeze the planner's online learner (engine=auto still plans, but stops adapting to observed traffic)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -118,6 +124,7 @@ func main() {
 		BatchMax:         *batchMaxFlag,
 		BatchLinger:      *batchLingerFlag,
 		HedgeDelay:       *hedgeFlag,
+		DisableLearning:  *noLearnFlag,
 		Tracer:           tr,
 		Recorder:         rec,
 		Logger:           logger,

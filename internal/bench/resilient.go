@@ -12,6 +12,7 @@ import (
 	"polymer/internal/engines/xstream"
 	"polymer/internal/fault"
 	"polymer/internal/graph"
+	"polymer/internal/mem"
 	"polymer/internal/numa"
 	"polymer/internal/obs"
 	"polymer/internal/partition"
@@ -68,6 +69,11 @@ type ResilientOptions struct {
 	// Tracer, when non-nil, is installed on the engine of every attempt,
 	// so the flight recorder sees checkpoints, rollbacks and replays too.
 	Tracer *obs.Tracer
+	// Layout, when LayoutSet, overrides the Polymer engine's vertex-state
+	// placement (the planner's placement=auto path). The baselines are
+	// interleaved-native and ignore it.
+	Layout    mem.Placement
+	LayoutSet bool
 }
 
 // RunResilientCtx is the resilient runner under a cancellation context:
@@ -125,6 +131,9 @@ func runResilientOnce(ctx context.Context, sys System, alg Algo, g *graph.Graph,
 				copt := core.DefaultOptions()
 				if alg.iterated() {
 					copt.Mode = core.Push
+				}
+				if opt.LayoutSet {
+					copt.Layout = opt.Layout
 				}
 				ce, err := core.New(g, m, copt)
 				if err != nil {

@@ -18,6 +18,7 @@ import (
 	"polymer/internal/engines/xstream"
 	"polymer/internal/gen"
 	"polymer/internal/graph"
+	"polymer/internal/mem"
 	"polymer/internal/numa"
 	"polymer/internal/obs"
 	"polymer/internal/sg"
@@ -94,6 +95,41 @@ func Run(sys System, alg Algo, g *graph.Graph, m *numa.Machine) RunResult {
 // RunFrom is Run with an explicit source vertex for BFS and SSSP.
 func RunFrom(sys System, alg Algo, g *graph.Graph, m *numa.Machine, src graph.Vertex) RunResult {
 	return RunWithTracer(sys, alg, g, m, src, nil)
+}
+
+// RunPlacedFrom is RunFrom with an explicit vertex-state placement
+// policy. Only Polymer exposes a placement knob (core.Options.Layout);
+// for the baselines the argument must be mem.Interleaved, their native
+// layout — anything else is a configuration error. The planner's oracle
+// sweep uses it to measure every (engine, placement) candidate honestly.
+func RunPlacedFrom(sys System, alg Algo, g *graph.Graph, m *numa.Machine, src graph.Vertex, layout mem.Placement) (RunResult, error) {
+	if sys != Polymer && layout != mem.Interleaved {
+		return RunResult{}, fmt.Errorf("bench: %s only supports interleaved placement (got %s)", sys, layout)
+	}
+	if sys != Polymer {
+		return RunWithTracer(sys, alg, g, m, src, nil), nil
+	}
+	if alg == CC {
+		g = g.Symmetrized()
+	}
+	opt := core.DefaultOptions()
+	opt.Layout = layout
+	if alg.iterated() {
+		opt.Mode = core.Push
+	}
+	e, err := core.New(g, m, opt)
+	if err != nil {
+		return RunResult{}, err
+	}
+	defer e.Close()
+	r := RunResult{System: sys, Algo: alg}
+	r.Checksum = runSG(e, alg, src)
+	r.SimSeconds = e.SimSeconds()
+	r.Stats = e.RunStats()
+	r.PeakBytes = m.Alloc().Peak()
+	r.AgentBytes = m.Alloc().Label("polymer/agents")
+	r.ThreadSeconds = e.ThreadSeconds()
+	return r, nil
 }
 
 // RunWithTracer is RunFrom with an obs tracer installed on the engine

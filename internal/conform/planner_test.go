@@ -1,0 +1,42 @@
+package conform
+
+import (
+	"testing"
+
+	"polymer/internal/bench"
+	"polymer/internal/gen"
+	"polymer/internal/graph"
+	"polymer/internal/numa"
+)
+
+// Planned runs must be bit-identical to explicitly configured ones
+// across algorithms and graph shapes, on both topologies.
+func TestPlannedBitIdentity(t *testing.T) {
+	type tc struct {
+		name string
+		g    *graph.Graph
+		alg  bench.Algo
+	}
+	n, e := gen.Powerlaw(2000, 8, 2.1, 7)
+	pl := graph.FromEdges(n, e, false)
+	n, e = gen.RoadGrid(32, 32, 3)
+	road := graph.FromEdges(n, e, false)
+	n, e = gen.Uniform(1500, 12000, 5)
+	gen.AddRandomWeights(e, 5)
+	uniW := graph.FromEdges(n, e, true)
+	cases := []tc{
+		{"powerlaw/pr", pl, bench.PR},
+		{"powerlaw/bfs", pl, bench.BFS},
+		{"road/pr", road, bench.PR},
+		{"road/bfs", road, bench.BFS},
+		{"uniform/sssp", uniW, bench.SSSP},
+	}
+	topos := map[string]*numa.Topology{"intel": numa.IntelXeon80(), "amd": numa.AMDOpteron64()}
+	for tn, topo := range topos {
+		for _, c := range cases {
+			if err := CheckPlanned(c.g, c.alg, topo, topo.Sockets, 2); err != nil {
+				t.Errorf("%s on %s: %v", c.name, tn, err)
+			}
+		}
+	}
+}

@@ -17,6 +17,7 @@ package mem
 
 import (
 	"fmt"
+	"strings"
 	"unsafe"
 
 	"polymer/internal/numa"
@@ -44,6 +45,26 @@ func (p Placement) String() string {
 	default:
 		return "centralized"
 	}
+}
+
+// Placements lists the three policies in Table 1 order.
+func Placements() []Placement {
+	return []Placement{CoLocated, Interleaved, Centralized}
+}
+
+// ParsePlacement maps a wire/CLI spelling to a Placement. Accepted forms
+// are the String() names plus common aliases ("colocated", "local",
+// "central"); matching is case-insensitive.
+func ParsePlacement(s string) (Placement, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "co-located", "colocated", "co_located", "local":
+		return CoLocated, nil
+	case "interleaved", "interleave":
+		return Interleaved, nil
+	case "centralized", "centralised", "central":
+		return Centralized, nil
+	}
+	return CoLocated, fmt.Errorf("mem: unknown placement %q (want co-located, interleaved or centralized)", s)
 }
 
 // Array is a placement-aware array of T.

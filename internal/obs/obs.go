@@ -37,6 +37,9 @@ const (
 	PidHost = 1
 	// PidServe is the serving lane (polymerd request spans); wall clock.
 	PidServe = 2
+	// PidPlan is the planner lane (profile builds, plan decisions and
+	// learner observations); wall clock, like PidServe.
+	PidPlan = 3
 )
 
 // Event phase types, mirroring the Chrome trace_event "ph" field.

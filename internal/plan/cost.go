@@ -1,0 +1,263 @@
+// The analytic cost model: predict the simulated seconds of one
+// (engine, placement, partition count) candidate from the graph's
+// feature vector and the topology's access-class tables.
+//
+// The model does not invent a cost formula — it charges a private
+// numa.Epoch with each engine's per-superstep traffic recipe (the same
+// access classes the real engines charge: sequential edge scans, random
+// vertex-state accesses split by placement, agent-mediated remote
+// flushes) and folds it through Epoch.Time(), so bandwidth tables, LLC
+// modelling and node/port/bisection congestion all come from the one
+// cost model the engines themselves use. Per-superstep barrier costs are
+// added from the barrier calibration. Prediction therefore tracks the
+// simulator to first order; the online learner (learn.go) absorbs the
+// residual per-workload bias.
+
+package plan
+
+import (
+	"fmt"
+
+	"polymer/internal/barrier"
+	"polymer/internal/bench"
+	"polymer/internal/mem"
+	"polymer/internal/numa"
+)
+
+// Candidate is one point of the planner's search space.
+type Candidate struct {
+	Engine    bench.System
+	Placement mem.Placement
+	Nodes     int
+}
+
+func (c Candidate) String() string {
+	return fmt.Sprintf("%s/%s/%dn", c.Engine, c.Placement, c.Nodes)
+}
+
+// Supported mirrors the resilient runner's engine x algorithm coverage:
+// PR runs on all four systems, the scatter-gather systems additionally
+// serve SpMV, BP, BFS and SSSP.
+func Supported(sys bench.System, alg bench.Algo) bool {
+	if alg == bench.PR {
+		return true
+	}
+	return sys == bench.Polymer || sys == bench.Ligra
+}
+
+// placements lists the placements an engine can actually execute: only
+// Polymer has a placement knob; the baselines are interleaved-native.
+func placements(sys bench.System) []mem.Placement {
+	if sys == bench.Polymer {
+		return mem.Placements()
+	}
+	return []mem.Placement{mem.Interleaved}
+}
+
+// Candidates enumerates the viable (engine, placement, nodes) points for
+// one algorithm on a machine of maxNodes sockets: every supported engine
+// x executable placement at the full requested width, plus narrower
+// partition counts (half and one socket) that a small or high-sync
+// workload may genuinely prefer.
+func Candidates(alg bench.Algo, maxNodes int) []Candidate {
+	widths := []int{maxNodes}
+	if h := maxNodes / 2; h >= 1 && h != maxNodes {
+		widths = append(widths, h)
+	}
+	if maxNodes > 2 {
+		widths = append(widths, 1)
+	}
+	var out []Candidate
+	for _, sys := range bench.Systems() {
+		if !Supported(sys, alg) {
+			continue
+		}
+		for _, pl := range placements(sys) {
+			for _, w := range widths {
+				out = append(out, Candidate{Engine: sys, Placement: pl, Nodes: w})
+			}
+		}
+	}
+	return out
+}
+
+// shape is the per-algorithm traffic shape: how many supersteps a run
+// takes and how much edge/vertex work each processes.
+type shape struct {
+	supersteps int
+	// edgeWork and vertexWork are totals over the whole run (not per
+	// superstep); dataBytes is the per-vertex state width and nsPerEdge
+	// the algorithm's arithmetic cost.
+	edgeWork   float64
+	vertexWork float64
+	dataBytes  int
+	nsPerEdge  float64
+}
+
+// iters matches bench's fixed iteration count for PR/SpMV/BP.
+const iters = 5
+
+// algoShape derives the traffic shape from the profile. Iterated
+// algorithms touch every edge every superstep; traversals touch each
+// edge about once over a diameter-bound number of levels (SSSP relaxes a
+// constant factor more under re-settling).
+func algoShape(alg bench.Algo, f Features) shape {
+	n, m := float64(f.Vertices), float64(f.Edges)
+	switch alg {
+	case bench.PR:
+		return shape{supersteps: iters, edgeWork: m * iters, vertexWork: n * iters, dataBytes: 8, nsPerEdge: 1.5}
+	case bench.SpMV:
+		return shape{supersteps: iters, edgeWork: m * iters, vertexWork: n * iters, dataBytes: 8, nsPerEdge: 1.5}
+	case bench.BP:
+		return shape{supersteps: iters, edgeWork: m * iters, vertexWork: n * iters, dataBytes: 16, nsPerEdge: 6}
+	case bench.BFS:
+		s := f.DiameterEst
+		if s < 1 {
+			s = 1
+		}
+		return shape{supersteps: s, edgeWork: 1.5 * m, vertexWork: n, dataBytes: 4, nsPerEdge: 1}
+	case bench.SSSP:
+		s := f.DiameterEst
+		if s < 1 {
+			s = 1
+		}
+		return shape{supersteps: s, edgeWork: 2 * m, vertexWork: 1.5 * n, dataBytes: 8, nsPerEdge: 1.5}
+	default:
+		// CC and friends are not served; shape like PR so Predict stays
+		// total.
+		return shape{supersteps: iters, edgeWork: m * iters, vertexWork: n * iters, dataBytes: 4, nsPerEdge: 1}
+	}
+}
+
+// edgeBytes is the CSR bytes read per edge scanned.
+func edgeBytes(f Features) int {
+	if f.Weighted {
+		return 8
+	}
+	return 4
+}
+
+// Predict models the simulated cost, in seconds, of running alg on a
+// graph with features f using candidate c on topo with cores threads per
+// socket. It builds a private machine and epoch — nothing it charges is
+// observable outside this function.
+func Predict(f Features, alg bench.Algo, topo *numa.Topology, c Candidate, cores int) float64 {
+	if f.Vertices == 0 {
+		// Degenerate graphs cost one barrier round regardless of engine.
+		return barrier.SyncCost(barrier.N, c.Nodes) / topo.SyncScale
+	}
+	m, err := numa.NewMachineChecked(topo, c.Nodes, cores)
+	if err != nil {
+		return inf
+	}
+	sh := algoShape(alg, f)
+	ep := m.NewEpoch()
+	threads := m.Threads()
+	perEdge := int64(sh.edgeWork/float64(threads)) + 1
+	perVert := int64(sh.vertexWork/float64(threads)) + 1
+	d := sh.dataBytes
+	eb := edgeBytes(f)
+	stateWS := f.Vertices * int64(d)
+	partVerts := f.Vertices/int64(c.Nodes) + 1
+	localWS := partVerts * int64(d)
+	var stepsSync float64
+
+	switch c.Engine {
+	case bench.Polymer:
+		// Mirror of core's flushPull/flushPush charge recipe. Rows are the
+		// per-owner partition rows the agents sweep: up to one per (vertex,
+		// owner) pair, but never more than the vertex+edge total.
+		rows := sh.vertexWork * float64(c.Nodes)
+		if cap := sh.vertexWork + sh.edgeWork; rows > cap {
+			rows = cap
+		}
+		rowsT := int64(rows/float64(threads)) + 1
+		colocated := c.Placement == mem.CoLocated
+		for th := 0; th < threads; th++ {
+			node := m.NodeOfThread(th)
+			// Topology: row metadata + columns, streamed from the local node.
+			ep.Access(th, numa.Seq, numa.Load, node, rowsT, 12, 0)
+			ep.Access(th, numa.Seq, numa.Load, node, perEdge, eb, 0)
+			if colocated {
+				// Local random reads of sources (state + data), confined to
+				// the partition.
+				ep.Access(th, numa.Rand, numa.Load, node, perEdge, 1, partVerts)
+				ep.Access(th, numa.Rand, numa.Load, node, perEdge, d, localWS)
+			} else {
+				// NUMA-oblivious data (the engine charges interleaved and
+				// centralized layouts identically): whole-array working set.
+				ep.AccessInterleaved(th, numa.Rand, numa.Load, perEdge, 1, 0)
+				ep.AccessInterleaved(th, numa.Rand, numa.Load, perEdge, d, stateWS)
+			}
+			// Cross-node coherence stalls on a fraction of the edge updates.
+			if c.Nodes > 1 {
+				ep.LatencyBound(th, numa.Store, node, perEdge/16)
+			}
+			// Far-side target data: Cond reads and update writes, sequential
+			// by owner (the agents give the sweep its order).
+			perOwnerRows := rowsT/int64(c.Nodes) + 1
+			perOwnerUpd := perVert/int64(c.Nodes) + 1
+			for o := 0; o < c.Nodes; o++ {
+				if colocated {
+					ep.Access(th, numa.Seq, numa.Load, o, perOwnerRows, d, 0)
+					ep.Access(th, numa.Seq, numa.Store, o, perOwnerUpd, d, 0)
+				} else {
+					ep.AccessInterleaved(th, numa.Seq, numa.Load, perOwnerRows, d, 0)
+					ep.AccessInterleaved(th, numa.Seq, numa.Store, perOwnerUpd, d, 0)
+				}
+			}
+			ep.Compute(th, (float64(perEdge)*(sh.nsPerEdge+1.0)+float64(rowsT)*2)*1e-9)
+		}
+		stepsSync = float64(sh.supersteps) * barrier.SyncCost(barrier.N, c.Nodes) / topo.SyncScale
+	case bench.Ligra:
+		// Mirror of ligra's edgemap charge recipe: dense supersteps scan
+		// every vertex, frontier bookkeeping lives centralized on node 0,
+		// everything else is interleaved.
+		scanT := int64(float64(f.Vertices)*float64(sh.supersteps)/float64(threads)) + 1
+		for th := 0; th < threads; th++ {
+			ep.Access(th, numa.Seq, numa.Load, 0, scanT, 1, 0)
+			ep.AccessInterleaved(th, numa.Seq, numa.Load, scanT, 16, 0)
+			ep.AccessInterleaved(th, numa.Seq, numa.Load, perVert, d, 0)
+			ep.AccessInterleaved(th, numa.Seq, numa.Load, perEdge, eb, 0)
+			ep.AccessInterleaved(th, numa.Rand, numa.Store, perEdge, d, stateWS)
+			ep.Access(th, numa.Rand, numa.Store, 0, perEdge/2, 1, f.Vertices)
+			ep.Compute(th, (float64(perEdge)*(sh.nsPerEdge+1.2)+float64(scanT)*2)*1e-9)
+		}
+		// Edgemap and vertexmap each cross an H barrier.
+		stepsSync = float64(sh.supersteps) * 2 * barrier.SyncCost(barrier.H, c.Nodes) / topo.SyncScale
+	case bench.XStream:
+		// Edge-centric streaming: every superstep scans the full edge list
+		// regardless of the frontier, then shuffles and gathers update
+		// records through streaming buffers.
+		scanPerTh := int64(float64(f.Edges)*float64(sh.supersteps)/float64(threads)) + 1
+		for th := 0; th < threads; th++ {
+			node := m.NodeOfThread(th)
+			ep.AccessInterleaved(th, numa.Seq, numa.Load, scanPerTh, eb+4, 0)
+			ep.Access(th, numa.Rand, numa.Load, node, perEdge, d, localWS)
+			ep.Access(th, numa.Seq, numa.Store, node, perEdge, 12, 0)
+			ep.Access(th, numa.Seq, numa.Load, node, perEdge, 12, 0)
+			ep.AccessInterleaved(th, numa.Seq, numa.Store, perEdge, 12, 0)
+			ep.AccessInterleaved(th, numa.Seq, numa.Load, perEdge, 12, 0)
+			ep.Access(th, numa.Rand, numa.Store, node, perVert, d, localWS)
+			ep.Compute(th, float64(scanPerTh)*1.5e-9)
+		}
+		// Scatter, shuffle and gather each cross an H barrier.
+		stepsSync = float64(sh.supersteps) * 3 * barrier.SyncCost(barrier.H, c.Nodes) / topo.SyncScale
+	case bench.Galois:
+		for th := 0; th < threads; th++ {
+			ep.AccessInterleaved(th, numa.Seq, numa.Load, perEdge, 4, 0)
+			ep.AccessInterleaved(th, numa.Rand, numa.Load, perEdge, d, stateWS)
+			ep.AccessInterleaved(th, numa.Seq, numa.Load, perVert, 16, 0)
+			ep.AccessInterleaved(th, numa.Rand, numa.Store, perVert, d, stateWS)
+			ep.Compute(th, (float64(perEdge)*0.8+float64(perVert)*20)*1e-9)
+		}
+		stepsSync = float64(sh.supersteps) * barrier.SyncCost(barrier.H, c.Nodes) / topo.SyncScale
+	default:
+		return inf
+	}
+	return ep.Time() + stepsSync
+}
+
+// inf is the cost of an unviable candidate; it never wins an argmin
+// against any finite prediction.
+const inf = 1e300

@@ -1,0 +1,7 @@
+//go:build race
+
+package plan
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; see TestFullCorpusCostRegretGate.
+const raceEnabled = true

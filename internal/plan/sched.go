@@ -1,0 +1,138 @@
+// The multi-tenant scheduler: concurrent requests are assigned
+// simulated node sets so that, while capacity lasts, tenants occupy
+// disjoint sockets. A sole tenant always receives the exact prefix of
+// the topology's deterministic pick order, so its machine — built with
+// numa.NewMachineOnSockets — is bit-identical to the one an unscheduled
+// run would build, and results stay cacheable. When demand exceeds the
+// socket count the scheduler does not lie about isolation: it co-locates
+// tenants on the least-loaded sockets and reports the tenancy degree so
+// the serving layer can charge the run honestly (wall-clock style
+// multiplication in the response provenance) instead of pretending the
+// machine was private.
+
+package plan
+
+import (
+	"sync"
+
+	"polymer/internal/numa"
+)
+
+// Scheduler tracks socket occupancy for one topology.
+type Scheduler struct {
+	topo  *numa.Topology
+	order []int // deterministic greedy pick order over all sockets
+
+	mu      sync.Mutex
+	tenancy []int // current tenants per socket, indexed by physical id
+}
+
+// NewScheduler creates a scheduler over all sockets of topo.
+func NewScheduler(topo *numa.Topology) *Scheduler {
+	return &Scheduler{
+		topo:    topo,
+		order:   topo.PickOrder(topo.Sockets),
+		tenancy: make([]int, topo.Sockets),
+	}
+}
+
+// Lease is one tenant's socket assignment. Release it when the run
+// finishes.
+type Lease struct {
+	s       *Scheduler
+	sockets []int
+	// def records that the lease is the exact default prefix and was
+	// granted with zero co-tenants — the run is then bit-identical to an
+	// unscheduled one.
+	def bool
+	// tenants is the max occupancy (including this lease) over the
+	// lease's sockets at grant time.
+	tenants  int
+	released bool
+}
+
+// Acquire grants want sockets (clamped to [1, Sockets]). Preference
+// order: lowest current tenancy first, then earliest in the
+// deterministic pick order — so an idle scheduler always grants the
+// PickOrder prefix, and loaded schedulers spread tenants before
+// stacking them.
+func (s *Scheduler) Acquire(want int) *Lease {
+	if want < 1 {
+		want = 1
+	}
+	if want > s.topo.Sockets {
+		want = s.topo.Sockets
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Stable selection: repeatedly take the socket with minimal
+	// (tenancy, pick-order position) among those not yet taken.
+	taken := make([]bool, s.topo.Sockets)
+	picked := make([]int, 0, want)
+	maxTen := 0
+	for len(picked) < want {
+		best, bestTen := -1, int(^uint(0)>>1)
+		for _, ph := range s.order {
+			if taken[ph] {
+				continue
+			}
+			if t := s.tenancy[ph]; t < bestTen {
+				best, bestTen = ph, t
+			}
+		}
+		taken[best] = true
+		picked = append(picked, best)
+		if bestTen+1 > maxTen {
+			maxTen = bestTen + 1
+		}
+	}
+	def := maxTen == 1
+	if def {
+		for i, ph := range picked {
+			if s.order[i] != ph {
+				def = false
+				break
+			}
+		}
+	}
+	for _, ph := range picked {
+		s.tenancy[ph]++
+	}
+	return &Lease{s: s, sockets: picked, def: def, tenants: maxTen}
+}
+
+// Sockets returns the granted physical socket ids (in grant order).
+func (l *Lease) Sockets() []int { return l.sockets }
+
+// Default reports whether this lease is the sole-tenant default prefix:
+// runs under a default lease are bit-identical to unscheduled runs and
+// safe to result-cache.
+func (l *Lease) Default() bool { return l.def }
+
+// Tenants is the max co-tenancy (>= 1, including this lease) across the
+// granted sockets at grant time; the serving layer multiplies simulated
+// time by it when charging a co-located run.
+func (l *Lease) Tenants() int { return l.tenants }
+
+// Release returns the sockets to the pool. Idempotent.
+func (l *Lease) Release() {
+	if l == nil || l.released {
+		return
+	}
+	l.released = true
+	l.s.mu.Lock()
+	for _, ph := range l.sockets {
+		if l.s.tenancy[ph] > 0 {
+			l.s.tenancy[ph]--
+		}
+	}
+	l.s.mu.Unlock()
+}
+
+// Machine builds the simulated machine for this lease with coresPerNode
+// cores per socket. For a default lease the result is bit-identical to
+// numa.NewMachineChecked(topo, len(sockets), coresPerNode).
+func (l *Lease) Machine(coresPerNode int) (*numa.Machine, error) {
+	return numa.NewMachineOnSockets(l.s.topo, l.sockets, coresPerNode)
+}

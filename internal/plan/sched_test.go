@@ -1,0 +1,119 @@
+package plan
+
+import (
+	"sync"
+	"testing"
+
+	"polymer/internal/numa"
+)
+
+// A sole tenant must receive the exact deterministic pick-order prefix,
+// and its machine must be bit-identical to the unscheduled one.
+func TestSchedulerSoleTenantDefault(t *testing.T) {
+	topo := numa.IntelXeon80()
+	s := NewScheduler(topo)
+	for _, want := range []int{1, 2, 4, 8} {
+		l := s.Acquire(want)
+		if !l.Default() {
+			t.Fatalf("sole tenant lease for %d sockets not default", want)
+		}
+		if l.Tenants() != 1 {
+			t.Fatalf("sole tenant tenancy = %d", l.Tenants())
+		}
+		order := topo.PickOrder(want)
+		got := l.Sockets()
+		if len(got) != len(order) {
+			t.Fatalf("lease size %d, want %d", len(got), len(order))
+		}
+		for i := range order {
+			if got[i] != order[i] {
+				t.Fatalf("lease sockets %v, want prefix %v", got, order)
+			}
+		}
+		ml, err := l.Machine(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		md, err := numa.NewMachineChecked(topo, want, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ml.Nodes != md.Nodes || ml.Threads() != md.Threads() {
+			t.Fatalf("lease machine shape differs from default")
+		}
+		for th := 0; th < ml.Threads(); th++ {
+			if ml.NodeOfThread(th) != md.NodeOfThread(th) {
+				t.Fatalf("thread %d maps differently", th)
+			}
+		}
+		l.Release()
+	}
+}
+
+// While sockets remain, concurrent tenants must be disjoint; the lease
+// that shares must say so via Tenants().
+func TestSchedulerDisjointThenShared(t *testing.T) {
+	topo := numa.IntelXeon80() // 8 sockets
+	s := NewScheduler(topo)
+	a := s.Acquire(4)
+	b := s.Acquire(4)
+	seen := map[int]bool{}
+	for _, ph := range a.Sockets() {
+		seen[ph] = true
+	}
+	for _, ph := range b.Sockets() {
+		if seen[ph] {
+			t.Fatalf("tenant b shares socket %d while capacity remained", ph)
+		}
+	}
+	if a.Tenants() != 1 || b.Tenants() != 1 {
+		t.Fatalf("disjoint tenants report sharing: %d, %d", a.Tenants(), b.Tenants())
+	}
+	if b.Default() {
+		t.Fatal("second tenant on non-prefix sockets claims default")
+	}
+	// Third tenant must co-locate and report it.
+	c := s.Acquire(4)
+	if c.Tenants() < 2 {
+		t.Fatalf("overcommitted tenant reports tenancy %d", c.Tenants())
+	}
+	if c.Default() {
+		t.Fatal("co-located lease claims default")
+	}
+	a.Release()
+	b.Release()
+	c.Release()
+	// After release the scheduler is idle again.
+	d := s.Acquire(8)
+	if !d.Default() || d.Tenants() != 1 {
+		t.Fatalf("post-release lease not default: def=%v tenants=%d", d.Default(), d.Tenants())
+	}
+	d.Release()
+	d.Release() // idempotent
+}
+
+// Leases must stay balanced under concurrent acquire/release churn.
+func TestSchedulerConcurrentChurn(t *testing.T) {
+	topo := numa.AMDOpteron64()
+	s := NewScheduler(topo)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(want int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				l := s.Acquire(want)
+				if len(l.Sockets()) != want {
+					t.Errorf("lease size %d, want %d", len(l.Sockets()), want)
+				}
+				l.Release()
+			}
+		}(1 + i%topo.Sockets)
+	}
+	wg.Wait()
+	for ph, ten := range s.tenancy {
+		if ten != 0 {
+			t.Fatalf("socket %d still has tenancy %d after all releases", ph, ten)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"polymer/internal/graph"
 	"polymer/internal/numa"
 	"polymer/internal/obs"
+	"polymer/internal/plan"
 )
 
 // batchSlot is the outcome of one distinct source within a group.
@@ -131,6 +132,12 @@ func (s *Server) waitBatch(g *batchGroup, slot int, v *resolved, clientCtx conte
 		s.recordKind(sl.kind)
 		resp := sl.resp
 		resp.ID = s.ids.Add(1)
+		// Like the coalescer, plan provenance is the member's own: the
+		// fused sweep computed the payload, but each member reports the
+		// decision (if any) that routed it here.
+		if pi := v.planInfo(); pi != nil {
+			resp.Plan = pi
+		}
 		return outcome{status: sl.status, resp: resp}
 	case <-wctx.Done():
 		s.detachBatch(g)
@@ -292,6 +299,22 @@ func (s *Server) executeMulti(t *task) {
 	}
 
 	mk := func() *numa.Machine { return numa.NewMachine(v.topo, v.nodes, v.cores) }
+	var lease *plan.Lease
+	if v.planned != nil {
+		// The group's representative was planned: the whole sweep runs on
+		// its scheduled socket set (members agreed on the same plan — it is
+		// part of the group key).
+		lease = s.plannerFor(v).Scheduler().Acquire(v.nodes)
+		defer lease.Release()
+		lm := lease
+		mk = func() *numa.Machine {
+			m, err := lm.Machine(v.cores)
+			if err != nil {
+				return numa.NewMachine(v.topo, v.nodes, v.cores)
+			}
+			return m
+		}
+	}
 	runOnce := func() ([]float64, float64, int64, int, int, error) {
 		if len(live) == 1 {
 			opt := bench.ResilientOptions{
@@ -352,10 +375,18 @@ func (s *Server) executeMulti(t *task) {
 				}
 				slots[i] = batchSlot{kind: kindCompleted, status: 200, resp: resp}
 				// Each demultiplexed result is cached under the key the
-				// equivalent single-source request would look up.
-				if v.reusable() {
+				// equivalent single-source request would look up — but only
+				// from the canonical machine (default lease).
+				if v.reusable() && (lease == nil || lease.Default()) {
 					s.results.put(v, v.keyFor(srcs[i]), resp)
 				}
+			}
+			if len(live) == 1 {
+				// A solo group is indistinguishable from a direct run — its
+				// simulated time is exactly what the model predicted, so it
+				// may teach the learner. Fused sweeps may not: their cost
+				// covers k sources at once.
+				s.observePlan(v, lease, sim)
 			}
 			publish(200, "")
 			return

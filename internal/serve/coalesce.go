@@ -112,10 +112,12 @@ func (s *Server) waitFlight(f *flight, v *resolved, clientCtx context.Context, f
 		resp := f.out.resp
 		if follower {
 			// The leader's response is reused verbatim; only per-request
-			// provenance differs.
+			// provenance differs. Plan is re-stamped from this follower's
+			// own decision — nil if it spelled the config out itself.
 			resp.ID = s.ids.Add(1)
 			resp.Coalesced = true
 			resp.WallMs = float64(time.Since(start).Microseconds()) / 1000
+			resp.Plan = v.planInfo()
 		}
 		return outcome{status: f.out.status, resp: resp}
 	case <-wctx.Done():

@@ -17,6 +17,7 @@ import (
 	"polymer/internal/bench"
 	"polymer/internal/mutate"
 	"polymer/internal/obs"
+	"polymer/internal/plan"
 )
 
 // Handler returns the server's HTTP mux.
@@ -67,7 +68,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if out.status == http.StatusServiceUnavailable {
-		if ra := s.breakers[v.sys].RetryAfter(); ra > 0 {
+		if br := s.breakers[v.sys]; br == nil {
+			// An auto request that never got planned (e.g. refused while
+			// draining) has no concrete engine to consult.
+			w.Header().Set("Retry-After", "1")
+		} else if ra := br.RetryAfter(); ra > 0 {
 			w.Header().Set("Retry-After", strconv.Itoa(int(ra.Seconds())+1))
 		} else {
 			w.Header().Set("Retry-After", "1")
@@ -86,6 +91,12 @@ func (s *Server) answer(v *resolved, clientCtx context.Context) (outcome, bool, 
 	if s.draining.Load() {
 		return outcome{}, false, errors.New("serve: draining, not admitting")
 	}
+	// Auto engine/placement resolve before anything keys on them: the
+	// result cache, batch groups and flights must all see the concrete
+	// pick so planned and explicit spellings of the same run collide.
+	if err := s.planFor(v); err != nil {
+		return outcome{}, false, err
+	}
 	if v.reusable() {
 		v.ver = s.results.version(string(v.data))
 		if resp, ok := s.results.get(v); ok {
@@ -97,6 +108,11 @@ func (s *Server) answer(v *resolved, clientCtx context.Context) (outcome, bool, 
 			resp.ID = s.ids.Add(1)
 			resp.Cached = true
 			resp.Breaker = string(s.breakers[v.sys].State())
+			// Plan provenance is per-request, like ID and Breaker: the
+			// cached payload carries none (put strips it), and the hit is
+			// stamped with this request's own decision — nil when it was
+			// explicit, even if a planned run populated the entry.
+			resp.Plan = v.planInfo()
 			return outcome{status: http.StatusOK, resp: resp}, false, nil
 		}
 		if v.batchable() && !s.cfg.DisableBatch {
@@ -191,6 +207,10 @@ type metricsBody struct {
 	// Cluster is the most recent cluster run's health snapshot, present
 	// once a cluster request has executed.
 	Cluster *clusterStatus `json:"cluster,omitempty"`
+	// Planner holds per-machine-shape planner counters (decisions, cache
+	// hits, fallbacks) and learner regret stats, present once an auto
+	// request has been planned.
+	Planner map[string]plan.Stats `json:"planner,omitempty"`
 }
 
 func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
@@ -214,6 +234,7 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
 		body.Mutations = &st
 	}
 	body.Cluster = s.lastCluster.Load()
+	body.Planner = s.plannerStats()
 	writeJSON(w, http.StatusOK, body)
 }
 

@@ -19,7 +19,9 @@ import (
 	"polymer/internal/fault"
 	"polymer/internal/gen"
 	"polymer/internal/graph"
+	"polymer/internal/mem"
 	"polymer/internal/numa"
+	"polymer/internal/plan"
 )
 
 // MaxBodyBytes bounds a /run request body; larger bodies are rejected
@@ -34,8 +36,14 @@ const MaxBudget = 10 * time.Minute
 type Request struct {
 	// Algo is the algorithm: pr, spmv, bp, bfs or sssp.
 	Algo string `json:"algo"`
-	// System is the engine: polymer, ligra, xstream or galois.
+	// System is the engine: polymer, ligra, xstream or galois. Empty or
+	// "auto" asks the cost-model planner to choose.
 	System string `json:"system"`
+	// Placement is the NUMA data placement: colocated, interleaved or
+	// centralized (polymer only — the baselines are interleaved-native).
+	// "auto" asks the planner; empty keeps the engine's native default
+	// unless the engine is also auto, in which case the planner chooses.
+	Placement string `json:"placement"`
 	// Graph is the dataset name (twitter, rmat24, rmat27, powerlaw,
 	// roadUS).
 	Graph string `json:"graph"`
@@ -116,6 +124,16 @@ type resolved struct {
 	// under it, so an invalidation racing the run can never resurrect a
 	// pre-invalidation result under the new version.
 	ver uint64
+	// autoEngine/autoPlace record which knobs the client left to the
+	// planner; layout/layoutSet carry an explicit (or planner-chosen)
+	// polymer placement override. planned holds the planner's decision
+	// once planFor has resolved the request — it is provenance, and the
+	// learner's handle for observing the run.
+	autoEngine bool
+	autoPlace  bool
+	layout     mem.Placement
+	layoutSet  bool
+	planned    *plan.Decision
 }
 
 var systems = map[string]bench.System{
@@ -169,11 +187,18 @@ func resolve(req Request) (*resolved, error) {
 	if v.alg, ok = algos[strings.ToLower(req.Algo)]; !ok {
 		return nil, badReq("unknown algorithm %q (want pr, spmv, bp, bfs or sssp)", req.Algo)
 	}
-	if v.sys, ok = systems[strings.ToLower(req.System)]; !ok {
-		return nil, badReq("unknown system %q (want polymer, ligra, xstream or galois)", req.System)
-	}
-	if !supported(v.sys, v.alg) {
-		return nil, badReq("%s is not served on %s (PR runs everywhere; spmv/bp/bfs/sssp need polymer or ligra)", v.alg, v.sys)
+	switch sysName := strings.ToLower(strings.TrimSpace(req.System)); sysName {
+	case "", "auto":
+		// Engine selection is the planner's job; v.sys stays empty until
+		// planFor resolves it.
+		v.autoEngine = true
+	default:
+		if v.sys, ok = systems[sysName]; !ok {
+			return nil, badReq("unknown system %q (want polymer, ligra, xstream, galois or auto)", req.System)
+		}
+		if !supported(v.sys, v.alg) {
+			return nil, badReq("%s is not served on %s (PR runs everywhere; spmv/bp/bfs/sssp need polymer or ligra)", v.alg, v.sys)
+		}
 	}
 	if v.scale, ok = scales[strings.ToLower(req.Scale)]; !ok {
 		return nil, badReq("unknown scale %q (want tiny, small, default or huge)", req.Scale)
@@ -251,6 +276,11 @@ func resolve(req Request) (*resolved, error) {
 		return nil, badReq("replicas requires machines > 0")
 	}
 	if req.Machines > 0 {
+		if v.autoEngine {
+			// The cluster substrate is polymer-only, so auto resolves
+			// trivially and no planning is needed.
+			v.sys, v.autoEngine = bench.Polymer, false
+		}
 		if v.sys != bench.Polymer {
 			return nil, badReq("cluster runs are polymer-only (got %s)", v.sys)
 		}
@@ -273,6 +303,30 @@ func resolve(req Request) (*resolved, error) {
 			}
 		}
 	}
+	if v.clustered() {
+		if strings.TrimSpace(req.Placement) != "" {
+			return nil, badReq("placement does not apply to cluster runs (shards are co-located per machine)")
+		}
+	} else {
+		switch pl := strings.ToLower(strings.TrimSpace(req.Placement)); pl {
+		case "":
+			// An unspecified placement follows the engine: explicit engines
+			// keep their native layout, an auto engine frees the planner to
+			// choose the placement too.
+			v.autoPlace = v.autoEngine
+		case "auto":
+			v.autoPlace = true
+		default:
+			p, err := mem.ParsePlacement(pl)
+			if err != nil {
+				return nil, badReq("unknown placement %q (want colocated, interleaved, centralized or auto)", req.Placement)
+			}
+			if !v.autoEngine && v.sys != bench.Polymer && p != mem.Interleaved {
+				return nil, badReq("placement %s needs polymer; %s is interleaved-native", p, v.sys)
+			}
+			v.layout, v.layoutSet = p, true
+		}
+	}
 	return v, nil
 }
 
@@ -285,22 +339,37 @@ var clusterAlgos = map[bench.Algo]cluster.Algo{
 // clustered reports whether the request runs on the cluster substrate.
 func (v *resolved) clustered() bool { return v.machines > 0 }
 
+// effPlacement is the data placement the execution will actually use:
+// the explicit (or planner-chosen) layout when one was set, else the
+// engine's native default. Keys use it so an auto-planned run and an
+// explicitly-configured identical run collide on one result-cache entry.
+func (v *resolved) effPlacement() mem.Placement {
+	if v.sys == bench.Polymer {
+		if v.layoutSet {
+			return v.layout
+		}
+		return mem.CoLocated
+	}
+	return mem.Interleaved
+}
+
 // key is the canonical execution identity of a request: engine,
-// algorithm, dataset, scale and machine shape, plus the traversal source
-// for point queries. resolve already normalized aliases ("x-stream",
-// mixed case), default-filled scale/machine/sockets/cores and zeroed
-// src for non-traversals, so semantically identical requests collide on
-// one key no matter how they were spelled. QoS knobs (budget, retries,
-// restarts) don't affect the computed result and stay out of the key;
-// fault-carrying requests are never keyed (see reusable).
+// algorithm, dataset, scale, placement and machine shape, plus the
+// traversal source for point queries. resolve already normalized aliases
+// ("x-stream", mixed case), default-filled scale/machine/sockets/cores
+// and zeroed src for non-traversals, and planFor resolved auto
+// engine/placement to concrete picks, so semantically identical requests
+// collide on one key no matter how they were spelled. QoS knobs (budget,
+// retries, restarts) don't affect the computed result and stay out of
+// the key; fault-carrying requests are never keyed (see reusable).
 func (v *resolved) key() string { return v.keyFor(v.src) }
 
 // keyFor is key with an explicit source: the batcher caches each
 // demultiplexed per-source result under the key the equivalent
 // single-source request would look up.
 func (v *resolved) keyFor(src graph.Vertex) string {
-	k := fmt.Sprintf("%s|%s|%s|%d|%s|%dx%d|%d",
-		v.sys, v.alg, v.data, v.scale, v.mach, v.nodes, v.cores, src)
+	k := fmt.Sprintf("%s|%s|%s|%d|%s|%s|%dx%d|%d",
+		v.sys, v.alg, v.data, v.scale, v.effPlacement(), v.mach, v.nodes, v.cores, src)
 	if v.clustered() {
 		// The committed output is bit-identical for any cluster shape, but
 		// SimSeconds/NetBytes are not: cluster requests key separately per
@@ -313,8 +382,8 @@ func (v *resolved) keyFor(src graph.Vertex) string {
 // groupKey is key with the source slot wildcarded: requests that agree on
 // it differ only in src and can share one multi-source sweep.
 func (v *resolved) groupKey() string {
-	return fmt.Sprintf("%s|%s|%s|%d|%s|%dx%d|*",
-		v.sys, v.alg, v.data, v.scale, v.mach, v.nodes, v.cores)
+	return fmt.Sprintf("%s|%s|%s|%d|%s|%s|%dx%d|*",
+		v.sys, v.alg, v.data, v.scale, v.effPlacement(), v.mach, v.nodes, v.cores)
 }
 
 // reusable reports whether the request's result is a pure function of
@@ -326,9 +395,21 @@ func (v *resolved) reusable() bool {
 
 // batchable reports whether the request is a traversal point query that
 // a multi-source sweep can absorb. Cluster runs never batch: the sweep
-// engines are single-machine.
+// engines are single-machine. Non-native placements don't batch either —
+// the fused sweep always runs the engine's native layout, and caching
+// its timings under a different placement's key would lie.
 func (v *resolved) batchable() bool {
-	return (v.alg == bench.BFS || v.alg == bench.SSSP) && !v.clustered()
+	if v.alg != bench.BFS && v.alg != bench.SSSP || v.clustered() {
+		return false
+	}
+	if v.layoutSet {
+		native := mem.Interleaved
+		if v.sys == bench.Polymer {
+			native = mem.CoLocated
+		}
+		return v.layout == native
+	}
+	return true
 }
 
 // injector builds a fresh injector for one execution attempt. Event state

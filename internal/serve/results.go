@@ -105,6 +105,9 @@ func (c *resultCache) put(v *resolved, key string, resp Response) {
 	resp.Breaker = ""
 	resp.Error = ""
 	resp.Cached, resp.Coalesced = false, false
+	// Planner provenance is per-request too: a hit is re-stamped with the
+	// asking request's own decision (or none, if it was explicit).
+	resp.Plan = nil
 	k := verKey(v.ver, key)
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -31,6 +31,7 @@ import (
 	"polymer/internal/mutate"
 	"polymer/internal/numa"
 	"polymer/internal/obs"
+	"polymer/internal/plan"
 )
 
 // Config tunes the server; zero fields take the documented defaults.
@@ -91,6 +92,10 @@ type Config struct {
 	// default) adapts to the p90 of recent primary latencies; a negative
 	// value disables hedging.
 	HedgeDelay time.Duration
+	// DisableLearning freezes the planner's online learner: decisions
+	// still come from the analytic cost model, but observed runs no longer
+	// adjust its correction factors (reproducible benchmarking).
+	DisableLearning bool
 	// Mutations, when non-nil, enables the streaming-mutation surface
 	// (POST /mutatez): commits append to its WAL, and each committed batch
 	// publishes a new graph snapshot and bumps the dataset's result-cache
@@ -220,6 +225,11 @@ type Response struct {
 	Failovers  int     `json:"failovers,omitempty"`
 	NetBytes   float64 `json:"net_bytes,omitempty"`
 	Hedged     bool    `json:"hedged,omitempty"`
+	// Plan is planner provenance, present when the server chose the
+	// engine, placement or schedule for this request. Like Cached and
+	// Coalesced it is per-request: cache and flight hits re-stamp it from
+	// the asking request's own decision.
+	Plan *PlanInfo `json:"plan,omitempty"`
 }
 
 // outcome pairs a response with its HTTP status.
@@ -275,6 +285,13 @@ type Server struct {
 	batches *batcher
 	mut     *mutate.Store
 
+	// planners holds one cost-model planner per machine shape; profiles
+	// caches feature vectors per dataset snapshot (see planner.go).
+	planMu   sync.RWMutex
+	planners map[plannerKey]*plan.Planner
+	profMu   sync.RWMutex
+	profiles map[profileKey]plan.Features
+
 	// hedges tracks recent primary cluster latencies for the adaptive
 	// hedge delay; lastCluster is the most recent run's health snapshot,
 	// surfaced at /metricsz and /readyz. recovering gates readiness while
@@ -301,6 +318,8 @@ func NewServer(cfg Config) *Server {
 		batches:  newBatcher(),
 		mut:      cfg.Mutations,
 		hedges:   newHedgeTracker(64),
+		planners: make(map[plannerKey]*plan.Planner),
+		profiles: make(map[profileKey]plan.Features),
 	}
 	s.cache = newGraphCache(cfg.GraphCacheBytes, func(key string, bytes int64) {
 		s.counters.Evicted.Add(1)
@@ -487,9 +506,24 @@ func (s *Server) execute(t *task) {
 		Graph:  string(v.data),
 		Scale:  v.req.Scale,
 	}
+	// lease is the planned run's socket assignment; nil for explicit
+	// requests. finish reads it, so it is declared (and later assigned)
+	// before the closure is built.
+	var lease *plan.Lease
 	finish := func(kind resKind, status int, out Response) {
 		out.WallMs = float64(time.Since(start).Microseconds()) / 1000
 		out.Breaker = string(s.breakers[v.sys].State())
+		if pi := v.planInfo(); pi != nil {
+			if lease != nil && lease.Tenants() > 1 {
+				// The machine was shared: report the co-tenancy and the
+				// honest wall-clock-style charge. The payload itself is
+				// untouched — sharing simulated sockets never changes what
+				// was computed, only what it cost.
+				pi.SharedTenants = lease.Tenants()
+				pi.ChargedSimSeconds = out.SimSeconds * float64(lease.Tenants())
+			}
+			out.Plan = pi
+		}
 		tr.Span("serve", "request", obs.PidServe, startMicros, obs.NowMicros()-startMicros, -1, out.ID,
 			fmt.Sprintf("%s/%s on %s status=%d attempts=%d rollbacks=%d restarts=%d degraded=%t breaker=%s err=%s",
 				out.Algo, out.Graph, out.System, status, out.Attempts, out.Rollbacks,
@@ -512,8 +546,11 @@ func (s *Server) execute(t *task) {
 		// Full-fidelity fault-free results feed the versioned cache no
 		// matter which path computed them (direct or flight leader).
 		// Hedge legs don't: their standby-replica placement skews the
-		// timing fields, and the key carries no hedge bit.
-		if status == 200 && !out.Degraded && v.reusable() && !v.hedge {
+		// timing fields, and the key carries no hedge bit. Non-default
+		// leases don't either: a run on non-prefix or shared sockets is
+		// not bit-identical to the canonical machine the key names.
+		if status == 200 && !out.Degraded && v.reusable() && !v.hedge &&
+			(lease == nil || lease.Default()) {
 			s.results.put(v, v.key(), out)
 		}
 		if t.fl != nil {
@@ -567,6 +604,23 @@ func (s *Server) execute(t *task) {
 		maxRetries = v.req.Retries
 	}
 	mk := func() *numa.Machine { return numa.NewMachine(v.topo, v.nodes, v.cores) }
+	if v.planned != nil {
+		// Planned runs go through the multi-tenant scheduler: disjoint
+		// simulated sockets while capacity lasts, honest co-location
+		// charging (via finish) when it doesn't. A sole tenant gets the
+		// deterministic prefix, so its machine — and therefore its result —
+		// is bit-identical to an explicitly configured run's.
+		lease = s.plannerFor(v).Scheduler().Acquire(v.nodes)
+		defer lease.Release()
+		lm := lease
+		mk = func() *numa.Machine {
+			m, err := lm.Machine(v.cores)
+			if err != nil {
+				return numa.NewMachine(v.topo, v.nodes, v.cores)
+			}
+			return m
+		}
+	}
 	opt := bench.ResilientOptions{
 		MaxRestarts:    s.cfg.RestartMax,
 		SessionRetries: v.req.SessionRetries,
@@ -575,6 +629,9 @@ func (s *Server) execute(t *task) {
 	}
 	if v.req.Restarts >= 0 {
 		opt.MaxRestarts = v.req.Restarts
+	}
+	if v.layoutSet {
+		opt.Layout, opt.LayoutSet = v.layout, true
 	}
 	var lastErr error
 	for attempt := 0; attempt <= maxRetries; attempt++ {
@@ -596,6 +653,7 @@ func (s *Server) execute(t *task) {
 			resp.SimSeconds = r.SimSeconds
 			resp.Checksum = r.Checksum
 			resp.PeakBytes = r.PeakBytes
+			s.observePlan(v, lease, r.SimSeconds)
 			finish(kindCompleted, 200, resp)
 			return
 		}

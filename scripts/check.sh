@@ -13,7 +13,7 @@ go vet ./...
 echo "==> errcheck (error-returning APIs in statement position)"
 sh scripts/errcheck.sh
 
-echo "==> go test -race (engines, core, state, par, fault, numa, serve, mutate, obs, conform, cluster)"
+echo "==> go test -race (engines, core, state, par, fault, numa, serve, mutate, obs, conform, cluster, plan)"
 go test -race \
 	./internal/core/... \
 	./internal/engines/... \
@@ -25,7 +25,8 @@ go test -race \
 	./internal/mutate/... \
 	./internal/obs/... \
 	./internal/conform/... \
-	./internal/cluster/...
+	./internal/cluster/... \
+	./internal/plan/...
 
 echo "==> go test -race fault matrix (rollback/replay across all engines)"
 go test -race -run 'TestFaultMatrix|TestPolymerDegraded|TestResilientRanks' .
