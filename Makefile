@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-serving trace conform conform-nightly mutate-soak cluster-soak cluster-sweep plan plan-sweep
+.PHONY: build test check bench bench-serving trace conform conform-nightly mutate-soak cluster-soak cluster-sweep plan plan-sweep tier-sweep
 
 build:
 	$(GO) build ./...
@@ -73,6 +73,15 @@ plan:
 # writes the per-cell artifact nightly CI uploads.
 plan-sweep:
 	$(GO) run ./cmd/planbench -cores 2 -rows -o planner-regret.json -gate 0.10
+
+# Tiered-memory DRAM-fraction sweep: the flagship engine under shrinking
+# DRAM budgets, hot-vertex placement vs naive interleave, gated on hot
+# beating interleave at <=50% DRAM and on the checked-in speedup
+# baseline (BENCH_tiering.json, 20% regression budget).
+tier-sweep:
+	$(GO) run ./cmd/numabench -tiersweep -graph powerlaw -scale tiny \
+		-sockets 4 -cores 2 -tierout BENCH_tiering_current.json \
+		-tierbaseline BENCH_tiering.json
 
 # Traced PageRank run: per-superstep breakdown on stdout, Chrome trace
 # JSON in trace.json (open in https://ui.perfetto.dev or chrome://tracing).

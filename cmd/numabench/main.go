@@ -13,6 +13,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,10 +40,19 @@ func main() {
 	graphFlag := flag.String("graph", "powerlaw", "dataset for the cluster sweep")
 	scaleFlag := flag.String("scale", "huge", "dataset scale for the cluster sweep: tiny, small, default or huge")
 	srcFlag := flag.Uint("src", 0, "source vertex for the cluster sweep's bfs/sssp lines")
+	tierSweepFlag := flag.Bool("tiersweep", false, "run the tiered-memory DRAM-fraction sweep (hot vs interleave) instead of the microbenchmarks")
+	tierFracsFlag := flag.String("tierfracs", "0.75,0.5,0.25", "comma-separated DRAM fractions of the untiered peak footprint for -tiersweep")
+	tierOutFlag := flag.String("tierout", "", "write the -tiersweep result as JSON to this file")
+	tierBaselineFlag := flag.String("tierbaseline", "", "compare the -tiersweep result against this JSON baseline (fails on >20% speedup regression)")
+	promoteEveryFlag := flag.Int("promote-every", 1, "phases between promotion passes for -tiersweep's hot policy")
 	flag.Parse()
 
 	if *profileFlag {
 		profileCorpus()
+		return
+	}
+	if *tierSweepFlag {
+		tierSweep(*graphFlag, *scaleFlag, *sockets, *cores, *tierFracsFlag, *promoteEveryFlag, *tierOutFlag, *tierBaselineFlag)
 		return
 	}
 	if *machinesFlag != "" {
@@ -90,6 +100,62 @@ func profileCorpus() {
 	for _, e := range plan.Corpus() {
 		g := plan.BuildGraph(e, bench.PR)
 		fmt.Printf("%-22s %s\n", e.Name, plan.Profile(g))
+	}
+}
+
+// tierSweep runs the tiered-memory DRAM-fraction sweep on one graph and
+// prints the hot-vs-interleave table, optionally writing the JSON
+// artifact and checking it against a pinned baseline.
+func tierSweep(dataset, scale string, sockets, cores int, fracList string, promoteEvery int, outPath, basePath string) {
+	sc, ok := map[string]gen.Scale{"tiny": gen.Tiny, "small": gen.Small, "default": gen.Default, "huge": gen.Huge}[scale]
+	if !ok {
+		fail("unknown scale %q (want tiny, small, default or huge)", scale)
+	}
+	var fracs []float64
+	for _, f := range strings.Split(fracList, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 {
+			fail("bad DRAM fraction %q in -tierfracs", f)
+		}
+		fracs = append(fracs, v)
+	}
+	g, err := gen.Load(gen.Dataset(dataset), sc, false)
+	if err != nil {
+		fail("%v", err)
+	}
+	ts, err := bench.RunTierSweep(dataset+"/"+scale, g, numa.IntelXeon80(), sockets, cores,
+		[]bench.Algo{bench.PR, bench.BFS}, fracs, promoteEvery)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Print(bench.FormatTierSweep(ts))
+	if outPath != "" {
+		out, err := bench.MarshalTierSweep(ts)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := os.WriteFile(outPath, out, 0o644); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("tier sweep JSON -> %s\n", outPath)
+	}
+	if err := ts.Gate(); err != nil {
+		fail("%v", err)
+	}
+	fmt.Println("tier sweep gate: ok (hot beats naive interleave at <=50% DRAM for PR and BFS)")
+	if basePath != "" {
+		raw, err := os.ReadFile(basePath)
+		if err != nil {
+			fail("%v", err)
+		}
+		var base bench.TierSweep
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fail("parsing baseline %s: %v", basePath, err)
+		}
+		if err := bench.CompareTierBaseline(ts, &base, 0.8); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("tier sweep baseline: ok (within 20%% of %s)\n", basePath)
 	}
 }
 

@@ -55,6 +55,9 @@ func main() {
 	faultRetriesFlag := flag.Int("fault-retries", 3, "whole-run restarts allowed for setup-time faults")
 	machinesFlag := flag.Int("machines", 0, "replicated cluster run across this many simulated machines (0 = single machine)")
 	replicasFlag := flag.Int("replicas", 0, "replicas per shard for cluster runs (0 = min(2, machines))")
+	dramBytesFlag := flag.Int64("dram-bytes", 0, "per-node DRAM budget in bytes (0 = untiered; demand beyond it spills to the simulated slow tier)")
+	tierFlag := flag.String("tier", "hot", "tier placement policy when -dram-bytes is set: hot (degree-ranked residency) or interleave (uniform spill)")
+	promoteEveryFlag := flag.Int("promote-every", 1, "phases between hot-policy promotion passes (0 = static placement)")
 	flag.Parse()
 
 	alg, ok := map[string]bench.Algo{
@@ -89,6 +92,21 @@ func main() {
 	}
 	if cores == 0 {
 		cores = topo.CoresPerSocket
+	}
+
+	// -dram-bytes arms the simulated slow tier on every machine this run
+	// builds (including fault-path rebuilds); the policy decides what
+	// stays DRAM-resident.
+	var tierCfg numa.TierConfig
+	if *dramBytesFlag > 0 {
+		pol, perr := numa.ParseTierPolicy(*tierFlag)
+		if perr != nil {
+			fail("%v", perr)
+		}
+		if pol == numa.TierNone {
+			fail("-dram-bytes needs a tier policy: pass -tier hot or -tier interleave")
+		}
+		tierCfg = numa.TierConfig{DRAMPerNode: *dramBytesFlag, Policy: pol, PromoteEvery: *promoteEveryFlag}
 	}
 
 	var (
@@ -161,6 +179,9 @@ func main() {
 	if *machinesFlag > 0 {
 		if *planFlag {
 			fail("-plan does not apply to cluster runs (the substrate is polymer-only)")
+		}
+		if tierCfg.Tiered() {
+			fail("-dram-bytes applies to single-machine runs only (cluster machines are untiered)")
 		}
 		calg, ok := map[bench.Algo]cluster.Algo{
 			bench.PR: cluster.PR, bench.BFS: cluster.BFS, bench.SSSP: cluster.SSSP,
@@ -243,7 +264,7 @@ func main() {
 	)
 	if autoSys || *planFlag {
 		feats := plan.Profile(g)
-		q := plan.Query{Features: feats, Alg: alg, Nodes: sockets, NodesFixed: *socketsFlag != 0}
+		q := plan.Query{Features: feats, Alg: alg, Nodes: sockets, NodesFixed: *socketsFlag != 0, Tier: tierCfg}
 		if !autoSys {
 			q.EngineFixed = sys
 		}
@@ -280,6 +301,11 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	if tierCfg.Tiered() {
+		if err := m.SetTierConfig(tierCfg); err != nil {
+			fail("%v", err)
+		}
+	}
 
 	wall := time.Now()
 	var (
@@ -299,7 +325,15 @@ func main() {
 			evs = fault.Schedule(*faultSeedFlag, 5, sockets*cores, sockets)
 		}
 		inj := fault.NewInjector(evs)
-		mk := func() *numa.Machine { return numa.NewMachine(topo, sockets, cores) }
+		mk := func() *numa.Machine {
+			fm := numa.NewMachine(topo, sockets, cores)
+			if tierCfg.Tiered() {
+				if err := fm.SetTierConfig(tierCfg); err != nil {
+					panic(err)
+				}
+			}
+			return fm
+		}
 		opt := bench.ResilientOptions{MaxRestarts: *faultRetriesFlag, SessionRetries: -1, Src: src, Tracer: tr}
 		if layoutSet {
 			opt.Layout, opt.LayoutSet = layout, true
@@ -332,6 +366,10 @@ func main() {
 	fmt.Printf("algorithm  : %s\n", alg)
 	fmt.Printf("graph      : %s\n", g)
 	fmt.Printf("machine    : %s\n", m)
+	if tierCfg.Tiered() {
+		fmt.Printf("tier       : %s policy, %.1f MB DRAM/node, slow-tier rate %.1f%%\n",
+			tierCfg.Policy, float64(tierCfg.DRAMPerNode)/1e6, r.Stats.SlowRate*100)
+	}
 	fmt.Printf("sim time   : %.6f s\n", r.SimSeconds)
 	fmt.Printf("wall time  : %v\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("remote rate: %.1f%%  (%.1fM remote accesses)\n", r.Stats.RemoteRate*100, float64(r.Stats.RemoteCount)/1e6)

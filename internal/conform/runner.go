@@ -32,10 +32,19 @@ type Case struct {
 	Nodes, Cores int
 	// Src is the traversal source for BFS and SSSP.
 	Src graph.Vertex
+	// TierPol, DRAMPerNode and PromoteEvery arm tiered memory on the
+	// case's machine; the zero values leave it untiered.
+	TierPol      numa.TierPolicy
+	DRAMPerNode  int64
+	PromoteEvery int
 }
 
 func (c Case) String() string {
-	return fmt.Sprintf("%s/%s/%s[%dx%d]/src=%d", c.Engine, c.Algo, c.Topo, c.nodes(), c.cores(), c.Src)
+	s := fmt.Sprintf("%s/%s/%s[%dx%d]/src=%d", c.Engine, c.Algo, c.Topo, c.nodes(), c.cores(), c.Src)
+	if c.DRAMPerNode > 0 && c.TierPol != numa.TierNone {
+		s += fmt.Sprintf("/tier=%s@%d", c.TierPol, c.DRAMPerNode)
+	}
+	return s
 }
 
 func (c Case) nodes() int {
@@ -52,18 +61,32 @@ func (c Case) cores() int {
 	return c.Cores
 }
 
-// Machine builds a fresh simulated machine for the case.
+// Machine builds a fresh simulated machine for the case, arming tiered
+// memory when the case requests it.
 func (c Case) Machine() *numa.Machine {
-	return numa.NewMachine(c.Topo.Topology(), c.nodes(), c.cores())
+	m := numa.NewMachine(c.Topo.Topology(), c.nodes(), c.cores())
+	if c.DRAMPerNode > 0 && c.TierPol != numa.TierNone {
+		if err := m.SetTierConfig(numa.TierConfig{
+			DRAMPerNode:  c.DRAMPerNode,
+			Policy:       c.TierPol,
+			PromoteEvery: c.PromoteEvery,
+		}); err != nil {
+			panic(err)
+		}
+	}
+	return m
 }
 
 // Result is one run's normalized output: every algorithm's answer as
 // one float64 per vertex (BFS levels and CC labels widened), plus the
-// simulated clock and the convergence iteration count (PRDelta only).
+// simulated clock, the convergence iteration count (PRDelta only), and
+// the machine's peak simulated allocation (the footprint tiered cases
+// budget DRAM against).
 type Result struct {
 	Out        []float64
 	SimSeconds float64
 	Iters      int
+	Peak       int64
 }
 
 // Run executes the case on a fresh machine and engine and returns the
@@ -89,6 +112,7 @@ func Run(c Case, g *graph.Graph) Result {
 		defer e.Close()
 		r := runSG(e, c)
 		r.SimSeconds = e.SimSeconds()
+		r.Peak = m.Alloc().Peak()
 		return r
 	case XStream:
 		h := sg.Hints{DataBytes: 8, Weighted: c.Algo.Weighted()}
@@ -99,12 +123,14 @@ func Run(c Case, g *graph.Graph) Result {
 		defer e.Close()
 		r := runXS(e, c)
 		r.SimSeconds = e.SimSeconds()
+		r.Peak = m.Alloc().Peak()
 		return r
 	case Galois:
 		e := galois.MustNew(g, m, galois.DefaultOptions())
 		defer e.Close()
 		r := runGalois(e, c)
 		r.SimSeconds = e.SimSeconds()
+		r.Peak = m.Alloc().Peak()
 		return r
 	}
 	panic(fmt.Sprintf("conform: unknown engine %q", c.Engine))

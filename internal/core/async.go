@@ -140,17 +140,18 @@ func (e *Engine) AsyncTraverse(seeds []graph.Vertex, k AsyncKernel, h sg.Hints) 
 		enqueues := totEnqueues[p] / cpn
 		partVerts := int64(l.perNode[p].vr.Len())
 		// Worklist pops + agent lookup: random local.
-		ep.Access(th, numa.Rand, numa.Load, p, rows, 8, int64(e.g.NumVertices())*4)
+		e.tierFrontier.Access(ep, th, numa.Rand, numa.Load, p, rows, 8, int64(e.g.NumVertices())*4)
 		// Far-side value read: random remote, spread over owners.
-		ep.AccessInterleaved(th, numa.Rand, numa.Load, rows, h.DataBytes, dataWS(e, h))
+		e.tierState.AccessInterleaved(ep, th, numa.Rand, numa.Load, rows, h.DataBytes, dataWS(e, h))
 		// Topology stream of the row's columns.
-		ep.Access(th, numa.Seq, numa.Load, p, edges, 4, 0)
+		e.tierTopo.Access(ep, th, numa.Seq, numa.Load, p, edges, 4, 0)
 		// Local relaxation writes.
-		ep.Access(th, numa.Rand, numa.Store, p, edges, h.DataBytes, partVerts*int64(h.DataBytes))
+		e.tierState.Access(ep, th, numa.Rand, numa.Store, p, edges, h.DataBytes, partVerts*int64(h.DataBytes))
 		// Cross-node enqueue handshakes are latency-bound atomics.
-		ep.LatencyBound(th, numa.Store, (p+1)%e.m.Nodes, enqueues)
+		e.tierFrontier.LatencyBound(ep, th, numa.Store, (p+1)%e.m.Nodes, enqueues)
 		ep.Compute(th, float64(edges)*(h.NsPerEdge+e.opt.OverheadNsPerEdge)*1e-9)
 	}
+	e.tierPlan.Step(ep)
 	e.clock += ep.Time()
 	e.ledger.Add(ep)
 	for th := range counts {

@@ -148,41 +148,41 @@ func (c *charger) flushPush(h sg.Hints, partVerts int) {
 	for _, r := range c.rowsByOwner {
 		rows += r
 	}
-	ep.Access(th, numa.Seq, numa.Load, c.p, rows, rowMetaBytes, 0)
-	ep.Access(th, numa.Seq, numa.Load, c.p, c.edges, edgeBytes, 0)
+	e.tierTopo.Access(ep, th, numa.Seq, numa.Load, c.p, rows, rowMetaBytes, 0)
+	e.tierTopo.Access(ep, th, numa.Seq, numa.Load, c.p, c.edges, edgeBytes, 0)
 	// Far-side state and data reads.
 	for o := range c.rowsByOwner {
 		switch {
 		case interleavedData:
-			ep.AccessInterleaved(th, numa.Seq, numa.Load, c.rowsByOwner[o], stateByte, 0)
-			ep.AccessInterleaved(th, numa.Rand, numa.Load, c.activeByOwner[o], h.DataBytes, dataWS(e, h))
+			e.tierFrontier.AccessInterleaved(ep, th, numa.Seq, numa.Load, c.rowsByOwner[o], stateByte, 0)
+			e.tierState.AccessInterleaved(ep, th, numa.Rand, numa.Load, c.activeByOwner[o], h.DataBytes, dataWS(e, h))
 		case e.opt.DisableAgents:
 			// Without replicas the far side is visited in edge order:
 			// random remote reads over the whole array.
-			ep.Access(th, numa.Rand, numa.Load, o, c.rowsByOwner[o], stateByte, int64(e.g.NumVertices()))
-			ep.Access(th, numa.Rand, numa.Load, o, c.activeByOwner[o], h.DataBytes, dataWS(e, h))
+			e.tierFrontier.Access(ep, th, numa.Rand, numa.Load, o, c.rowsByOwner[o], stateByte, int64(e.g.NumVertices()))
+			e.tierState.Access(ep, th, numa.Rand, numa.Load, o, c.activeByOwner[o], h.DataBytes, dataWS(e, h))
 		case e.opt.DisableRolling:
 			// All nodes sweep the same owner simultaneously; the traffic
 			// behaves like interleaved pages.
-			ep.AccessInterleaved(th, numa.Seq, numa.Load, c.rowsByOwner[o], stateByte, 0)
-			ep.AccessInterleaved(th, numa.Seq, numa.Load, c.activeByOwner[o], h.DataBytes, 0)
+			e.tierFrontier.AccessInterleaved(ep, th, numa.Seq, numa.Load, c.rowsByOwner[o], stateByte, 0)
+			e.tierState.AccessInterleaved(ep, th, numa.Seq, numa.Load, c.activeByOwner[o], h.DataBytes, 0)
 		default:
-			ep.Access(th, numa.Seq, numa.Load, o, c.rowsByOwner[o], stateByte, 0)
-			ep.Access(th, numa.Seq, numa.Load, o, c.activeByOwner[o], h.DataBytes, 0)
+			e.tierFrontier.Access(ep, th, numa.Seq, numa.Load, o, c.rowsByOwner[o], stateByte, 0)
+			e.tierState.Access(ep, th, numa.Seq, numa.Load, o, c.activeByOwner[o], h.DataBytes, 0)
 		}
 	}
 	// Local side: random writes confined to the partition.
 	localWS := int64(partVerts) * int64(h.DataBytes)
 	if interleavedData {
-		ep.AccessInterleaved(th, numa.Rand, numa.Store, c.condChecks, h.DataBytes, dataWS(e, h))
-		ep.AccessInterleaved(th, numa.Rand, numa.Store, c.updates, stateByte, 0)
+		e.tierState.AccessInterleaved(ep, th, numa.Rand, numa.Store, c.condChecks, h.DataBytes, dataWS(e, h))
+		e.tierFrontier.AccessInterleaved(ep, th, numa.Rand, numa.Store, c.updates, stateByte, 0)
 	} else {
-		ep.Access(th, numa.Rand, numa.Store, c.p, c.condChecks, h.DataBytes, localWS)
-		ep.Access(th, numa.Rand, numa.Store, c.p, c.updates, stateByte, int64(partVerts))
+		e.tierState.Access(ep, th, numa.Rand, numa.Store, c.p, c.condChecks, h.DataBytes, localWS)
+		e.tierFrontier.Access(ep, th, numa.Rand, numa.Store, c.p, c.updates, stateByte, int64(partVerts))
 	}
 	// Sparse-mode extras: agent-table probes and queue appends.
-	ep.Access(th, numa.Rand, numa.Load, c.p, c.lookups, 4, int64(e.g.NumVertices())*4)
-	ep.Access(th, numa.Seq, numa.Store, c.p, c.appends, 4, 0)
+	e.tierTopo.Access(ep, th, numa.Rand, numa.Load, c.p, c.lookups, 4, int64(e.g.NumVertices())*4)
+	e.tierFrontier.Access(ep, th, numa.Seq, numa.Store, c.p, c.appends, 4, 0)
 	c.compute(h, rows)
 }
 
@@ -200,16 +200,16 @@ func (c *charger) flushPull(h sg.Hints, partVerts int) {
 	for _, r := range c.rowsByOwner {
 		rows += r
 	}
-	ep.Access(th, numa.Seq, numa.Load, c.p, rows, rowMetaBytes, 0)
-	ep.Access(th, numa.Seq, numa.Load, c.p, c.edges, edgeBytes, 0)
+	e.tierTopo.Access(ep, th, numa.Seq, numa.Load, c.p, rows, rowMetaBytes, 0)
+	e.tierTopo.Access(ep, th, numa.Seq, numa.Load, c.p, c.edges, edgeBytes, 0)
 	// Local random reads of sources (state + data).
 	localWS := int64(partVerts) * int64(h.DataBytes)
 	if interleavedData {
-		ep.AccessInterleaved(th, numa.Rand, numa.Load, c.edges, stateByte, 0)
-		ep.AccessInterleaved(th, numa.Rand, numa.Load, c.edges, h.DataBytes, dataWS(e, h))
+		e.tierFrontier.AccessInterleaved(ep, th, numa.Rand, numa.Load, c.edges, stateByte, 0)
+		e.tierState.AccessInterleaved(ep, th, numa.Rand, numa.Load, c.edges, h.DataBytes, dataWS(e, h))
 	} else {
-		ep.Access(th, numa.Rand, numa.Load, c.p, c.edges, stateByte, int64(partVerts))
-		ep.Access(th, numa.Rand, numa.Load, c.p, c.edges, h.DataBytes, localWS)
+		e.tierFrontier.Access(ep, th, numa.Rand, numa.Load, c.p, c.edges, stateByte, int64(partVerts))
+		e.tierState.Access(ep, th, numa.Rand, numa.Load, c.p, c.edges, h.DataBytes, localWS)
 	}
 	// Cross-node atomic updates bounce the target's cache line between
 	// sockets (Section 4.3: "the same vertex may be updated simultaneously
@@ -224,24 +224,24 @@ func (c *charger) flushPull(h sg.Hints, partVerts int) {
 		if e.opt.DisableRolling {
 			stalls = c.edges / 4
 		}
-		ep.LatencyBound(th, numa.Store, c.p, stalls)
+		e.tierState.LatencyBound(ep, th, numa.Store, c.p, stalls)
 	}
 	// Far-side target data: Cond reads and update writes, sequential by
 	// owner (the agents give the sweep its sequential order).
 	for o := range c.rowsByOwner {
 		switch {
 		case interleavedData:
-			ep.AccessInterleaved(th, numa.Seq, numa.Load, c.rowsByOwner[o], h.DataBytes, 0)
-			ep.AccessInterleaved(th, numa.Seq, numa.Store, c.activeByOwner[o], h.DataBytes, 0)
+			e.tierState.AccessInterleaved(ep, th, numa.Seq, numa.Load, c.rowsByOwner[o], h.DataBytes, 0)
+			e.tierState.AccessInterleaved(ep, th, numa.Seq, numa.Store, c.activeByOwner[o], h.DataBytes, 0)
 		case e.opt.DisableAgents:
-			ep.Access(th, numa.Rand, numa.Load, o, c.rowsByOwner[o], h.DataBytes, dataWS(e, h))
-			ep.Access(th, numa.Rand, numa.Store, o, c.activeByOwner[o], h.DataBytes, dataWS(e, h))
+			e.tierState.Access(ep, th, numa.Rand, numa.Load, o, c.rowsByOwner[o], h.DataBytes, dataWS(e, h))
+			e.tierState.Access(ep, th, numa.Rand, numa.Store, o, c.activeByOwner[o], h.DataBytes, dataWS(e, h))
 		case e.opt.DisableRolling:
-			ep.AccessInterleaved(th, numa.Seq, numa.Load, c.rowsByOwner[o], h.DataBytes, 0)
-			ep.AccessInterleaved(th, numa.Seq, numa.Store, c.activeByOwner[o], h.DataBytes, 0)
+			e.tierState.AccessInterleaved(ep, th, numa.Seq, numa.Load, c.rowsByOwner[o], h.DataBytes, 0)
+			e.tierState.AccessInterleaved(ep, th, numa.Seq, numa.Store, c.activeByOwner[o], h.DataBytes, 0)
 		default:
-			ep.Access(th, numa.Seq, numa.Load, o, c.rowsByOwner[o], h.DataBytes, 0)
-			ep.Access(th, numa.Seq, numa.Store, o, c.activeByOwner[o], h.DataBytes, 0)
+			e.tierState.Access(ep, th, numa.Seq, numa.Load, o, c.rowsByOwner[o], h.DataBytes, 0)
+			e.tierState.Access(ep, th, numa.Seq, numa.Store, o, c.activeByOwner[o], h.DataBytes, 0)
 		}
 	}
 	c.compute(h, rows)
@@ -562,8 +562,8 @@ func (e *Engine) VertexMap(a *state.Subset, f sg.VertexFunc) *state.Subset {
 				}
 
 			})
-			ep.Access(th, numa.Seq, numa.Load, p, wordsScanned, 8, 0)
-			ep.Access(th, numa.Seq, numa.Load, p, visited, vertexMapData, 0)
+			e.tierFrontier.Access(ep, th, numa.Seq, numa.Load, p, wordsScanned, 8, 0)
+			e.tierState.Access(ep, th, numa.Seq, numa.Load, p, visited, vertexMapData, 0)
 			ep.Compute(th, float64(visited)*2e-9)
 		})
 	} else {
@@ -582,7 +582,7 @@ func (e *Engine) VertexMap(a *state.Subset, f sg.VertexFunc) *state.Subset {
 				}
 
 			})
-			ep.Access(th, numa.Seq, numa.Load, p, visited, 4+vertexMapData, 0)
+			e.tierState.Access(ep, th, numa.Seq, numa.Load, p, visited, 4+vertexMapData, 0)
 			ep.Compute(th, float64(visited)*2e-9)
 		})
 	}

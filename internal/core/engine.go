@@ -159,6 +159,15 @@ type Engine struct {
 	topoBytes int64
 	closed    bool
 
+	// Tiered-memory placement (all nil on untiered machines — the
+	// wrappers' nil fast path keeps charging bit-identical): topology
+	// streams, per-vertex application data, and pinned runtime state
+	// compete for DRAM as three demand classes.
+	tierPlan     *mem.TierPlan
+	tierTopo     *mem.TierClass
+	tierState    *mem.TierClass
+	tierFrontier *mem.TierClass
+
 	err  error           // first execution failure (see fail/Err)
 	ctx  context.Context // optional cancellation; nil means background
 	snap *simSnapshot    // single slot for SnapshotSim/RestoreSim
@@ -173,6 +182,7 @@ type simSnapshot struct {
 	met    Metrics
 	edges  int64
 	trace  int
+	tier   *mem.TierSnap
 }
 
 var _ sg.Engine = (*Engine)(nil)
@@ -212,8 +222,42 @@ func New(g *graph.Graph, m *numa.Machine, opt Options) (*Engine, error) {
 		pool.Close()
 		return nil, err
 	}
+	e.initTier()
 	return e, nil
 }
+
+// initTier registers the engine's demand classes with the machine's tier
+// plan. On untiered machines every handle stays nil and the charge
+// wrappers pass through bit-identically.
+func (e *Engine) initTier() {
+	e.tierPlan = mem.NewTierPlan(e.m)
+	if e.tierPlan == nil {
+		return
+	}
+	nodes := e.m.Nodes
+	e.tierFrontier = e.tierPlan.AddClass(mem.ClassSpec{
+		Label: "frontier", BytesPerNode: make([]int64, nodes), Pinned: true,
+	})
+	e.tierState = e.tierPlan.AddClass(mem.ClassSpec{
+		Label: "state", BytesPerNode: make([]int64, nodes), Priority: 0,
+	})
+	e.tierTopo = e.tierPlan.AddClass(mem.ClassSpec{
+		Label: "topology", BytesPerNode: make([]int64, nodes), Priority: 1,
+	})
+	for p := 0; p < nodes; p++ {
+		// Bitmaps, queues and per-vertex runtime-state bytes.
+		e.tierFrontier.GrowDemand(p, 2*int64(e.bounds[p+1]-e.bounds[p]))
+	}
+	e.tierTopo.GrowDemandEven(e.g.TopologyBytes())
+	// Hot-vertex placement: per-vertex data access mass follows degree.
+	e.tierState.SetHotMass(mem.DegreeHotMass(e.g.NumVertices(), func(i int) int64 {
+		return e.g.OutDegree(graph.Vertex(i)) + 1
+	}))
+}
+
+// TierPlan returns the engine's tier placement plan (nil when untiered),
+// for provenance and the conformance suite.
+func (e *Engine) TierPlan() *mem.TierPlan { return e.tierPlan }
 
 // MustNew is New panicking on error, for statically valid configurations
 // (tests, examples, benchmarks).
@@ -283,15 +327,19 @@ func (e *Engine) NewData32(label string) *mem.Array[uint32] {
 	} else {
 		a = mem.New[uint32](e.m, label, e.g.NumVertices(), e.opt.Layout, nil)
 	}
+	a.BindTier(e.tierState).GrowTierDemand()
 	e.arrays = append(e.arrays, a)
 	return a
 }
 
 func (e *Engine) newArray64(label string) *mem.Array[float64] {
+	var a *mem.Array[float64]
 	if e.opt.Layout == mem.CoLocated {
-		return mem.New[float64](e.m, label, e.g.NumVertices(), mem.CoLocated, e.bounds)
+		a = mem.New[float64](e.m, label, e.g.NumVertices(), mem.CoLocated, e.bounds)
+	} else {
+		a = mem.New[float64](e.m, label, e.g.NumVertices(), e.opt.Layout, nil)
 	}
-	return mem.New[float64](e.m, label, e.g.NumVertices(), e.opt.Layout, nil)
+	return a.BindTier(e.tierState).GrowTierDemand()
 }
 
 // Close stops the worker pool and releases simulated allocations.
@@ -320,6 +368,7 @@ func (e *Engine) Close() {
 // including a barrier crossing; it returns the phase's total simulated
 // duration.
 func (e *Engine) chargePhase(ep *numa.Epoch) float64 {
+	e.tierPlan.Step(ep) // migration cost lands in the phase it follows
 	t := ep.Time()
 	b := barrier.SyncCost(e.opt.Barrier, e.m.Nodes) / e.m.Topo.SyncScale
 	e.clock += t + b
@@ -401,6 +450,7 @@ func (e *Engine) SnapshotSim() {
 	e.snap.met = e.met
 	e.snap.edges = e.edgesProcessed.Load()
 	e.snap.trace = len(e.trace)
+	e.snap.tier = e.tierPlan.Snapshot()
 }
 
 // RestoreSim rolls the simulated-time state back to the last SnapshotSim.
@@ -413,6 +463,7 @@ func (e *Engine) RestoreSim() {
 	e.met = e.snap.met
 	e.edgesProcessed.Store(e.snap.edges)
 	e.trace = e.trace[:e.snap.trace]
+	e.tierPlan.Restore(e.snap.tier)
 }
 
 // Trace returns the recorded phase history (empty unless Options.Trace).

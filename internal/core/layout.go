@@ -228,5 +228,6 @@ func (e *Engine) registerLayout(l *layout) bool {
 		}
 	}
 	e.topoBytes += b
+	e.tierTopo.GrowDemandEven(b + l.agentBytes)
 	return true
 }

@@ -24,6 +24,7 @@ import (
 	"polymer/internal/barrier"
 	"polymer/internal/fault"
 	"polymer/internal/graph"
+	"polymer/internal/mem"
 	"polymer/internal/numa"
 	"polymer/internal/obs"
 	"polymer/internal/par"
@@ -66,6 +67,13 @@ type Engine struct {
 	tr    *obs.Tracer // nil = tracing disabled
 	round int         // committed round count, for superstep numbering
 
+	// Tiered-memory demand classes (nil when untiered; the wrappers'
+	// nil fast path keeps charging bit-identical).
+	tierPlan     *mem.TierPlan
+	tierTopo     *mem.TierClass
+	tierState    *mem.TierClass
+	tierFrontier *mem.TierClass
+
 	// Round-scoped scratch, reset between parallel rounds so steady-state
 	// iterations reuse the epoch, counters and worklist buffers instead of
 	// reallocating them. Host-only: charged traffic is unchanged.
@@ -106,8 +114,38 @@ func New(g *graph.Graph, m *numa.Machine, opt Options) (*Engine, error) {
 		pool.Close()
 		return nil, err
 	}
+	e.initTier()
 	return e, nil
 }
+
+// initTier registers Galois's demand classes: the interleaved edge
+// arrays, the per-run application data (grown by trackData), and the
+// worklist/task metadata (pinned under the hot policy). Untiered
+// machines leave every handle nil.
+func (e *Engine) initTier() {
+	e.tierPlan = mem.NewTierPlan(e.m)
+	if e.tierPlan == nil {
+		return
+	}
+	nodes := e.m.Nodes
+	e.tierFrontier = e.tierPlan.AddClass(mem.ClassSpec{
+		Label: "frontier", BytesPerNode: make([]int64, nodes), Pinned: true,
+	})
+	e.tierState = e.tierPlan.AddClass(mem.ClassSpec{
+		Label: "state", BytesPerNode: make([]int64, nodes), Priority: 0,
+	})
+	e.tierTopo = e.tierPlan.AddClass(mem.ClassSpec{
+		Label: "topology", BytesPerNode: make([]int64, nodes), Priority: 1,
+	})
+	e.tierFrontier.GrowDemandEven(int64(e.g.NumVertices()) * 16)
+	e.tierTopo.GrowDemandEven(e.topoB)
+	e.tierState.SetHotMass(mem.DegreeHotMass(e.g.NumVertices(), func(i int) int64 {
+		return e.g.OutDegree(graph.Vertex(i)) + 1
+	}))
+}
+
+// TierPlan returns the engine's tier placement plan (nil when untiered).
+func (e *Engine) TierPlan() *mem.TierPlan { return e.tierPlan }
 
 // MustNew is New panicking on error, for call sites with known-good
 // configuration.
@@ -163,6 +201,7 @@ type simSnapshot struct {
 	ledger *numa.Epoch
 	edges  int64
 	round  int
+	tier   *mem.TierSnap
 }
 
 // SnapshotSim saves the simulated clock, ledger and edge counter so a
@@ -175,6 +214,7 @@ func (e *Engine) SnapshotSim() {
 	e.snap.ledger.CopyFrom(e.ledger)
 	e.snap.edges = e.edges.Load()
 	e.snap.round = e.round
+	e.snap.tier = e.tierPlan.Snapshot()
 }
 
 // RestoreSim restores the state captured by the last SnapshotSim.
@@ -186,6 +226,7 @@ func (e *Engine) RestoreSim() {
 	e.ledger.CopyFrom(e.snap.ledger)
 	e.edges.Store(e.snap.edges)
 	e.round = e.snap.round
+	e.tierPlan.Restore(e.snap.tier)
 }
 
 // SetTracer installs (nil removes) the obs tracer. Every charged round
@@ -244,6 +285,7 @@ func (e *Engine) trackData(bytes int64) {
 		panic(err)
 	}
 	e.dataB += bytes
+	e.tierState.GrowDemandEven(bytes)
 }
 
 // counters accumulates per-thread work; each worker only touches its own
@@ -289,12 +331,13 @@ func (e *Engine) chargeRound(ep *numa.Epoch, cnt *counters, dataBytes int, syncK
 	threads := e.m.Threads()
 	perEdges, perTasks := edges/int64(threads), tasks/int64(threads)
 	for th := 0; th < threads; th++ {
-		ep.AccessInterleaved(th, numa.Seq, numa.Load, perEdges, 4, 0)
-		ep.AccessInterleaved(th, numa.Rand, numa.Load, perEdges, dataBytes, n*int64(dataBytes))
-		ep.AccessInterleaved(th, numa.Seq, numa.Load, perTasks, 16, 0)
-		ep.AccessInterleaved(th, numa.Rand, numa.Store, perTasks, dataBytes, n*int64(dataBytes))
+		e.tierTopo.AccessInterleaved(ep, th, numa.Seq, numa.Load, perEdges, 4, 0)
+		e.tierState.AccessInterleaved(ep, th, numa.Rand, numa.Load, perEdges, dataBytes, n*int64(dataBytes))
+		e.tierFrontier.AccessInterleaved(ep, th, numa.Seq, numa.Load, perTasks, 16, 0)
+		e.tierState.AccessInterleaved(ep, th, numa.Rand, numa.Store, perTasks, dataBytes, n*int64(dataBytes))
 		ep.Compute(th, (float64(perEdges)*e.opt.OverheadNsPerEdge+float64(perTasks)*e.opt.NsPerTask)*1e-9)
 	}
+	e.tierPlan.Step(ep)
 	dur := ep.Time() + barrier.SyncCost(syncKind, e.m.Nodes)/e.m.Topo.SyncScale
 	e.clock += dur
 	e.ledger.Add(ep)

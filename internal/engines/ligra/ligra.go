@@ -67,6 +67,13 @@ type Engine struct {
 	scr      *scratch
 	degreeOf func(v uint32) int64
 
+	// Tiered-memory demand classes (nil when untiered; the wrappers'
+	// nil fast path keeps charging bit-identical).
+	tierPlan     *mem.TierPlan
+	tierTopo     *mem.TierClass
+	tierState    *mem.TierClass
+	tierFrontier *mem.TierClass
+
 	// Cached schedules: the dense sweeps always cover the fixed vertex
 	// (or bitmap-word) range.
 	vSweep  par.Strided
@@ -119,8 +126,38 @@ func New(g *graph.Graph, m *numa.Machine, opt Options) (*Engine, error) {
 		pool.Close()
 		return nil, err
 	}
+	e.initTier()
 	return e, nil
 }
+
+// initTier registers Ligra's demand classes: interleaved topology and
+// application data, centralized runtime state (pinned under the hot
+// policy). Untiered machines leave every handle nil.
+func (e *Engine) initTier() {
+	e.tierPlan = mem.NewTierPlan(e.m)
+	if e.tierPlan == nil {
+		return
+	}
+	nodes := e.m.Nodes
+	e.tierFrontier = e.tierPlan.AddClass(mem.ClassSpec{
+		Label: "frontier", BytesPerNode: make([]int64, nodes), Pinned: true,
+	})
+	e.tierState = e.tierPlan.AddClass(mem.ClassSpec{
+		Label: "state", BytesPerNode: make([]int64, nodes), Priority: 0,
+	})
+	e.tierTopo = e.tierPlan.AddClass(mem.ClassSpec{
+		Label: "topology", BytesPerNode: make([]int64, nodes), Priority: 1,
+	})
+	// Ligra's short-term state is centrally allocated on node 0.
+	e.tierFrontier.GrowDemand(0, 2*int64(e.g.NumVertices()))
+	e.tierTopo.GrowDemandEven(e.g.TopologyBytes())
+	e.tierState.SetHotMass(mem.DegreeHotMass(e.g.NumVertices(), func(i int) int64 {
+		return e.g.OutDegree(graph.Vertex(i)) + 1
+	}))
+}
+
+// TierPlan returns the engine's tier placement plan (nil when untiered).
+func (e *Engine) TierPlan() *mem.TierPlan { return e.tierPlan }
 
 // MustNew is New panicking on error, for statically valid configurations.
 func MustNew(g *graph.Graph, m *numa.Machine, opt Options) *Engine {
@@ -165,6 +202,7 @@ func (e *Engine) ThreadSeconds() []float64 {
 // by construction threads).
 func (e *Engine) NewData(label string) *mem.Array[float64] {
 	a := mem.New[float64](e.m, label, e.g.NumVertices(), mem.Interleaved, nil)
+	a.BindTier(e.tierState).GrowTierDemand()
 	e.arrays = append(e.arrays, a)
 	return a
 }
@@ -172,6 +210,7 @@ func (e *Engine) NewData(label string) *mem.Array[float64] {
 // NewData32 allocates an interleaved uint32 per-vertex array.
 func (e *Engine) NewData32(label string) *mem.Array[uint32] {
 	a := mem.New[uint32](e.m, label, e.g.NumVertices(), mem.Interleaved, nil)
+	a.BindTier(e.tierState).GrowTierDemand()
 	e.arrays = append(e.arrays, a)
 	return a
 }
@@ -194,6 +233,7 @@ type simSnapshot struct {
 	clock  float64
 	ledger *numa.Epoch
 	edges  int64
+	tier   *mem.TierSnap
 }
 
 // Err returns the first execution failure, or nil. After a failure,
@@ -246,6 +286,7 @@ func (e *Engine) SnapshotSim() {
 	e.snap.clock = e.clock
 	e.snap.ledger.CopyFrom(e.ledger)
 	e.snap.edges = e.edges.Load()
+	e.snap.tier = e.tierPlan.Snapshot()
 }
 
 // RestoreSim rolls the simulated-time state back to the last SnapshotSim.
@@ -256,9 +297,11 @@ func (e *Engine) RestoreSim() {
 	e.clock = e.snap.clock
 	e.ledger.CopyFrom(e.snap.ledger)
 	e.edges.Store(e.snap.edges)
+	e.tierPlan.Restore(e.snap.tier)
 }
 
 func (e *Engine) chargePhase(ep *numa.Epoch, kind string, dense, push bool, active int64) {
+	e.tierPlan.Step(ep)
 	// Ligra's Cilk-style fork/join behaves like a tree (hierarchical)
 	// barrier.
 	dur := ep.Time() + barrier.SyncCost(barrier.H, e.m.Nodes)/e.m.Topo.SyncScale
@@ -421,16 +464,16 @@ func edgeMapDensePush[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hin
 	for th := 0; th < e.m.Threads(); th++ {
 		scanned, active, edges, updates := per[0], per[1], per[2], per[3]
 		// Current state: centralized short-term allocation (node 0).
-		ep.Access(th, numa.Seq, numa.Load, 0, scanned, 1, 0)
+		e.tierFrontier.Access(ep, th, numa.Seq, numa.Load, 0, scanned, 1, 0)
 		// Vertex metadata + source data: interleaved sequential.
-		ep.AccessInterleaved(th, numa.Seq, numa.Load, scanned, 16, 0)
-		ep.AccessInterleaved(th, numa.Seq, numa.Load, active, h.DataBytes, 0)
+		e.tierTopo.AccessInterleaved(ep, th, numa.Seq, numa.Load, scanned, 16, 0)
+		e.tierState.AccessInterleaved(ep, th, numa.Seq, numa.Load, active, h.DataBytes, 0)
 		// Out-edges: interleaved sequential stream.
-		ep.AccessInterleaved(th, numa.Seq, numa.Load, edges, edgeBytes(h), 0)
+		e.tierTopo.AccessInterleaved(ep, th, numa.Seq, numa.Load, edges, edgeBytes(h), 0)
 		// Neighbour data: random global writes (RAND|W|G).
-		ep.AccessInterleaved(th, numa.Rand, numa.Store, edges, h.DataBytes, dataWS)
+		e.tierState.AccessInterleaved(ep, th, numa.Rand, numa.Store, edges, h.DataBytes, dataWS)
 		// Next state: centralized random writes.
-		ep.Access(th, numa.Rand, numa.Store, 0, updates, 1, int64(n))
+		e.tierFrontier.Access(ep, th, numa.Rand, numa.Store, 0, updates, 1, int64(n))
 		ep.Compute(th, (float64(edges)*(h.NsPerEdge+e.opt.OverheadNsPerEdge)+float64(scanned)*2)*1e-9)
 	}
 	e.addEdges(pc.total(2))
@@ -499,14 +542,14 @@ func edgeMapDensePull[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hin
 	per := pc.per(e.m.Threads())
 	for th := 0; th < e.m.Threads(); th++ {
 		scanned, edges, updates := per[0], per[2], per[3]
-		ep.AccessInterleaved(th, numa.Seq, numa.Load, scanned, 16+h.DataBytes, 0)
-		ep.AccessInterleaved(th, numa.Seq, numa.Load, edges, edgeBytes(h), 0)
+		e.tierState.AccessInterleaved(ep, th, numa.Seq, numa.Load, scanned, 16+h.DataBytes, 0)
+		e.tierTopo.AccessInterleaved(ep, th, numa.Seq, numa.Load, edges, edgeBytes(h), 0)
 		// Source state reads: centralized random.
-		ep.Access(th, numa.Rand, numa.Load, 0, edges, 1, int64(n))
+		e.tierFrontier.Access(ep, th, numa.Rand, numa.Load, 0, edges, 1, int64(n))
 		// Source data reads: random global (RAND|R|G).
-		ep.AccessInterleaved(th, numa.Rand, numa.Load, edges, h.DataBytes, dataWS)
+		e.tierState.AccessInterleaved(ep, th, numa.Rand, numa.Load, edges, h.DataBytes, dataWS)
 		// Destination writes: interleaved sequential.
-		ep.AccessInterleaved(th, numa.Seq, numa.Store, updates, h.DataBytes+1, 0)
+		e.tierState.AccessInterleaved(ep, th, numa.Seq, numa.Store, updates, h.DataBytes+1, 0)
 		ep.Compute(th, (float64(edges)*(h.NsPerEdge+e.opt.OverheadNsPerEdge)+float64(scanned)*2)*1e-9)
 	}
 	e.addEdges(pc.total(2))
@@ -568,12 +611,12 @@ func edgeMapSparse[K sg.EdgeKernel](e *Engine, a *state.Subset, k K, h sg.Hints)
 		active, edges, updates := per[0], per[2], per[3]
 		// Frontier list: centralized sequential read; vertex metadata and
 		// source data: random interleaved (frontier order is arbitrary).
-		ep.Access(th, numa.Seq, numa.Load, 0, active, 4, 0)
-		ep.AccessInterleaved(th, numa.Rand, numa.Load, active, 16+h.DataBytes, dataWS)
-		ep.AccessInterleaved(th, numa.Seq, numa.Load, edges, edgeBytes(h), 0)
-		ep.AccessInterleaved(th, numa.Rand, numa.Store, edges, h.DataBytes, dataWS)
+		e.tierFrontier.Access(ep, th, numa.Seq, numa.Load, 0, active, 4, 0)
+		e.tierState.AccessInterleaved(ep, th, numa.Rand, numa.Load, active, 16+h.DataBytes, dataWS)
+		e.tierTopo.AccessInterleaved(ep, th, numa.Seq, numa.Load, edges, edgeBytes(h), 0)
+		e.tierState.AccessInterleaved(ep, th, numa.Rand, numa.Store, edges, h.DataBytes, dataWS)
 		// Queue appends: centralized sequential writes.
-		ep.Access(th, numa.Seq, numa.Store, 0, updates, 4, 0)
+		e.tierFrontier.Access(ep, th, numa.Seq, numa.Store, 0, updates, 4, 0)
 		ep.Compute(th, (float64(edges)*(h.NsPerEdge+e.opt.OverheadNsPerEdge)+float64(active)*2)*1e-9)
 	}
 	e.addEdges(pc.total(2))
@@ -612,8 +655,8 @@ func (e *Engine) VertexMap(a *state.Subset, f sg.VertexFunc) *state.Subset {
 				}
 
 			})
-			ep.Access(th, numa.Seq, numa.Load, 0, scanned, 8, 0)
-			ep.AccessInterleaved(th, numa.Seq, numa.Load, visited, 16, 0)
+			e.tierFrontier.Access(ep, th, numa.Seq, numa.Load, 0, scanned, 8, 0)
+			e.tierState.AccessInterleaved(ep, th, numa.Seq, numa.Load, visited, 16, 0)
 			ep.Compute(th, float64(visited)*2e-9)
 		})
 	} else {
@@ -630,8 +673,8 @@ func (e *Engine) VertexMap(a *state.Subset, f sg.VertexFunc) *state.Subset {
 				}
 
 			})
-			ep.Access(th, numa.Seq, numa.Load, 0, visited, 4, 0)
-			ep.AccessInterleaved(th, numa.Rand, numa.Load, visited, 16, int64(e.g.NumVertices())*16)
+			e.tierFrontier.Access(ep, th, numa.Seq, numa.Load, 0, visited, 4, 0)
+			e.tierState.AccessInterleaved(ep, th, numa.Rand, numa.Load, visited, 16, int64(e.g.NumVertices())*16)
 			ep.Compute(th, float64(visited)*2e-9)
 		})
 	}

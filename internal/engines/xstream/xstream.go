@@ -92,6 +92,13 @@ type Engine struct {
 	tr    *obs.Tracer // nil = tracing disabled
 	round int         // committed Iterate count, for superstep numbering
 
+	// Tiered-memory demand classes (nil when untiered; the wrappers'
+	// nil fast path keeps charging bit-identical).
+	tierPlan     *mem.TierPlan
+	tierTopo     *mem.TierClass
+	tierState    *mem.TierClass
+	tierFrontier *mem.TierClass
+
 	// Iteration-scoped scratch: the phase epoch is reset (after each fold
 	// into the ledger) rather than reallocated, the shuffle buffers keep
 	// their capacity between iterations, and the next-active bitmap
@@ -138,8 +145,38 @@ func New(g *graph.Graph, m *numa.Machine, opt Options, h sg.Hints) (*Engine, err
 		pool.Close()
 		return nil, err
 	}
+	e.initTier()
 	return e, nil
 }
+
+// initTier registers X-Stream's demand classes: the interleaved edge
+// tiles, interleaved application data, and the active bitmaps plus
+// shuffle buffers (pinned under the hot policy). Untiered machines leave
+// every handle nil.
+func (e *Engine) initTier() {
+	e.tierPlan = mem.NewTierPlan(e.m)
+	if e.tierPlan == nil {
+		return
+	}
+	nodes := e.m.Nodes
+	e.tierFrontier = e.tierPlan.AddClass(mem.ClassSpec{
+		Label: "frontier", BytesPerNode: make([]int64, nodes), Pinned: true,
+	})
+	e.tierState = e.tierPlan.AddClass(mem.ClassSpec{
+		Label: "state", BytesPerNode: make([]int64, nodes), Priority: 0,
+	})
+	e.tierTopo = e.tierPlan.AddClass(mem.ClassSpec{
+		Label: "topology", BytesPerNode: make([]int64, nodes), Priority: 1,
+	})
+	e.tierFrontier.GrowDemandEven(2 * int64(len(e.active)) * 8)
+	e.tierTopo.GrowDemandEven(e.topoB)
+	e.tierState.SetHotMass(mem.DegreeHotMass(e.g.NumVertices(), func(i int) int64 {
+		return e.g.OutDegree(graph.Vertex(i)) + 1
+	}))
+}
+
+// TierPlan returns the engine's tier placement plan (nil when untiered).
+func (e *Engine) TierPlan() *mem.TierPlan { return e.tierPlan }
 
 // MustNew is New panicking on error, for statically valid configurations.
 func MustNew(g *graph.Graph, m *numa.Machine, opt Options, h sg.Hints) *Engine {
@@ -159,6 +196,7 @@ type simSnapshot struct {
 	active  []uint64
 	nActive int64
 	round   int
+	tier    *mem.TierSnap
 }
 
 // Err returns the first execution failure, or nil. After a failure,
@@ -214,6 +252,7 @@ func (e *Engine) SnapshotSim() {
 	copy(e.snap.active, e.active)
 	e.snap.nActive = e.nActive
 	e.snap.round = e.round
+	e.snap.tier = e.tierPlan.Snapshot()
 }
 
 // RestoreSim rolls the simulated-time state and active set back to the
@@ -228,6 +267,7 @@ func (e *Engine) RestoreSim() {
 	copy(e.active, e.snap.active)
 	e.nActive = e.snap.nActive
 	e.round = e.snap.round
+	e.tierPlan.Restore(e.snap.tier)
 }
 
 // SetTracer installs (nil removes) the obs tracer. Iterate then emits
@@ -319,6 +359,7 @@ func (e *Engine) EdgesProcessed() int64 { return e.edges.Load() }
 // NewData allocates an interleaved per-vertex float64 array.
 func (e *Engine) NewData(label string) *mem.Array[float64] {
 	a := mem.New[float64](e.m, label, e.g.NumVertices(), mem.Interleaved, nil)
+	a.BindTier(e.tierState).GrowTierDemand()
 	e.arrays = append(e.arrays, a)
 	return a
 }
@@ -326,6 +367,7 @@ func (e *Engine) NewData(label string) *mem.Array[float64] {
 // NewData32 allocates an interleaved per-vertex uint32 array.
 func (e *Engine) NewData32(label string) *mem.Array[uint32] {
 	a := mem.New[uint32](e.m, label, e.g.NumVertices(), mem.Interleaved, nil)
+	a.BindTier(e.tierState).GrowTierDemand()
 	e.arrays = append(e.arrays, a)
 	return a
 }
@@ -451,14 +493,15 @@ func (e *Engine) Iterate(k Kernel, apply Applier) int64 {
 		scanned, activeEdges := scannedT/int64(threads), activeT/int64(threads)
 		// Edge stream: sequential interleaved; source state + data reads:
 		// random within the tile (cache-resident thanks to tiling).
-		ep.AccessInterleaved(th, numa.Seq, numa.Load, scanned, e.edgeBytes(), 0)
-		ep.Access(th, numa.Rand, numa.Load, e.m.NodeOfThread(th), scanned, 1, tileWS)
-		ep.Access(th, numa.Rand, numa.Load, e.m.NodeOfThread(th), activeEdges, e.dataB, tileWS)
+		e.tierTopo.AccessInterleaved(ep, th, numa.Seq, numa.Load, scanned, e.edgeBytes(), 0)
+		e.tierFrontier.Access(ep, th, numa.Rand, numa.Load, e.m.NodeOfThread(th), scanned, 1, tileWS)
+		e.tierState.Access(ep, th, numa.Rand, numa.Load, e.m.NodeOfThread(th), activeEdges, e.dataB, tileWS)
 		// Uout appends: sequential writes to thread-local buffers.
-		ep.Access(th, numa.Seq, numa.Store, e.m.NodeOfThread(th), activeEdges, 12, 0)
+		e.tierFrontier.Access(ep, th, numa.Seq, numa.Store, e.m.NodeOfThread(th), activeEdges, 12, 0)
 		ep.Compute(th, float64(scanned)*(e.opt.OverheadNsPerEdge)*1e-9)
 	}
 	e.addEdges(scannedT)
+	e.tierPlan.Step(ep)
 	scatterDur := ep.Time() + barrier.SyncCost(barrier.H, e.m.Nodes)/e.m.Topo.SyncScale
 	e.clock += scatterDur
 	e.ledger.Add(ep)
@@ -487,9 +530,10 @@ func (e *Engine) Iterate(k Kernel, apply Applier) int64 {
 	for th := 0; th < threads; th++ {
 		// Uout is read from the emitting thread's local buffer; the
 		// re-arranged Uin lands on interleaved pages across the machine.
-		ep2.Access(th, numa.Seq, numa.Load, e.m.NodeOfThread(th), perThread, 12, 0)
-		ep2.AccessInterleaved(th, numa.Seq, numa.Store, perThread, 12, 0)
+		e.tierFrontier.Access(ep2, th, numa.Seq, numa.Load, e.m.NodeOfThread(th), perThread, 12, 0)
+		e.tierFrontier.AccessInterleaved(ep2, th, numa.Seq, numa.Store, perThread, 12, 0)
 	}
+	e.tierPlan.Step(ep2)
 	shuffleDur := ep2.Time() + barrier.SyncCost(barrier.H, e.m.Nodes)/e.m.Topo.SyncScale
 	e.clock += shuffleDur
 	e.ledger.Add(ep2)
@@ -540,11 +584,12 @@ func (e *Engine) Iterate(k Kernel, apply Applier) int64 {
 	}
 	for th := 0; th < threads; th++ {
 		applied, activated := appliedT/int64(threads), activatedT/int64(threads)
-		ep3.AccessInterleaved(th, numa.Seq, numa.Load, applied, 12, 0)
-		ep3.Access(th, numa.Rand, numa.Store, e.m.NodeOfThread(th), applied, e.dataB, tileWS)
-		ep3.Access(th, numa.Rand, numa.Store, e.m.NodeOfThread(th), activated, 1, tileWS)
+		e.tierFrontier.AccessInterleaved(ep3, th, numa.Seq, numa.Load, applied, 12, 0)
+		e.tierState.Access(ep3, th, numa.Rand, numa.Store, e.m.NodeOfThread(th), applied, e.dataB, tileWS)
+		e.tierFrontier.Access(ep3, th, numa.Rand, numa.Store, e.m.NodeOfThread(th), activated, 1, tileWS)
 		ep3.Compute(th, float64(applied)*2e-9)
 	}
+	e.tierPlan.Step(ep3)
 	gatherDur := ep3.Time() + barrier.SyncCost(barrier.H, e.m.Nodes)/e.m.Topo.SyncScale
 	e.clock += gatherDur
 	e.ledger.Add(ep3)
@@ -613,12 +658,13 @@ func (e *Engine) applyPhase(apply Applier, next []uint64) int64 {
 			}
 
 		})
-		ep.AccessInterleaved(th, numa.Seq, numa.Load, visited, e.dataB*2, 0)
+		e.tierState.AccessInterleaved(ep, th, numa.Seq, numa.Load, visited, e.dataB*2, 0)
 		ep.Compute(th, float64(visited)*2e-9)
 	})
 	if e.err != nil {
 		return 0
 	}
+	e.tierPlan.Step(ep)
 	applyDur := ep.Time() + barrier.SyncCost(barrier.H, e.m.Nodes)/e.m.Topo.SyncScale
 	e.clock += applyDur
 	e.ledger.Add(ep)

@@ -78,6 +78,7 @@ type Array[T any] struct {
 	label     string
 	elemBytes int64
 	freed     bool
+	tier      *TierClass // nil on untiered machines: all-DRAM fast path
 }
 
 // New allocates an n-element array with the given placement. For CoLocated
@@ -134,8 +135,48 @@ func (a *Array[T]) Placement() Placement { return a.place }
 // Label returns the allocation label.
 func (a *Array[T]) Label() string { return a.label }
 
-// NodeOf returns the simulated node owning index i.
+// BindTier attaches a tier class to the array: subsequent charges split
+// between DRAM and the slow tier by the class's residency. A nil class
+// (untiered machine) leaves the all-DRAM fast path in place. It returns
+// the array for chaining.
+func (a *Array[T]) BindTier(c *TierClass) *Array[T] {
+	a.tier = c
+	return a
+}
+
+// Tier returns the bound tier class (nil when untiered).
+func (a *Array[T]) Tier() *TierClass { return a.tier }
+
+// GrowTierDemand adds the array's per-node footprint to its bound tier
+// class's demand: partition bytes for co-located arrays, an even spread
+// for interleaved ones, node 0 for centralized. No-op when untiered.
+func (a *Array[T]) GrowTierDemand() *Array[T] {
+	switch {
+	case a.tier == nil:
+	case a.place == CoLocated:
+		for p := 0; p < a.m.Nodes; p++ {
+			a.tier.GrowDemand(p, a.elemBytes*int64(a.bounds[p+1]-a.bounds[p]))
+		}
+	case a.place == Centralized:
+		a.tier.GrowDemand(0, a.Bytes())
+	default:
+		a.tier.GrowDemandEven(a.Bytes())
+	}
+	return a
+}
+
+// NodeOf returns the simulated node owning index i. Out-of-range indices
+// clamp to the nearest partition, so speculative probes near array edges
+// stay charge-safe.
 func (a *Array[T]) NodeOf(i int) int {
+	if i < 0 {
+		i = 0
+	} else if i >= len(a.Data) {
+		i = len(a.Data) - 1
+		if i < 0 {
+			return 0
+		}
+	}
 	switch a.place {
 	case Centralized:
 		return 0
@@ -178,18 +219,38 @@ func (a *Array[T]) PartRange(p int) (lo, hi int) {
 // ChargeSeq records a sequential scan of count elements in partition-order
 // starting conceptually at index lo by thread th. For co-located arrays the
 // traffic is charged against the owning node(s); for interleaved and
-// centralized arrays against the corresponding policy.
+// centralized arrays against the corresponding policy. The range is
+// clamped to [0, Len()), so out-of-range descriptors charge only the
+// overlapping part. On a tiered array the co-located path splits each
+// partition's segment at its DRAM-resident boundary — the prefix charges
+// DRAM, the tail the slow tier — so a range straddling the tier boundary
+// charges each side exactly once.
 func (a *Array[T]) ChargeSeq(e *numa.Epoch, th int, op numa.Op, lo, count int64) {
+	if n := int64(len(a.Data)); true {
+		if lo < 0 {
+			count += lo
+			lo = 0
+		}
+		if lo > n {
+			lo = n
+		}
+		if count > n-lo {
+			count = n - lo
+		}
+	}
 	if count <= 0 {
 		return
 	}
 	switch a.place {
 	case Interleaved:
-		e.AccessInterleaved(th, numa.Seq, op, count, int(a.elemBytes), 0)
+		a.tier.AccessInterleaved(e, th, numa.Seq, op, count, int(a.elemBytes), 0)
 	case Centralized:
-		e.Access(th, numa.Seq, op, 0, count, int(a.elemBytes), 0)
+		a.tier.Access(e, th, numa.Seq, op, 0, count, int(a.elemBytes), 0)
 	default:
 		// Split [lo, lo+count) across partition bounds.
+		if a.tier != nil {
+			a.tier.record(th, count*a.elemBytes)
+		}
 		rem := count
 		i := int(lo)
 		for rem > 0 {
@@ -199,7 +260,17 @@ func (a *Array[T]) ChargeSeq(e *numa.Epoch, th int, op numa.Op, lo, count int64)
 			if take > rem {
 				take = rem
 			}
-			e.Access(th, numa.Seq, op, p, take, int(a.elemBytes), 0)
+			// DRAM-resident prefix of the partition, slow-tier tail.
+			b0, b1 := a.bounds[p], end
+			boundary := b0 + int(a.tier.DRAMFrac(p)*float64(b1-b0))
+			dram := int64(boundary - i)
+			if dram < 0 {
+				dram = 0
+			} else if dram > take {
+				dram = take
+			}
+			e.Access(th, numa.Seq, op, p, dram, int(a.elemBytes), 0)
+			e.AccessSlow(th, numa.Seq, op, p, take-dram, int(a.elemBytes), 0)
 			i += int(take)
 			rem -= take
 		}
@@ -208,16 +279,22 @@ func (a *Array[T]) ChargeSeq(e *numa.Epoch, th int, op numa.Op, lo, count int64)
 
 // ChargeRandLocal records count random accesses by thread th confined to
 // node p's partition (e.g. Polymer's local random writes). ws defaults to
-// the partition's byte size.
+// the partition's byte size. An out-of-range p clamps to the nearest
+// node.
 func (a *Array[T]) ChargeRandLocal(e *numa.Epoch, th int, op numa.Op, p int, count int64) {
 	if count <= 0 {
 		return
+	}
+	if p < 0 {
+		p = 0
+	} else if p >= a.m.Nodes {
+		p = a.m.Nodes - 1
 	}
 	ws := a.Bytes()
 	if a.place == CoLocated {
 		ws = a.elemBytes * int64(a.bounds[p+1]-a.bounds[p])
 	}
-	e.Access(th, numa.Rand, op, p, count, int(a.elemBytes), ws)
+	a.tier.Access(e, th, numa.Rand, op, p, count, int(a.elemBytes), ws)
 }
 
 // ChargeRandGlobal records count random accesses by thread th spread over
@@ -228,11 +305,11 @@ func (a *Array[T]) ChargeRandGlobal(e *numa.Epoch, th int, op numa.Op, count int
 	}
 	switch a.place {
 	case Centralized:
-		e.Access(th, numa.Rand, op, 0, count, int(a.elemBytes), a.Bytes())
+		a.tier.Access(e, th, numa.Rand, op, 0, count, int(a.elemBytes), a.Bytes())
 	default:
 		// Both interleaved pages and co-located partitions look uniformly
 		// spread to a globally-random access stream.
-		e.AccessInterleaved(th, numa.Rand, op, count, int(a.elemBytes), a.Bytes())
+		a.tier.AccessInterleaved(e, th, numa.Rand, op, count, int(a.elemBytes), a.Bytes())
 	}
 }
 

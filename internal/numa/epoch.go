@@ -42,8 +42,16 @@ type threadLedger struct {
 	// classBytes[lvl*2+pattern] is memory-reaching traffic classified by
 	// hop level and access pattern, the raw material of TrafficMatrix
 	// snapshots. Random accesses count only their modelled miss portion
-	// (the hit portion never leaves the LLC).
+	// (the hit portion never leaves the LLC). On a tiered machine a
+	// second bank of rows follows the DRAM bank: slot
+	// (levels+lvl)*2+pattern carries the slow-tier traffic, so untiered
+	// ledgers keep their exact historical shape.
 	classBytes []float64
+
+	// slowNodeBytes[n] is traffic served by node n's slow-tier media
+	// (nil on untiered machines); it feeds the SlowAggBW congestion term.
+	slowNodeBytes []float64
+	slowCount     int64
 
 	_ [3]int64 // pad to reduce false sharing between thread shards
 }
@@ -52,10 +60,14 @@ func newEpoch(m *Machine) *Epoch {
 	e := &Epoch{m: m, threads: make([]threadLedger, m.Threads())}
 	n := m.Nodes
 	levels := m.Topo.MaxLevel() + 1
+	tiers := m.tiers()
 	for i := range e.threads {
 		e.threads[i].nodeBytes = make([]float64, n)
 		e.threads[i].portBytes = make([]float64, n)
-		e.threads[i].classBytes = make([]float64, levels*2)
+		e.threads[i].classBytes = make([]float64, tiers*levels*2)
+		if tiers > 1 {
+			e.threads[i].slowNodeBytes = make([]float64, n)
+		}
 	}
 	return e
 }
@@ -206,6 +218,130 @@ func (e *Epoch) LatencyBound(th int, op Op, node int, count int64) {
 	t.classBytes[lvl*2+int(Rand)] += float64(count) * 8
 }
 
+// AccessSlow is Access against the slow tier: the path is the same hop
+// level, but the media at the far end serves at the topology's slow-tier
+// tables and the traffic lands in the ledger's slow-tier bank. It must
+// only be called on a tiered machine.
+func (e *Epoch) AccessSlow(th int, p Pattern, op Op, node int, count int64, elemBytes int, ws int64) {
+	if count <= 0 {
+		return
+	}
+	t := &e.threads[th]
+	topo := e.m.Topo
+	from := e.m.NodeOfThread(th)
+	lvl := e.m.Level(from, node)
+	levels := topo.MaxLevel() + 1
+	bytes := float64(count) * float64(elemBytes)
+	scale := e.m.linkScale(from, node)
+
+	if lvl == 0 {
+		t.localCount += count
+	} else {
+		t.remoteCount += count
+	}
+	t.slowCount += count
+
+	switch p {
+	case Seq:
+		t.memSeconds += bytes / (topo.SlowSeqBW[lvl] * mb * scale)
+		miss := bytes / float64(topo.CacheLineBytes)
+		t.missCount += miss
+		if lvl > 0 {
+			t.remoteMiss += miss
+		}
+		t.classBytes[(levels+lvl)*2+int(Seq)] += bytes
+		t.chargeSlowResource(from, node, bytes)
+	case Rand:
+		hit := e.hitFraction(ws)
+		missBytes := bytes * (1 - hit)
+		t.memSeconds += missBytes/(topo.SlowRandBW[lvl]*mb*scale) + bytes*hit/(topo.CacheBW*mb)
+		miss := float64(count) * (1 - hit)
+		t.missCount += miss
+		if lvl > 0 {
+			t.remoteMiss += miss
+		}
+		t.classBytes[(levels+lvl)*2+int(Rand)] += missBytes
+		t.chargeSlowResource(from, node, missBytes)
+	}
+	_ = op
+}
+
+// AccessSlowInterleaved is AccessInterleaved against pages interleaved
+// across the active nodes' slow tiers.
+func (e *Epoch) AccessSlowInterleaved(th int, p Pattern, op Op, count int64, elemBytes int, ws int64) {
+	if count <= 0 {
+		return
+	}
+	t := &e.threads[th]
+	topo := e.m.Topo
+	from := e.m.NodeOfThread(th)
+	nodes := e.m.Nodes
+	levels := topo.MaxLevel() + 1
+	bytes := float64(count) * float64(elemBytes)
+
+	remoteFrac := float64(nodes-1) / float64(nodes)
+	t.localCount += count - int64(float64(count)*remoteFrac)
+	t.remoteCount += int64(float64(count) * remoteFrac)
+	t.slowCount += count
+
+	seqBW, randBW := e.m.InterleavedSlowBW(from)
+	if scale := e.m.worstLinkScale(from); scale != 1 {
+		seqBW *= scale
+		randBW *= scale
+	}
+	var memBytes float64
+	switch p {
+	case Seq:
+		t.memSeconds += bytes / (seqBW * mb)
+		miss := bytes / float64(topo.CacheLineBytes)
+		t.missCount += miss
+		t.remoteMiss += miss * remoteFrac
+		memBytes = bytes
+	case Rand:
+		hit := e.hitFraction(ws)
+		missBytes := bytes * (1 - hit)
+		t.memSeconds += missBytes/(randBW*mb) + bytes*hit/(topo.CacheBW*mb)
+		miss := float64(count) * (1 - hit)
+		t.missCount += miss
+		t.remoteMiss += miss * remoteFrac
+		memBytes = missBytes
+	}
+	share := memBytes / float64(nodes)
+	for n := 0; n < nodes; n++ {
+		t.classBytes[(levels+e.m.Level(from, n))*2+int(p)] += share
+		t.chargeSlowResource(from, n, share)
+	}
+	_ = op
+}
+
+// LatencyBoundSlow is LatencyBound against the slow tier, charged at the
+// topology's slow-tier load/store latency rows.
+func (e *Epoch) LatencyBoundSlow(th int, op Op, node int, count int64) {
+	if count <= 0 {
+		return
+	}
+	t := &e.threads[th]
+	topo := e.m.Topo
+	from := e.m.NodeOfThread(th)
+	lvl := e.m.Level(from, node)
+	levels := topo.MaxLevel() + 1
+	lat := topo.SlowLoadLatency[lvl]
+	if op == Store {
+		lat = topo.SlowStoreLatency[lvl]
+	}
+	lat /= e.m.linkScale(from, node)
+	t.memSeconds += float64(count) * lat / (topo.ClockGHz * 1e9)
+	if lvl == 0 {
+		t.localCount += count
+	} else {
+		t.remoteCount += count
+		t.remoteMiss += float64(count)
+	}
+	t.slowCount += count
+	t.missCount += float64(count)
+	t.classBytes[(levels+lvl)*2+int(Rand)] += float64(count) * 8
+}
+
 // Compute records pure computation time (software overhead, arithmetic)
 // for thread th.
 func (e *Epoch) Compute(th int, seconds float64) {
@@ -220,6 +356,17 @@ func (t *threadLedger) chargeResource(from, to int, bytes float64) {
 	}
 }
 
+// chargeSlowResource charges slow-tier traffic: it is served by the slow
+// tier's own controllers (SlowAggBW), not the DRAM ones, but remote slow
+// accesses still cross the same interconnect ports.
+func (t *threadLedger) chargeSlowResource(from, to int, bytes float64) {
+	t.slowNodeBytes[to] += bytes
+	if from != to {
+		t.portBytes[from] += bytes
+		t.portBytes[to] += bytes
+	}
+}
+
 // Time folds the ledger through the cost model and returns the simulated
 // duration of the phase in seconds.
 func (e *Epoch) Time() float64 {
@@ -227,6 +374,10 @@ func (e *Epoch) Time() float64 {
 	nodes := e.m.Nodes
 	nodeBytes := make([]float64, nodes)
 	portBytes := make([]float64, nodes)
+	var slowTierBytes []float64
+	if e.m.Tiered() {
+		slowTierBytes = make([]float64, nodes)
+	}
 	var slowest float64
 	for i := range e.threads {
 		t := &e.threads[i]
@@ -239,10 +390,20 @@ func (e *Epoch) Time() float64 {
 		for n, b := range t.portBytes {
 			portBytes[n] += b
 		}
+		for n, b := range t.slowNodeBytes {
+			slowTierBytes[n] += b
+		}
 	}
 	worst := slowest
 	for _, b := range nodeBytes {
 		if s := b / (topo.NodeAggBW * mb); s > worst {
+			worst = s
+		}
+	}
+	// The slow tier's media sit behind their own, narrower, per-node
+	// controllers; traffic that reaches them is charged separately.
+	for _, b := range slowTierBytes {
+		if s := b / (topo.SlowAggBW * mb); s > worst {
 			worst = s
 		}
 	}
@@ -274,6 +435,10 @@ type Stats struct {
 	// RemoteMissRate is the fraction of all accesses that missed the LLC
 	// because of remote traffic ("LLC miss rate due to remote accesses").
 	RemoteMissRate float64
+	// SlowCount is the number of accesses served by the slow tier (always
+	// zero on untiered machines); SlowRate is its share of all accesses.
+	SlowCount int64
+	SlowRate  float64
 }
 
 // Stats aggregates the per-thread ledgers.
@@ -285,11 +450,13 @@ func (e *Epoch) Stats() Stats {
 		s.RemoteCount += t.remoteCount
 		s.MissCount += t.missCount
 		s.RemoteMissRate += t.remoteMiss
+		s.SlowCount += t.slowCount
 	}
 	total := s.LocalCount + s.RemoteCount
 	if total > 0 {
 		s.RemoteRate = float64(s.RemoteCount) / float64(total)
 		s.RemoteMissRate /= float64(total)
+		s.SlowRate = float64(s.SlowCount) / float64(total)
 	} else {
 		s.RemoteMissRate = 0
 	}
@@ -306,9 +473,11 @@ func (s *Stats) Merge(o Stats) {
 	s.LocalCount += o.LocalCount
 	s.RemoteCount += o.RemoteCount
 	s.MissCount += o.MissCount
+	s.SlowCount += o.SlowCount
 	if total := t1 + t2; total > 0 {
 		s.RemoteRate = float64(s.RemoteCount) / float64(total)
 		s.RemoteMissRate = (s.RemoteMissRate*float64(t1) + o.RemoteMissRate*float64(t2)) / float64(total)
+		s.SlowRate = float64(s.SlowCount) / float64(total)
 	}
 }
 
@@ -327,12 +496,16 @@ func (e *Epoch) Add(o *Epoch) {
 		t.remoteCount += u.remoteCount
 		t.missCount += u.missCount
 		t.remoteMiss += u.remoteMiss
+		t.slowCount += u.slowCount
 		for n := range t.nodeBytes {
 			t.nodeBytes[n] += u.nodeBytes[n]
 			t.portBytes[n] += u.portBytes[n]
 		}
 		for n := range t.classBytes {
 			t.classBytes[n] += u.classBytes[n]
+		}
+		for n := range t.slowNodeBytes {
+			t.slowNodeBytes[n] += u.slowNodeBytes[n]
 		}
 	}
 }
@@ -346,12 +519,13 @@ func (e *Epoch) CopyFrom(o *Epoch) {
 	}
 	for i := range e.threads {
 		t, u := &e.threads[i], &o.threads[i]
-		nb, pb, cb := t.nodeBytes, t.portBytes, t.classBytes
+		nb, pb, cb, sb := t.nodeBytes, t.portBytes, t.classBytes, t.slowNodeBytes
 		*t = *u
-		t.nodeBytes, t.portBytes, t.classBytes = nb, pb, cb
+		t.nodeBytes, t.portBytes, t.classBytes, t.slowNodeBytes = nb, pb, cb, sb
 		copy(t.nodeBytes, u.nodeBytes)
 		copy(t.portBytes, u.portBytes)
 		copy(t.classBytes, u.classBytes)
+		copy(t.slowNodeBytes, u.slowNodeBytes)
 	}
 }
 
@@ -366,7 +540,7 @@ func (e *Epoch) Clone() *Epoch {
 func (e *Epoch) Reset() {
 	for i := range e.threads {
 		t := &e.threads[i]
-		nb, pb, cb := t.nodeBytes, t.portBytes, t.classBytes
+		nb, pb, cb, sb := t.nodeBytes, t.portBytes, t.classBytes, t.slowNodeBytes
 		for n := range nb {
 			nb[n] = 0
 			pb[n] = 0
@@ -374,7 +548,10 @@ func (e *Epoch) Reset() {
 		for n := range cb {
 			cb[n] = 0
 		}
-		*t = threadLedger{nodeBytes: nb, portBytes: pb, classBytes: cb}
+		for n := range sb {
+			sb[n] = 0
+		}
+		*t = threadLedger{nodeBytes: nb, portBytes: pb, classBytes: cb, slowNodeBytes: sb}
 	}
 }
 

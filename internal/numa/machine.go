@@ -27,6 +27,13 @@ type Machine struct {
 	ilRandBW []float64
 
 	fault faultState // link degradation / node-offline state (see degrade.go)
+
+	// tier is the tiered-memory configuration (zero = untiered); the
+	// interleaved slow-tier bandwidths are computed when it is armed
+	// (see tier.go).
+	tier         TierConfig
+	ilSlowSeqBW  []float64
+	ilSlowRandBW []float64
 }
 
 // NewMachine configures nodes sockets with coresPerNode threads each.

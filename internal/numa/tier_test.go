@@ -1,0 +1,215 @@
+package numa
+
+import (
+	"math"
+	"testing"
+)
+
+// Satellite: access-class table sanity. The cost model's whole argument
+// rests on the class ordering — per hop level, sequential is cheaper
+// than random, and per pattern, local <= remote <= slow tier. These
+// properties must hold in the raw tables and survive link degradation.
+
+func tierTopologies() []*Topology {
+	return []*Topology{IntelXeon80(), AMDOpteron64()}
+}
+
+func TestTierTablesValidate(t *testing.T) {
+	for _, topo := range tierTopologies() {
+		if err := topo.Validate(); err != nil {
+			t.Errorf("%s: %v", topo.Name, err)
+		}
+		if len(topo.SlowSeqBW) == 0 {
+			t.Errorf("%s: no slow-tier tables", topo.Name)
+		}
+	}
+}
+
+func TestTierTableMonotonicity(t *testing.T) {
+	for _, topo := range tierTopologies() {
+		n := topo.MaxLevel() + 1
+		for lvl := 0; lvl < n; lvl++ {
+			// Seq <= Rand in cost, i.e. seq bandwidth >= rand bandwidth.
+			if topo.SeqBW[lvl] < topo.RandBW[lvl] {
+				t.Errorf("%s lvl %d: DRAM SeqBW %v < RandBW %v", topo.Name, lvl, topo.SeqBW[lvl], topo.RandBW[lvl])
+			}
+			if topo.SlowSeqBW[lvl] < topo.SlowRandBW[lvl] {
+				t.Errorf("%s lvl %d: slow SeqBW %v < RandBW %v", topo.Name, lvl, topo.SlowSeqBW[lvl], topo.SlowRandBW[lvl])
+			}
+			// DRAM <= slow in cost at the same distance.
+			if topo.SlowSeqBW[lvl] > topo.SeqBW[lvl] || topo.SlowRandBW[lvl] > topo.RandBW[lvl] {
+				t.Errorf("%s lvl %d: slow tier faster than DRAM", topo.Name, lvl)
+			}
+			if topo.SlowLoadLatency[lvl] < topo.LoadLatency[lvl] || topo.SlowStoreLatency[lvl] < topo.StoreLatency[lvl] {
+				t.Errorf("%s lvl %d: slow tier latency below DRAM", topo.Name, lvl)
+			}
+			if lvl == 0 {
+				continue
+			}
+			// Local <= remote within each tier: bandwidth falls and
+			// latency grows with hop level.
+			if topo.SeqBW[lvl] > topo.SeqBW[lvl-1] || topo.RandBW[lvl] > topo.RandBW[lvl-1] {
+				t.Errorf("%s: DRAM bandwidth not monotone at lvl %d", topo.Name, lvl)
+			}
+			if topo.SlowSeqBW[lvl] > topo.SlowSeqBW[lvl-1] || topo.SlowRandBW[lvl] > topo.SlowRandBW[lvl-1] {
+				t.Errorf("%s: slow bandwidth not monotone at lvl %d", topo.Name, lvl)
+			}
+			if topo.LoadLatency[lvl] < topo.LoadLatency[lvl-1] || topo.SlowLoadLatency[lvl] < topo.SlowLoadLatency[lvl-1] {
+				t.Errorf("%s: load latency not monotone at lvl %d", topo.Name, lvl)
+			}
+		}
+		// The Moura et al. characterization point: even the most distant
+		// DRAM beats the local slow tier on bandwidth.
+		if topo.SeqBW[n-1] < topo.SlowSeqBW[0] || topo.RandBW[n-1] < topo.SlowRandBW[0] {
+			t.Errorf("%s: remote DRAM slower than local slow tier", topo.Name)
+		}
+	}
+}
+
+// accessCost charges one access descriptor on a fresh epoch and returns
+// its simulated time: the per-class cost as the engines observe it.
+func accessCost(m *Machine, slow bool, p Pattern, node int) float64 {
+	ep := m.NewEpoch()
+	if slow {
+		ep.AccessSlow(0, p, Load, node, 1<<20, 8, 0)
+	} else {
+		ep.Access(0, p, Load, node, 1<<20, 8, 0)
+	}
+	return ep.Time()
+}
+
+func TestTierCostOrderingUnderDegradation(t *testing.T) {
+	for _, topo := range tierTopologies() {
+		m := NewMachine(topo, 4, 2)
+		if err := m.SetTierConfig(TierConfig{DRAMPerNode: 1 << 30, Policy: TierHot}); err != nil {
+			t.Fatalf("%s: %v", topo.Name, err)
+		}
+		check := func(stage string) {
+			for node := 0; node < m.Nodes; node++ {
+				for _, p := range []Pattern{Seq, Rand} {
+					dram := accessCost(m, false, p, node)
+					slow := accessCost(m, true, p, node)
+					if dram > slow*(1+1e-12) {
+						t.Errorf("%s %s node %d pat %d: DRAM cost %g > slow cost %g", topo.Name, stage, node, p, dram, slow)
+					}
+				}
+				for _, slowTier := range []bool{false, true} {
+					seq := accessCost(m, slowTier, Seq, node)
+					rand := accessCost(m, slowTier, Rand, node)
+					if seq > rand*(1+1e-12) {
+						t.Errorf("%s %s node %d slow=%v: Seq cost %g > Rand cost %g", topo.Name, stage, node, slowTier, seq, rand)
+					}
+				}
+				// Local <= remote, per tier and pattern.
+				for _, slowTier := range []bool{false, true} {
+					for _, p := range []Pattern{Seq, Rand} {
+						local := accessCost(m, slowTier, p, 0)
+						remote := accessCost(m, slowTier, p, node)
+						if local > remote*(1+1e-12) {
+							t.Errorf("%s %s node %d slow=%v pat %d: local cost %g > remote cost %g", topo.Name, stage, node, slowTier, p, local, remote)
+						}
+					}
+				}
+			}
+		}
+		check("healthy")
+		if err := m.DegradeLink(0, 1, 0.5); err != nil {
+			t.Fatal(err)
+		}
+		check("degraded")
+		m.RepairAllLinks()
+		check("repaired")
+	}
+}
+
+func TestTierConfigValidation(t *testing.T) {
+	topo := IntelXeon80()
+	m := NewMachine(topo, 2, 2)
+	if m.Tiered() {
+		t.Fatal("fresh machine reports tiered")
+	}
+	if err := m.SetTierConfig(TierConfig{DRAMPerNode: 1 << 20, Policy: TierHot}); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Tiered() || m.tiers() != 2 {
+		t.Fatal("tier config did not arm")
+	}
+	if got := m.TierConfig().PromoteFrac; got != 1.0/16 {
+		t.Fatalf("PromoteFrac default = %v, want 1/16", got)
+	}
+	if err := m.SetTierConfig(TierConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Tiered() || m.tiers() != 1 {
+		t.Fatal("zero config did not disarm")
+	}
+
+	bare := IntelXeon80()
+	bare.SlowSeqBW = nil
+	bare.SlowRandBW = nil
+	bare.SlowLoadLatency = nil
+	bare.SlowStoreLatency = nil
+	bare.SlowAggBW = 0
+	m2 := NewMachine(bare, 2, 2)
+	if err := m2.SetTierConfig(TierConfig{DRAMPerNode: 1, Policy: TierHot}); err == nil {
+		t.Fatal("arming a topology without slow tables should fail")
+	}
+}
+
+func TestTierTrafficShape(t *testing.T) {
+	topo := IntelXeon80()
+	levels := topo.MaxLevel() + 1
+
+	flat := NewMachine(topo, 2, 2)
+	ep := flat.NewEpoch()
+	var tm TrafficMatrix
+	ep.Traffic(&tm)
+	if tm.Levels != levels {
+		t.Fatalf("untiered Levels = %d, want %d", tm.Levels, levels)
+	}
+
+	m := NewMachine(topo, 2, 2)
+	if err := m.SetTierConfig(TierConfig{DRAMPerNode: 1 << 20, Policy: TierHot}); err != nil {
+		t.Fatal(err)
+	}
+	ep = m.NewEpoch()
+	ep.Access(0, Seq, Load, 0, 100, 8, 0)
+	ep.AccessSlow(2, Seq, Load, 1, 50, 8, 0) // thread 2 runs on node 1: local slow access
+	ep.LatencyBoundSlow(0, Store, 1, 3)
+	ep.Traffic(&tm)
+	if tm.Levels != 2*levels {
+		t.Fatalf("tiered Levels = %d, want %d", tm.Levels, 2*levels)
+	}
+	if got := tm.At(0, 0, Seq); got != 800 {
+		t.Fatalf("DRAM seq cell = %v, want 800", got)
+	}
+	if got := tm.At(1, levels+0, Seq); got != 400 {
+		t.Fatalf("slow seq cell = %v, want 400", got)
+	}
+	lvl := m.Level(0, 1)
+	if got := tm.At(0, levels+lvl, Rand); got != 24 {
+		t.Fatalf("slow latency-bound cell = %v, want 24", got)
+	}
+	st := ep.Stats()
+	if st.SlowCount != 53 {
+		t.Fatalf("SlowCount = %d, want 53", st.SlowCount)
+	}
+	if st.SlowRate <= 0 || st.SlowRate >= 1 {
+		t.Fatalf("SlowRate = %v out of range", st.SlowRate)
+	}
+
+	// Snapshot/restore round-trips the slow bank bit-identically.
+	snap := ep.Clone()
+	ep.AccessSlow(0, Rand, Store, 0, 1000, 8, 1<<30)
+	ep.CopyFrom(snap)
+	var tm2 TrafficMatrix
+	ep.Traffic(&tm2)
+	for i := range tm.Cells {
+		if tm.Cells[i] != tm2.Cells[i] {
+			t.Fatalf("cell %d differs after restore: %v vs %v", i, tm.Cells[i], tm2.Cells[i])
+		}
+	}
+	if got, want := ep.Time(), snap.Time(); got != want || math.IsNaN(got) {
+		t.Fatalf("clock differs after restore: %v vs %v", got, want)
+	}
+}

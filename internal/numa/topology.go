@@ -111,6 +111,23 @@ type Topology struct {
 	// sockets").
 	BisectionBW float64
 
+	// SlowSeqBW and SlowRandBW give single-thread bandwidth, in MB/s,
+	// against the capacity tier (CXL/PMem-class memory attached to each
+	// node), indexed by hop level like the DRAM tables: level 0 is the
+	// local node's slow tier, higher levels reach it across the
+	// interconnect. Empty tables mean the topology has no slow tier and
+	// tiering cannot be armed.
+	SlowSeqBW  []float64
+	SlowRandBW []float64
+	// SlowLoadLatency and SlowStoreLatency give slow-tier access latency
+	// in cycles, indexed by hop level.
+	SlowLoadLatency  []float64
+	SlowStoreLatency []float64
+	// SlowAggBW is the aggregate bandwidth, in MB/s, one node's slow-tier
+	// media can sustain across all requesting threads (the CXL link or
+	// PMem DIMM bound — well below the DRAM controller's NodeAggBW).
+	SlowAggBW float64
+
 	// SyncScale divides barrier costs when engines charge per-phase
 	// synchronization. The machine model is full-size (the paper's
 	// bandwidth tables) while the datasets are scaled down ~256x, so
@@ -155,6 +172,26 @@ func (t *Topology) Validate() error {
 			}
 		}
 	}
+	if len(t.SlowSeqBW) > 0 {
+		if len(t.SlowSeqBW) != n || len(t.SlowRandBW) != n ||
+			len(t.SlowLoadLatency) != n || len(t.SlowStoreLatency) != n {
+			return errTopo("slow-tier tables must match the DRAM tables' length")
+		}
+		if t.SlowAggBW <= 0 {
+			return errTopo("slow tier needs a positive aggregate bandwidth")
+		}
+		for l := 0; l < n; l++ {
+			if t.SlowSeqBW[l] <= 0 || t.SlowRandBW[l] <= 0 {
+				return errTopo("slow-tier bandwidths must be positive")
+			}
+			if t.SlowSeqBW[l] > t.SeqBW[l] || t.SlowRandBW[l] > t.RandBW[l] {
+				return errTopo("slow tier cannot be faster than DRAM at the same hop level")
+			}
+			if t.SlowLoadLatency[l] < t.LoadLatency[l] || t.SlowStoreLatency[l] < t.StoreLatency[l] {
+				return errTopo("slow tier cannot have lower latency than DRAM at the same hop level")
+			}
+		}
+	}
 	return nil
 }
 
@@ -186,6 +223,14 @@ func IntelXeon80() *Topology {
 		RandBW:            []float64{720, 348, 307},
 		SeqBWInterleaved:  2333,
 		RandBWInterleaved: 344,
+		// Capacity tier modelled on CXL-attached memory one generation
+		// forward (Moura et al.): ~40% of DRAM sequential bandwidth,
+		// ~23% random, roughly 2.9x load latency.
+		SlowSeqBW:        []float64{1350, 1180, 1050},
+		SlowRandBW:       []float64{165, 122, 104},
+		SlowLoadLatency:  []float64{340, 510, 620},
+		SlowStoreLatency: []float64{390, 580, 700},
+		SlowAggBW:        6200,
 		LLCBytes:          64 << 10, // scaled 24 MB: keeps the paper's data/LLC ratio (~14x) at laptop-scale inputs
 		CacheLineBytes:    64,
 		CacheBW:           12800,
@@ -237,6 +282,14 @@ func AMDOpteron64() *Topology {
 		RandBW:            []float64{533, 509, 487, 415},
 		SeqBWInterleaved:  2509,
 		RandBWInterleaved: 466,
+		// Capacity tier: PMem-class media behind the module's shared
+		// controllers — a little slower than the Intel machine's CXL
+		// numbers, matching the module fabric's tighter bandwidth.
+		SlowSeqBW:        []float64{1280, 1150, 1040, 900},
+		SlowRandBW:       []float64{150, 138, 126, 108},
+		SlowLoadLatency:  []float64{560, 740, 740, 830},
+		SlowStoreLatency: []float64{640, 830, 830, 920},
+		SlowAggBW:        3600,
 		LLCBytes:          43 << 10, // scaled 16 MB (2/3 of the Intel machine)
 		CacheLineBytes:    64,
 		CacheBW:           10600,

@@ -132,8 +132,13 @@ func (t *TrafficMatrix) RemoteFraction() float64 {
 // resizing it to the machine's shape and aggregating per-thread ledgers by
 // the owning node. Tracing takes deltas of successive snapshots to
 // attribute traffic to individual supersteps.
+//
+// On a tiered machine the matrix carries one extra bank of levels: level
+// MaxLevel()+1+l is the slow-tier traffic at hop level l, following the
+// same convention the cluster substrate uses for its wire level. Untiered
+// machines keep the historical shape exactly.
 func (e *Epoch) Traffic(dst *TrafficMatrix) {
-	levels := e.m.Topo.MaxLevel() + 1
+	levels := (e.m.Topo.MaxLevel() + 1) * e.m.tiers()
 	dst.Resize(e.m.Nodes, levels)
 	for th := range e.threads {
 		node := e.m.NodeOfThread(th)

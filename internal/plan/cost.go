@@ -87,11 +87,14 @@ type shape struct {
 	supersteps int
 	// edgeWork and vertexWork are totals over the whole run (not per
 	// superstep); dataBytes is the per-vertex state width and nsPerEdge
-	// the algorithm's arithmetic cost.
+	// the algorithm's arithmetic cost. traversal marks frontier-driven
+	// kernels (BFS/SSSP), whose superstep count is diameter-bound and
+	// whose per-superstep floors the width terms must model.
 	edgeWork   float64
 	vertexWork float64
 	dataBytes  int
 	nsPerEdge  float64
+	traversal  bool
 }
 
 // iters matches bench's fixed iteration count for PR/SpMV/BP.
@@ -111,17 +114,18 @@ func algoShape(alg bench.Algo, f Features) shape {
 	case bench.BP:
 		return shape{supersteps: iters, edgeWork: m * iters, vertexWork: n * iters, dataBytes: 16, nsPerEdge: 6}
 	case bench.BFS:
-		s := f.DiameterEst
-		if s < 1 {
-			s = 1
+		// +1: the empty-frontier termination round every traversal pays.
+		s := f.DiameterEst + 1
+		if s < 2 {
+			s = 2
 		}
-		return shape{supersteps: s, edgeWork: 1.5 * m, vertexWork: n, dataBytes: 4, nsPerEdge: 1}
+		return shape{supersteps: s, edgeWork: 1.5 * m, vertexWork: n, dataBytes: 4, nsPerEdge: 1, traversal: true}
 	case bench.SSSP:
-		s := f.DiameterEst
-		if s < 1 {
-			s = 1
+		s := f.DiameterEst + 1
+		if s < 2 {
+			s = 2
 		}
-		return shape{supersteps: s, edgeWork: 2 * m, vertexWork: 1.5 * n, dataBytes: 8, nsPerEdge: 1.5}
+		return shape{supersteps: s, edgeWork: 2 * m, vertexWork: 1.5 * n, dataBytes: 8, nsPerEdge: 1.5, traversal: true}
 	default:
 		// CC and friends are not served; shape like PR so Predict stays
 		// total.
@@ -142,6 +146,17 @@ func edgeBytes(f Features) int {
 // socket. It builds a private machine and epoch — nothing it charges is
 // observable outside this function.
 func Predict(f Features, alg bench.Algo, topo *numa.Topology, c Candidate, cores int) float64 {
+	return PredictTiered(f, alg, topo, c, cores, numa.TierConfig{})
+}
+
+// PredictTiered is Predict on a DRAM-constrained machine: the private
+// machine is armed with tc and the model's charges flow through the same
+// mem.TierPlan split the engines use, so the prediction carries the
+// slow tier's bandwidth and congestion penalties with the same
+// hot-vertex (or uniform-interleave) hit fractions. A zero config is
+// exactly Predict — the tier plan is nil and every charge wrapper
+// forwards to the epoch bit-identically.
+func PredictTiered(f Features, alg bench.Algo, topo *numa.Topology, c Candidate, cores int, tc numa.TierConfig) float64 {
 	if f.Vertices == 0 {
 		// Degenerate graphs cost one barrier round regardless of engine.
 		return barrier.SyncCost(barrier.N, c.Nodes) / topo.SyncScale
@@ -149,6 +164,11 @@ func Predict(f Features, alg bench.Algo, topo *numa.Topology, c Candidate, cores
 	m, err := numa.NewMachineChecked(topo, c.Nodes, cores)
 	if err != nil {
 		return inf
+	}
+	if tc.Tiered() {
+		if err := m.SetTierConfig(tc); err != nil {
+			return inf
+		}
 	}
 	sh := algoShape(alg, f)
 	ep := m.NewEpoch()
@@ -162,6 +182,31 @@ func Predict(f Features, alg bench.Algo, topo *numa.Topology, c Candidate, cores
 	localWS := partVerts * int64(d)
 	var stepsSync float64
 
+	// Degree skew bounds the edge parallelism a CSR traversal can reach:
+	// a hub's out-row is one sequential grain when its level is reached,
+	// so at most edges/maxDegree grains make independent progress and the
+	// critical path carries edgeWork/grains edges no matter how wide the
+	// machine is. Without this the model awards extreme-skew shapes (star
+	// graphs) a width speedup the CSR engines cannot deliver, inverting
+	// the width ordering. Iterated kernels keep the uniform split: they
+	// touch every row every superstep, so rows interleave across threads.
+	// X-Stream is exempt by construction — edge-centric streaming splits
+	// the edge list itself, oblivious to degree skew.
+	perEdgeCSR := perEdge
+	if sh.traversal && f.MaxOutDegree > 0 {
+		grains := f.Edges / f.MaxOutDegree
+		if grains < 1 {
+			grains = 1
+		}
+		if grains < int64(threads) {
+			perEdgeCSR = int64(sh.edgeWork/float64(grains)) + 1
+		}
+	}
+
+	// The engines' three demand classes, mirrored on the private machine
+	// (nil handles on an untiered machine: every charge passes through).
+	tFrontier, tState, tTopo := tierClasses(m, f, d, eb)
+
 	switch c.Engine {
 	case bench.Polymer:
 		// Mirror of core's flushPull/flushPush charge recipe. Rows are the
@@ -172,26 +217,41 @@ func Predict(f Features, alg bench.Algo, topo *numa.Topology, c Candidate, cores
 			rows = cap
 		}
 		rowsT := int64(rows/float64(threads)) + 1
+		// Traversal supersteps whose frontier crosses the |E|/20 dense
+		// threshold every level scan the whole vertex set per superstep
+		// (frontier membership + degree bookkeeping), split across
+		// threads — the term that makes narrow machines genuinely slower
+		// on small high-diameter graphs (a path goes dense every level; a
+		// long cycle stays sparse). Iterated kernels keep their original
+		// calibration: their per-vertex sweep is already in vertexWork.
+		var scanT int64
+		if sh.traversal && sh.edgeWork/float64(sh.supersteps) > float64(f.Edges)/20 {
+			scanT = int64(float64(f.Vertices)*float64(sh.supersteps)/float64(threads)) + 1
+		}
 		colocated := c.Placement == mem.CoLocated
 		for th := 0; th < threads; th++ {
 			node := m.NodeOfThread(th)
 			// Topology: row metadata + columns, streamed from the local node.
-			ep.Access(th, numa.Seq, numa.Load, node, rowsT, 12, 0)
-			ep.Access(th, numa.Seq, numa.Load, node, perEdge, eb, 0)
+			tTopo.Access(ep, th, numa.Seq, numa.Load, node, rowsT, 12, 0)
+			tTopo.Access(ep, th, numa.Seq, numa.Load, node, perEdgeCSR, eb, 0)
+			if scanT > 0 {
+				tFrontier.Access(ep, th, numa.Seq, numa.Load, node, scanT, 8, 0)
+				ep.Compute(th, float64(scanT)*2e-9)
+			}
 			if colocated {
 				// Local random reads of sources (state + data), confined to
 				// the partition.
-				ep.Access(th, numa.Rand, numa.Load, node, perEdge, 1, partVerts)
-				ep.Access(th, numa.Rand, numa.Load, node, perEdge, d, localWS)
+				tFrontier.Access(ep, th, numa.Rand, numa.Load, node, perEdgeCSR, 1, partVerts)
+				tState.Access(ep, th, numa.Rand, numa.Load, node, perEdgeCSR, d, localWS)
 			} else {
 				// NUMA-oblivious data (the engine charges interleaved and
 				// centralized layouts identically): whole-array working set.
-				ep.AccessInterleaved(th, numa.Rand, numa.Load, perEdge, 1, 0)
-				ep.AccessInterleaved(th, numa.Rand, numa.Load, perEdge, d, stateWS)
+				tFrontier.AccessInterleaved(ep, th, numa.Rand, numa.Load, perEdgeCSR, 1, 0)
+				tState.AccessInterleaved(ep, th, numa.Rand, numa.Load, perEdgeCSR, d, stateWS)
 			}
 			// Cross-node coherence stalls on a fraction of the edge updates.
 			if c.Nodes > 1 {
-				ep.LatencyBound(th, numa.Store, node, perEdge/16)
+				tState.LatencyBound(ep, th, numa.Store, node, perEdgeCSR/16)
 			}
 			// Far-side target data: Cond reads and update writes, sequential
 			// by owner (the agents give the sweep its order).
@@ -199,14 +259,14 @@ func Predict(f Features, alg bench.Algo, topo *numa.Topology, c Candidate, cores
 			perOwnerUpd := perVert/int64(c.Nodes) + 1
 			for o := 0; o < c.Nodes; o++ {
 				if colocated {
-					ep.Access(th, numa.Seq, numa.Load, o, perOwnerRows, d, 0)
-					ep.Access(th, numa.Seq, numa.Store, o, perOwnerUpd, d, 0)
+					tState.Access(ep, th, numa.Seq, numa.Load, o, perOwnerRows, d, 0)
+					tState.Access(ep, th, numa.Seq, numa.Store, o, perOwnerUpd, d, 0)
 				} else {
-					ep.AccessInterleaved(th, numa.Seq, numa.Load, perOwnerRows, d, 0)
-					ep.AccessInterleaved(th, numa.Seq, numa.Store, perOwnerUpd, d, 0)
+					tState.AccessInterleaved(ep, th, numa.Seq, numa.Load, perOwnerRows, d, 0)
+					tState.AccessInterleaved(ep, th, numa.Seq, numa.Store, perOwnerUpd, d, 0)
 				}
 			}
-			ep.Compute(th, (float64(perEdge)*(sh.nsPerEdge+1.0)+float64(rowsT)*2)*1e-9)
+			ep.Compute(th, (float64(perEdgeCSR)*(sh.nsPerEdge+1.0)+float64(rowsT)*2)*1e-9)
 		}
 		stepsSync = float64(sh.supersteps) * barrier.SyncCost(barrier.N, c.Nodes) / topo.SyncScale
 	case bench.Ligra:
@@ -215,13 +275,13 @@ func Predict(f Features, alg bench.Algo, topo *numa.Topology, c Candidate, cores
 		// everything else is interleaved.
 		scanT := int64(float64(f.Vertices)*float64(sh.supersteps)/float64(threads)) + 1
 		for th := 0; th < threads; th++ {
-			ep.Access(th, numa.Seq, numa.Load, 0, scanT, 1, 0)
-			ep.AccessInterleaved(th, numa.Seq, numa.Load, scanT, 16, 0)
-			ep.AccessInterleaved(th, numa.Seq, numa.Load, perVert, d, 0)
-			ep.AccessInterleaved(th, numa.Seq, numa.Load, perEdge, eb, 0)
-			ep.AccessInterleaved(th, numa.Rand, numa.Store, perEdge, d, stateWS)
-			ep.Access(th, numa.Rand, numa.Store, 0, perEdge/2, 1, f.Vertices)
-			ep.Compute(th, (float64(perEdge)*(sh.nsPerEdge+1.2)+float64(scanT)*2)*1e-9)
+			tFrontier.Access(ep, th, numa.Seq, numa.Load, 0, scanT, 1, 0)
+			tTopo.AccessInterleaved(ep, th, numa.Seq, numa.Load, scanT, 16, 0)
+			tState.AccessInterleaved(ep, th, numa.Seq, numa.Load, perVert, d, 0)
+			tTopo.AccessInterleaved(ep, th, numa.Seq, numa.Load, perEdgeCSR, eb, 0)
+			tState.AccessInterleaved(ep, th, numa.Rand, numa.Store, perEdgeCSR, d, stateWS)
+			tFrontier.Access(ep, th, numa.Rand, numa.Store, 0, perEdgeCSR/2, 1, f.Vertices)
+			ep.Compute(th, (float64(perEdgeCSR)*(sh.nsPerEdge+1.2)+float64(scanT)*2)*1e-9)
 		}
 		// Edgemap and vertexmap each cross an H barrier.
 		stepsSync = float64(sh.supersteps) * 2 * barrier.SyncCost(barrier.H, c.Nodes) / topo.SyncScale
@@ -232,23 +292,23 @@ func Predict(f Features, alg bench.Algo, topo *numa.Topology, c Candidate, cores
 		scanPerTh := int64(float64(f.Edges)*float64(sh.supersteps)/float64(threads)) + 1
 		for th := 0; th < threads; th++ {
 			node := m.NodeOfThread(th)
-			ep.AccessInterleaved(th, numa.Seq, numa.Load, scanPerTh, eb+4, 0)
-			ep.Access(th, numa.Rand, numa.Load, node, perEdge, d, localWS)
-			ep.Access(th, numa.Seq, numa.Store, node, perEdge, 12, 0)
-			ep.Access(th, numa.Seq, numa.Load, node, perEdge, 12, 0)
-			ep.AccessInterleaved(th, numa.Seq, numa.Store, perEdge, 12, 0)
-			ep.AccessInterleaved(th, numa.Seq, numa.Load, perEdge, 12, 0)
-			ep.Access(th, numa.Rand, numa.Store, node, perVert, d, localWS)
+			tTopo.AccessInterleaved(ep, th, numa.Seq, numa.Load, scanPerTh, eb+4, 0)
+			tState.Access(ep, th, numa.Rand, numa.Load, node, perEdge, d, localWS)
+			tState.Access(ep, th, numa.Seq, numa.Store, node, perEdge, 12, 0)
+			tState.Access(ep, th, numa.Seq, numa.Load, node, perEdge, 12, 0)
+			tState.AccessInterleaved(ep, th, numa.Seq, numa.Store, perEdge, 12, 0)
+			tState.AccessInterleaved(ep, th, numa.Seq, numa.Load, perEdge, 12, 0)
+			tState.Access(ep, th, numa.Rand, numa.Store, node, perVert, d, localWS)
 			ep.Compute(th, float64(scanPerTh)*1.5e-9)
 		}
 		// Scatter, shuffle and gather each cross an H barrier.
 		stepsSync = float64(sh.supersteps) * 3 * barrier.SyncCost(barrier.H, c.Nodes) / topo.SyncScale
 	case bench.Galois:
 		for th := 0; th < threads; th++ {
-			ep.AccessInterleaved(th, numa.Seq, numa.Load, perEdge, 4, 0)
-			ep.AccessInterleaved(th, numa.Rand, numa.Load, perEdge, d, stateWS)
-			ep.AccessInterleaved(th, numa.Seq, numa.Load, perVert, 16, 0)
-			ep.AccessInterleaved(th, numa.Rand, numa.Store, perVert, d, stateWS)
+			tTopo.AccessInterleaved(ep, th, numa.Seq, numa.Load, perEdge, 4, 0)
+			tState.AccessInterleaved(ep, th, numa.Rand, numa.Load, perEdge, d, stateWS)
+			tTopo.AccessInterleaved(ep, th, numa.Seq, numa.Load, perVert, 16, 0)
+			tState.AccessInterleaved(ep, th, numa.Rand, numa.Store, perVert, d, stateWS)
 			ep.Compute(th, (float64(perEdge)*0.8+float64(perVert)*20)*1e-9)
 		}
 		stepsSync = float64(sh.supersteps) * barrier.SyncCost(barrier.H, c.Nodes) / topo.SyncScale
@@ -256,6 +316,65 @@ func Predict(f Features, alg bench.Algo, topo *numa.Topology, c Candidate, cores
 		return inf
 	}
 	return ep.Time() + stepsSync
+}
+
+// tierClasses mirrors the engines' three-class demand registration
+// (pinned frontier, hot-rankable vertex state, CSR topology) on the
+// model's private machine, with footprints estimated from the profile:
+// bitmaps/queues at ~4 bytes per vertex, state at the algorithm's data
+// width, topology at row metadata plus columns. On an untiered machine
+// the plan is nil and every returned handle forwards to the epoch
+// unchanged, so untiered predictions are bit-identical to the
+// historical model.
+func tierClasses(m *numa.Machine, f Features, d, eb int) (frontier, state, topo *mem.TierClass) {
+	tp := mem.NewTierPlan(m)
+	if tp == nil {
+		return nil, nil, nil
+	}
+	nodes := m.Nodes
+	frontier = tp.AddClass(mem.ClassSpec{Label: "frontier", BytesPerNode: make([]int64, nodes), Pinned: true})
+	state = tp.AddClass(mem.ClassSpec{Label: "state", BytesPerNode: make([]int64, nodes), Priority: 0})
+	topo = tp.AddClass(mem.ClassSpec{Label: "topology", BytesPerNode: make([]int64, nodes), Priority: 1})
+	frontier.GrowDemandEven(4 * f.Vertices)
+	state.GrowDemandEven(f.Vertices * int64(d))
+	topo.GrowDemandEven(f.Vertices*12 + f.Edges*int64(eb))
+	state.SetHotMass(synthHotMass(f))
+	return frontier, state, topo
+}
+
+// synthHotMass reconstructs an approximate degree-rank mass curve from
+// the profile's degree percentiles. The engines build the exact curve
+// from the CSR; the model only has the sketch, so it feeds a synthetic
+// rank sample (hub, then the P99/P90/P50 plateaus) through the same
+// mem.DegreeHotMass machinery — close enough for the hot policy's hit
+// fractions, and the online learner absorbs the residual.
+func synthHotMass(f Features) func(float64) float64 {
+	n := int(f.Vertices)
+	if n > 1024 {
+		n = 1024
+	}
+	if n < 1 {
+		return nil
+	}
+	fn := float64(n)
+	return mem.DegreeHotMass(n, func(i int) int64 {
+		if i == 0 {
+			return f.MaxOutDegree + 1
+		}
+		r := float64(i) / fn
+		var deg float64
+		switch {
+		case r < 0.01:
+			deg = f.DegP99
+		case r < 0.10:
+			deg = f.DegP90
+		case r < 0.50:
+			deg = f.DegP50
+		default:
+			deg = f.DegP50 / 2
+		}
+		return int64(deg) + 1
+	})
 }
 
 // inf is the cost of an unviable candidate; it never wins an argmin

@@ -28,6 +28,10 @@ type Bucket struct {
 	LogM      int8
 	SkewHigh  bool // max degree > 8x mean: power-law-ish
 	DiamClass int8 // 0: <8 levels, 1: <64, 2: >=64 (road-like)
+	// Tiered separates runs on DRAM-constrained machines: their observed
+	// clocks carry slow-tier stalls, so letting them share corrections
+	// with untiered runs would skew both models.
+	Tiered bool
 }
 
 // BucketOf classifies a feature vector.

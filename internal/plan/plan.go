@@ -67,6 +67,12 @@ type Query struct {
 	// Veto is the open/degraded-breaker engine mask; vetoed engines are
 	// pruned from the candidate set.
 	Veto uint8
+	// Tier describes the target machine's tiered-memory arming; the zero
+	// value (untiered) predicts against unbounded DRAM. A tiered query
+	// re-ranks candidates under the slow tier's bandwidth penalties —
+	// placements that concentrate traffic on DRAM-resident hot vertices
+	// win budget they lose on an untiered box.
+	Tier numa.TierConfig
 }
 
 // Scored is one row of the decision table.
@@ -108,6 +114,7 @@ type cacheKey struct {
 	place     mem.Placement
 	placeSet  bool
 	veto      uint8
+	tier      numa.TierConfig
 	gen       uint64
 }
 
@@ -162,7 +169,7 @@ func (p *Planner) Resolve(q Query) *Decision {
 	k := cacheKey{
 		f: q.Features, alg: q.Alg, nodes: q.Nodes, nodesFix: q.NodesFixed,
 		engine: q.EngineFixed, place: q.PlacementFixed, placeSet: q.PlacementSet,
-		veto: q.Veto, gen: p.learner.Gen(),
+		veto: q.Veto, tier: q.Tier, gen: p.learner.Gen(),
 	}
 	p.mu.RLock()
 	d := p.cache[k]
@@ -188,6 +195,7 @@ func (p *Planner) Resolve(q Query) *Decision {
 
 func (p *Planner) decide(q Query, gen uint64) *Decision {
 	b := BucketOf(q.Features, q.Alg)
+	b.Tiered = q.Tier.Tiered()
 	cands := Candidates(q.Alg, q.Nodes)
 	table := make([]Scored, 0, len(cands))
 	best, bestRaw := -1, 0.0
@@ -203,7 +211,7 @@ func (p *Planner) decide(q Query, gen uint64) *Decision {
 		if q.NodesFixed && c.Nodes != q.Nodes {
 			continue
 		}
-		raw := Predict(q.Features, q.Alg, p.topo, c, p.cores)
+		raw := PredictTiered(q.Features, q.Alg, p.topo, c, p.cores, q.Tier)
 		cost := raw * p.learner.Factor(b, c)
 		if c.Nodes != q.Nodes {
 			cost *= deviationMargin

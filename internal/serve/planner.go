@@ -168,6 +168,7 @@ func (s *Server) planFor(v *resolved) error {
 		Nodes:      v.nodes,
 		NodesFixed: v.req.Sockets != 0,
 		Veto:       s.vetoMask(),
+		Tier:       v.tier,
 	}
 	if !v.autoEngine {
 		q.EngineFixed = v.sys

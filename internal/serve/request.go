@@ -78,6 +78,15 @@ type Request struct {
 	// Restarts caps whole-run restarts for setup-time faults within one
 	// execution attempt. -1 (absent) means the server default.
 	Restarts int `json:"restarts"`
+	// DramBytes > 0 arms tiered memory on the simulated machine: each
+	// node gets that many bytes of DRAM and spills the rest of its
+	// footprint to the slow tier under the Tier policy ("hot" or
+	// "interleave"). PromoteEvery sets the phases between promotion
+	// passes for the hot policy (0 = the substrate default). Tiering is
+	// single-machine only.
+	DramBytes    int64  `json:"dram_bytes"`
+	Tier         string `json:"tier"`
+	PromoteEvery int    `json:"promote_every"`
 	// Machines > 0 runs the request on the replicated sharded cluster
 	// substrate (polymer engine; pr, bfs or sssp) instead of a single
 	// simulated machine. Replicas sets the shard replication factor
@@ -119,6 +128,10 @@ type resolved struct {
 	machines int
 	replicas int
 	hedge    bool
+	// tier is the validated tiered-memory config; the zero value means
+	// untiered. Every machine the execution path builds is armed with it
+	// before the engine charges an epoch.
+	tier numa.TierConfig
 	// ver is the dataset's result-cache version, sampled when the request
 	// enters the reuse path; results computed by this request are cached
 	// under it, so an invalidation racing the run can never resurrect a
@@ -303,6 +316,34 @@ func resolve(req Request) (*resolved, error) {
 			}
 		}
 	}
+	if req.DramBytes < 0 {
+		return nil, badReq("dram_bytes %d is negative", req.DramBytes)
+	}
+	if req.PromoteEvery < 0 {
+		return nil, badReq("promote_every %d is negative", req.PromoteEvery)
+	}
+	pol, err := numa.ParseTierPolicy(req.Tier)
+	if err != nil {
+		return nil, badReq("unknown tier %q (want hot or interleave)", req.Tier)
+	}
+	if req.DramBytes > 0 {
+		if pol == numa.TierNone {
+			return nil, badReq("dram_bytes needs a tier policy: set tier to hot or interleave")
+		}
+		if v.clustered() {
+			return nil, badReq("tiering applies to single-machine runs only (machines > 0)")
+		}
+		if len(v.topo.SlowSeqBW) == 0 {
+			return nil, badReq("machine %q has no slow-tier cost tables", v.mach)
+		}
+		every := req.PromoteEvery
+		if every == 0 && pol == numa.TierHot {
+			every = 1
+		}
+		v.tier = numa.TierConfig{DRAMPerNode: req.DramBytes, Policy: pol, PromoteEvery: every}
+	} else if pol != numa.TierNone || req.PromoteEvery > 0 {
+		return nil, badReq("tier and promote_every need dram_bytes > 0")
+	}
 	if v.clustered() {
 		if strings.TrimSpace(req.Placement) != "" {
 			return nil, badReq("placement does not apply to cluster runs (shards are co-located per machine)")
@@ -370,6 +411,11 @@ func (v *resolved) key() string { return v.keyFor(v.src) }
 func (v *resolved) keyFor(src graph.Vertex) string {
 	k := fmt.Sprintf("%s|%s|%s|%d|%s|%s|%dx%d|%d",
 		v.sys, v.alg, v.data, v.scale, v.effPlacement(), v.mach, v.nodes, v.cores, src)
+	if v.tier.Tiered() {
+		// Appended only when armed, so every untiered key (the entire
+		// pre-tiering key population) is byte-identical to before.
+		k += fmt.Sprintf("|t:%s:%d:%d", v.tier.Policy, v.tier.DRAMPerNode, v.tier.PromoteEvery)
+	}
 	if v.clustered() {
 		// The committed output is bit-identical for any cluster shape, but
 		// SimSeconds/NetBytes are not: cluster requests key separately per
@@ -402,6 +448,12 @@ func (v *resolved) batchable() bool {
 	if v.alg != bench.BFS && v.alg != bench.SSSP || v.clustered() {
 		return false
 	}
+	// Tiered runs stay solo: the fused sweep's machines are untiered, so
+	// caching its timings under a tiered key would lie about slow-tier
+	// stalls.
+	if v.tier.Tiered() {
+		return false
+	}
 	if v.layoutSet {
 		native := mem.Interleaved
 		if v.sys == bench.Polymer {
@@ -410,6 +462,20 @@ func (v *resolved) batchable() bool {
 		return v.layout == native
 	}
 	return true
+}
+
+// armTier applies the request's tiered-memory config to a freshly built
+// machine and returns it. resolve validated the policy and the
+// topology's slow-tier tables, and the machines the execution path
+// builds have no epochs yet, so a failure here is an invariant
+// violation, not a client error.
+func (v *resolved) armTier(m *numa.Machine) *numa.Machine {
+	if v.tier.Tiered() {
+		if err := m.SetTierConfig(v.tier); err != nil {
+			panic(fmt.Sprintf("serve: arming validated tier config: %v", err))
+		}
+	}
+	return m
 }
 
 // injector builds a fresh injector for one execution attempt. Event state

@@ -225,6 +225,14 @@ type Response struct {
 	Failovers  int     `json:"failovers,omitempty"`
 	NetBytes   float64 `json:"net_bytes,omitempty"`
 	Hedged     bool    `json:"hedged,omitempty"`
+	// Tier/DramBytes/SlowRate are tiered-memory provenance, present when
+	// the request armed a DRAM budget: the policy, the per-node DRAM
+	// bytes, and the slow tier's share of all simulated accesses in the
+	// run that produced the payload. A degraded fallback omits SlowRate —
+	// the sacrificial rerun is untiered.
+	Tier      string  `json:"tier,omitempty"`
+	DramBytes int64   `json:"dram_bytes,omitempty"`
+	SlowRate  float64 `json:"slow_rate,omitempty"`
 	// Plan is planner provenance, present when the server chose the
 	// engine, placement or schedule for this request. Like Cached and
 	// Coalesced it is per-request: cache and flight hits re-stamp it from
@@ -506,6 +514,10 @@ func (s *Server) execute(t *task) {
 		Graph:  string(v.data),
 		Scale:  v.req.Scale,
 	}
+	if v.tier.Tiered() {
+		resp.Tier = v.tier.Policy.String()
+		resp.DramBytes = v.tier.DRAMPerNode
+	}
 	// lease is the planned run's socket assignment; nil for explicit
 	// requests. finish reads it, so it is declared (and later assigned)
 	// before the closure is built.
@@ -603,7 +615,7 @@ func (s *Server) execute(t *task) {
 	if v.req.Retries >= 0 {
 		maxRetries = v.req.Retries
 	}
-	mk := func() *numa.Machine { return numa.NewMachine(v.topo, v.nodes, v.cores) }
+	mk := func() *numa.Machine { return v.armTier(numa.NewMachine(v.topo, v.nodes, v.cores)) }
 	if v.planned != nil {
 		// Planned runs go through the multi-tenant scheduler: disjoint
 		// simulated sockets while capacity lasts, honest co-location
@@ -616,9 +628,9 @@ func (s *Server) execute(t *task) {
 		mk = func() *numa.Machine {
 			m, err := lm.Machine(v.cores)
 			if err != nil {
-				return numa.NewMachine(v.topo, v.nodes, v.cores)
+				return v.armTier(numa.NewMachine(v.topo, v.nodes, v.cores))
 			}
-			return m
+			return v.armTier(m)
 		}
 	}
 	opt := bench.ResilientOptions{
@@ -653,6 +665,9 @@ func (s *Server) execute(t *task) {
 			resp.SimSeconds = r.SimSeconds
 			resp.Checksum = r.Checksum
 			resp.PeakBytes = r.PeakBytes
+			if v.tier.Tiered() {
+				resp.SlowRate = r.Stats.SlowRate
+			}
 			s.observePlan(v, lease, r.SimSeconds)
 			finish(kindCompleted, 200, resp)
 			return

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"polymer/internal/numa"
+)
+
+func TestDecodeRequestTiered(t *testing.T) {
+	v, err := DecodeRequest(strings.NewReader(
+		`{"algo":"pr","system":"polymer","graph":"powerlaw","scale":"tiny","dram_bytes":20000,"tier":"hot"}`))
+	if err != nil {
+		t.Fatalf("DecodeRequest: %v", err)
+	}
+	want := numa.TierConfig{DRAMPerNode: 20000, Policy: numa.TierHot, PromoteEvery: 1}
+	if v.tier != want {
+		t.Fatalf("tier = %+v, want %+v (hot defaults promote_every to 1)", v.tier, want)
+	}
+	plain, err := DecodeRequest(strings.NewReader(
+		`{"algo":"pr","system":"polymer","graph":"powerlaw","scale":"tiny"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.key() == plain.key() {
+		t.Fatal("tiered and untiered requests share a result-cache key")
+	}
+	if !strings.Contains(v.key(), "|t:hot:20000:1") {
+		t.Fatalf("tiered key %q missing the tier suffix", v.key())
+	}
+	// Untiered keys must be byte-identical to the pre-tiering population.
+	if strings.Contains(plain.key(), "|t:") {
+		t.Fatalf("untiered key %q grew a tier suffix", plain.key())
+	}
+
+	// Interleave has no promotion passes unless asked.
+	v, err = DecodeRequest(strings.NewReader(
+		`{"algo":"bfs","system":"polymer","graph":"powerlaw","scale":"tiny","dram_bytes":1000,"tier":"interleave"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.tier.PromoteEvery != 0 {
+		t.Fatalf("interleave promote_every = %d, want 0", v.tier.PromoteEvery)
+	}
+	if v.batchable() {
+		t.Fatal("tiered traversal joined the multi-source batch path")
+	}
+}
+
+func TestDecodeRequestTieredRejections(t *testing.T) {
+	cases := []struct {
+		name, body, wantSub string
+	}{
+		{"dram-without-tier", `{"algo":"pr","system":"polymer","graph":"powerlaw","dram_bytes":1000}`, "needs a tier policy"},
+		{"tier-without-dram", `{"algo":"pr","system":"polymer","graph":"powerlaw","tier":"hot"}`, "need dram_bytes"},
+		{"promote-without-dram", `{"algo":"pr","system":"polymer","graph":"powerlaw","promote_every":2}`, "need dram_bytes"},
+		{"negative-dram", `{"algo":"pr","system":"polymer","graph":"powerlaw","dram_bytes":-1}`, "negative"},
+		{"negative-promote", `{"algo":"pr","system":"polymer","graph":"powerlaw","dram_bytes":1000,"tier":"hot","promote_every":-1}`, "negative"},
+		{"unknown-tier", `{"algo":"pr","system":"polymer","graph":"powerlaw","dram_bytes":1000,"tier":"cold"}`, "unknown tier"},
+		{"cluster-tiered", `{"algo":"pr","system":"polymer","graph":"powerlaw","machines":2,"dram_bytes":1000,"tier":"hot"}`, "single-machine"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeRequest(strings.NewReader(tc.body))
+			if err == nil {
+				t.Fatal("request accepted")
+			}
+			if _, ok := err.(*BadRequest); !ok {
+				t.Fatalf("error %T is not a *BadRequest", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q missing %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestServeTieredRun: a DRAM-constrained request reports tier provenance
+// (policy, budget, slow-tier rate), costs more simulated time than the
+// unconstrained run, computes the identical payload, and caches under
+// its own key.
+func TestServeTieredRun(t *testing.T) {
+	srv := NewServer(Config{Workers: 1, QueueDepth: 8})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	st, plain, _ := postRun(t, ts.URL, body("polymer", ""))
+	if st != 200 {
+		t.Fatalf("untiered run status %d (%s)", st, plain.Error)
+	}
+	if plain.Tier != "" || plain.DramBytes != 0 || plain.SlowRate != 0 {
+		t.Fatalf("untiered response carries tier provenance: %+v", plain)
+	}
+	st, tiered, _ := postRun(t, ts.URL, body("polymer", `"dram_bytes":20000,"tier":"interleave"`))
+	if st != 200 {
+		t.Fatalf("tiered run status %d (%s)", st, tiered.Error)
+	}
+	if tiered.Tier != "interleave" || tiered.DramBytes != 20000 {
+		t.Fatalf("tier provenance (%q,%d), want (interleave,20000)", tiered.Tier, tiered.DramBytes)
+	}
+	if tiered.SlowRate <= 0 {
+		t.Fatal("constrained run reported no slow-tier traffic")
+	}
+	if tiered.Cached {
+		t.Fatal("tiered run was served from the untiered cache entry")
+	}
+	if tiered.Checksum != plain.Checksum {
+		t.Fatalf("tiering changed the payload: %v vs %v", tiered.Checksum, plain.Checksum)
+	}
+	if tiered.SimSeconds <= plain.SimSeconds {
+		t.Fatalf("tiered clock %v did not exceed untiered %v", tiered.SimSeconds, plain.SimSeconds)
+	}
+	// An identical tiered request replays from the cache, provenance
+	// intact.
+	st, again, _ := postRun(t, ts.URL, body("polymer", `"dram_bytes":20000,"tier":"interleave"`))
+	if st != 200 || !again.Cached {
+		t.Fatalf("repeat tiered run status %d cached=%v, want a cache hit", st, again.Cached)
+	}
+	if again.SlowRate != tiered.SlowRate || again.Tier != tiered.Tier {
+		t.Fatalf("cached replay lost tier provenance: %+v vs %+v", again, tiered)
+	}
+}
+
+// TestServeTieredPlanned: the auto planner serves tiered requests — the
+// decision is made under the DRAM-constrained cost model and the run is
+// armed with the tier config.
+func TestServeTieredPlanned(t *testing.T) {
+	srv := NewServer(Config{Workers: 1, QueueDepth: 8})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	st, resp, _ := postRun(t, ts.URL, body("auto", `"dram_bytes":4000,"tier":"hot"`))
+	if st != 200 {
+		t.Fatalf("planned tiered run status %d (%s)", st, resp.Error)
+	}
+	if resp.Plan == nil {
+		t.Fatal("auto request returned no plan provenance")
+	}
+	if resp.Tier != "hot" || resp.SlowRate <= 0 {
+		t.Fatalf("planned tiered run provenance (%q, slow %v)", resp.Tier, resp.SlowRate)
+	}
+}

@@ -43,4 +43,8 @@ MUTATE_SOAK_SEEDS=4 go test -race -count=1 -run 'TestCrashRecoveryMatrix' ./inte
 echo "==> cluster chaos smoke (fault matrix vs conform oracle under -race, small seed budget)"
 CLUSTER_SOAK_SEEDS=2 go test -race -count=1 -run 'TestChaosMatrix' ./internal/cluster/ >/dev/null
 
+echo "==> tier sweep smoke (hot vs interleave ordering gate + speedup baseline)"
+go run ./cmd/numabench -tiersweep -graph powerlaw -scale tiny -sockets 4 -cores 2 \
+	-tierbaseline BENCH_tiering.json >/dev/null
+
 echo "check: OK"
